@@ -1,0 +1,122 @@
+// Experiment E10: ablation of the documented reading-back corrections
+// (DESIGN.md #4/#5): paper-literal recurrences (no self-CIRC charges) vs.
+// the sound default, and the price of each against the simulator.
+//
+// For each scenario we report the two bounds and the simulated worst case:
+//   measured  <=  paper-literal  <=  sound      (when literal is sound)
+// A scenario where "measured > paper-literal" would be concrete evidence
+// that the omitted self-CIRC terms matter; slow CPUs (large CROUTE/CSEND)
+// push in that direction.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace gmfnet;
+
+namespace {
+
+struct Case {
+  std::string name;
+  net::Network network;
+  std::vector<gmf::Flow> flows;
+  Time horizon;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  {
+    auto s = workload::make_figure2_scenario(10'000'000, true);
+    cases.push_back(
+        {"fig2-cross", std::move(s.network), std::move(s.flows),
+         Time::sec(3)});
+  }
+  {
+    // Slow-CPU switch: task costs x20 make the CIRC terms dominant.
+    net::SwitchParams slow;
+    slow.croute = Time::us(54);
+    slow.csend = Time::us(20);
+    auto star = net::make_star_network(4, 100'000'000, slow);
+    std::vector<gmf::Flow> flows;
+    // 12 kB packets -> 9 Ethernet frames: self-CIRC charge is 9 services.
+    flows.push_back(gmf::make_sporadic_flow(
+        "bulk", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+        Time::ms(20), Time::ms(20), 12'000 * 8, 1));
+    flows.push_back(gmf::make_sporadic_flow(
+        "peer", net::Route({star.hosts[2], star.sw, star.hosts[1]}),
+        Time::ms(20), Time::ms(20), 6'000 * 8, 1));
+    cases.push_back({"slow-cpu-star", std::move(star.net), std::move(flows),
+                     Time::sec(3)});
+  }
+  {
+    auto s = workload::make_videoconf_scenario(100'000'000);
+    cases.push_back({"videoconf", std::move(s.network), std::move(s.flows),
+                     Time::sec(2)});
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: paper-literal vs sound recurrences "
+              "(self-CIRC ablation) ===\n\n");
+
+  Table t("Worst flow bound per variant, against the simulator");
+  t.set_columns({"scenario", "flow", "measured", "paper-literal", "sound",
+                 "literal sound here?", "sound/literal"});
+  CsvWriter csv({"scenario", "flow", "measured_ms", "literal_ms", "sound_ms",
+                 "literal_ok", "overhead_ratio"});
+
+  bool sound_ok = true;
+  for (const Case& c : make_cases()) {
+    core::AnalysisContext ctx(c.network, c.flows);
+    core::HolisticOptions sound;
+    core::HolisticOptions literal;
+    literal.hop.charge_self_circ = false;
+    const auto rs = core::analyze_holistic(ctx, sound);
+    const auto rl = core::analyze_holistic(ctx, literal);
+    if (!rs.converged || !rl.converged) {
+      std::printf("[%s] divergence; skipped\n", c.name.c_str());
+      continue;
+    }
+    sim::SimOptions opts;
+    opts.horizon = c.horizon;
+    sim::Simulator simulator(c.network, c.flows, opts);
+    simulator.run();
+
+    for (std::size_t f = 0; f < c.flows.size(); ++f) {
+      const net::FlowId id(static_cast<std::int32_t>(f));
+      const Time measured = simulator.stats(id).worst_response();
+      const Time lb = rl.worst_response(id);
+      const Time sb = rs.worst_response(id);
+      const bool literal_ok = measured <= lb;
+      sound_ok &= measured <= sb;
+      const double ratio = lb.ps() > 0 ? static_cast<double>(sb.ps()) /
+                                             static_cast<double>(lb.ps())
+                                       : 0.0;
+      t.add_row({c.name, c.flows[f].name(), measured.str(), lb.str(),
+                 sb.str(), literal_ok ? "yes" : "NO (unsound here)",
+                 Table::fixed(ratio, 3)});
+      csv.begin_row();
+      csv.add(c.name);
+      csv.add(c.flows[f].name());
+      csv.add(measured.to_ms());
+      csv.add(lb.to_ms());
+      csv.add(sb.to_ms());
+      csv.add(literal_ok ? "1" : "0");
+      csv.add(ratio);
+    }
+  }
+  t.print();
+  csv.save("bench_ablation_variants.csv");
+  std::printf("\nsound variant upper-bounds the simulator everywhere: %s\n",
+              sound_ok ? "HOLDS" : "VIOLATED (bug)");
+  std::printf("CSV written to bench_ablation_variants.csv\n");
+  return sound_ok ? 0 : 1;
+}

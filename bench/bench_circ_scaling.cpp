@@ -1,0 +1,65 @@
+// Experiments E2 + E3: the CIRC worked example of §3.3 (4 interfaces,
+// CROUTE=2.7us, CSEND=1.0us -> CIRC=14.8us) and the Conclusions' scaling
+// table (network processor with m CPUs serving 48 ports; CIRC=11.1us at
+// m=16, "comfortably deals with 1 Gbit/s").
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ethernet/framing.hpp"
+#include "switchsim/switch_model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace gmfnet;
+
+int main() {
+  const Time croute = Time::ns(2700);
+  const Time csend = Time::ns(1000);
+
+  std::printf("=== E2: CIRC worked example (Section 3.3) ===\n\n");
+  Table t2("CIRC(N) = NINTERFACES x (CROUTE + CSEND)");
+  t2.set_columns({"interfaces", "CIRC (this repo)", "paper"});
+  t2.add_row({"4", switchsim::circ(4, croute, csend).str(), "14.8 us"});
+  t2.print();
+  const bool e2_ok = switchsim::circ(4, croute, csend) == Time::us_f(14.8);
+  std::printf("anchor: %s\n\n", e2_ok ? "REPRODUCED" : "MISMATCH");
+
+  std::printf("=== E3: multiprocessor scaling (Conclusions) ===\n\n");
+  Table t3("48-port switch, interfaces partitioned over m CPUs");
+  t3.set_columns({"CPUs", "ifaces/CPU", "CIRC", "sustains 100 Mbit/s",
+                  "sustains 1 Gbit/s"});
+  CsvWriter csv({"cpus", "ifaces_per_cpu", "circ_us", "ok_100m", "ok_1g"});
+  bool e3_circ_ok = false;
+  bool e3_gig_ok = false;
+  for (const int cpus : {1, 2, 4, 8, 12, 16, 24, 48}) {
+    const int per = switchsim::interfaces_per_processor(48, cpus);
+    const Time circ = switchsim::circ_multiproc(48, cpus, croute, csend);
+    const bool ok100 = switchsim::sustains_linkspeed(circ, 100'000'000);
+    const bool ok1g = switchsim::sustains_linkspeed(circ, 1'000'000'000);
+    t3.add_row({std::to_string(cpus), std::to_string(per), circ.str(),
+                ok100 ? "yes" : "no", ok1g ? "yes" : "no"});
+    csv.begin_row();
+    csv.add(cpus);
+    csv.add(per);
+    csv.add(circ.to_us());
+    csv.add(ok100 ? "1" : "0");
+    csv.add(ok1g ? "1" : "0");
+    if (cpus == 16) {
+      e3_circ_ok = circ == Time::us_f(11.1);
+      e3_gig_ok = ok1g;
+    }
+  }
+  t3.print();
+  csv.save("bench_circ_scaling.csv");
+  std::printf("paper anchors at m=16: CIRC=11.1us -> %s; 1 Gbit/s "
+              "sustained -> %s\n",
+              e3_circ_ok ? "REPRODUCED" : "MISMATCH",
+              e3_gig_ok ? "REPRODUCED" : "MISMATCH");
+
+  std::printf("\nReference MFTs: 100 Mbit/s -> %s, 1 Gbit/s -> %s\n",
+              ethernet::max_frame_transmission_time(100'000'000).str().c_str(),
+              ethernet::max_frame_transmission_time(1'000'000'000).str().c_str());
+  std::printf("CSV written to bench_circ_scaling.csv\n");
+  return (e2_ok && e3_circ_ok && e3_gig_ok) ? 0 : 1;
+}

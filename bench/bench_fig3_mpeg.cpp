@@ -1,0 +1,75 @@
+// Experiment E1 (DESIGN.md): reproduction of Figure 3 / Figure 4 and the
+// worked sums of eqs (4)-(6).
+//
+// The Figure-3 MPEG stream (IBBPBBPBB, transmitted as I+P B B P B B P B B,
+// 30 ms apart) is projected onto link(0,4) of the Figure-1 network at
+// 10 Mbit/s, printing per-frame nbits, Ethernet-frame counts and C_i^k as
+// Figure 4 does.  Anchors recoverable from the paper text are printed next
+// to our values: TSUM = 270 ms (exact), and the per-frame byte sizes are
+// the documented substitution (Figure 4 survives only as an image).
+#include <cstdio>
+#include <string>
+
+#include "ethernet/framing.hpp"
+#include "gmf/link_params.hpp"
+#include "gmf/mpeg.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace gmfnet;
+
+int main() {
+  std::printf("=== E1: Figure 3 / Figure 4 — GMF parameters of the MPEG "
+              "stream on link(0,4) at 10 Mbit/s ===\n\n");
+
+  const auto s = workload::make_figure2_scenario(10'000'000, false);
+  const gmf::Flow& flow = s.flows[0];
+  const gmf::FlowLinkParams params(flow, 10'000'000);
+
+  const char* slot_names[] = {"I+P", "B", "B", "P", "B", "B", "P", "B", "B"};
+
+  Table t("Per-frame parameters (Figure 4 layout)");
+  t.set_columns({"k", "slot", "S (payload bytes)", "nbits (UDP bits)",
+                 "Eth frames", "C_i^k on link(0,4)", "T_i^k", "GJ_i^k"});
+  CsvWriter csv({"k", "slot", "payload_bytes", "nbits", "eth_frames",
+                 "c_us", "t_ms", "gj_ms"});
+  for (std::size_t k = 0; k < flow.frame_count(); ++k) {
+    const auto& fs = flow.frame(k);
+    const ethernet::Bits nbits = flow.nbits(k);
+    t.add_row({std::to_string(k), slot_names[k],
+               std::to_string(fs.payload_bits / 8), std::to_string(nbits),
+               std::to_string(params.nframes(k)), params.c(k).str(),
+               fs.min_separation.str(), fs.jitter.str()});
+    csv.begin_row();
+    csv.add(static_cast<std::int64_t>(k));
+    csv.add(slot_names[k]);
+    csv.add(fs.payload_bits / 8);
+    csv.add(nbits);
+    csv.add(params.nframes(k));
+    csv.add(params.c(k).to_us());
+    csv.add(fs.min_separation.to_ms());
+    csv.add(fs.jitter.to_ms());
+  }
+  t.print();
+  csv.save("bench_fig3_mpeg.csv");
+
+  Table sums("Aggregate sums, eqs (4)-(6)");
+  sums.set_columns({"quantity", "this repo", "paper anchor"});
+  sums.add_row({"CSUM (eq 4)", params.csum().str(),
+                "n/a (Figure 4 sizes not recoverable)"});
+  sums.add_row({"NSUM (eq 5)", std::to_string(params.nsum()),
+                "n/a (Figure 4 sizes not recoverable)"});
+  sums.add_row({"TSUM (eq 6)", params.tsum().str(), "270 ms (exact match)"});
+  sums.add_row({"MFT (eq 1)", params.mft().str(),
+                "12304 bits / 10 Mbit/s = 1.2304 ms"});
+  sums.print();
+
+  const bool tsum_ok = params.tsum() == Time::ms(270);
+  const bool mft_ok = params.mft() == Time::ns(1'230'400);
+  std::printf("\nTSUM anchor: %s, MFT anchor: %s\n",
+              tsum_ok ? "REPRODUCED" : "MISMATCH",
+              mft_ok ? "REPRODUCED" : "MISMATCH");
+  std::printf("CSV written to bench_fig3_mpeg.csv\n");
+  return (tsum_ok && mft_ok) ? 0 : 1;
+}

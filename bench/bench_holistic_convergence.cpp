@@ -1,0 +1,113 @@
+// Experiment E8: convergence behaviour of the holistic fixed point
+// ("Putting it all together"): sweeps to convergence vs. utilization, and
+// the Gauss-Seidel vs. Jacobi (parallel) ablation.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "core/priority.hpp"
+#include "net/topology.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/taskset_gen.hpp"
+
+using namespace gmfnet;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 20;
+  std::printf("=== E8: holistic fixed-point convergence "
+              "(%d task sets per level, Figure-1 topology) ===\n\n",
+              trials);
+
+  const auto fig = net::make_figure1_network(100'000'000);
+  const std::vector<net::NodeId> hosts = {fig.host0, fig.host1, fig.host2,
+                                          fig.host3};
+
+  Table t("Sweeps to convergence and wall time");
+  t.set_columns({"utilization", "converged", "GS sweeps (mean/max)",
+                 "Jacobi sweeps (mean/max)", "GS ms", "Jacobi ms",
+                 "fixed points agree"});
+  CsvWriter csv({"utilization", "converged_frac", "gs_sweeps_mean",
+                 "gs_sweeps_max", "jc_sweeps_mean", "jc_sweeps_max",
+                 "gs_ms", "jc_ms", "agree"});
+
+  for (const double util : {0.1, 0.3, 0.5, 0.7, 0.85}) {
+    OnlineStats gs_sweeps, jc_sweeps;
+    double gs_ms = 0, jc_ms = 0;
+    int converged = 0, total = 0;
+    bool agree = true;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(0xc0ffee + static_cast<std::uint64_t>(trial) * 31 +
+              static_cast<std::uint64_t>(util * 1000));
+      workload::TasksetParams params;
+      params.num_flows = 10;
+      params.total_utilization = util;
+      params.deadline_factor_lo = 2.0;
+      params.deadline_factor_hi = 4.0;
+      auto ts = workload::generate_taskset(fig.net, hosts, params, rng);
+      if (!ts) continue;
+      core::assign_priorities(ts->flows,
+                              core::PriorityScheme::kDeadlineMonotonic);
+      core::AnalysisContext ctx(fig.net, ts->flows);
+      ++total;
+
+      core::HolisticOptions gs;
+      core::HolisticOptions jc;
+      jc.order = core::SweepOrder::kJacobi;
+      core::HolisticResult rg, rj;
+      gs_ms += wall_ms([&] { rg = core::analyze_holistic(ctx, gs); });
+      jc_ms += wall_ms([&] { rj = core::analyze_holistic(ctx, jc); });
+      if (rg.converged) {
+        ++converged;
+        gs_sweeps.add(rg.sweeps);
+        if (rj.converged) {
+          jc_sweeps.add(rj.sweeps);
+          agree &= rg.jitters == rj.jitters;
+        }
+      }
+    }
+    t.add_row({Table::fixed(util, 2),
+               Table::fixed(total ? static_cast<double>(converged) / total
+                                  : 0.0,
+                            2),
+               Table::fixed(gs_sweeps.mean(), 1) + " / " +
+                   Table::num(gs_sweeps.max()),
+               Table::fixed(jc_sweeps.mean(), 1) + " / " +
+                   Table::num(jc_sweeps.max()),
+               Table::fixed(gs_ms, 1), Table::fixed(jc_ms, 1),
+               agree ? "yes" : "NO"});
+    csv.begin_row();
+    csv.add(util);
+    csv.add(total ? static_cast<double>(converged) / total : 0.0);
+    csv.add(gs_sweeps.mean());
+    csv.add(gs_sweeps.max());
+    csv.add(jc_sweeps.mean());
+    csv.add(jc_sweeps.max());
+    csv.add(gs_ms);
+    csv.add(jc_ms);
+    csv.add(agree ? "1" : "0");
+    if (!agree) {
+      t.print();
+      std::printf("Gauss-Seidel and Jacobi disagreed — bug.\n");
+      return 1;
+    }
+  }
+  t.print();
+  csv.save("bench_holistic_convergence.csv");
+  std::printf("\nCSV written to bench_holistic_convergence.csv\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment E11: how many 802.1p hardware priority levels does the
+// analysis need?
+//
+// §1 of the paper notes that commodity switches "support 2-8 priority
+// levels".  Deadline-monotonic assignment produces one class per flow;
+// hardware collapses them to 2..8 PCP classes.  This bench measures the
+// acceptance ratio of the holistic analysis as a function of available
+// levels (plus the unconstrained ideal), quantifying what the 802.1p
+// constraint costs.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "core/priority.hpp"
+#include "net/topology.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/taskset_gen.hpp"
+
+using namespace gmfnet;
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::vector<double> levels_util = {0.5, 0.7, 0.85};
+  const std::vector<int> pcp_levels = {2, 3, 4, 8};
+
+  std::printf("=== E11: acceptance ratio vs number of 802.1p priority "
+              "levels (%d task sets per cell, 12 flows) ===\n\n",
+              trials);
+
+  const auto star = net::make_star_network(8, 100'000'000);
+
+  // accept[u][l]: acceptance count at utilization u with pcp_levels[l]
+  // classes; last column = unconstrained deadline-monotonic.
+  std::vector<std::vector<std::atomic<int>>> accept(levels_util.size());
+  for (auto& row : accept) {
+    row = std::vector<std::atomic<int>>(pcp_levels.size() + 1);
+  }
+  std::vector<std::atomic<int>> totals(levels_util.size());
+
+  ThreadPool pool;
+  pool.parallel_for(
+      levels_util.size() * static_cast<std::size_t>(trials),
+      [&](std::size_t job) {
+        const std::size_t ui = job / static_cast<std::size_t>(trials);
+        Rng rng(0x13e7e15 + job * 131);
+        workload::TasksetParams params;
+        params.num_flows = 12;
+        params.total_utilization = levels_util[ui];
+        params.size_spread = 0.9;
+        params.deadline_factor_lo = 0.5;
+        params.deadline_factor_hi = 2.0;
+        auto ts =
+            workload::generate_taskset(star.net, star.hosts, params, rng);
+        if (!ts) return;
+        core::assign_priorities(ts->flows,
+                                core::PriorityScheme::kDeadlineMonotonic);
+        totals[ui].fetch_add(1);
+
+        {  // unconstrained
+          core::AnalysisContext ctx(star.net, ts->flows);
+          if (core::analyze_holistic(ctx).schedulable) {
+            accept[ui][pcp_levels.size()].fetch_add(1);
+          }
+        }
+        for (std::size_t li = 0; li < pcp_levels.size(); ++li) {
+          auto flows = ts->flows;
+          core::apply_pcp_levels(flows, pcp_levels[li]);
+          core::AnalysisContext ctx(star.net, flows);
+          if (core::analyze_holistic(ctx).schedulable) {
+            accept[ui][li].fetch_add(1);
+          }
+        }
+      });
+
+  Table t("Acceptance ratio by available priority levels");
+  std::vector<std::string> cols = {"utilization"};
+  for (int l : pcp_levels) cols.push_back(std::to_string(l) + " levels");
+  cols.push_back("unconstrained");
+  t.set_columns(cols);
+  CsvWriter csv({"utilization", "levels", "acceptance"});
+
+  bool monotone = true;
+  for (std::size_t ui = 0; ui < levels_util.size(); ++ui) {
+    const double n = std::max(1, totals[ui].load());
+    std::vector<std::string> row = {Table::fixed(levels_util[ui], 2)};
+    double prev = -1;
+    for (std::size_t li = 0; li <= pcp_levels.size(); ++li) {
+      const double a = accept[ui][li].load() / n;
+      row.push_back(Table::fixed(a, 3));
+      // More levels can merge fewer classes: acceptance should be
+      // non-decreasing in the level count (up to sampling noise; we check
+      // the exact counts, which are monotone per task set in theory but
+      // not guaranteed -- report only).
+      if (a + 1e-9 < prev) monotone = false;
+      prev = a;
+      csv.begin_row();
+      csv.add(levels_util[ui]);
+      csv.add(li < pcp_levels.size() ? pcp_levels[li] : 99);
+      csv.add(a);
+    }
+    t.add_row(row);
+  }
+  t.print();
+  csv.save("bench_pcp_levels.csv");
+  std::printf("\nacceptance non-decreasing in level count: %s\n",
+              monotone ? "yes" : "no (class-merge anomalies present)");
+  std::printf("CSV written to bench_pcp_levels.csv\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The paper's running example, end to end: the Figure-3 MPEG stream on the
+// Figure-1 network, analysed with the GMF model and with the sporadic
+// collapse — showing why the generalized multiframe model matters for
+// video traffic.
+//
+//   $ ./mpeg_streaming
+#include <cstdio>
+
+#include "baseline/sporadic.hpp"
+#include "core/holistic.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace gmfnet;
+
+int main() {
+  // The MPEG stream IBBPBBPBB of Figure 3 (I+P coalesced, 30 ms spacing),
+  // routed 0 -> 4 -> 6 -> 3 as in Figure 2, with competing video and voice.
+  gmf::MpegSizes sizes;
+  sizes.i_bits = 25'000 * 8;  // 25 kB I-frames: a DVD-quality stream
+  sizes.p_bits = 4'000 * 8;
+  sizes.b_bits = 1'500 * 8;
+  const auto scenario = workload::make_figure2_scenario(
+      10'000'000, /*with_cross_traffic=*/true, sizes);
+
+  std::printf("Figure-1 network, 10 Mbit/s links; %zu flows.\n\n",
+              scenario.flows.size());
+
+  core::AnalysisContext ctx(scenario.network, scenario.flows);
+  const auto gmf_result = core::analyze_holistic(ctx);
+
+  const char* slots[] = {"I+P", "B", "B", "P", "B", "B", "P", "B", "B"};
+  Table t("GMF holistic bounds for the MPEG flow 0 -> 4 -> 6 -> 3");
+  t.set_columns({"frame", "slot", "size", "bound", "deadline", "verdict"});
+  for (std::size_t k = 0; k < 9; ++k) {
+    const auto& fr = gmf_result.flows[0].frames[k];
+    t.add_row({std::to_string(k), slots[k],
+               std::to_string(scenario.flows[0].frame(k).payload_bits / 8) +
+                   " B",
+               fr.response.str(),
+               scenario.flows[0].frame(k).deadline.str(),
+               fr.meets_deadline ? "OK" : "MISS"});
+  }
+  t.print();
+  std::printf("GMF verdict: %s\n\n",
+              gmf_result.schedulable ? "ACCEPTED" : "REJECTED");
+
+  // The pre-GMF alternative: model the stream as sporadic, i.e. every
+  // packet is I+P-sized at the 30 ms rate.
+  const auto spor_result = baseline::analyze_sporadic_baseline(
+      scenario.network, scenario.flows);
+  std::printf("Sporadic-collapse verdict: %s",
+              spor_result.schedulable ? "accepted" : "REJECTED");
+  if (!spor_result.schedulable) {
+    std::printf(" — the same traffic is refused when the per-cycle size "
+                "variation\nis thrown away, which is precisely the paper's "
+                "case for the GMF model.");
+  }
+  std::printf("\n");
+  return gmf_result.schedulable && !spor_result.schedulable ? 0 : 1;
+}

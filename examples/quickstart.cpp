@@ -1,0 +1,65 @@
+// Quickstart: build a network, describe a GMF flow, get a guaranteed
+// end-to-end response-time bound.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API in ~60 lines: topology, flow
+// definition, holistic analysis, verdict.
+#include <cstdio>
+
+#include "core/holistic.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+#include "net/route.hpp"
+
+using namespace gmfnet;
+
+int main() {
+  // 1. The network: two PCs connected through one software Ethernet switch
+  //    (Click-style; the defaults are the paper's measured task costs,
+  //    CROUTE = 2.7 us, CSEND = 1.0 us).
+  net::Network network;
+  const net::NodeId alice = network.add_endhost("alice");
+  const net::NodeId sw = network.add_switch("sw");
+  const net::NodeId bob = network.add_endhost("bob");
+  network.add_duplex_link(alice, sw, 100'000'000);  // 100 Mbit/s
+  network.add_duplex_link(sw, bob, 100'000'000);
+
+  // 2. The traffic: a generalized multiframe flow.  This one alternates a
+  //    large 8 kB packet and two small 1 kB packets, 10 ms apart — think
+  //    "one I-frame, two P-frames".  Every packet must arrive within 20 ms.
+  std::vector<gmf::FrameSpec> frames(3);
+  for (std::size_t k = 0; k < 3; ++k) {
+    frames[k].min_separation = Time::ms(10);   // T_i^k
+    frames[k].deadline = Time::ms(20);         // D_i^k (end-to-end)
+    frames[k].jitter = Time::us(200);          // GJ_i^k release window
+    frames[k].payload_bits = (k == 0 ? 8'000 : 1'000) * 8;  // S_i^k
+  }
+  const gmf::Flow flow("video", net::Route({alice, sw, bob}), frames,
+                       /*priority=*/3);
+
+  // 3. The analysis: holistic response-time analysis over every hop
+  //    (first link, switch ingress, prioritized switch egress).
+  core::AnalysisContext ctx(network, {flow});
+  const core::HolisticResult result = core::analyze_holistic(ctx);
+
+  if (!result.converged) {
+    std::printf("The analysis diverged: the network is overloaded.\n");
+    return 1;
+  }
+
+  // 4. The verdict, per GMF frame.
+  std::printf("flow 'video' through %zu pipeline stages:\n",
+              ctx.stages(core::FlowId(0)).size());
+  for (std::size_t k = 0; k < flow.frame_count(); ++k) {
+    const auto& fr = result.flows[0].frames[k];
+    std::printf("  frame %zu (%5lld bytes): bound %-10s deadline %-8s %s\n",
+                k,
+                static_cast<long long>(flow.frame(k).payload_bits / 8),
+                fr.response.str().c_str(),
+                flow.frame(k).deadline.str().c_str(),
+                fr.meets_deadline ? "OK" : "MISS");
+  }
+  std::printf("schedulable: %s\n", result.schedulable ? "yes" : "no");
+  return result.schedulable ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Capacity planning for software-implemented Ethernet switches: the
+// Conclusions' multiprocessor argument as a tool.
+//
+//   $ ./switch_capacity [ports] [croute_us] [csend_us]
+//
+// For a switch with the given port count and per-frame task costs, prints
+// the stride service period CIRC per CPU count and the fastest standard
+// link rate each configuration sustains (CIRC < MFT).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ethernet/framing.hpp"
+#include "switchsim/switch_model.hpp"
+#include "util/table.hpp"
+
+using namespace gmfnet;
+
+int main(int argc, char** argv) {
+  const int ports = argc > 1 ? std::atoi(argv[1]) : 48;
+  const double croute_us = argc > 2 ? std::atof(argv[2]) : 2.7;
+  const double csend_us = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const Time croute = Time::us_f(croute_us);
+  const Time csend = Time::us_f(csend_us);
+
+  std::printf("Switch with %d ports, CROUTE=%s, CSEND=%s (paper defaults "
+              "are the Click measurements).\n\n",
+              ports, croute.str().c_str(), csend.str().c_str());
+
+  const std::vector<std::pair<const char*, ethernet::LinkSpeedBps>> rates = {
+      {"10 Mbit/s", 10'000'000},
+      {"100 Mbit/s", 100'000'000},
+      {"1 Gbit/s", 1'000'000'000},
+      {"10 Gbit/s", 10'000'000'000LL},
+  };
+
+  Table t("CIRC and sustainable line rate vs CPU count");
+  t.set_columns({"CPUs", "ports/CPU", "CIRC", "fastest sustained rate"});
+  for (int cpus = 1; cpus <= ports; cpus *= 2) {
+    const Time circ = switchsim::circ_multiproc(ports, cpus, croute, csend);
+    const char* best = "none";
+    for (const auto& [name, bps] : rates) {
+      if (switchsim::sustains_linkspeed(circ, bps)) best = name;
+    }
+    t.add_row({std::to_string(cpus),
+               std::to_string(switchsim::interfaces_per_processor(ports, cpus)),
+               circ.str(), best});
+  }
+  t.print();
+
+  std::printf("\nRule: a configuration sustains a rate when CIRC < MFT "
+              "(the egress task is\nguaranteed a service within every "
+              "frame transmission).  MFT at 1 Gbit/s is %s.\n",
+              ethernet::max_frame_transmission_time(1'000'000'000)
+                  .str()
+                  .c_str());
+  std::printf("The paper's 16-CPU example: CIRC = %s.\n",
+              switchsim::circ_multiproc(48, 16, Time::ns(2700),
+                                        Time::ns(1000))
+                  .str()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// From packet capture to delay guarantee: fit a GMF flow from an observed
+// trace (here synthesized: an MPEG-like stream with timing wobble), then
+// analyse it on the paper's example network.
+//
+//   $ ./trace_analysis
+#include <cstdio>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "gmf/trace_fit.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace gmfnet;
+
+int main() {
+  // --- 1. "Capture" traffic: what a monitor port would record. ----------
+  // A 9-slot MPEG pattern at nominally 30 ms spacing with up to 8% jitter
+  // in the gaps, 8 GOPs long.
+  const std::vector<ethernet::Bits> gop = {
+      16000 * 8, 1500 * 8, 1500 * 8, 4000 * 8, 1500 * 8,
+      1500 * 8,  4000 * 8, 1500 * 8, 1500 * 8};
+  Rng rng(2026);
+  std::vector<gmf::TracePacket> trace;
+  Time t = Time::zero();
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (const ethernet::Bits size : gop) {
+      trace.push_back(gmf::TracePacket{t, size});
+      t += Time(static_cast<Time::rep>(
+          30e9 * (1.0 + 0.08 * rng.uniform01())));
+    }
+  }
+  std::printf("captured %zu packets over %s\n", trace.size(),
+              trace.back().timestamp.str().c_str());
+
+  // --- 2. Fit the GMF parameters. ---------------------------------------
+  const gmf::CycleDetection det = gmf::detect_cycle(trace);
+  std::printf("detected GMF cycle length: %zu (size residual %.0f bits)\n\n",
+              det.cycle_length, det.residual);
+
+  const net::Figure1Network fig = net::make_figure1_network(10'000'000);
+  const net::Route route({fig.host0, fig.sw4, fig.sw6, fig.host3});
+  const gmf::Flow fitted =
+      gmf::fit_gmf_flow(trace, "fitted-mpeg", route,
+                        /*deadline=*/Time::ms(100),
+                        /*jitter=*/Time::ms(1), /*priority=*/1);
+
+  Table params("Fitted GMF parameters (sound: min separations, max sizes)");
+  params.set_columns({"slot", "T^k (fitted)", "S^k (fitted bytes)"});
+  for (std::size_t k = 0; k < fitted.frame_count(); ++k) {
+    params.add_row({std::to_string(k),
+                    fitted.frame(k).min_separation.str(),
+                    std::to_string(fitted.frame(k).payload_bits / 8)});
+  }
+  params.print();
+
+  // --- 3. Analyse. -------------------------------------------------------
+  core::AnalysisContext ctx(fig.net, {fitted});
+  const auto result = core::analyze_holistic(ctx);
+  if (!result.converged) {
+    std::printf("\nanalysis diverged — trace traffic cannot be guaranteed\n");
+    return 1;
+  }
+  std::printf("\nworst end-to-end bound over the cycle: %s (deadline "
+              "100ms) -> %s\n",
+              result.flows[0].worst_response().str().c_str(),
+              result.schedulable ? "GUARANTEED" : "NOT guaranteed");
+  return result.schedulable ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#include "baseline/sporadic.hpp"
+
+namespace gmfnet::baseline {
+
+gmf::Flow collapse_to_sporadic(const gmf::Flow& flow) {
+  gmf::FrameSpec worst;
+  worst.min_separation = gmfnet::Time::max();
+  worst.deadline = gmfnet::Time::max();
+  worst.jitter = gmfnet::Time::zero();
+  worst.payload_bits = 0;
+  for (const gmf::FrameSpec& f : flow.frames()) {
+    worst.min_separation = gmfnet::min(worst.min_separation, f.min_separation);
+    worst.deadline = gmfnet::min(worst.deadline, f.deadline);
+    worst.jitter = gmfnet::max(worst.jitter, f.jitter);
+    worst.payload_bits = std::max(worst.payload_bits, f.payload_bits);
+  }
+  return gmf::Flow(flow.name() + "/sporadic", flow.route(), {worst},
+                   flow.priority(), flow.rtp());
+}
+
+std::vector<gmf::Flow> collapse_to_sporadic(
+    const std::vector<gmf::Flow>& flows) {
+  std::vector<gmf::Flow> out;
+  out.reserve(flows.size());
+  for (const gmf::Flow& f : flows) out.push_back(collapse_to_sporadic(f));
+  return out;
+}
+
+core::HolisticResult analyze_sporadic_baseline(
+    const net::Network& network, const std::vector<gmf::Flow>& flows,
+    const core::HolisticOptions& opts) {
+  core::AnalysisContext ctx(network, collapse_to_sporadic(flows));
+  return core::analyze_holistic(ctx, opts);
+}
+
+}  // namespace gmfnet::baseline

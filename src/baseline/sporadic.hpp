@@ -1,0 +1,33 @@
+// Sporadic-model baseline (Tindell & Clark-style holistic analysis).
+//
+// Pre-GMF holistic analysis characterises every flow by a single
+// (period, size) pair.  The sound way to collapse a GMF flow into that model
+// is the worst frame in every dimension: period = min_k T^k, payload =
+// max_k S^k, deadline = min_k D^k, jitter = max_k GJ^k.  Every GMF arrival
+// sequence is also a legal arrival sequence of that sporadic flow, so the
+// baseline's bounds are valid — just (often much) more pessimistic, which is
+// exactly the paper's motivation for using GMF.  Running both through the
+// same pipeline machinery isolates the *model* difference (E5).
+#pragma once
+
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "gmf/flow.hpp"
+
+namespace gmfnet::baseline {
+
+/// Collapses a GMF flow to its sporadic over-approximation (n = 1).
+[[nodiscard]] gmf::Flow collapse_to_sporadic(const gmf::Flow& flow);
+
+/// Collapses a whole flow set.
+[[nodiscard]] std::vector<gmf::Flow> collapse_to_sporadic(
+    const std::vector<gmf::Flow>& flows);
+
+/// Holistic analysis of the sporadic collapses: the baseline verdict for a
+/// GMF flow set.  Sound (accepts only schedulable sets) but pessimistic.
+[[nodiscard]] core::HolisticResult analyze_sporadic_baseline(
+    const net::Network& network, const std::vector<gmf::Flow>& flows,
+    const core::HolisticOptions& opts = {});
+
+}  // namespace gmfnet::baseline

@@ -1,0 +1,32 @@
+#include "baseline/utilization.hpp"
+
+#include <algorithm>
+
+namespace gmfnet::baseline {
+
+UtilizationReport measure_utilization(const net::Network& network,
+                                      const std::vector<gmf::Flow>& flows) {
+  core::AnalysisContext ctx(network, flows);
+  UtilizationReport rep;
+  for (const net::Link& l : network.links()) {
+    const net::LinkRef ref(l.src, l.dst);
+    if (ctx.flows_on_link(ref).empty()) continue;
+    rep.max_link_utilization =
+        std::max(rep.max_link_utilization, ctx.link_utilization(ref));
+    // Ingress tasks exist only where the receiving node is a switch.
+    if (network.node(l.dst).kind == net::NodeKind::kSwitch) {
+      rep.max_ingress_utilization =
+          std::max(rep.max_ingress_utilization, ctx.ingress_utilization(ref));
+    }
+  }
+  return rep;
+}
+
+bool utilization_test(const net::Network& network,
+                      const std::vector<gmf::Flow>& flows, double bound) {
+  const UtilizationReport rep = measure_utilization(network, flows);
+  return rep.max_link_utilization < bound &&
+         rep.max_ingress_utilization < bound;
+}
+
+}  // namespace gmfnet::baseline

@@ -1,0 +1,36 @@
+// Utilization-only admission baselines.
+//
+// The crudest admission policies an operator could deploy: accept while
+// every resource stays below a utilization threshold.  They ignore deadlines
+// entirely, so they are *not* sound for hard guarantees — they serve as the
+// "what commodity gear does today" reference point in the acceptance-ratio
+// experiment (E5).
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::baseline {
+
+/// Largest link utilization (sum of CSUM/TSUM) over all links that carry at
+/// least one flow, and largest ingress-task utilization over all switch
+/// input interfaces.
+struct UtilizationReport {
+  double max_link_utilization = 0.0;
+  double max_ingress_utilization = 0.0;
+};
+
+[[nodiscard]] UtilizationReport measure_utilization(
+    const net::Network& network, const std::vector<gmf::Flow>& flows);
+
+/// Accepts the set iff every link and every ingress task stays strictly
+/// below `bound` (1.0 = the necessary schedulability condition; the paper's
+/// eqs (20)/(34) use it as a convergence precondition).
+[[nodiscard]] bool utilization_test(const net::Network& network,
+                                    const std::vector<gmf::Flow>& flows,
+                                    double bound = 1.0);
+
+}  // namespace gmfnet::baseline

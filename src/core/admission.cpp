@@ -1,0 +1,39 @@
+#include "core/admission.hpp"
+
+namespace gmfnet::core {
+
+AdmissionController::AdmissionController(net::Network network,
+                                         HolisticOptions opts)
+    : net_(std::move(network)), opts_(opts) {
+  net_.validate();
+}
+
+std::optional<HolisticResult> AdmissionController::try_admit(gmf::Flow flow) {
+  std::vector<gmf::Flow> candidate = flows_;
+  candidate.push_back(std::move(flow));
+
+  // AnalysisContext validates the candidate flow against the network; let
+  // malformed flows surface as exceptions rather than "rejected".
+  AnalysisContext ctx(net_, candidate);
+  HolisticResult result = analyze_holistic(ctx, opts_);
+  if (!result.schedulable) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  flows_ = std::move(candidate);
+  return result;
+}
+
+void AdmissionController::remove(std::size_t index) {
+  if (index < flows_.size()) {
+    flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+std::optional<HolisticResult> AdmissionController::current_guarantees() const {
+  if (flows_.empty()) return std::nullopt;
+  AnalysisContext ctx(net_, flows_);
+  return analyze_holistic(ctx, opts_);
+}
+
+}  // namespace gmfnet::core

@@ -1,0 +1,49 @@
+// The admission controller of §3.5: a flow is accepted iff, with the flow
+// added, the holistic analysis converges and every frame of every flow
+// (existing and new) still meets its end-to-end deadline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::core {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(net::Network network,
+                               HolisticOptions opts = {});
+
+  /// Tests `flow` against the currently admitted set.  On acceptance the
+  /// flow joins the set and the full holistic result is returned; on
+  /// rejection the admitted set is unchanged and std::nullopt is returned.
+  std::optional<HolisticResult> try_admit(gmf::Flow flow);
+
+  /// Removes a previously admitted flow by index (order of admission);
+  /// subsequent indices shift down.  Removal never invalidates guarantees,
+  /// so no re-analysis is needed.
+  void remove(std::size_t index);
+
+  [[nodiscard]] const std::vector<gmf::Flow>& admitted() const {
+    return flows_;
+  }
+  [[nodiscard]] std::size_t admitted_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
+
+  /// Holistic result for the currently admitted set (recomputed on demand;
+  /// nullopt when no flow is admitted).
+  [[nodiscard]] std::optional<HolisticResult> current_guarantees() const;
+
+  [[nodiscard]] const net::Network& network() const { return net_; }
+
+ private:
+  net::Network net_;
+  HolisticOptions opts_;
+  std::vector<gmf::Flow> flows_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace gmfnet::core

@@ -1,0 +1,174 @@
+#include "core/context.hpp"
+
+#include <stdexcept>
+
+#include "switchsim/switch_model.hpp"
+
+namespace gmfnet::core {
+
+JitterMap JitterMap::initial(const AnalysisContext& ctx) {
+  JitterMap m;
+  m.per_flow_.resize(ctx.flow_count());
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    const gmf::Flow& flow = ctx.flow(id);
+    const auto& stages = ctx.stages(id);
+    std::vector<gmfnet::Time> src_jitter(flow.frame_count());
+    for (std::size_t k = 0; k < flow.frame_count(); ++k) {
+      src_jitter[k] = flow.frame(k).jitter;
+    }
+    m.per_flow_[f][stages.front()] = std::move(src_jitter);
+  }
+  return m;
+}
+
+gmfnet::Time JitterMap::jitter(FlowId flow, const StageKey& stage,
+                               std::size_t frame) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f >= per_flow_.size()) return gmfnet::Time::zero();
+  const auto it = per_flow_[f].find(stage);
+  if (it == per_flow_[f].end() || frame >= it->second.size()) {
+    return gmfnet::Time::zero();
+  }
+  return it->second[frame];
+}
+
+gmfnet::Time JitterMap::max_jitter(FlowId flow, const StageKey& stage) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f >= per_flow_.size()) return gmfnet::Time::zero();
+  const auto it = per_flow_[f].find(stage);
+  if (it == per_flow_[f].end()) return gmfnet::Time::zero();
+  gmfnet::Time m = gmfnet::Time::zero();
+  for (gmfnet::Time t : it->second) m = gmfnet::max(m, t);
+  return m;
+}
+
+void JitterMap::set_jitter(FlowId flow, const StageKey& stage,
+                           std::size_t frame, gmfnet::Time value) {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f >= per_flow_.size()) per_flow_.resize(f + 1);
+  auto& v = per_flow_[f][stage];
+  if (frame >= v.size()) v.resize(frame + 1, gmfnet::Time::zero());
+  v[frame] = value;
+}
+
+void JitterMap::adopt_flow(const JitterMap& other, FlowId flow) {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f >= per_flow_.size()) per_flow_.resize(f + 1);
+  per_flow_[f] = f < other.per_flow_.size()
+                     ? other.per_flow_[f]
+                     : std::map<StageKey, std::vector<gmfnet::Time>>{};
+}
+
+AnalysisContext::AnalysisContext(net::Network network,
+                                 std::vector<gmf::Flow> flows)
+    : net_(std::move(network)), flows_(std::move(flows)) {
+  net_.validate();
+  for (const gmf::Flow& f : flows_) f.validate(net_);
+
+  stages_.resize(flows_.size());
+  circ_.resize(net_.node_count(), gmfnet::Time::zero());
+  for (const NodeId n : net_.nodes_of_kind(net::NodeKind::kSwitch)) {
+    circ_[static_cast<std::size_t>(n.v)] = switchsim::circ_of(net_, n);
+  }
+
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    const gmf::Flow& flow = flows_[f];
+    const net::Route& route = flow.route();
+
+    // Stage sequence per Figure 6: first link, then per-switch (in, link).
+    auto& st = stages_[f];
+    st.push_back(StageKey::link(route.node_at(0), route.node_at(1)));
+    for (std::size_t i = 1; i + 1 < route.node_count(); ++i) {
+      st.push_back(StageKey::ingress(route.node_at(i)));
+      st.push_back(StageKey::link(route.node_at(i), route.node_at(i + 1)));
+    }
+
+    for (const LinkRef l : route.links()) {
+      flows_on_link_[l].push_back(id);
+      pair_index_[{id.v, l}] = params_.size();
+      params_.emplace_back(flow, net_.linkspeed(l.src, l.dst));
+      demand_.emplace_back(params_.back());
+    }
+  }
+}
+
+const std::vector<FlowId>& AnalysisContext::flows_on_link(LinkRef link) const {
+  static const std::vector<FlowId> kEmpty;
+  const auto it = flows_on_link_.find(link);
+  return it == flows_on_link_.end() ? kEmpty : it->second;
+}
+
+std::vector<FlowId> AnalysisContext::hep(FlowId i, LinkRef link) const {
+  std::vector<FlowId> out;
+  const std::int64_t pi = flow(i).priority();
+  for (const FlowId j : flows_on_link(link)) {
+    if (j != i && flow(j).priority() >= pi) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<FlowId> AnalysisContext::lp(FlowId i, LinkRef link) const {
+  std::vector<FlowId> out;
+  const std::int64_t pi = flow(i).priority();
+  for (const FlowId j : flows_on_link(link)) {
+    if (j != i && flow(j).priority() < pi) out.push_back(j);
+  }
+  return out;
+}
+
+const gmf::FlowLinkParams& AnalysisContext::link_params(FlowId i,
+                                                        LinkRef link) const {
+  const auto it = pair_index_.find({i.v, link});
+  if (it == pair_index_.end()) {
+    throw std::out_of_range("link_params: flow does not traverse link");
+  }
+  return params_[it->second];
+}
+
+const gmf::DemandCurve& AnalysisContext::demand(FlowId i, LinkRef link) const {
+  const auto it = pair_index_.find({i.v, link});
+  if (it == pair_index_.end()) {
+    throw std::out_of_range("demand: flow does not traverse link");
+  }
+  return demand_[it->second];
+}
+
+gmfnet::Time AnalysisContext::circ(NodeId n) const {
+  if (!net_.has_node(n)) throw std::out_of_range("circ: bad node");
+  return circ_[static_cast<std::size_t>(n.v)];
+}
+
+double AnalysisContext::link_utilization(LinkRef link) const {
+  double u = 0;
+  for (const FlowId j : flows_on_link(link)) {
+    u += link_params(j, link).utilization();
+  }
+  return u;
+}
+
+double AnalysisContext::ingress_utilization(LinkRef link) const {
+  const gmfnet::Time c = circ(link.dst);
+  double u = 0;
+  for (const FlowId j : flows_on_link(link)) {
+    const auto& p = link_params(j, link);
+    u += static_cast<double>(p.nsum()) * static_cast<double>(c.ps()) /
+         static_cast<double>(p.tsum().ps());
+  }
+  return u;
+}
+
+double AnalysisContext::egress_level_utilization(FlowId i, LinkRef link) const {
+  double u = link_params(i, link).utilization();
+  for (const FlowId j : hep(i, link)) {
+    u += link_params(j, link).utilization();
+  }
+  return u;
+}
+
+const std::vector<StageKey>& AnalysisContext::stages(FlowId i) const {
+  return stages_[static_cast<std::size_t>(i.v)];
+}
+
+}  // namespace gmfnet::core

@@ -1,0 +1,138 @@
+// AnalysisContext: the immutable world the response-time analyses run
+// against (network + flow set + all derived per-link parameters), and
+// JitterMap: the mutable per-stage generalized-jitter state that the
+// holistic iteration drives to a fixed point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gmf/demand.hpp"
+#include "gmf/flow.hpp"
+#include "gmf/link_params.hpp"
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::core {
+
+using net::FlowId;
+using net::LinkRef;
+using net::NodeId;
+
+/// A "stage" of a flow's pipeline in the Figure-6 algorithm: either a link
+/// traversal (first hop or switch egress) or the ingress processing inside a
+/// switch.  GJ_i^k,link(N1,N2) is keyed by a kLink stage, GJ_i^k,in(N) by a
+/// kIngress stage.
+struct StageKey {
+  enum class Kind : std::uint8_t { kLink, kIngress };
+
+  Kind kind = Kind::kLink;
+  NodeId a;  ///< link source / ingress node
+  NodeId b;  ///< link destination; invalid for kIngress
+
+  static StageKey link(NodeId src, NodeId dst) {
+    return StageKey{Kind::kLink, src, dst};
+  }
+  static StageKey link(LinkRef l) { return link(l.src, l.dst); }
+  static StageKey ingress(NodeId n) { return StageKey{Kind::kIngress, n, {}}; }
+
+  [[nodiscard]] bool is_link() const { return kind == Kind::kLink; }
+  [[nodiscard]] LinkRef as_link() const { return LinkRef(a, b); }
+
+  auto operator<=>(const StageKey&) const = default;
+};
+
+class AnalysisContext;
+
+/// Per-flow, per-stage, per-frame generalized jitter — the quantity the
+/// holistic analysis iterates on.  Missing entries read as zero (the
+/// holistic initial assumption for non-source stages).
+class JitterMap {
+ public:
+  JitterMap() = default;
+
+  /// Holistic initial state: every flow's first-link stage carries the
+  /// source-specified GJ_i^k; all downstream stages are absent (zero).
+  static JitterMap initial(const AnalysisContext& ctx);
+
+  /// GJ for one frame at one stage (zero when never set).
+  [[nodiscard]] gmfnet::Time jitter(FlowId flow, const StageKey& stage,
+                                    std::size_t frame) const;
+
+  /// extra_j of the paper: max over frames of the stage jitter.
+  [[nodiscard]] gmfnet::Time max_jitter(FlowId flow,
+                                        const StageKey& stage) const;
+
+  void set_jitter(FlowId flow, const StageKey& stage, std::size_t frame,
+                  gmfnet::Time value);
+
+  /// Replaces this map's entries for `flow` with those of `other` (used by
+  /// the Jacobi sweep to merge per-flow results computed against a frozen
+  /// snapshot).
+  void adopt_flow(const JitterMap& other, FlowId flow);
+
+  bool operator==(const JitterMap&) const = default;
+
+ private:
+  friend class AnalysisContext;
+  /// per_flow_[flow.v][stage] -> per-frame jitter vector
+  std::vector<std::map<StageKey, std::vector<gmfnet::Time>>> per_flow_;
+};
+
+/// Immutable analysis world.  Construction validates the network and every
+/// flow, and eagerly precomputes, for every (flow, route link) pair, the
+/// FlowLinkParams and DemandCurve — so all analysis-time queries are
+/// read-only and safe to issue from parallel (Jacobi) sweeps.
+class AnalysisContext {
+ public:
+  AnalysisContext(net::Network network, std::vector<gmf::Flow> flows);
+
+  [[nodiscard]] const net::Network& network() const { return net_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] const gmf::Flow& flow(FlowId id) const {
+    return flows_[static_cast<std::size_t>(id.v)];
+  }
+  [[nodiscard]] const std::vector<gmf::Flow>& flows() const { return flows_; }
+
+  /// flows(N1,N2): ids of flows whose route uses the directed link.
+  [[nodiscard]] const std::vector<FlowId>& flows_on_link(LinkRef link) const;
+
+  /// hep(τ_i, N1, N2), eq (2): other flows on the link with priority >= τ_i.
+  [[nodiscard]] std::vector<FlowId> hep(FlowId i, LinkRef link) const;
+  /// lp(τ_i, N1, N2), eq (3): other flows on the link with lower priority.
+  [[nodiscard]] std::vector<FlowId> lp(FlowId i, LinkRef link) const;
+
+  /// Basic parameters of flow `i` on `link` (must be a link of its route).
+  [[nodiscard]] const gmf::FlowLinkParams& link_params(FlowId i,
+                                                       LinkRef link) const;
+  /// Request-bound curve of flow `i` on `link`.
+  [[nodiscard]] const gmf::DemandCurve& demand(FlowId i, LinkRef link) const;
+
+  /// CIRC(N) of a switch node (precomputed).
+  [[nodiscard]] gmfnet::Time circ(NodeId n) const;
+
+  /// Sum over flows on `link` of CSUM/TSUM — the left side of eq (20).
+  [[nodiscard]] double link_utilization(LinkRef link) const;
+  /// Ingress-task load on the FIFO of `link`: sum of NSUM*CIRC(dst)/TSUM.
+  [[nodiscard]] double ingress_utilization(LinkRef link) const;
+  /// Egress load of eq (34)/(35) for flow i: hep flows plus i itself.
+  [[nodiscard]] double egress_level_utilization(FlowId i, LinkRef link) const;
+
+  /// The ordered pipeline stages of flow `i` per Figure 6: first link, then
+  /// (ingress, egress-link) per intermediate switch.
+  [[nodiscard]] const std::vector<StageKey>& stages(FlowId i) const;
+
+ private:
+  net::Network net_;
+  std::vector<gmf::Flow> flows_;
+  std::map<LinkRef, std::vector<FlowId>> flows_on_link_;
+  std::vector<std::vector<StageKey>> stages_;
+  // (flow, link) -> dense index into params_/demand_.
+  std::map<std::pair<std::int32_t, LinkRef>, std::size_t> pair_index_;
+  std::vector<gmf::FlowLinkParams> params_;
+  std::vector<gmf::DemandCurve> demand_;
+  std::vector<gmfnet::Time> circ_;  ///< by node id; zero for non-switches
+};
+
+}  // namespace gmfnet::core

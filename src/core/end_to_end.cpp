@@ -1,0 +1,100 @@
+#include "core/end_to_end.hpp"
+
+#include "core/egress.hpp"
+#include "core/first_hop.hpp"
+#include "core/ingress.hpp"
+
+namespace gmfnet::core {
+
+bool FlowResult::all_converged() const {
+  for (const FrameResult& f : frames) {
+    if (!f.converged) return false;
+  }
+  return !frames.empty();
+}
+
+bool FlowResult::schedulable() const {
+  for (const FrameResult& f : frames) {
+    if (!f.meets_deadline) return false;
+  }
+  return !frames.empty();
+}
+
+gmfnet::Time FlowResult::worst_response() const {
+  gmfnet::Time worst = gmfnet::Time::zero();
+  for (const FrameResult& f : frames) {
+    if (!f.converged) return gmfnet::Time::max();
+    worst = gmfnet::max(worst, f.response);
+  }
+  return worst;
+}
+
+FrameResult analyze_frame_end_to_end(const AnalysisContext& ctx,
+                                     JitterMap& jitters, FlowId i,
+                                     std::size_t frame,
+                                     const HopOptions& opts) {
+  FrameResult out;
+  const gmf::Flow& fi = ctx.flow(i);
+  const net::Route& route = fi.route();
+
+  // Figure 6 line 3: both sums start at the source generalized jitter.
+  gmfnet::Time rsum = fi.frame(frame).jitter;
+  gmfnet::Time jsum = rsum;
+
+  auto run_stage = [&](const StageKey& stage, const HopResult& hop) {
+    out.stages.push_back(StageResponse{stage, hop});
+    if (!hop.converged) return false;
+    rsum += hop.response;
+    jsum += hop.response;
+    return true;
+  };
+
+  // Lines 7-11: the first link, analysed with the work-conserving model.
+  {
+    const StageKey stage =
+        StageKey::link(route.node_at(0), route.node_at(1));
+    jitters.set_jitter(i, stage, frame, jsum);  // line 8
+    if (!run_stage(stage, analyze_first_hop(ctx, jitters, i, frame, opts))) {
+      return out;
+    }
+  }
+
+  // Lines 4-23: every intermediate switch contributes an ingress stage and
+  // an egress-link stage.
+  for (std::size_t idx = 1; idx + 1 < route.node_count(); ++idx) {
+    const NodeId n = route.node_at(idx);
+
+    const StageKey in_stage = StageKey::ingress(n);
+    jitters.set_jitter(i, in_stage, frame, jsum);  // line 13
+    if (!run_stage(in_stage,
+                   analyze_ingress(ctx, jitters, i, frame, n, opts))) {
+      return out;
+    }
+
+    const StageKey out_stage = StageKey::link(n, route.node_at(idx + 1));
+    jitters.set_jitter(i, out_stage, frame, jsum);  // line 17
+    if (!run_stage(out_stage,
+                   analyze_egress(ctx, jitters, i, frame, n, opts))) {
+      return out;
+    }
+  }
+
+  out.response = rsum;  // line 24
+  out.converged = true;
+  out.meets_deadline = rsum <= fi.frame(frame).deadline;
+  return out;
+}
+
+FlowResult analyze_flow_end_to_end(const AnalysisContext& ctx,
+                                   JitterMap& jitters, FlowId i,
+                                   const HopOptions& opts) {
+  FlowResult out;
+  const std::size_t n = ctx.flow(i).frame_count();
+  out.frames.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.frames.push_back(analyze_frame_end_to_end(ctx, jitters, i, k, opts));
+  }
+  return out;
+}
+
+}  // namespace gmfnet::core

@@ -1,0 +1,56 @@
+// End-to-end response-time assembly: the algorithm of Figure 6.
+//
+// For a frame k of flow τ_i, walk the route and chain the three per-hop
+// analyses, accumulating the response-time sum RSUM and the jitter sum JSUM;
+// before each stage, the flow's own generalized jitter at that stage is set
+// to the accumulated JSUM (lines 8/13/17), which is what downstream flows
+// see as interference jitter during the holistic iteration.
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/hop_result.hpp"
+
+namespace gmfnet::core {
+
+/// One stage's contribution to a frame's end-to-end bound.
+struct StageResponse {
+  StageKey stage;
+  HopResult hop;
+};
+
+/// End-to-end result for one frame of one flow.
+struct FrameResult {
+  /// R_i^k: upper bound on source-to-destination response time, including
+  /// the source generalized jitter (Figure 6 line 3).  Meaningful only when
+  /// `converged`.
+  gmfnet::Time response = gmfnet::Time::zero();
+  bool converged = false;
+  /// True when `converged` and response <= the frame's deadline D_i^k.
+  bool meets_deadline = false;
+  std::vector<StageResponse> stages;
+};
+
+/// End-to-end result for all frames of one flow.
+struct FlowResult {
+  std::vector<FrameResult> frames;
+  [[nodiscard]] bool all_converged() const;
+  [[nodiscard]] bool schedulable() const;  ///< all frames meet deadlines
+  /// Worst response over the frames (Time::max() if any diverged).
+  [[nodiscard]] gmfnet::Time worst_response() const;
+};
+
+/// Runs Figure 6 for one frame.  Reads interference jitters from `jitters`
+/// and *writes* flow i's own per-stage jitters into it (lines 8/13/17).
+[[nodiscard]] FrameResult analyze_frame_end_to_end(const AnalysisContext& ctx,
+                                                   JitterMap& jitters,
+                                                   FlowId i, std::size_t frame,
+                                                   const HopOptions& opts = {});
+
+/// Runs Figure 6 for every frame of flow i.
+[[nodiscard]] FlowResult analyze_flow_end_to_end(const AnalysisContext& ctx,
+                                                 JitterMap& jitters, FlowId i,
+                                                 const HopOptions& opts = {});
+
+}  // namespace gmfnet::core

@@ -1,0 +1,90 @@
+#include "core/first_hop.hpp"
+
+#include <vector>
+
+#include "util/fixed_point.hpp"
+
+namespace gmfnet::core {
+
+bool first_hop_feasible(const AnalysisContext& ctx, FlowId i) {
+  const net::Route& route = ctx.flow(i).route();
+  const LinkRef link(route.node_at(0), route.node_at(1));
+  return ctx.link_utilization(link) < 1.0;  // eq (20)
+}
+
+HopResult analyze_first_hop(const AnalysisContext& ctx,
+                            const JitterMap& jitters, FlowId i,
+                            std::size_t frame, const HopOptions& opts) {
+  HopResult result;
+  const gmf::Flow& fi = ctx.flow(i);
+  const net::Route& route = fi.route();
+  const NodeId src = route.node_at(0);
+  const NodeId nxt = route.node_at(1);
+  const LinkRef link(src, nxt);
+  const StageKey stage = StageKey::link(link);
+
+  if (!first_hop_feasible(ctx, i)) return result;  // eq (20) violated
+
+  const gmf::FlowLinkParams& pi = ctx.link_params(i, link);
+  const gmfnet::Time ck = pi.c(frame);
+  const gmfnet::Time tsum_i = pi.tsum();
+
+  // Gather interfering flows with their demand curves and extra_j.
+  struct Interferer {
+    const gmf::DemandCurve* curve;
+    gmfnet::Time extra;
+    bool is_self;
+  };
+  std::vector<Interferer> all;
+  for (const FlowId j : ctx.flows_on_link(link)) {
+    all.push_back(Interferer{&ctx.demand(j, link),
+                             jitters.max_jitter(j, stage), j == i});
+  }
+
+  FixedPointOptions fp;
+  fp.horizon = opts.horizon;
+
+  // Busy period, eqs (14)-(15).  Seeded with C_i^k (DESIGN.md correction #2:
+  // eq (14)'s zero seed is itself a fixed point when all jitters are zero).
+  const auto busy_fn = [&](gmfnet::Time t) {
+    gmfnet::Time next = gmfnet::Time::zero();
+    for (const Interferer& j : all) next += j.curve->mx(t + j.extra);
+    return next;
+  };
+  const FixedPointResult busy = iterate_fixed_point(ck, busy_fn, fp);
+  result.iterations += busy.iterations;
+  result.busy_period = busy.value;
+  if (!busy.converged) return result;
+
+  // Q = ceil(t / TSUM_i): instances of frame k inside the busy period.
+  const std::int64_t q_count =
+      gmfnet::max(busy.value, gmfnet::Time(1)).ceil_div(tsum_i);
+  result.instances = q_count;
+
+  gmfnet::Time worst = gmfnet::Time::zero();
+  for (std::int64_t q = 0; q < q_count; ++q) {
+    // Queueing time, eqs (16)-(17): w(q) = q*CSUM_i + sum over other flows
+    // of MX_j(w + extra_j).
+    const gmfnet::Time self = q * pi.csum();
+    const auto w_fn = [&](gmfnet::Time w) {
+      gmfnet::Time next = self;
+      for (const Interferer& j : all) {
+        if (j.is_self) continue;
+        next += j.curve->mx(w + j.extra);
+      }
+      return next;
+    };
+    const FixedPointResult w = iterate_fixed_point(self, w_fn, fp);
+    result.iterations += w.iterations;
+    if (!w.converged) return result;
+    // eq (18): R(q) = w(q) - q*TSUM_i + C_i^k.
+    worst = gmfnet::max(worst, w.value - q * tsum_i + ck);
+  }
+
+  // eq (19): add the propagation delay of the link.
+  result.response = worst + ctx.network().prop(src, nxt);
+  result.converged = true;
+  return result;
+}
+
+}  // namespace gmfnet::core

@@ -1,0 +1,99 @@
+#include "core/holistic.hpp"
+
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
+namespace gmfnet::core {
+
+namespace {
+
+/// One Gauss-Seidel sweep: analyse flows in order against the live map.
+std::vector<FlowResult> sweep_gauss_seidel(const AnalysisContext& ctx,
+                                           JitterMap& jitters,
+                                           const HopOptions& hop) {
+  std::vector<FlowResult> results(ctx.flow_count());
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    results[f] = analyze_flow_end_to_end(ctx, jitters, id, hop);
+  }
+  return results;
+}
+
+/// One Jacobi sweep: all flows against a frozen snapshot, in parallel; own
+/// jitters are merged back afterwards.  The pool is created once per
+/// analyze_holistic call and reused across sweeps.
+std::vector<FlowResult> sweep_jacobi(const AnalysisContext& ctx,
+                                     JitterMap& jitters,
+                                     const HopOptions& hop,
+                                     ThreadPool& pool) {
+  const JitterMap snapshot = jitters;
+  std::vector<FlowResult> results(ctx.flow_count());
+  std::vector<JitterMap> locals(ctx.flow_count(), snapshot);
+
+  pool.parallel_for(ctx.flow_count(), [&](std::size_t f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    results[f] = analyze_flow_end_to_end(ctx, locals[f], id, hop);
+  });
+
+  JitterMap merged = snapshot;
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    merged.adopt_flow(locals[f], FlowId(static_cast<std::int32_t>(f)));
+  }
+  jitters = std::move(merged);
+  return results;
+}
+
+}  // namespace
+
+HolisticResult analyze_holistic(const AnalysisContext& ctx,
+                                const HolisticOptions& opts) {
+  HolisticResult out;
+  out.jitters = JitterMap::initial(ctx);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.order == SweepOrder::kJacobi) {
+    pool = std::make_unique<ThreadPool>(opts.threads);
+  }
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const JitterMap before = out.jitters;
+    out.flows = opts.order == SweepOrder::kGaussSeidel
+                    ? sweep_gauss_seidel(ctx, out.jitters, opts.hop)
+                    : sweep_jacobi(ctx, out.jitters, opts.hop, *pool);
+    out.sweeps = sweep + 1;
+
+    // Any per-hop divergence means the jitters would grow without bound:
+    // report unschedulable immediately.
+    for (const FlowResult& fr : out.flows) {
+      if (!fr.all_converged()) {
+        out.converged = false;
+        out.schedulable = false;
+        return out;
+      }
+    }
+
+    if (out.jitters == before) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  if (!out.converged) {
+    // Sweep cap reached without a fixed point: treat as unschedulable (the
+    // monotone jitters were still growing).
+    out.schedulable = false;
+    return out;
+  }
+
+  out.schedulable = true;
+  for (const FlowResult& fr : out.flows) {
+    if (!fr.schedulable()) {
+      out.schedulable = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gmfnet::core

@@ -1,0 +1,54 @@
+// Holistic analysis ("Putting it all together", §3.5): iterate the Figure-6
+// algorithm over all flows, feeding each stage's response time back as the
+// downstream generalized jitter, until the jitter map reaches a fixed point.
+//
+// Two sweep orders are provided:
+//   * Gauss-Seidel (default): flows are analysed in sequence against the
+//     live jitter map — fewer sweeps, inherently serial.
+//   * Jacobi: all flows are analysed against a frozen snapshot and the new
+//     jitters installed afterwards — embarrassingly parallel across flows
+//     (thread pool), same fixed point (both iterate a monotone operator
+//     from the same start).
+// The convergence bench (E8) compares the two.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/end_to_end.hpp"
+
+namespace gmfnet::core {
+
+enum class SweepOrder { kGaussSeidel, kJacobi };
+
+struct HolisticOptions {
+  HopOptions hop;                 ///< per-hop options (horizon, ablations)
+  int max_sweeps = 64;            ///< fixed-point sweep cap
+  SweepOrder order = SweepOrder::kGaussSeidel;
+  std::size_t threads = 0;        ///< Jacobi worker threads (0 = hardware)
+};
+
+struct HolisticResult {
+  /// True when the jitter map reached a fixed point with every per-hop
+  /// analysis converging.
+  bool converged = false;
+  /// True when `converged` and every frame of every flow meets its deadline
+  /// — the admission controller's verdict.
+  bool schedulable = false;
+  int sweeps = 0;                 ///< sweeps executed (including the last,
+                                  ///< unchanged one when converged)
+  std::vector<FlowResult> flows;  ///< per-flow results of the final sweep
+  JitterMap jitters;              ///< the fixed-point jitter map
+
+  /// Worst end-to-end bound of a flow (Time::max() if it diverged).
+  [[nodiscard]] gmfnet::Time worst_response(FlowId i) const {
+    return flows[static_cast<std::size_t>(i.v)].worst_response();
+  }
+};
+
+/// Runs the holistic fixed point on the whole flow set of `ctx`.
+[[nodiscard]] HolisticResult analyze_holistic(const AnalysisContext& ctx,
+                                              const HolisticOptions& opts = {});
+
+}  // namespace gmfnet::core

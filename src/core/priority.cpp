@@ -1,0 +1,54 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gmfnet::core {
+
+namespace {
+gmfnet::Time min_separation(const gmf::Flow& f) {
+  gmfnet::Time m = gmfnet::Time::max();
+  for (const gmf::FrameSpec& s : f.frames()) {
+    m = gmfnet::min(m, s.min_separation);
+  }
+  return m;
+}
+}  // namespace
+
+void assign_priorities(std::vector<gmf::Flow>& flows, PriorityScheme scheme) {
+  if (scheme == PriorityScheme::kExplicit) return;
+
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto key = [&](std::size_t i) {
+    return scheme == PriorityScheme::kDeadlineMonotonic
+               ? flows[i].min_deadline()
+               : min_separation(flows[i]);
+  };
+  // Sort by key descending: the largest deadline/period gets priority 0
+  // (least urgent), the smallest gets n-1 (most urgent).
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const gmfnet::Time ka = key(a);
+    const gmfnet::Time kb = key(b);
+    return ka != kb ? ka > kb : a < b;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    flows[order[rank]].set_priority(static_cast<std::int64_t>(rank));
+  }
+}
+
+bool apply_pcp_levels(std::vector<gmf::Flow>& flows, int levels) {
+  std::vector<std::int64_t> prios;
+  prios.reserve(flows.size());
+  for (const gmf::Flow& f : flows) prios.push_back(f.priority());
+
+  const std::vector<ethernet::Pcp> pcp =
+      ethernet::quantize_priorities(prios, levels);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].set_priority(pcp[i]);
+  }
+  return ethernet::quantization_is_lossless(prios, pcp);
+}
+
+}  // namespace gmfnet::core

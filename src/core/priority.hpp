@@ -1,0 +1,31 @@
+// Priority assignment for the static-priority output queues.
+//
+// The paper assumes each flow carries a fixed 802.1p priority but does not
+// prescribe how the operator picks it; deadline-monotonic is the standard
+// choice for deadline-constrained static-priority systems and is what the
+// admission controller uses by default.  Larger value = more urgent.
+#pragma once
+
+#include <vector>
+
+#include "ethernet/pcp.hpp"
+#include "gmf/flow.hpp"
+
+namespace gmfnet::core {
+
+enum class PriorityScheme {
+  kDeadlineMonotonic,  ///< smaller min deadline  -> higher priority
+  kRateMonotonic,      ///< smaller min separation -> higher priority
+  kExplicit,           ///< keep the priorities already set on the flows
+};
+
+/// Assigns priorities in place.  Produces a total order (distinct values
+/// 0..n-1, ties broken by index for determinism); kExplicit is a no-op.
+void assign_priorities(std::vector<gmf::Flow>& flows, PriorityScheme scheme);
+
+/// Collapses the flows' priorities onto `levels` 802.1p classes (2..8) in
+/// place, preserving order as far as the level count allows.  Returns true
+/// when no two distinct priorities were merged.
+bool apply_pcp_levels(std::vector<gmf::Flow>& flows, int levels);
+
+}  // namespace gmfnet::core

@@ -1,0 +1,105 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace gmfnet::core {
+
+std::string stage_label(const net::Network& network, const StageKey& stage) {
+  if (stage.is_link()) {
+    return "link(" + network.node(stage.a).name + " -> " +
+           network.node(stage.b).name + ")";
+  }
+  return "in(" + network.node(stage.a).name + ")";
+}
+
+std::string render_flow_report(const AnalysisContext& ctx,
+                               const HolisticResult& result, FlowId flow,
+                               const ReportOptions& opts) {
+  const gmf::Flow& f = ctx.flow(flow);
+  const FlowResult& fr = result.flows[static_cast<std::size_t>(flow.v)];
+  std::ostringstream os;
+
+  os << "flow '" << f.name() << "' (priority " << f.priority() << ", "
+     << f.frame_count() << " frame" << (f.frame_count() == 1 ? "" : "s")
+     << ", route ";
+  for (std::size_t i = 0; i < f.route().node_count(); ++i) {
+    if (i) os << " -> ";
+    os << ctx.network().node(f.route().node_at(i)).name;
+  }
+  os << ")\n";
+
+  if (!fr.all_converged()) {
+    os << "  ANALYSIS DIVERGED: no bound exists (overload on the route)\n";
+    return os.str();
+  }
+
+  if (opts.per_frame) {
+    Table t;
+    std::vector<std::string> cols = {"frame", "bound", "deadline", "slack",
+                                     "verdict"};
+    if (opts.per_stage) {
+      for (const StageResponse& st : fr.frames[0].stages) {
+        cols.push_back(stage_label(ctx.network(), st.stage));
+      }
+    }
+    t.set_columns(cols);
+    for (std::size_t k = 0; k < fr.frames.size(); ++k) {
+      const FrameResult& frame = fr.frames[k];
+      std::vector<std::string> row = {
+          std::to_string(k), frame.response.str(),
+          f.frame(k).deadline.str(),
+          (f.frame(k).deadline - frame.response).str(),
+          frame.meets_deadline ? "ok" : "MISS"};
+      if (opts.per_stage) {
+        for (const StageResponse& st : frame.stages) {
+          row.push_back(st.hop.response.str());
+        }
+      }
+      t.add_row(row);
+    }
+    os << t.render();
+  } else {
+    os << "  worst bound " << fr.worst_response().str() << ", "
+       << (fr.schedulable() ? "all deadlines met" : "DEADLINE MISS") << "\n";
+  }
+  return os.str();
+}
+
+std::string render_report(const AnalysisContext& ctx,
+                          const HolisticResult& result,
+                          const ReportOptions& opts) {
+  std::ostringstream os;
+  os << "gmfnet holistic analysis: "
+     << (result.converged ? "converged" : "DID NOT CONVERGE") << " after "
+     << result.sweeps << " sweep" << (result.sweeps == 1 ? "" : "s")
+     << "; verdict: "
+     << (result.schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE") << "\n\n";
+
+  Table summary("Summary");
+  summary.set_columns({"flow", "priority", "worst bound", "min deadline",
+                       "verdict"});
+  for (std::size_t fi = 0; fi < ctx.flow_count(); ++fi) {
+    const FlowId id(static_cast<std::int32_t>(fi));
+    const gmf::Flow& f = ctx.flow(id);
+    const FlowResult& fr = result.flows[fi];
+    summary.add_row({f.name(), std::to_string(f.priority()),
+                     fr.all_converged() ? fr.worst_response().str()
+                                        : "diverged",
+                     f.min_deadline().str(),
+                     fr.schedulable() ? "ok" : "MISS"});
+  }
+  os << summary.render();
+
+  if (opts.per_frame || opts.per_stage) {
+    for (std::size_t fi = 0; fi < ctx.flow_count(); ++fi) {
+      os << "\n"
+         << render_flow_report(ctx, result,
+                               FlowId(static_cast<std::int32_t>(fi)), opts);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gmfnet::core

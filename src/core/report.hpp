@@ -1,0 +1,38 @@
+// Human-readable reports over analysis results.
+//
+// The admission controller's output is consumed by people (capacity
+// reviews, change tickets); this module renders a HolisticResult — per-flow
+// verdicts, per-frame bounds and the Figure-6 stage decomposition — as
+// plain text, with node names resolved through the network.
+#pragma once
+
+#include <string>
+
+#include "core/end_to_end.hpp"
+#include "core/holistic.hpp"
+
+namespace gmfnet::core {
+
+/// What to include in render_report.
+struct ReportOptions {
+  bool per_frame = true;    ///< one row per GMF frame (else worst only)
+  bool per_stage = false;   ///< add the stage decomposition per frame
+};
+
+/// Stage label with resolved node names, e.g. "link(0 -> 4)" / "in(4)".
+[[nodiscard]] std::string stage_label(const net::Network& network,
+                                      const StageKey& stage);
+
+/// Renders the verdict for one flow.
+[[nodiscard]] std::string render_flow_report(const AnalysisContext& ctx,
+                                             const HolisticResult& result,
+                                             FlowId flow,
+                                             const ReportOptions& opts = {});
+
+/// Renders the whole result: a summary table plus (optionally) per-flow
+/// sections.
+[[nodiscard]] std::string render_report(const AnalysisContext& ctx,
+                                        const HolisticResult& result,
+                                        const ReportOptions& opts = {});
+
+}  // namespace gmfnet::core

@@ -1,0 +1,80 @@
+#include "ethernet/framing.hpp"
+
+#include <cassert>
+
+namespace gmfnet::ethernet {
+
+namespace {
+/// ceil(a / b) for non-negative a, positive b, without overflow for the
+/// magnitudes used here.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// ceil(bits * 1e12 / speed) via 128-bit intermediate: bits can reach ~5e5
+/// and 1e12 multiplier would overflow int64 only past ~9e6 bits, but staying
+/// in 128 bits keeps this correct for any datagram/burst size a caller might
+/// aggregate.
+Time ceil_bits_over_speed(Bits bits, LinkSpeedBps speed) {
+  assert(speed > 0);
+  assert(bits >= 0);
+  const __int128 num = static_cast<__int128>(bits) * 1'000'000'000'000LL;
+  const __int128 q = (num + speed - 1) / speed;
+  return Time(static_cast<Time::rep>(q));
+}
+}  // namespace
+
+Bits udp_datagram_bits(Bits payload_bits, bool rtp) {
+  assert(payload_bits >= 0);
+  // eq: nbits = ceil(S/8)*8 + 8*8 (+ 16*8 with RTP)
+  Bits nbits = ceil_div(payload_bits, 8) * 8 + kUdpHeaderBits;
+  if (rtp) nbits += kRtpHeaderBits;
+  return nbits;
+}
+
+std::int64_t fragment_count(Bits nbits) {
+  assert(nbits >= 0);
+  if (nbits == 0) return 1;
+  return ceil_div(nbits, kDataBitsPerFrame);
+}
+
+Bits fragment_wire_bits(Bits nbits, std::int64_t idx) {
+  const std::int64_t n = fragment_count(nbits);
+  assert(idx >= 0 && idx < n);
+  if (idx + 1 < n) return kMaxFrameWireBits;
+  // Trailing fragment: remaining data + its own IP header + L2 overhead.
+  const Bits rem = nbits - idx * kDataBitsPerFrame;
+  if (rem == kDataBitsPerFrame) return kMaxFrameWireBits;
+  return rem + kIpHeaderBits + kL2OverheadBits;
+}
+
+Bits datagram_wire_bits(Bits nbits) {
+  const std::int64_t n = fragment_count(nbits);
+  Bits total = (n - 1) * kMaxFrameWireBits;
+  total += fragment_wire_bits(nbits, n - 1);
+  return total;
+}
+
+Time transmission_time(Bits nbits, LinkSpeedBps speed) {
+  return ceil_bits_over_speed(datagram_wire_bits(nbits), speed);
+}
+
+Time wire_time(Bits wire_bits, LinkSpeedBps speed) {
+  return ceil_bits_over_speed(wire_bits, speed);
+}
+
+Time max_frame_transmission_time(LinkSpeedBps speed) {
+  return ceil_bits_over_speed(kMaxFrameWireBits, speed);
+}
+
+std::vector<Bits> fragment_layout(Bits nbits) {
+  const std::int64_t n = fragment_count(nbits);
+  std::vector<Bits> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(fragment_wire_bits(nbits, i));
+  }
+  return out;
+}
+
+}  // namespace gmfnet::ethernet

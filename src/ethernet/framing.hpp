@@ -1,0 +1,52 @@
+// Packetization: UDP payload -> fragment layout -> per-link transmission
+// time, implementing §3.1 of the paper ("Basic parameters").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ethernet/constants.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::ethernet {
+
+/// Link bitrate in bits per second.
+using LinkSpeedBps = std::int64_t;
+
+/// `nbits_i^k`: the size of the UDP datagram (payload padded to whole bytes
+/// plus the 8-byte UDP header, plus the 16-byte RTP header when RTP is
+/// used).  The IP header is NOT included here — it is added per fragment,
+/// because IP fragmentation prepends a fresh IP header to every fragment.
+[[nodiscard]] Bits udp_datagram_bits(Bits payload_bits, bool rtp = false);
+
+/// Number of Ethernet frames needed to carry a UDP datagram of `nbits`
+/// transport bits (ceil(nbits / 11840), minimum 1: a zero-payload datagram
+/// still occupies one frame).
+[[nodiscard]] std::int64_t fragment_count(Bits nbits);
+
+/// Wire bits of fragment `idx` (0-based) of a datagram of `nbits` bits.
+/// Full fragments occupy 12304 bits; a trailing partial fragment occupies
+/// its data bits + IP header (160) + L2 overhead (304).  See DESIGN.md
+/// correction #1.
+[[nodiscard]] Bits fragment_wire_bits(Bits nbits, std::int64_t idx);
+
+/// Total wire bits of the whole datagram (sum over fragments).
+[[nodiscard]] Bits datagram_wire_bits(Bits nbits);
+
+/// `C_i^k,link`: transmission time of the whole datagram on a link of the
+/// given speed; exact integer picoseconds, rounded up per fragment so the
+/// result is an upper bound.
+[[nodiscard]] Time transmission_time(Bits nbits, LinkSpeedBps speed);
+
+/// Transmission time of `wire_bits` raw bits on a link (ceil to ps).
+[[nodiscard]] Time wire_time(Bits wire_bits, LinkSpeedBps speed);
+
+/// `MFT(link)`: Maximum-Frame-Transmission-Time, eq (1): 12304 bits at the
+/// link speed.  This is the non-preemptive blocking quantum of the egress
+/// analysis.
+[[nodiscard]] Time max_frame_transmission_time(LinkSpeedBps speed);
+
+/// Convenience: per-fragment wire bit layout of a datagram.
+[[nodiscard]] std::vector<Bits> fragment_layout(Bits nbits);
+
+}  // namespace gmfnet::ethernet

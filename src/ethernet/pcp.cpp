@@ -1,0 +1,46 @@
+#include "ethernet/pcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace gmfnet::ethernet {
+
+std::vector<Pcp> quantize_priorities(
+    const std::vector<std::int64_t>& priorities, int levels) {
+  assert(levels >= 2 && levels <= kMaxPcpLevels);
+  std::vector<Pcp> out(priorities.size(), 0);
+  if (priorities.empty()) return out;
+
+  // Rank the distinct priority values.
+  std::vector<std::int64_t> distinct(priorities);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  const auto d = static_cast<std::int64_t>(distinct.size());
+  std::map<std::int64_t, Pcp> clazz;
+  for (std::int64_t r = 0; r < d; ++r) {
+    // Spread ranks evenly over the available levels, lowest rank -> class 0.
+    const auto c = static_cast<Pcp>(
+        std::min<std::int64_t>(levels - 1, r * levels / std::max<std::int64_t>(d, 1)));
+    clazz[distinct[static_cast<std::size_t>(r)]] = c;
+  }
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    out[i] = clazz[priorities[i]];
+  }
+  return out;
+}
+
+bool quantization_is_lossless(const std::vector<std::int64_t>& priorities,
+                              const std::vector<Pcp>& pcp) {
+  assert(priorities.size() == pcp.size());
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    for (std::size_t j = 0; j < priorities.size(); ++j) {
+      if (priorities[i] < priorities[j] && pcp[i] >= pcp[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gmfnet::ethernet

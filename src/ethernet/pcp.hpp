@@ -1,0 +1,34 @@
+// IEEE 802.1p priority code points.
+//
+// The paper targets commodity switches that "support 2-8 priority levels and
+// can operate according to the IEEE 802.1p standard".  Analysis-side flow
+// priorities are arbitrary integers (larger = more urgent); this module maps
+// them onto the limited number of hardware levels a given switch exposes,
+// which is what an operator deploying the admission controller would do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gmfnet::ethernet {
+
+/// Priority code point: 0..7, larger is more urgent (as in 802.1p).
+using Pcp = std::int8_t;
+
+inline constexpr int kMaxPcpLevels = 8;
+
+/// Quantizes arbitrary analysis priorities onto `levels` hardware classes
+/// (2 <= levels <= 8).  Input priorities are ranked; ranks are split into
+/// `levels` contiguous groups as evenly as possible, preserving order:
+/// output[i] in [0, levels) and prio[i] >= prio[j] => output[i] >= output[j].
+[[nodiscard]] std::vector<Pcp> quantize_priorities(
+    const std::vector<std::int64_t>& priorities, int levels);
+
+/// True when the quantization preserved all *strict* orderings, i.e. no two
+/// distinct priorities were merged into one class.  With more distinct
+/// priorities than levels this is necessarily false; the admission
+/// controller then re-runs the analysis with the merged classes.
+[[nodiscard]] bool quantization_is_lossless(
+    const std::vector<std::int64_t>& priorities, const std::vector<Pcp>& pcp);
+
+}  // namespace gmfnet::ethernet

@@ -1,0 +1,89 @@
+#include "gmf/demand.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gmfnet::gmf {
+
+DemandCurve::DemandCurve(const FlowLinkParams& p)
+    : tsum_(p.tsum()), csum_(p.csum()), nsum_(p.nsum()) {
+  const std::size_t n = p.frame_count();
+
+  // Enumerate every window: phase k1 in [0,n), length k2 in [1,n].
+  struct Raw {
+    gmfnet::Time::rep span;
+    gmfnet::Time::rep cost;
+    std::int64_t count;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(n * n);
+  for (std::size_t k1 = 0; k1 < n; ++k1) {
+    for (std::size_t k2 = 1; k2 <= n; ++k2) {
+      raw.push_back(Raw{p.tsum_window(k1, k2).ps(),
+                        p.csum_window(k1, k2).ps(),
+                        p.nsum_window(k1, k2)});
+    }
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Raw& a, const Raw& b) { return a.span < b.span; });
+
+  // Collapse to a staircase: strictly increasing spans carrying the running
+  // maxima of cost and count.
+  steps_.reserve(raw.size());
+  gmfnet::Time::rep best_cost = 0;
+  std::int64_t best_count = 0;
+  for (const Raw& r : raw) {
+    best_cost = std::max(best_cost, r.cost);
+    best_count = std::max(best_count, r.count);
+    if (!steps_.empty() && steps_.back().span == r.span) {
+      steps_.back().max_cost = best_cost;
+      steps_.back().max_count = best_count;
+    } else {
+      steps_.push_back(Step{r.span, best_cost, best_count});
+    }
+  }
+}
+
+namespace {
+/// Index of the last step with span <= t, or -1.
+template <typename Steps>
+std::ptrdiff_t last_leq(const Steps& steps, gmfnet::Time::rep t) {
+  auto it = std::upper_bound(
+      steps.begin(), steps.end(), t,
+      [](gmfnet::Time::rep v, const auto& s) { return v < s.span; });
+  return it - steps.begin() - 1;
+}
+}  // namespace
+
+gmfnet::Time DemandCurve::mxs(gmfnet::Time t) const {
+  if (t < gmfnet::Time::zero()) return gmfnet::Time::zero();
+  const std::ptrdiff_t i = last_leq(steps_, t.ps());
+  // Span-0 (single-frame) windows qualify at any t >= 0, so i >= 0 here.
+  assert(i >= 0);
+  return gmfnet::Time(steps_[static_cast<std::size_t>(i)].max_cost);
+}
+
+gmfnet::Time DemandCurve::mx(gmfnet::Time t) const {
+  if (t < gmfnet::Time::zero()) return gmfnet::Time::zero();
+  assert(tsum_ > gmfnet::Time::zero());
+  const auto q = t.floor_div(tsum_);
+  const gmfnet::Time rem = t.mod(tsum_);
+  return q * csum_ + mxs(rem);
+}
+
+std::int64_t DemandCurve::nxs(gmfnet::Time t) const {
+  if (t < gmfnet::Time::zero()) return 0;
+  const std::ptrdiff_t i = last_leq(steps_, t.ps());
+  assert(i >= 0);
+  return steps_[static_cast<std::size_t>(i)].max_count;
+}
+
+std::int64_t DemandCurve::nx(gmfnet::Time t) const {
+  if (t < gmfnet::Time::zero()) return 0;
+  assert(tsum_ > gmfnet::Time::zero());
+  const auto q = t.floor_div(tsum_);
+  const gmfnet::Time rem = t.mod(tsum_);
+  return q * nsum_ + nxs(rem);
+}
+
+}  // namespace gmfnet::gmf

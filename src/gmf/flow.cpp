@@ -1,0 +1,89 @@
+#include "gmf/flow.hpp"
+
+#include <stdexcept>
+
+#include "ethernet/framing.hpp"
+
+namespace gmfnet::gmf {
+
+Flow::Flow(std::string name, net::Route route, std::vector<FrameSpec> frames,
+           std::int64_t priority, bool rtp)
+    : name_(std::move(name)),
+      route_(std::move(route)),
+      frames_(std::move(frames)),
+      priority_(priority),
+      rtp_(rtp) {}
+
+gmfnet::Time Flow::tsum() const {
+  gmfnet::Time t = gmfnet::Time::zero();
+  for (const FrameSpec& f : frames_) t += f.min_separation;
+  return t;
+}
+
+gmfnet::Time Flow::tsum_window(std::size_t k1, std::size_t k2) const {
+  // eq (9): sum_{k=k1}^{k1+k2-2} T^{k mod n}.  Note the -2: the span of k2
+  // arrivals is k2-1 separations.
+  const std::size_t n = frames_.size();
+  gmfnet::Time t = gmfnet::Time::zero();
+  for (std::size_t k = k1; k + 1 < k1 + k2; ++k) {
+    t += frames_[k % n].min_separation;
+  }
+  return t;
+}
+
+gmfnet::Time Flow::max_source_jitter() const {
+  gmfnet::Time m = gmfnet::Time::zero();
+  for (const FrameSpec& f : frames_) m = gmfnet::max(m, f.jitter);
+  return m;
+}
+
+gmfnet::Time Flow::min_deadline() const {
+  gmfnet::Time m = gmfnet::Time::max();
+  for (const FrameSpec& f : frames_) m = gmfnet::min(m, f.deadline);
+  return m;
+}
+
+ethernet::Bits Flow::nbits(std::size_t k) const {
+  return ethernet::udp_datagram_bits(frames_[k].payload_bits, rtp_);
+}
+
+void Flow::validate(const net::Network& net) const {
+  if (frames_.empty()) {
+    throw std::logic_error("flow " + name_ + ": no frames");
+  }
+  for (std::size_t k = 0; k < frames_.size(); ++k) {
+    const FrameSpec& f = frames_[k];
+    const std::string where =
+        "flow " + name_ + " frame " + std::to_string(k);
+    if (f.min_separation <= gmfnet::Time::zero()) {
+      throw std::logic_error(where + ": non-positive min separation");
+    }
+    if (f.deadline <= gmfnet::Time::zero()) {
+      throw std::logic_error(where + ": non-positive deadline");
+    }
+    if (f.jitter < gmfnet::Time::zero()) {
+      throw std::logic_error(where + ": negative jitter");
+    }
+    if (f.payload_bits < 0) {
+      throw std::logic_error(where + ": negative payload");
+    }
+    if (f.payload_bits > ethernet::kMaxUdpPayloadBytes * 8) {
+      throw std::logic_error(where + ": payload exceeds UDP maximum");
+    }
+  }
+  route_.validate(net);
+}
+
+Flow make_sporadic_flow(std::string name, net::Route route,
+                        gmfnet::Time period, gmfnet::Time deadline,
+                        ethernet::Bits payload_bits, std::int64_t priority,
+                        gmfnet::Time jitter, bool rtp) {
+  FrameSpec f;
+  f.min_separation = period;
+  f.deadline = deadline;
+  f.jitter = jitter;
+  f.payload_bits = payload_bits;
+  return Flow(std::move(name), std::move(route), {f}, priority, rtp);
+}
+
+}  // namespace gmfnet::gmf

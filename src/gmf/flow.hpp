@@ -1,0 +1,103 @@
+// The generalized multiframe (GMF) flow model of §2.3, extended with the
+// paper's "generalized jitter".
+//
+// A flow τ_i is a cyclic sequence of n_i frames (frame = one UDP packet per
+// release, NOT an Ethernet frame).  Frame k is described by:
+//   T_i^k  — minimum separation between the arrival of frame k and frame
+//            (k+1) mod n_i at the source,
+//   D_i^k  — relative end-to-end deadline of frame k,
+//   GJ_i^k — generalized jitter: the Ethernet frames of one release of frame
+//            k are released within [t, t+GJ_i^k),
+//   S_i^k  — payload bits of the UDP packet of frame k.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ethernet/constants.hpp"
+#include "net/ids.hpp"
+#include "net/route.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::gmf {
+
+/// Per-frame parameters of one frame of a GMF flow.
+struct FrameSpec {
+  gmfnet::Time min_separation;            ///< T_i^k
+  gmfnet::Time deadline;                  ///< D_i^k (end-to-end, relative)
+  gmfnet::Time jitter = gmfnet::Time::zero();  ///< GJ_i^k at the source
+  ethernet::Bits payload_bits = 0;        ///< S_i^k
+};
+
+/// A GMF flow with its route and static priority.
+///
+/// `priority`: larger value = more urgent (matching 802.1p PCP ordering).
+/// `rtp`: when true, packetization adds the 16-byte RTP header (§3.1).
+class Flow {
+ public:
+  Flow() = default;
+  Flow(std::string name, net::Route route, std::vector<FrameSpec> frames,
+       std::int64_t priority = 0, bool rtp = false);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const net::Route& route() const { return route_; }
+  [[nodiscard]] std::int64_t priority() const { return priority_; }
+  [[nodiscard]] bool rtp() const { return rtp_; }
+
+  [[nodiscard]] net::NodeId source() const { return route_.source(); }
+  [[nodiscard]] net::NodeId destination() const {
+    return route_.destination();
+  }
+
+  /// n_i: number of frames in the GMF cycle.
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+  [[nodiscard]] const FrameSpec& frame(std::size_t k) const {
+    return frames_[k];
+  }
+  [[nodiscard]] const std::vector<FrameSpec>& frames() const {
+    return frames_;
+  }
+
+  /// TSUM_i (eq 6): sum of all minimum separations — the cycle length.
+  [[nodiscard]] gmfnet::Time tsum() const;
+
+  /// TSUM_i(k1, k2) (eq 9): time from the arrival of frame k1 to the arrival
+  /// of frame k1+k2-1 (indices mod n_i), i.e. the minimum span containing k2
+  /// consecutive frame arrivals.  k2 >= 1; TSUM(k1, 1) == 0.
+  [[nodiscard]] gmfnet::Time tsum_window(std::size_t k1, std::size_t k2) const;
+
+  /// Largest source jitter over all frames.
+  [[nodiscard]] gmfnet::Time max_source_jitter() const;
+  /// Smallest relative deadline over all frames.
+  [[nodiscard]] gmfnet::Time min_deadline() const;
+
+  /// nbits_i^k: UDP datagram bits of frame k (payload + UDP [+ RTP]).
+  [[nodiscard]] ethernet::Bits nbits(std::size_t k) const;
+
+  /// Structural checks: >= 1 frame, positive separations, non-negative
+  /// jitter/payload, positive deadlines, valid route.  Throws
+  /// std::logic_error on the first violation.
+  void validate(const net::Network& net) const;
+
+  void set_priority(std::int64_t p) { priority_ = p; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  std::string name_;
+  net::Route route_;
+  std::vector<FrameSpec> frames_;
+  std::int64_t priority_ = 0;
+  bool rtp_ = false;
+};
+
+/// Convenience: a sporadic flow is the GMF special case n_i = 1.
+[[nodiscard]] Flow make_sporadic_flow(std::string name, net::Route route,
+                                      gmfnet::Time period,
+                                      gmfnet::Time deadline,
+                                      ethernet::Bits payload_bits,
+                                      std::int64_t priority = 0,
+                                      gmfnet::Time jitter = gmfnet::Time::zero(),
+                                      bool rtp = false);
+
+}  // namespace gmfnet::gmf

@@ -1,0 +1,44 @@
+#include "gmf/mpeg.hpp"
+
+#include <stdexcept>
+
+namespace gmfnet::gmf {
+
+Flow make_mpeg_flow(std::string name, net::Route route,
+                    const std::string& pattern, const MpegSizes& sizes,
+                    gmfnet::Time frame_spacing, gmfnet::Time deadline,
+                    gmfnet::Time jitter, std::int64_t priority, bool rtp) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("make_mpeg_flow: empty pattern");
+  }
+  std::vector<FrameSpec> frames;
+  frames.reserve(pattern.size());
+  for (char c : pattern) {
+    FrameSpec f;
+    f.min_separation = frame_spacing;
+    f.deadline = deadline;
+    f.jitter = jitter;
+    switch (c) {
+      case 'I': f.payload_bits = sizes.i_bits; break;
+      case 'P': f.payload_bits = sizes.p_bits; break;
+      case 'B': f.payload_bits = sizes.b_bits; break;
+      case 'X': f.payload_bits = sizes.i_bits + sizes.p_bits; break;  // I+P
+      default:
+        throw std::invalid_argument(
+            std::string("make_mpeg_flow: bad pattern char '") + c + "'");
+    }
+    frames.push_back(f);
+  }
+  return Flow(std::move(name), std::move(route), std::move(frames), priority,
+              rtp);
+}
+
+Flow make_figure3_flow(std::string name, net::Route route,
+                       const MpegSizes& sizes, gmfnet::Time deadline,
+                       gmfnet::Time jitter, std::int64_t priority) {
+  return make_mpeg_flow(std::move(name), std::move(route), kFigure3Pattern,
+                        sizes, gmfnet::Time::ms(30), deadline, jitter,
+                        priority, /*rtp=*/false);
+}
+
+}  // namespace gmfnet::gmf

@@ -1,0 +1,115 @@
+#include "gmf/trace_fit.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace gmfnet::gmf {
+
+namespace {
+
+/// Mean per-slot payload spread (max-min) when the trace is folded at
+/// cycle length n, debiased for sample count: m i.i.d. samples of a
+/// distribution with range R have expected spread ~ R*(m-1)/(m+1), so a
+/// larger fold always shows a smaller *raw* spread even on unstructured
+/// data.  Dividing by that factor makes folds of different lengths
+/// comparable: random traffic scores ~R at every n, a true cycle scores ~0
+/// only at its length (and multiples).
+double fold_residual(const std::vector<TracePacket>& trace, std::size_t n) {
+  double total = 0;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    ethernet::Bits lo = std::numeric_limits<ethernet::Bits>::max();
+    ethernet::Bits hi = std::numeric_limits<ethernet::Bits>::min();
+    std::size_t m = 0;
+    for (std::size_t i = slot; i < trace.size(); i += n) {
+      lo = std::min(lo, trace[i].payload_bits);
+      hi = std::max(hi, trace[i].payload_bits);
+      ++m;
+    }
+    double spread = static_cast<double>(hi - lo);
+    if (m >= 2) {
+      spread *= static_cast<double>(m + 1) / static_cast<double>(m - 1);
+    }
+    total += spread;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+CycleDetection detect_cycle(const std::vector<TracePacket>& trace,
+                            std::size_t max_cycle) {
+  CycleDetection best;
+  if (trace.size() < 2) return best;
+  best.residual = fold_residual(trace, 1);
+
+  for (std::size_t n = 2; n <= max_cycle; ++n) {
+    if (trace.size() < 2 * n) break;  // need two full cycles of evidence
+    const double r = fold_residual(trace, n);
+    // Parsimony: a longer cycle must at least HALVE the debiased residual.
+    // Real GMF streams have near-constant per-slot sizes, so the true
+    // cycle scores ~0 and passes easily; on unstructured traffic the
+    // debiased residuals of all folds fluctuate within a few tens of
+    // percent of each other (sampling noise of the min over candidates),
+    // well above the 50% bar.  n-multiples of the true cycle score the
+    // same as the cycle itself and are rejected too.
+    if (r < best.residual * 0.50 - 1e-9) {
+      best.cycle_length = n;
+      best.residual = r;
+    }
+  }
+  return best;
+}
+
+std::vector<FittedSlot> fit_slots(const std::vector<TracePacket>& trace,
+                                  std::size_t cycle_length) {
+  if (cycle_length == 0) {
+    throw std::invalid_argument("fit_slots: zero cycle length");
+  }
+  if (trace.size() < cycle_length + 1) {
+    throw std::invalid_argument(
+        "fit_slots: trace shorter than one cycle plus one packet");
+  }
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].timestamp <= trace[i - 1].timestamp) {
+      throw std::invalid_argument(
+          "fit_slots: timestamps must be strictly increasing");
+    }
+  }
+
+  std::vector<FittedSlot> slots(cycle_length);
+  for (auto& s : slots) s.min_separation = gmfnet::Time::max();
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    FittedSlot& s = slots[i % cycle_length];
+    s.max_payload = std::max(s.max_payload, trace[i].payload_bits);
+    ++s.samples;
+    if (i + 1 < trace.size()) {
+      s.min_separation = gmfnet::min(
+          s.min_separation, trace[i + 1].timestamp - trace[i].timestamp);
+    }
+  }
+  return slots;
+}
+
+Flow fit_gmf_flow(const std::vector<TracePacket>& trace, std::string name,
+                  net::Route route, gmfnet::Time deadline,
+                  gmfnet::Time jitter, std::int64_t priority, bool rtp,
+                  std::size_t max_cycle) {
+  const CycleDetection det = detect_cycle(trace, max_cycle);
+  const auto slots = fit_slots(trace, det.cycle_length);
+  std::vector<FrameSpec> frames;
+  frames.reserve(slots.size());
+  for (const FittedSlot& s : slots) {
+    FrameSpec f;
+    f.min_separation = s.min_separation;
+    f.deadline = deadline;
+    f.jitter = jitter;
+    f.payload_bits = s.max_payload;
+    frames.push_back(f);
+  }
+  return Flow(std::move(name), std::move(route), std::move(frames), priority,
+              rtp);
+}
+
+}  // namespace gmfnet::gmf

@@ -1,0 +1,67 @@
+// Fitting GMF parameters from an observed packet trace.
+//
+// The paper assumes flow parameters are given; in practice an operator
+// derives them from captures of the application's traffic.  Given a trace
+// of (timestamp, payload) pairs, this module detects the GMF cycle length
+// (e.g. 9 for an IBBPBBPBB MPEG stream) and extracts, per cycle slot, the
+// *sound* GMF parameters: the minimum observed separation (a valid T^k
+// lower bound) and the maximum observed payload (a valid S^k upper bound).
+// Feeding the fitted flow to the analysis therefore yields bounds that are
+// valid for every behaviour the trace exhibited.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ethernet/constants.hpp"
+#include "gmf/flow.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::gmf {
+
+/// One observed packet release.
+struct TracePacket {
+  gmfnet::Time timestamp;
+  ethernet::Bits payload_bits = 0;
+};
+
+/// Result of cycle detection.
+struct CycleDetection {
+  std::size_t cycle_length = 1;
+  /// Mean per-slot payload spread (max-min, bits) at the chosen length;
+  /// 0 means the trace is perfectly periodic in sizes at this length.
+  double residual = 0.0;
+};
+
+/// Detects the most plausible GMF cycle length in [1, max_cycle] by
+/// minimizing the per-slot payload spread, with a mild parsimony penalty so
+/// n=1 wins on genuinely sporadic traffic and multiples of the true cycle
+/// do not.  Requires at least 2 full candidate cycles of samples for a
+/// length to be considered.
+[[nodiscard]] CycleDetection detect_cycle(
+    const std::vector<TracePacket>& trace, std::size_t max_cycle = 32);
+
+/// Per-slot fitted parameters (before conversion to FrameSpec).
+struct FittedSlot {
+  gmfnet::Time min_separation;   ///< min observed gap slot k -> k+1
+  ethernet::Bits max_payload = 0;
+  std::size_t samples = 0;
+};
+
+/// Extracts per-slot parameters at a given cycle length.  The trace must
+/// hold at least cycle_length + 1 packets (so every slot has a separation
+/// sample).  The slot phase is anchored at the first packet.
+[[nodiscard]] std::vector<FittedSlot> fit_slots(
+    const std::vector<TracePacket>& trace, std::size_t cycle_length);
+
+/// End-to-end convenience: detect the cycle, fit the slots and build a
+/// Flow.  `deadline` and `jitter` are specification inputs (a trace cannot
+/// reveal deadlines; jitter may be measured separately).
+[[nodiscard]] Flow fit_gmf_flow(const std::vector<TracePacket>& trace,
+                                std::string name, net::Route route,
+                                gmfnet::Time deadline,
+                                gmfnet::Time jitter = gmfnet::Time::zero(),
+                                std::int64_t priority = 0, bool rtp = false,
+                                std::size_t max_cycle = 32);
+
+}  // namespace gmfnet::gmf

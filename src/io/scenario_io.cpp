@@ -1,0 +1,284 @@
+#include "io/scenario_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gmfnet::io {
+
+ParseError::ParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// key=value option bag with typed accessors and line context.
+class Options {
+ public:
+  Options(std::size_t line, const std::vector<std::string>& tokens,
+          std::size_t first)
+      : line_(line) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const std::string& t = tokens[i];
+      const auto eq = t.find('=');
+      if (eq == std::string::npos) {
+        kv_[t] = "";  // bare flag, e.g. "rtp"
+      } else {
+        kv_[t.substr(0, eq)] = t.substr(eq + 1);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.contains(key);
+  }
+
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) throw ParseError(line_, "missing option " + key);
+    return it->second;
+  }
+
+  [[nodiscard]] std::int64_t i64(const std::string& key) const {
+    const std::string v = str(key);
+    try {
+      std::size_t pos = 0;
+      const std::int64_t out = std::stoll(v, &pos);
+      if (pos != v.size()) throw std::invalid_argument(v);
+      return out;
+    } catch (const std::exception&) {
+      throw ParseError(line_, "option " + key + ": bad integer '" + v + "'");
+    }
+  }
+
+  [[nodiscard]] std::int64_t i64_or(const std::string& key,
+                                    std::int64_t fallback) const {
+    return has(key) ? i64(key) : fallback;
+  }
+
+  /// Duration with unit-suffixed key: looks for <stem>_ps/_ns/_us/_ms.
+  [[nodiscard]] gmfnet::Time duration(const std::string& stem) const {
+    if (has(stem + "_ps")) return gmfnet::Time(i64(stem + "_ps"));
+    if (has(stem + "_ns")) return gmfnet::Time::ns(i64(stem + "_ns"));
+    if (has(stem + "_us")) return gmfnet::Time::us(i64(stem + "_us"));
+    if (has(stem + "_ms")) return gmfnet::Time::ms(i64(stem + "_ms"));
+    throw ParseError(line_, "missing duration " + stem +
+                                "_{ps,ns,us,ms}=...");
+  }
+
+  [[nodiscard]] gmfnet::Time duration_or(const std::string& stem,
+                                         gmfnet::Time fallback) const {
+    if (has(stem + "_ps") || has(stem + "_ns") || has(stem + "_us") ||
+        has(stem + "_ms")) {
+      return duration(stem);
+    }
+    return fallback;
+  }
+
+ private:
+  std::size_t line_;
+  std::map<std::string, std::string> kv_;
+};
+
+struct PendingFlow {
+  std::string name;
+  std::int64_t priority = 0;
+  bool rtp = false;
+  std::vector<std::string> route_names;
+  std::vector<gmf::FrameSpec> frames;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+workload::Scenario parse_scenario(const std::string& text) {
+  workload::Scenario scenario;
+  std::map<std::string, net::NodeId> nodes;
+  std::vector<PendingFlow> flows;
+
+  auto node_of = [&](std::size_t line, const std::string& name) {
+    const auto it = nodes.find(name);
+    if (it == nodes.end()) throw ParseError(line, "unknown node " + name);
+    return it->second;
+  };
+  auto define_node = [&](std::size_t line, const std::string& name,
+                         net::NodeId id) {
+    if (!nodes.emplace(name, id).second) {
+      throw ParseError(line, "duplicate node " + name);
+    }
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+
+    if (cmd == "endhost" || cmd == "router") {
+      if (tok.size() < 2) throw ParseError(lineno, cmd + ": missing name");
+      define_node(lineno, tok[1],
+                  cmd == "endhost" ? scenario.network.add_endhost(tok[1])
+                                   : scenario.network.add_router(tok[1]));
+    } else if (cmd == "switch") {
+      if (tok.size() < 2) throw ParseError(lineno, "switch: missing name");
+      const Options opts(lineno, tok, 2);
+      net::SwitchParams p;
+      p.croute = opts.duration_or("croute", p.croute);
+      p.csend = opts.duration_or("csend", p.csend);
+      p.processors =
+          static_cast<int>(opts.i64_or("processors", p.processors));
+      define_node(lineno, tok[1], scenario.network.add_switch(tok[1], p));
+    } else if (cmd == "link" || cmd == "duplex") {
+      if (tok.size() < 4) {
+        throw ParseError(lineno, cmd + ": need <a> <b> <speed_bps>");
+      }
+      const Options opts(lineno, tok, 4);
+      const net::NodeId a = node_of(lineno, tok[1]);
+      const net::NodeId b = node_of(lineno, tok[2]);
+      std::int64_t speed = 0;
+      try {
+        speed = std::stoll(tok[3]);
+      } catch (const std::exception&) {
+        throw ParseError(lineno, cmd + ": bad speed '" + tok[3] + "'");
+      }
+      const gmfnet::Time prop = opts.duration_or("prop", gmfnet::Time::zero());
+      try {
+        if (cmd == "link") {
+          scenario.network.add_link(a, b, speed, prop);
+        } else {
+          scenario.network.add_duplex_link(a, b, speed, prop);
+        }
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(lineno, e.what());
+      }
+    } else if (cmd == "flow") {
+      if (tok.size() < 2) throw ParseError(lineno, "flow: missing name");
+      const Options opts(lineno, tok, 2);
+      PendingFlow f;
+      f.name = tok[1];
+      f.priority = opts.i64_or("prio", 0);
+      f.rtp = opts.has("rtp");
+      f.line = lineno;
+      std::istringstream rs(opts.str("route"));
+      std::string hop;
+      while (std::getline(rs, hop, ',')) {
+        if (!hop.empty()) f.route_names.push_back(hop);
+      }
+      if (f.route_names.size() < 2) {
+        throw ParseError(lineno, "flow: route needs >= 2 nodes");
+      }
+      flows.push_back(std::move(f));
+    } else if (cmd == "frame") {
+      if (flows.empty()) {
+        throw ParseError(lineno, "frame before any flow");
+      }
+      const Options opts(lineno, tok, 1);
+      gmf::FrameSpec spec;
+      spec.min_separation = opts.duration("t");
+      spec.deadline = opts.duration("d");
+      spec.jitter = opts.duration_or("gj", gmfnet::Time::zero());
+      if (opts.has("payload_bits")) {
+        spec.payload_bits = opts.i64("payload_bits");
+      } else {
+        spec.payload_bits = opts.i64("payload_bytes") * 8;
+      }
+      flows.back().frames.push_back(spec);
+    } else {
+      throw ParseError(lineno, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  for (PendingFlow& pf : flows) {
+    std::vector<net::NodeId> hops;
+    hops.reserve(pf.route_names.size());
+    for (const std::string& n : pf.route_names) {
+      hops.push_back(node_of(pf.line, n));
+    }
+    if (pf.frames.empty()) {
+      throw ParseError(pf.line, "flow " + pf.name + " has no frames");
+    }
+    scenario.flows.emplace_back(pf.name, net::Route(std::move(hops)),
+                                std::move(pf.frames), pf.priority, pf.rtp);
+  }
+
+  // Semantic validation (throws std::logic_error with context).
+  scenario.network.validate();
+  for (const gmf::Flow& f : scenario.flows) f.validate(scenario.network);
+  return scenario;
+}
+
+workload::Scenario load_scenario(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return parse_scenario(ss.str());
+}
+
+std::string format_scenario(const workload::Scenario& scenario) {
+  std::ostringstream os;
+  os << "# gmfnet scenario v1\n";
+  const net::Network& net = scenario.network;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const net::NodeId id(static_cast<std::int32_t>(i));
+    const net::Node& n = net.node(id);
+    switch (n.kind) {
+      case net::NodeKind::kEndHost:
+        os << "endhost " << n.name << "\n";
+        break;
+      case net::NodeKind::kRouter:
+        os << "router " << n.name << "\n";
+        break;
+      case net::NodeKind::kSwitch:
+        os << "switch " << n.name << " croute_ps=" << n.sw.croute.ps()
+           << " csend_ps=" << n.sw.csend.ps()
+           << " processors=" << n.sw.processors << "\n";
+        break;
+    }
+  }
+  for (const net::Link& l : net.links()) {
+    os << "link " << net.node(l.src).name << " " << net.node(l.dst).name
+       << " " << l.speed_bps << " prop_ps=" << l.prop.ps() << "\n";
+  }
+  for (const gmf::Flow& f : scenario.flows) {
+    os << "flow " << f.name() << " prio=" << f.priority();
+    if (f.rtp()) os << " rtp";
+    os << " route=";
+    for (std::size_t i = 0; i < f.route().node_count(); ++i) {
+      if (i) os << ",";
+      os << net.node(f.route().node_at(i)).name;
+    }
+    os << "\n";
+    for (const gmf::FrameSpec& fr : f.frames()) {
+      os << "frame t_ps=" << fr.min_separation.ps()
+         << " d_ps=" << fr.deadline.ps() << " gj_ps=" << fr.jitter.ps()
+         << " payload_bits=" << fr.payload_bits << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool save_scenario(const workload::Scenario& scenario,
+                   const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << format_scenario(scenario);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gmfnet::io

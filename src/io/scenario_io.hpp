@@ -1,0 +1,55 @@
+// Text serialization of scenarios (network + flows).
+//
+// An admission controller deployed by a network operator is configured from
+// files, not from C++; this module defines a small line-oriented format and
+// a strict parser with line-accurate error messages.
+//
+//   # gmfnet scenario v1
+//   endhost alice
+//   router  gw
+//   switch  sw1 croute_ns=2700 csend_ns=1000 processors=1
+//   duplex  alice sw1 100000000 prop_ps=0
+//   link    sw1 gw 1000000000
+//   flow    video prio=3 rtp route=alice,sw1,gw
+//   frame   t_us=10000 d_us=20000 gj_us=200 payload_bytes=8000
+//   frame   t_us=10000 d_us=20000 gj_us=200 payload_bytes=1000
+//
+// `frame` lines attach to the most recent `flow`.  Durations accept the
+// suffixed keys t_ps/t_ns/t_us/t_ms (same for d_, gj_); payload accepts
+// payload_bits or payload_bytes.  Lines starting with '#' and blank lines
+// are ignored.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "workload/scenario.hpp"
+
+namespace gmfnet::io {
+
+/// Thrown by the parser; `what()` includes the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message);
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a scenario from text.  Throws ParseError on malformed input and
+/// std::logic_error when the parsed scenario fails semantic validation.
+[[nodiscard]] workload::Scenario parse_scenario(const std::string& text);
+
+/// Parses from a file; throws std::runtime_error when unreadable.
+[[nodiscard]] workload::Scenario load_scenario(const std::string& path);
+
+/// Renders a scenario in the same format (round-trips through
+/// parse_scenario).
+[[nodiscard]] std::string format_scenario(const workload::Scenario& scenario);
+
+/// Writes to a file; returns false on I/O failure.
+bool save_scenario(const workload::Scenario& scenario,
+                   const std::string& path);
+
+}  // namespace gmfnet::io

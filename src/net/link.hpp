@@ -1,0 +1,20 @@
+// Directed link attributes (§2.1: linkspeed(N1,N2) and prop(N1,N2)).
+#pragma once
+
+#include "ethernet/framing.hpp"
+#include "net/ids.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::net {
+
+struct Link {
+  NodeId src;
+  NodeId dst;
+  /// Bitrate of the link in bits/second (linkspeed(N1,N2)).
+  ethernet::LinkSpeedBps speed_bps = 100'000'000;
+  /// Propagation delay (prop(N1,N2)); speed-of-light term, zero by default
+  /// for LAN-scale topologies.
+  gmfnet::Time prop = gmfnet::Time::zero();
+};
+
+}  // namespace gmfnet::net

@@ -1,0 +1,47 @@
+// Node kinds and per-switch parameters (§2.1 of the paper).
+#pragma once
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace gmfnet::net {
+
+/// The three node roles of Figure 1.  Flows originate/terminate at end hosts
+/// or routers and are relayed only by Ethernet switches.
+enum class NodeKind {
+  kEndHost,  ///< IP end host (PC); source/sink of flows
+  kSwitch,   ///< software-implemented Ethernet switch (Click-style)
+  kRouter,   ///< IP router at the network boundary; source/sink of flows
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kEndHost: return "endhost";
+    case NodeKind::kSwitch: return "switch";
+    case NodeKind::kRouter: return "router";
+  }
+  return "?";
+}
+
+/// Parameters of a software-implemented Ethernet switch.
+///
+/// Defaults are the paper's measured values for the Click implementation:
+/// CROUTE = 2.7 us (NIC FIFO -> classified -> priority queue) and
+/// CSEND = 1.0 us (priority queue -> NIC FIFO).  `processors` models the
+/// multiprocessor extension from the Conclusions: interfaces are partitioned
+/// over CPUs, shrinking the stride service period CIRC accordingly.
+struct SwitchParams {
+  gmfnet::Time croute = gmfnet::Time::ns(2700);
+  gmfnet::Time csend = gmfnet::Time::ns(1000);
+  int processors = 1;
+};
+
+/// A node of the modelled network.
+struct Node {
+  NodeKind kind = NodeKind::kEndHost;
+  std::string name;
+  SwitchParams sw;  ///< meaningful only when kind == kSwitch
+};
+
+}  // namespace gmfnet::net

@@ -1,0 +1,83 @@
+#include "net/route.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gmfnet::net {
+
+NodeId Route::succ(NodeId n) const {
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    if (nodes_[i] == n) return nodes_[i + 1];
+  }
+  return NodeId{};
+}
+
+NodeId Route::prec(NodeId n) const {
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i] == n) return nodes_[i - 1];
+  }
+  return NodeId{};
+}
+
+bool Route::contains(NodeId n) const {
+  return std::find(nodes_.begin(), nodes_.end(), n) != nodes_.end();
+}
+
+bool Route::uses_link(NodeId a, NodeId b) const {
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    if (nodes_[i] == a && nodes_[i + 1] == b) return true;
+  }
+  return false;
+}
+
+std::vector<LinkRef> Route::links() const {
+  std::vector<LinkRef> out;
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    out.emplace_back(nodes_[i], nodes_[i + 1]);
+  }
+  return out;
+}
+
+std::vector<NodeId> Route::intermediates() const {
+  if (nodes_.size() <= 2) return {};
+  return {nodes_.begin() + 1, nodes_.end() - 1};
+}
+
+void Route::validate(const Network& net) const {
+  if (nodes_.size() < 2) {
+    throw std::logic_error("route: needs at least source and destination");
+  }
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : nodes_) {
+    if (!net.has_node(n)) throw std::logic_error("route: unknown node");
+    if (!seen.insert(n).second) {
+      throw std::logic_error("route: repeated node " + net.node(n).name);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    if (!net.has_link(nodes_[i], nodes_[i + 1])) {
+      throw std::logic_error("route: missing link " +
+                             net.node(nodes_[i]).name + "->" +
+                             net.node(nodes_[i + 1]).name);
+    }
+  }
+  auto endpoint_ok = [&](NodeId n) {
+    const NodeKind k = net.node(n).kind;
+    return k == NodeKind::kEndHost || k == NodeKind::kRouter;
+  };
+  if (!endpoint_ok(source())) {
+    throw std::logic_error("route: source must be an endhost or router");
+  }
+  if (!endpoint_ok(destination())) {
+    throw std::logic_error("route: destination must be an endhost or router");
+  }
+  for (NodeId n : intermediates()) {
+    if (net.node(n).kind != NodeKind::kSwitch) {
+      throw std::logic_error("route: intermediate " + net.node(n).name +
+                             " is not an Ethernet switch");
+    }
+  }
+}
+
+}  // namespace gmfnet::net

@@ -1,0 +1,61 @@
+// A flow's route: the pre-specified node sequence from source to destination
+// (§2.1; Figure 2).  Routes traverse only Ethernet switches between their
+// endpoints and never repeat a node.
+#pragma once
+
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::net {
+
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Number of links traversed (node_count() - 1).
+  [[nodiscard]] std::size_t hop_count() const {
+    return nodes_.empty() ? 0 : nodes_.size() - 1;
+  }
+
+  [[nodiscard]] NodeId source() const { return nodes_.front(); }
+  [[nodiscard]] NodeId destination() const { return nodes_.back(); }
+  [[nodiscard]] NodeId node_at(std::size_t i) const { return nodes_[i]; }
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// succ(τ, N): node after N on the route; invalid NodeId if N is the
+  /// destination or not on the route.
+  [[nodiscard]] NodeId succ(NodeId n) const;
+  /// prec(τ, N): node before N on the route; invalid NodeId if N is the
+  /// source or not on the route.
+  [[nodiscard]] NodeId prec(NodeId n) const;
+
+  [[nodiscard]] bool contains(NodeId n) const;
+  /// True when the route traverses the directed link a->b.
+  [[nodiscard]] bool uses_link(NodeId a, NodeId b) const;
+  [[nodiscard]] bool uses_link(LinkRef l) const {
+    return uses_link(l.src, l.dst);
+  }
+
+  /// All directed links of the route, in order.
+  [[nodiscard]] std::vector<LinkRef> links() const;
+
+  /// The intermediate nodes (all Ethernet switches for a valid route).
+  [[nodiscard]] std::vector<NodeId> intermediates() const;
+
+  /// Validates against a network: >= 2 nodes, no repeats, every consecutive
+  /// pair is a link, endpoints are endhosts/routers, intermediates are
+  /// switches.  Throws std::logic_error describing the first violation.
+  void validate(const Network& net) const;
+
+  auto operator<=>(const Route&) const = default;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace gmfnet::net

@@ -1,0 +1,73 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "ethernet/framing.hpp"
+
+namespace gmfnet::net {
+
+namespace {
+/// Link weight under the chosen metric, in picoseconds (1 for kHops).
+std::int64_t weight(const Network& net, NodeId a, NodeId b,
+                    RouteMetric metric) {
+  if (metric == RouteMetric::kHops) return 1;
+  const Link& l = net.link(a, b);
+  return (ethernet::max_frame_transmission_time(l.speed_bps) + l.prop).ps();
+}
+}  // namespace
+
+std::optional<Route> shortest_route(const Network& net, NodeId src, NodeId dst,
+                                    RouteMetric metric) {
+  if (!net.has_node(src) || !net.has_node(dst) || src == dst) {
+    return std::nullopt;
+  }
+  const std::size_t n = net.node_count();
+  constexpr auto kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(n, kInf);
+  std::vector<NodeId> parent(n);
+
+  using Item = std::pair<std::int64_t, NodeId>;  // (dist, node)
+  auto cmp = [](const Item& a, const Item& b) {
+    return a.first != b.first ? a.first > b.first : a.second > b.second;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> pq(cmp);
+
+  dist[static_cast<std::size_t>(src.v)] = 0;
+  pq.emplace(0, src);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u.v)]) continue;
+    if (u == dst) break;
+    for (NodeId v : net.successors(u)) {
+      // Intermediate nodes must be switches; only dst may be endhost/router.
+      if (v != dst && net.node(v).kind != NodeKind::kSwitch) continue;
+      // Traffic never transits *through* the destination already handled;
+      // src may be any kind since it is where we start.
+      const std::int64_t nd = d + weight(net, u, v, metric);
+      auto& dv = dist[static_cast<std::size_t>(v.v)];
+      if (nd < dv) {
+        dv = nd;
+        parent[static_cast<std::size_t>(v.v)] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(dst.v)] == kInf) return std::nullopt;
+
+  std::vector<NodeId> path;
+  for (NodeId at = dst; at != src;
+       at = parent[static_cast<std::size_t>(at.v)]) {
+    path.push_back(at);
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return Route(std::move(path));
+}
+
+}  // namespace gmfnet::net

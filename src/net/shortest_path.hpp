@@ -1,0 +1,26 @@
+// Route computation helpers.  The paper assumes routes are pre-specified;
+// operators typically derive them from spanning-tree/shortest-path state, so
+// the workload generator needs a router.
+#pragma once
+
+#include <optional>
+
+#include "net/network.hpp"
+#include "net/route.hpp"
+
+namespace gmfnet::net {
+
+/// Cost metric for shortest_route.
+enum class RouteMetric {
+  kHops,     ///< minimize number of links
+  kLatency,  ///< minimize sum of (MFT serialization + propagation) per link
+};
+
+/// Computes a route from `src` to `dst` whose intermediate nodes are all
+/// switches (endpoints may be endhost/router).  Returns std::nullopt when no
+/// such path exists.  Deterministic: ties broken by smaller node id.
+[[nodiscard]] std::optional<Route> shortest_route(
+    const Network& net, NodeId src, NodeId dst,
+    RouteMetric metric = RouteMetric::kHops);
+
+}  // namespace gmfnet::net

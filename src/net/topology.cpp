@@ -1,0 +1,167 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace gmfnet::net {
+
+Figure1Network make_figure1_network(ethernet::LinkSpeedBps speed_bps,
+                                    SwitchParams params) {
+  Figure1Network f;
+  // Insertion order matches the paper's node numbering.
+  f.host0 = f.net.add_endhost("0");
+  f.host1 = f.net.add_endhost("1");
+  f.host2 = f.net.add_endhost("2");
+  f.host3 = f.net.add_endhost("3");
+  f.sw4 = f.net.add_switch("4", params);
+  f.sw5 = f.net.add_switch("5", params);
+  f.sw6 = f.net.add_switch("6", params);
+  f.router7 = f.net.add_router("7");
+
+  f.net.add_duplex_link(f.host0, f.sw4, speed_bps);
+  f.net.add_duplex_link(f.host1, f.sw4, speed_bps);
+  f.net.add_duplex_link(f.sw4, f.sw5, speed_bps);
+  f.net.add_duplex_link(f.sw4, f.sw6, speed_bps);
+  f.net.add_duplex_link(f.host2, f.sw5, speed_bps);
+  f.net.add_duplex_link(f.sw5, f.sw6, speed_bps);
+  f.net.add_duplex_link(f.sw6, f.host3, speed_bps);
+  f.net.add_duplex_link(f.sw6, f.router7, speed_bps);
+
+  f.net.validate();
+  return f;
+}
+
+LineNetwork make_line_network(int num_switches,
+                              ethernet::LinkSpeedBps speed_bps,
+                              SwitchParams params) {
+  if (num_switches < 1) {
+    throw std::invalid_argument("make_line_network: need >= 1 switch");
+  }
+  LineNetwork l;
+  l.src_host = l.net.add_endhost("src");
+  for (int i = 0; i < num_switches; ++i) {
+    l.switches.push_back(l.net.add_switch("sw" + std::to_string(i), params));
+  }
+  l.dst_host = l.net.add_endhost("dst");
+
+  l.net.add_duplex_link(l.src_host, l.switches.front(), speed_bps);
+  for (int i = 0; i + 1 < num_switches; ++i) {
+    l.net.add_duplex_link(l.switches[static_cast<std::size_t>(i)],
+                          l.switches[static_cast<std::size_t>(i + 1)],
+                          speed_bps);
+  }
+  l.net.add_duplex_link(l.switches.back(), l.dst_host, speed_bps);
+
+  for (int i = 0; i < num_switches; ++i) {
+    const NodeId leaf = l.net.add_endhost("leaf" + std::to_string(i));
+    l.leaf_hosts.push_back(leaf);
+    l.net.add_duplex_link(leaf, l.switches[static_cast<std::size_t>(i)],
+                          speed_bps);
+  }
+
+  l.net.validate();
+  return l;
+}
+
+StarNetwork make_star_network(int hosts, ethernet::LinkSpeedBps speed_bps,
+                              SwitchParams params) {
+  if (hosts < 1) throw std::invalid_argument("make_star_network: need hosts");
+  StarNetwork s;
+  s.sw = s.net.add_switch("sw", params);
+  for (int i = 0; i < hosts; ++i) {
+    const NodeId h = s.net.add_endhost("h" + std::to_string(i));
+    s.hosts.push_back(h);
+    s.net.add_duplex_link(h, s.sw, speed_bps);
+  }
+  s.net.validate();
+  return s;
+}
+
+TreeNetwork make_tree_network(int depth, int hosts_per_leaf,
+                              ethernet::LinkSpeedBps speed_bps,
+                              SwitchParams params) {
+  if (depth < 1) throw std::invalid_argument("make_tree_network: depth >= 1");
+  if (hosts_per_leaf < 1) {
+    throw std::invalid_argument("make_tree_network: hosts_per_leaf >= 1");
+  }
+  TreeNetwork t;
+  // Level-order construction of a complete binary tree of switches.
+  std::vector<std::vector<NodeId>> levels;
+  for (int d = 0; d < depth; ++d) {
+    levels.emplace_back();
+    const int width = 1 << d;
+    for (int i = 0; i < width; ++i) {
+      const NodeId sw = t.net.add_switch(
+          "sw_d" + std::to_string(d) + "_" + std::to_string(i), params);
+      levels.back().push_back(sw);
+      t.switches.push_back(sw);
+      if (d > 0) {
+        const NodeId parent =
+            levels[static_cast<std::size_t>(d - 1)]
+                  [static_cast<std::size_t>(i / 2)];
+        t.net.add_duplex_link(parent, sw, speed_bps);
+      }
+    }
+  }
+  t.root = levels.front().front();
+  for (std::size_t i = 0; i < levels.back().size(); ++i) {
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = t.net.add_endhost(
+          "h" + std::to_string(i) + "_" + std::to_string(h));
+      t.hosts.push_back(host);
+      t.net.add_duplex_link(host, levels.back()[i], speed_bps);
+    }
+  }
+  t.net.validate();
+  return t;
+}
+
+RandomNetwork make_random_network(int switches, int hosts, int extra_links,
+                                  ethernet::LinkSpeedBps speed_bps, Rng& rng,
+                                  SwitchParams params) {
+  if (switches < 1) {
+    throw std::invalid_argument("make_random_network: need switches");
+  }
+  if (hosts < 1) {
+    throw std::invalid_argument("make_random_network: need hosts");
+  }
+  RandomNetwork r;
+  for (int i = 0; i < switches; ++i) {
+    r.switches.push_back(
+        r.net.add_switch("sw" + std::to_string(i), params));
+  }
+  // Random spanning tree: attach each new switch to a uniformly chosen
+  // earlier one (random recursive tree).
+  for (int i = 1; i < switches; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(i)));
+    r.net.add_duplex_link(r.switches[static_cast<std::size_t>(i)],
+                          r.switches[j], speed_bps);
+  }
+  // Extra cables between switch pairs that are not yet connected.
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_links && attempts < extra_links * 20 + 100) {
+    ++attempts;
+    if (switches < 3) break;
+    const auto a = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(switches)));
+    const auto b = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(switches)));
+    if (a == b) continue;
+    if (r.net.has_link(r.switches[a], r.switches[b])) continue;
+    r.net.add_duplex_link(r.switches[a], r.switches[b], speed_bps);
+    ++added;
+  }
+  for (int i = 0; i < hosts; ++i) {
+    const NodeId h = r.net.add_endhost("h" + std::to_string(i));
+    r.hosts.push_back(h);
+    const auto s = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(switches)));
+    r.net.add_duplex_link(h, r.switches[s], speed_bps);
+  }
+  r.net.validate();
+  return r;
+}
+
+}  // namespace gmfnet::net

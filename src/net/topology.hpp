@@ -1,0 +1,80 @@
+// Topology builders: the paper's Figure-1 network and the synthetic families
+// used by the evaluation sweeps.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::net {
+
+/// The example network of Figure 1, with all node ids matching the paper:
+/// nodes 0..3 are IP end hosts, 4..6 are Ethernet switches, 7 is the
+/// IP router to the global Internet.
+///
+/// Cabling (full duplex), from the figure: 0-4, 1-4, 4-5, 4-6, 2-5, 5-6,
+/// 6-3, 6-7.  All links default to `speed_bps` (the worked example in §3.1
+/// uses 10 Mbit/s on link(0,4)).
+struct Figure1Network {
+  Network net;
+  NodeId host0, host1, host2, host3;
+  NodeId sw4, sw5, sw6;
+  NodeId router7;
+};
+[[nodiscard]] Figure1Network make_figure1_network(
+    ethernet::LinkSpeedBps speed_bps = 10'000'000,
+    SwitchParams params = {});
+
+/// A line: H0 - S1 - S2 - ... - Sk - H1, with one extra leaf host hanging
+/// off every switch (so switches have realistic interface counts and cross
+/// traffic can be injected at any hop).  Used by the jitter-propagation
+/// experiment (E7).
+struct LineNetwork {
+  Network net;
+  NodeId src_host;
+  NodeId dst_host;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> leaf_hosts;  ///< leaf_hosts[i] hangs off switches[i]
+};
+[[nodiscard]] LineNetwork make_line_network(int num_switches,
+                                            ethernet::LinkSpeedBps speed_bps,
+                                            SwitchParams params = {});
+
+/// A star: one switch, `hosts` end hosts attached to it.
+struct StarNetwork {
+  Network net;
+  NodeId sw;
+  std::vector<NodeId> hosts;
+};
+[[nodiscard]] StarNetwork make_star_network(int hosts,
+                                            ethernet::LinkSpeedBps speed_bps,
+                                            SwitchParams params = {});
+
+/// A balanced binary tree of switches of the given depth; every leaf switch
+/// gets `hosts_per_leaf` end hosts.  Typical enterprise edge topology.
+struct TreeNetwork {
+  Network net;
+  NodeId root;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> hosts;
+};
+[[nodiscard]] TreeNetwork make_tree_network(int depth, int hosts_per_leaf,
+                                            ethernet::LinkSpeedBps speed_bps,
+                                            SwitchParams params = {});
+
+/// A random connected switch mesh with `switches` switches (random spanning
+/// tree + `extra_links` random extra cables) and `hosts` end hosts attached
+/// to random switches.
+struct RandomNetwork {
+  Network net;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> hosts;
+};
+[[nodiscard]] RandomNetwork make_random_network(int switches, int hosts,
+                                                int extra_links,
+                                                ethernet::LinkSpeedBps speed_bps,
+                                                Rng& rng,
+                                                SwitchParams params = {});
+
+}  // namespace gmfnet::net

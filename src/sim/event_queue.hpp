@@ -1,0 +1,51 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace gmfnet::sim {
+
+/// Min-heap of (time, insertion sequence) ordered events.  The sequence
+/// number makes simultaneous events run in insertion order, so simulations
+/// are deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(gmfnet::Time at, Callback cb) {
+    heap_.push(Entry{at, next_seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] gmfnet::Time next_time() const { return heap_.top().at; }
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  gmfnet::Time run_next() {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    e.cb();
+    return e.at;
+  }
+
+ private:
+  struct Entry {
+    gmfnet::Time at;
+    std::uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gmfnet::sim

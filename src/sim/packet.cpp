@@ -1,0 +1,3 @@
+// Intentionally empty: sim/packet.hpp is all aggregates.  The translation
+// unit exists so the build exercises the header standalone.
+#include "sim/packet.hpp"

@@ -1,0 +1,45 @@
+// Simulated traffic units: UDP packets and the Ethernet frames carrying
+// them.
+#pragma once
+
+#include <cstdint>
+
+#include "ethernet/framing.hpp"
+#include "net/ids.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::sim {
+
+/// One release of one GMF frame: a UDP packet instance.
+struct PacketId {
+  net::FlowId flow;
+  std::uint64_t seq = 0;  ///< global release counter within the flow
+
+  auto operator<=>(const PacketId&) const = default;
+};
+
+/// An Ethernet frame in flight.
+struct EthFrame {
+  PacketId packet;
+  std::size_t frame_kind = 0;   ///< GMF frame index k of the packet
+  std::int64_t priority = 0;    ///< flow priority (static, 802.1p style)
+  int frag_index = 0;           ///< 0-based fragment number
+  int frag_count = 1;           ///< fragments of this packet
+  ethernet::Bits wire_bits = 0; ///< on-the-wire footprint incl. overheads
+};
+
+/// Delivery bookkeeping for one packet.
+struct PacketRecord {
+  PacketId id;
+  std::size_t frame_kind = 0;
+  gmfnet::Time arrival;          ///< enqueue time at the source (response t0)
+  gmfnet::Time delivered;        ///< when the last fragment reached the sink
+  int frags_delivered = 0;
+  int frag_count = 0;
+  [[nodiscard]] bool complete() const {
+    return frags_delivered == frag_count;
+  }
+  [[nodiscard]] gmfnet::Time response() const { return delivered - arrival; }
+};
+
+}  // namespace gmfnet::sim

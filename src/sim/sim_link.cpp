@@ -1,0 +1,62 @@
+#include "sim/sim_link.hpp"
+
+#include <cassert>
+
+namespace gmfnet::sim {
+
+LinkTransmitter::LinkTransmitter(EventQueue& queue,
+                                 ethernet::LinkSpeedBps speed,
+                                 gmfnet::Time prop, bool auto_feed,
+                                 DeliverFn deliver)
+    : queue_(queue),
+      speed_(speed),
+      prop_(prop),
+      auto_feed_(auto_feed),
+      deliver_(std::move(deliver)) {}
+
+void LinkTransmitter::enqueue(gmfnet::Time now, const EthFrame& frame) {
+  assert(auto_feed_);
+  fifo_.push_back(frame);
+  if (!busy_) start_next(now);
+}
+
+bool LinkTransmitter::try_load(gmfnet::Time now, const EthFrame& frame) {
+  assert(!auto_feed_);
+  // The card FIFO holds one frame from deposit until its transmission
+  // completes (the paper's egress task tests "FIFO empty" before
+  // refilling); a busy card refuses the load.
+  if (busy_) return false;
+  busy_ = true;
+  transmit(now, frame);
+  return true;
+}
+
+void LinkTransmitter::start_next(gmfnet::Time now) {
+  assert(auto_feed_);
+  if (fifo_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const EthFrame frame = fifo_.front();
+  fifo_.pop_front();
+  transmit(now, frame);
+}
+
+void LinkTransmitter::transmit(gmfnet::Time now, const EthFrame& frame) {
+  const gmfnet::Time tx = ethernet::wire_time(frame.wire_bits, speed_);
+  const gmfnet::Time done = now + tx;
+  // Delivery happens prop after the last bit leaves.
+  const gmfnet::Time at = done + prop_;
+  queue_.schedule(at, [this, frame, at] { deliver_(frame, at); });
+  queue_.schedule(done, [this, done] {
+    if (auto_feed_) {
+      start_next(done);
+    } else {
+      busy_ = false;  // card FIFO frees; egress task may refill on its next
+                      // service
+    }
+  });
+}
+
+}  // namespace gmfnet::sim

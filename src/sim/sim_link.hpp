@@ -1,0 +1,57 @@
+// Link transmitter: serializes Ethernet frames at linkspeed and delivers
+// them after the propagation delay.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "ethernet/framing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::sim {
+
+/// One directed link's transmit side.
+///
+/// Two feed disciplines exist in the modelled system:
+///  * end hosts: an unbounded work-conserving FIFO ahead of the wire —
+///    `enqueue` and frames go back-to-back (`auto_feed == true`);
+///  * switch NICs: the card's FIFO holds a single frame that the stride-
+///    scheduled egress task deposited; the egress task only refills it when
+///    it observes the FIFO empty (`auto_feed == false`, use `try_load`).
+class LinkTransmitter {
+ public:
+  using DeliverFn = std::function<void(const EthFrame&, gmfnet::Time)>;
+
+  LinkTransmitter(EventQueue& queue, ethernet::LinkSpeedBps speed,
+                  gmfnet::Time prop, bool auto_feed, DeliverFn deliver);
+
+  /// Host-side: append to the FIFO; starts transmitting when idle.
+  void enqueue(gmfnet::Time now, const EthFrame& frame);
+
+  /// Switch-NIC-side: returns false when the card FIFO is occupied (a frame
+  /// is waiting or on the wire); on true the frame was accepted.
+  bool try_load(gmfnet::Time now, const EthFrame& frame);
+
+  /// True when the single-slot card FIFO is free (only meaningful for
+  /// auto_feed == false transmitters).
+  [[nodiscard]] bool card_fifo_empty() const { return !busy_; }
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queued() const { return fifo_.size(); }
+
+ private:
+  void start_next(gmfnet::Time now);
+  void transmit(gmfnet::Time now, const EthFrame& frame);
+
+  EventQueue& queue_;
+  ethernet::LinkSpeedBps speed_;
+  gmfnet::Time prop_;
+  bool auto_feed_;
+  DeliverFn deliver_;
+  std::deque<EthFrame> fifo_;
+  bool busy_ = false;
+};
+
+}  // namespace gmfnet::sim

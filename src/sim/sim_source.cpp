@@ -1,0 +1,82 @@
+#include "sim/sim_source.hpp"
+
+#include <algorithm>
+
+namespace gmfnet::sim {
+
+FlowSource::FlowSource(EventQueue& queue, const gmf::Flow& flow,
+                       net::FlowId id, SourceOptions opts, Rng rng,
+                       EmitFn emit, PacketFn on_packet)
+    : queue_(queue),
+      flow_(flow),
+      id_(id),
+      opts_(opts),
+      rng_(rng),
+      emit_(std::move(emit)),
+      on_packet_(std::move(on_packet)) {
+  layouts_.reserve(flow_.frame_count());
+  for (std::size_t k = 0; k < flow_.frame_count(); ++k) {
+    layouts_.push_back(ethernet::fragment_layout(flow_.nbits(k)));
+  }
+}
+
+void FlowSource::start(gmfnet::Time until) {
+  const gmfnet::Time first = opts_.start_offset;
+  if (first > until) return;
+  queue_.schedule(first, [this, first, until] { arrive(first, until); });
+}
+
+void FlowSource::arrive(gmfnet::Time now, gmfnet::Time until) {
+  const std::size_t kind = kind_;
+  const gmf::FrameSpec& spec = flow_.frame(kind);
+  const auto& layout = layouts_[kind];
+  const int frag_count = static_cast<int>(layout.size());
+
+  const PacketId pid{id_, seq_++};
+  on_packet_(pid, kind, now, frag_count);
+
+  // Fragment release offsets within the generalized-jitter window
+  // [now, now + GJ^k).  The first fragment defines the packet arrival, so
+  // offset 0 is always used; the remaining fragments scatter.
+  std::vector<gmfnet::Time> offsets(layout.size(), gmfnet::Time::zero());
+  if (spec.jitter > gmfnet::Time::zero() && layout.size() > 1) {
+    for (std::size_t f = 1; f < layout.size(); ++f) {
+      if (opts_.scatter_jitter) {
+        offsets[f] = gmfnet::Time(static_cast<gmfnet::Time::rep>(
+            rng_.uniform01() * static_cast<double>(spec.jitter.ps())));
+      } else {
+        // Adversarial: everything except the first fragment lands at the
+        // very end of the window.
+        offsets[f] = spec.jitter - gmfnet::Time(1);
+      }
+    }
+    std::sort(offsets.begin(), offsets.end());
+  }
+
+  for (std::size_t f = 0; f < layout.size(); ++f) {
+    EthFrame frame;
+    frame.packet = pid;
+    frame.frame_kind = kind;
+    frame.priority = flow_.priority();
+    frame.frag_index = static_cast<int>(f);
+    frame.frag_count = frag_count;
+    frame.wire_bits = layout[f];
+    const gmfnet::Time release = now + offsets[f];
+    queue_.schedule(release, [this, frame, release] { emit_(frame, release); });
+  }
+
+  // Next arrival.
+  gmfnet::Time sep = spec.min_separation;
+  if (opts_.model == ArrivalModel::kUniformSlack) {
+    const double mult = 1.0 + rng_.uniform01() * opts_.slack;
+    sep = gmfnet::Time(static_cast<gmfnet::Time::rep>(
+        static_cast<double>(sep.ps()) * mult));
+  }
+  kind_ = (kind_ + 1) % flow_.frame_count();
+  const gmfnet::Time next = now + sep;
+  if (next <= until) {
+    queue_.schedule(next, [this, next, until] { arrive(next, until); });
+  }
+}
+
+}  // namespace gmfnet::sim

@@ -1,0 +1,72 @@
+// GMF arrival generation at the source host.
+//
+// A FlowSource walks a flow's frame cycle, producing packet arrivals that
+// respect the GMF contract (consecutive arrivals of frames k and k+1 are at
+// least T^k apart) and splitting every packet into Ethernet frames released
+// within the generalized-jitter window [t, t + GJ^k).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gmf/flow.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::sim {
+
+/// How inter-arrival slack beyond the minimum separations is drawn.
+enum class ArrivalModel {
+  /// Arrivals exactly at the minimum separations (the densest legal
+  /// sequence — the pattern the analysis is tightest against).
+  kPeriodic,
+  /// Uniform multiplicative slack: separation = T^k * U[1, 1+slack].
+  kUniformSlack,
+};
+
+struct SourceOptions {
+  ArrivalModel model = ArrivalModel::kPeriodic;
+  double slack = 0.5;            ///< for kUniformSlack
+  gmfnet::Time start_offset = gmfnet::Time::zero();  ///< first arrival time
+  /// Fragment releases inside [t, t+GJ): true scatters them uniformly;
+  /// false releases the worst case (all at the end of the window is not
+  /// legal — the *first* frame defines t — so "worst" is first at t, rest
+  /// just before t+GJ).
+  bool scatter_jitter = true;
+};
+
+class FlowSource {
+ public:
+  /// `emit(frame, release_time)` is called for every Ethernet frame;
+  /// `on_packet(id, kind, arrival, frag_count)` announces each new packet.
+  using EmitFn = std::function<void(const EthFrame&, gmfnet::Time)>;
+  using PacketFn = std::function<void(const PacketId&, std::size_t,
+                                      gmfnet::Time, int)>;
+
+  FlowSource(EventQueue& queue, const gmf::Flow& flow, net::FlowId id,
+             SourceOptions opts, Rng rng, EmitFn emit, PacketFn on_packet);
+
+  /// Schedules the first arrival; subsequent arrivals self-schedule until
+  /// `until`.
+  void start(gmfnet::Time until);
+
+  [[nodiscard]] std::uint64_t packets_released() const { return seq_; }
+
+ private:
+  void arrive(gmfnet::Time now, gmfnet::Time until);
+
+  EventQueue& queue_;
+  const gmf::Flow& flow_;
+  net::FlowId id_;
+  SourceOptions opts_;
+  Rng rng_;
+  EmitFn emit_;
+  PacketFn on_packet_;
+  std::size_t kind_ = 0;      ///< next frame index in the GMF cycle
+  std::uint64_t seq_ = 0;
+  /// Per-frame fragment wire layouts, precomputed (speed-independent).
+  std::vector<std::vector<ethernet::Bits>> layouts_;
+};
+
+}  // namespace gmfnet::sim

@@ -1,0 +1,101 @@
+// The software-implemented Ethernet switch of Figure 5, simulated at the
+// task level.
+//
+// Per interface (= neighbouring node) the switch runs two software tasks on
+// its CPU(s) under stride scheduling:
+//   * the ingress task: pops one Ethernet frame from the interface's NIC
+//     FIFO, classifies it (flow -> output interface and priority) and pushes
+//     it into the corresponding outbound priority queue — cost CROUTE;
+//   * the egress task: when the outbound NIC's card FIFO is free, moves the
+//     highest-priority queued frame into it — cost CSEND.
+// A task that finds nothing to do costs `poll_cost` (a real Click element
+// returns quickly but not in zero time; poll_cost <= CROUTE/CSEND keeps the
+// analysis's CIRC service period an upper bound).
+//
+// With `processors` > 1, interfaces are partitioned round-robin over the
+// CPUs (both tasks of an interface stay together), as the Conclusions
+// propose for network processors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/sim_link.hpp"
+#include "switchsim/stride.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::sim {
+
+class SimSwitch {
+ public:
+  struct Options {
+    gmfnet::Time croute = gmfnet::Time::ns(2700);
+    gmfnet::Time csend = gmfnet::Time::ns(1000);
+    gmfnet::Time poll_cost = gmfnet::Time::ns(100);
+    int processors = 1;
+  };
+
+  /// Maps a frame to its next-hop node as seen from this switch.
+  using ForwardFn = std::function<net::NodeId(const EthFrame&)>;
+
+  /// `out_links[n]` is the transmitter towards neighbour n (card-FIFO
+  /// discipline, auto_feed == false).  `neighbors` fixes the interface
+  /// order (and hence the task order in the stride scheduler).
+  SimSwitch(EventQueue& queue, net::NodeId self,
+            std::vector<net::NodeId> neighbors, Options opts,
+            ForwardFn forward,
+            std::map<net::NodeId, LinkTransmitter*> out_links);
+
+  /// Frame arrival from neighbour `from`: lands in that interface's NIC
+  /// FIFO, to be picked up by the ingress task.
+  void receive(const EthFrame& frame, net::NodeId from);
+
+  /// Starts the CPU loop(s) at t = 0.
+  void start();
+
+  [[nodiscard]] net::NodeId self() const { return self_; }
+  /// Total frames currently buffered in the switch (diagnostics).
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  struct Task {
+    bool is_ingress;
+    std::size_t port;  ///< index into neighbors_
+  };
+  struct Cpu {
+    switchsim::StrideScheduler sched;
+    std::vector<Task> tasks;
+  };
+  struct InPort {
+    std::deque<EthFrame> fifo;
+  };
+  struct OutPort {
+    /// priority -> FIFO of frames; larger key served first.
+    std::map<std::int64_t, std::deque<EthFrame>, std::greater<>> queues;
+    LinkTransmitter* tx = nullptr;
+    [[nodiscard]] bool empty() const { return queues.empty(); }
+  };
+
+  void cpu_step(std::size_t cpu, gmfnet::Time now);
+  /// Executes one task service at `now`; side effects land at completion.
+  /// Returns the service cost.
+  gmfnet::Time run_task(const Task& task, gmfnet::Time now);
+
+  EventQueue& queue_;
+  net::NodeId self_;
+  std::vector<net::NodeId> neighbors_;
+  Options opts_;
+  ForwardFn forward_;
+  std::vector<InPort> in_;
+  std::vector<OutPort> out_;
+  std::map<net::NodeId, std::size_t> port_of_;
+  std::vector<Cpu> cpus_;
+};
+
+}  // namespace gmfnet::sim

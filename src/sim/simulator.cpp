@@ -1,0 +1,188 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gmfnet::sim {
+
+Simulator::Simulator(const net::Network& network,
+                     std::vector<gmf::Flow> flows, SimOptions opts)
+    : net_(network), flows_(std::move(flows)), opts_(opts) {
+  net_.validate();
+  for (const gmf::Flow& f : flows_) f.validate(net_);
+
+  stats_.resize(flows_.size());
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const std::size_t n = flows_[f].frame_count();
+    stats_[f].per_kind.resize(n);
+    stats_[f].max_response.assign(n, gmfnet::Time::zero());
+    stats_[f].deadline_misses.assign(n, 0);
+  }
+
+  // One transmitter per directed link.  Host-side links feed back-to-back
+  // from an unbounded FIFO; switch-side links model the single-slot card
+  // FIFO that the stride-scheduled egress task refills.
+  for (const net::Link& l : net_.links()) {
+    const bool from_switch =
+        net_.node(l.src).kind == net::NodeKind::kSwitch;
+    links_[net::LinkRef(l.src, l.dst)] = std::make_unique<LinkTransmitter>(
+        queue_, l.speed_bps, l.prop, /*auto_feed=*/!from_switch,
+        [this, src = l.src, dst = l.dst](const EthFrame& frame,
+                                         gmfnet::Time now) {
+          on_deliver(dst, src, frame, now);
+        });
+  }
+
+  // One SimSwitch per switch node.
+  for (const net::NodeId sw : net_.nodes_of_kind(net::NodeKind::kSwitch)) {
+    std::vector<net::NodeId> nbrs = net_.successors(sw);
+    {
+      const auto& in = net_.predecessors(sw);
+      nbrs.insert(nbrs.end(), in.begin(), in.end());
+      std::sort(nbrs.begin(), nbrs.end());
+      nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    }
+    std::map<net::NodeId, LinkTransmitter*> out;
+    for (const net::NodeId n : nbrs) {
+      const auto it = links_.find(net::LinkRef(sw, n));
+      if (it == links_.end()) {
+        throw std::logic_error(
+            "Simulator: switch interface without outgoing link (switch "
+            "cabling must be full duplex)");
+      }
+      out[n] = it->second.get();
+    }
+
+    const net::Node& node = net_.node(sw);
+    SimSwitch::Options so;
+    so.croute = node.sw.croute;
+    so.csend = node.sw.csend;
+    so.poll_cost = gmfnet::min(opts_.poll_cost,
+                               gmfnet::min(so.croute, so.csend));
+    so.processors = node.sw.processors;
+
+    switches_[sw] = std::make_unique<SimSwitch>(
+        queue_, sw, std::move(nbrs), so,
+        [this, sw](const EthFrame& frame) {
+          return flows_[static_cast<std::size_t>(frame.packet.flow.v)]
+              .route()
+              .succ(sw);
+        },
+        std::move(out));
+  }
+
+  // One source per flow.
+  Rng master(opts_.seed);
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const net::FlowId id(static_cast<std::int32_t>(f));
+    sources_.push_back(std::make_unique<FlowSource>(
+        queue_, flows_[f], id, opts_.source, master.split(),
+        [this](const EthFrame& frame, gmfnet::Time now) {
+          on_emit(frame, now);
+        },
+        [this](const PacketId& pid, std::size_t kind, gmfnet::Time arrival,
+               int frag_count) {
+          on_packet(pid, kind, arrival, frag_count);
+        }));
+  }
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::run() {
+  if (ran_) throw std::logic_error("Simulator::run called twice");
+  ran_ = true;
+
+  for (auto& [id, sw] : switches_) sw->start();
+  for (auto& src : sources_) src->start(opts_.horizon);
+
+  // The switch CPU loops self-perpetuate, so the queue never drains on its
+  // own: run to the horizon, then keep going until every in-flight packet
+  // has completed (bounded by a generous drain limit).
+  const gmfnet::Time drain_limit =
+      opts_.horizon + gmfnet::max(opts_.horizon, gmfnet::Time::sec(10));
+  while (!queue_.empty()) {
+    const gmfnet::Time t = queue_.next_time();
+    if (t > opts_.horizon && open_packets_.empty()) break;
+    if (t > drain_limit) break;
+    end_time_ = queue_.run_next();
+  }
+
+  for (const auto& [pid, rec] : open_packets_) {
+    ++stats_[static_cast<std::size_t>(pid.flow.v)].packets_incomplete;
+  }
+}
+
+void Simulator::on_packet(const PacketId& id, std::size_t kind,
+                          gmfnet::Time arrival, int frag_count) {
+  PacketRecord rec;
+  rec.id = id;
+  rec.frame_kind = kind;
+  rec.arrival = arrival;
+  rec.frag_count = frag_count;
+  open_packets_[id] = rec;
+  if (opts_.trace != nullptr) {
+    opts_.trace->record(TraceRecord{arrival, TraceEvent::kPacketArrival, id,
+                                    kind, -1,
+                                    flows_[static_cast<std::size_t>(id.flow.v)]
+                                        .route()
+                                        .source()});
+  }
+}
+
+void Simulator::on_emit(const EthFrame& frame, gmfnet::Time now) {
+  const gmf::Flow& flow =
+      flows_[static_cast<std::size_t>(frame.packet.flow.v)];
+  const net::Route& route = flow.route();
+  const net::LinkRef first(route.node_at(0), route.node_at(1));
+  links_.at(first)->enqueue(now, frame);
+  if (opts_.trace != nullptr) {
+    opts_.trace->record(TraceRecord{now, TraceEvent::kFrameReleased,
+                                    frame.packet, frame.frame_kind,
+                                    frame.frag_index, route.source()});
+  }
+}
+
+void Simulator::on_deliver(net::NodeId at, net::NodeId from,
+                           const EthFrame& frame, gmfnet::Time now) {
+  const auto fidx = static_cast<std::size_t>(frame.packet.flow.v);
+  const gmf::Flow& flow = flows_[fidx];
+
+  if (opts_.trace != nullptr) {
+    opts_.trace->record(TraceRecord{now, TraceEvent::kFrameDelivered,
+                                    frame.packet, frame.frame_kind,
+                                    frame.frag_index, at});
+  }
+
+  if (at != flow.route().destination()) {
+    // Intermediate hop: must be a switch relaying the frame.
+    switches_.at(at)->receive(frame, from);
+    return;
+  }
+
+  const auto it = open_packets_.find(frame.packet);
+  if (it == open_packets_.end()) {
+    throw std::logic_error("Simulator: delivery for unknown packet");
+  }
+  PacketRecord& rec = it->second;
+  ++rec.frags_delivered;
+  if (!rec.complete()) return;
+
+  rec.delivered = now;
+  const gmfnet::Time resp = rec.response();
+  FlowSimStats& st = stats_[fidx];
+  st.per_kind[rec.frame_kind].add(resp.to_sec());
+  st.max_response[rec.frame_kind] =
+      gmfnet::max(st.max_response[rec.frame_kind], resp);
+  if (resp > flow.frame(rec.frame_kind).deadline) {
+    ++st.deadline_misses[rec.frame_kind];
+  }
+  ++st.packets_completed;
+  if (opts_.trace != nullptr) {
+    opts_.trace->record(TraceRecord{now, TraceEvent::kPacketDelivered,
+                                    frame.packet, rec.frame_kind, -1, at});
+  }
+  open_packets_.erase(it);
+}
+
+}  // namespace gmfnet::sim

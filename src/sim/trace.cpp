@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace gmfnet::sim {
+
+const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kPacketArrival: return "packet-arrival";
+    case TraceEvent::kFrameReleased: return "frame-released";
+    case TraceEvent::kFrameDelivered: return "frame-delivered";
+    case TraceEvent::kPacketDelivered: return "packet-delivered";
+  }
+  return "?";
+}
+
+void SimTrace::record(const TraceRecord& r) {
+  if (!enabled_) return;
+  if (records_.size() >= max_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(r);
+}
+
+std::string SimTrace::render() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) {
+    os << r.at.str() << ' ' << to_string(r.event)
+       << " flow=" << r.packet.flow.v << " seq=" << r.packet.seq
+       << " kind=" << r.frame_kind;
+    if (r.frag_index >= 0) os << " frag=" << r.frag_index;
+    if (r.node.valid()) os << " node=" << r.node.v;
+    os << '\n';
+  }
+  if (dropped_ > 0) os << "(+" << dropped_ << " dropped records)\n";
+  return os.str();
+}
+
+}  // namespace gmfnet::sim

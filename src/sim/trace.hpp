@@ -1,0 +1,60 @@
+// Optional event trace for debugging and for the example programs that
+// narrate a packet's journey.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/packet.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::sim {
+
+enum class TraceEvent : std::uint8_t {
+  kPacketArrival,   ///< UDP packet enqueued at its source
+  kFrameReleased,   ///< Ethernet frame released at the source
+  kFrameDelivered,  ///< Ethernet frame received at a node
+  kPacketDelivered, ///< last fragment reached the destination
+};
+
+[[nodiscard]] const char* to_string(TraceEvent e);
+
+struct TraceRecord {
+  gmfnet::Time at;
+  TraceEvent event;
+  PacketId packet;
+  std::size_t frame_kind = 0;
+  int frag_index = -1;      ///< -1 for packet-level events
+  net::NodeId node;         ///< where it happened (invalid for releases)
+};
+
+/// Append-only trace buffer.  Disabled (and free) unless `enable` was
+/// called; the simulator takes an optional pointer to one of these.
+class SimTrace {
+ public:
+  void enable(std::size_t max_records = 1 << 20) {
+    enabled_ = true;
+    max_ = max_records;
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(const TraceRecord& r);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Renders one line per record ("12.3us frame-delivered flow=0 seq=4 ...").
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t max_ = 0;
+  std::size_t dropped_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace gmfnet::sim

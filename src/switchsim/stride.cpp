@@ -1,0 +1,36 @@
+#include "switchsim/stride.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gmfnet::switchsim {
+
+std::size_t StrideScheduler::add_task(std::int64_t tickets, std::string name) {
+  if (tickets < 1) {
+    throw std::invalid_argument("StrideScheduler: tickets must be >= 1");
+  }
+  Task t;
+  t.tickets = tickets;
+  t.stride = kStride1 / tickets;
+  // "When the system boots, the pass of a task is initialized to its stride."
+  t.pass = t.stride;
+  t.name = std::move(name);
+  tasks_.push_back(std::move(t));
+  return tasks_.size() - 1;
+}
+
+std::size_t StrideScheduler::dispatch() {
+  assert(!tasks_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < tasks_.size(); ++i) {
+    if (tasks_[i].pass < tasks_[best].pass) best = i;
+  }
+  tasks_[best].pass += tasks_[best].stride;
+  return best;
+}
+
+void StrideScheduler::reset() {
+  for (Task& t : tasks_) t.pass = t.stride;
+}
+
+}  // namespace gmfnet::switchsim

@@ -1,0 +1,44 @@
+#include "switchsim/switch_model.hpp"
+
+#include <stdexcept>
+
+#include "ethernet/framing.hpp"
+
+namespace gmfnet::switchsim {
+
+gmfnet::Time circ(int ninterfaces, gmfnet::Time croute, gmfnet::Time csend) {
+  if (ninterfaces < 1) {
+    throw std::invalid_argument("circ: ninterfaces must be >= 1");
+  }
+  return static_cast<gmfnet::Time::rep>(ninterfaces) * (croute + csend);
+}
+
+int interfaces_per_processor(int ninterfaces, int processors) {
+  if (ninterfaces < 1 || processors < 1) {
+    throw std::invalid_argument("interfaces_per_processor: bad arguments");
+  }
+  return (ninterfaces + processors - 1) / processors;
+}
+
+gmfnet::Time circ_multiproc(int ninterfaces, int processors,
+                            gmfnet::Time croute, gmfnet::Time csend) {
+  return circ(interfaces_per_processor(ninterfaces, processors), croute,
+              csend);
+}
+
+gmfnet::Time circ_of(const net::Network& net, net::NodeId n) {
+  const net::Node& node = net.node(n);
+  if (node.kind != net::NodeKind::kSwitch) {
+    throw std::invalid_argument("circ_of: node " + node.name +
+                                " is not a switch");
+  }
+  return circ_multiproc(net.ninterfaces(n), node.sw.processors,
+                        node.sw.croute, node.sw.csend);
+}
+
+bool sustains_linkspeed(gmfnet::Time circ_value,
+                        ethernet::LinkSpeedBps speed_bps) {
+  return circ_value < ethernet::max_frame_transmission_time(speed_bps);
+}
+
+}  // namespace gmfnet::switchsim

@@ -1,0 +1,45 @@
+// Static timing model of a software-implemented Ethernet switch (§3.3 and
+// the multiprocessor discussion in the Conclusions).
+//
+// One CPU runs, under round-robin stride scheduling, one ingress task
+// (cost CROUTE) and one egress task (cost CSEND) per network interface, so a
+// given task is serviced once every
+//   CIRC(N) = NINTERFACES(N) * (CROUTE(N) + CSEND(N)).
+// With m CPUs and NINTERFACES divisible by m, interfaces are partitioned
+// over the CPUs (both tasks of an interface stay together), shrinking the
+// effective per-CPU interface count and hence CIRC.
+#pragma once
+
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace gmfnet::switchsim {
+
+/// CIRC for an explicit interface count and task costs, single CPU.
+[[nodiscard]] gmfnet::Time circ(int ninterfaces, gmfnet::Time croute,
+                                gmfnet::Time csend);
+
+/// Interfaces served by each CPU when `ninterfaces` are partitioned over
+/// `processors` CPUs: ceil(ninterfaces / processors) (the worst-loaded CPU
+/// determines the service period; equals the paper's NINTERFACES/m when
+/// divisible).
+[[nodiscard]] int interfaces_per_processor(int ninterfaces, int processors);
+
+/// CIRC with the multiprocessor partitioning applied.
+[[nodiscard]] gmfnet::Time circ_multiproc(int ninterfaces, int processors,
+                                          gmfnet::Time croute,
+                                          gmfnet::Time csend);
+
+/// CIRC(N) for a switch node in a network (uses the node's SwitchParams and
+/// its interface count).  Throws std::invalid_argument if N is not a switch.
+[[nodiscard]] gmfnet::Time circ_of(const net::Network& net, net::NodeId n);
+
+/// A switch keeps up with a link at `speed_bps` when it can hand the NIC a
+/// new frame at least as fast as minimum-size... — the paper's Conclusions
+/// use the *maximum* frame: the switch "comfortably deals with" the link
+/// when CIRC(N) < MFT(link), i.e. the egress task is guaranteed a service
+/// within every frame transmission.  This predicate implements that check.
+[[nodiscard]] bool sustains_linkspeed(gmfnet::Time circ_value,
+                                      ethernet::LinkSpeedBps speed_bps);
+
+}  // namespace gmfnet::switchsim

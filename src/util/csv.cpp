@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace gmfnet {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::begin_row() { rows_.emplace_back(); }
+
+void CsvWriter::add(const std::string& v) { rows_.back().push_back(v); }
+void CsvWriter::add(const char* v) { rows_.back().emplace_back(v); }
+
+void CsvWriter::add(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  rows_.back().emplace_back(buf);
+}
+
+void CsvWriter::add(std::int64_t v) {
+  rows_.back().push_back(std::to_string(v));
+}
+
+void CsvWriter::add(std::uint64_t v) {
+  rows_.back().push_back(std::to_string(v));
+}
+
+std::string CsvWriter::escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace gmfnet

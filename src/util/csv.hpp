@@ -1,0 +1,41 @@
+// Minimal CSV emitter used by benches to dump figure/table data series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gmfnet {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing separators/quotes).
+/// Rows are buffered; `save` writes the whole file at once so a crashed
+/// bench never leaves a half-written artifact behind.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Starts a new row; values are appended with `add`.
+  void begin_row();
+  void add(const std::string& v);
+  void add(const char* v);
+  void add(double v);
+  void add(std::int64_t v);
+  void add(std::uint64_t v);
+  void add(int v) { add(static_cast<std::int64_t>(v)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`; returns false (and leaves no file guarantees) on I/O
+  /// failure.
+  bool save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gmfnet

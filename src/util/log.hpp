@@ -1,0 +1,26 @@
+// Tiny leveled logger.  Library code logs sparingly (warnings about
+// non-converging analyses, simulator sanity checks); benches raise the level
+// to keep their table output clean.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace gmfnet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define GMFNET_LOG_DEBUG(...) ::gmfnet::logf(::gmfnet::LogLevel::kDebug, __VA_ARGS__)
+#define GMFNET_LOG_INFO(...) ::gmfnet::logf(::gmfnet::LogLevel::kInfo, __VA_ARGS__)
+#define GMFNET_LOG_WARN(...) ::gmfnet::logf(::gmfnet::LogLevel::kWarn, __VA_ARGS__)
+#define GMFNET_LOG_ERROR(...) ::gmfnet::logf(::gmfnet::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace gmfnet

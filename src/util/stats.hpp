@@ -1,0 +1,75 @@
+// Small statistics helpers for the benchmark harness and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace gmfnet {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries. Used for response-time
+/// distributions in the simulator benches.
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void add(Time t) { xs_.push_back(static_cast<double>(t.ps())); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+
+  /// Nearest-rank percentile, p in [0,100]. Requires at least one sample.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const { return percentile(0); }
+  [[nodiscard]] double median() const { return percentile(50); }
+  [[nodiscard]] double max() const { return percentile(100); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gmfnet

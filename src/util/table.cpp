@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gmfnet {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string Table::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  os << hline() << line(columns_) << hline();
+  for (const auto& row : rows_) os << line(row);
+  os << hline();
+  return os.str();
+}
+
+void Table::print() const { std::printf("%s", render().c_str()); }
+
+}  // namespace gmfnet

@@ -1,0 +1,32 @@
+// ASCII table rendering for the benchmark harness.  Every bench prints its
+// reproduced paper table/figure as one of these so `bench_output.txt` reads
+// like the paper's evaluation section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gmfnet {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %g.
+  static std::string num(double v);
+  /// Formats with fixed decimals.
+  static std::string fixed(double v, int decimals);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;  ///< render() to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gmfnet

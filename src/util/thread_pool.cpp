@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gmfnet {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t nthreads = std::max<std::size_t>(1, size());
+  const std::size_t chunk = (n + nthreads - 1) / nthreads;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    submit([&, chunk, n] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  ThreadPool pool(threads);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace gmfnet

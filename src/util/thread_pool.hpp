@@ -1,0 +1,57 @@
+// Work-stealing-free, dead-simple thread pool with a parallel_for helper.
+//
+// Used for embarrassingly parallel parameter sweeps in the benches (each
+// (utilization, seed) cell is independent) and for the Jacobi variant of the
+// holistic fixed point, where all flows' response times in one sweep are
+// computed against a frozen jitter snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gmfnet {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, n), distributing chunks over the pool, and
+  /// waits for completion. Safe to call from one thread at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Standalone one-shot parallel_for over a transient pool sized to the
+/// hardware. Handy in benches where no pool object is around.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace gmfnet

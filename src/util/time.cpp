@@ -1,0 +1,36 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gmfnet {
+
+namespace {
+Time::rep round_to_rep(double v) {
+  return static_cast<Time::rep>(std::llround(v));
+}
+}  // namespace
+
+Time Time::ns_f(double v) { return Time(round_to_rep(v * 1e3)); }
+Time Time::us_f(double v) { return Time(round_to_rep(v * 1e6)); }
+Time Time::ms_f(double v) { return Time(round_to_rep(v * 1e9)); }
+Time Time::sec_f(double v) { return Time(round_to_rep(v * 1e12)); }
+
+std::string Time::str() const {
+  const double absps = std::abs(static_cast<double>(ps_));
+  char buf[64];
+  if (absps < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  } else if (absps < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gns", to_ns());
+  } else if (absps < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.6gus", to_us());
+  } else if (absps < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.6gms", to_ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6gs", to_sec());
+  }
+  return buf;
+}
+
+}  // namespace gmfnet

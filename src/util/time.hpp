@@ -1,0 +1,102 @@
+// Integer time type used throughout gmfnet.
+//
+// All times are held as signed 64-bit *picoseconds*.  The response-time
+// recurrences of the paper (eqs 15/17/22/24/29/31) terminate when two
+// successive iterates are *equal*; an integer representation makes that exact
+// and reproducible, which floating point would not.  Picoseconds are fine
+// enough that every transmission time arising from integral bit counts and
+// the link speeds we care about (10 kbit/s .. 100 Gbit/s) is either exact or
+// conservatively rounded up by < 1 ps, and coarse enough that the full range
+// covers ~106 days — far beyond any busy period or simulation horizon.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gmfnet {
+
+/// A point in time or a duration, in integer picoseconds.
+///
+/// Deliberately a tiny value type: explicit construction from raw counts
+/// prevents accidental unit mix-ups, and named factories (`Time::us(2.7)`)
+/// keep call sites readable.
+class Time {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Time() = default;
+  constexpr explicit Time(rep picoseconds) : ps_(picoseconds) {}
+
+  [[nodiscard]] constexpr rep ps() const { return ps_; }
+
+  // -- named factories ------------------------------------------------------
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() {
+    return Time(std::numeric_limits<rep>::max());
+  }
+  static constexpr Time ps_count(rep v) { return Time(v); }
+  static constexpr Time ns(rep v) { return Time(v * 1'000); }
+  static constexpr Time us(rep v) { return Time(v * 1'000'000); }
+  static constexpr Time ms(rep v) { return Time(v * 1'000'000'000); }
+  static constexpr Time sec(rep v) { return Time(v * 1'000'000'000'000); }
+
+  /// Fractional factories; round to nearest picosecond.
+  static Time ns_f(double v);
+  static Time us_f(double v);
+  static Time ms_f(double v);
+  static Time sec_f(double v);
+
+  // -- conversions ----------------------------------------------------------
+  [[nodiscard]] double to_ns() const { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] double to_us() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] double to_ms() const { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] double to_sec() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+
+  // -- arithmetic -----------------------------------------------------------
+  constexpr Time operator+(Time o) const { return Time(ps_ + o.ps_); }
+  constexpr Time operator-(Time o) const { return Time(ps_ - o.ps_); }
+  constexpr Time operator*(rep k) const { return Time(ps_ * k); }
+  constexpr Time operator-() const { return Time(-ps_); }
+  constexpr Time& operator+=(Time o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr Time& operator*=(rep k) {
+    ps_ *= k;
+    return *this;
+  }
+
+  /// Floor division of one duration by another (how many whole `o` fit).
+  /// Requires `o > 0` and `*this >= 0`.
+  [[nodiscard]] constexpr rep floor_div(Time o) const {
+    return ps_ / o.ps_;
+  }
+  /// Ceiling division; requires `o > 0` and `*this >= 0`.
+  [[nodiscard]] constexpr rep ceil_div(Time o) const {
+    return (ps_ + o.ps_ - 1) / o.ps_;
+  }
+  /// Remainder of floor division; requires `o > 0` and `*this >= 0`.
+  [[nodiscard]] constexpr Time mod(Time o) const { return Time(ps_ % o.ps_); }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "14.8us".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  rep ps_ = 0;
+};
+
+constexpr Time operator*(Time::rep k, Time t) { return t * k; }
+
+[[nodiscard]] constexpr Time min(Time a, Time b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Time max(Time a, Time b) { return a < b ? b : a; }
+
+}  // namespace gmfnet

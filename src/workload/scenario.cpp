@@ -1,0 +1,111 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+#include "net/shortest_path.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::workload {
+
+Scenario make_figure2_scenario(ethernet::LinkSpeedBps speed_bps,
+                               bool with_cross_traffic,
+                               const gmf::MpegSizes& sizes) {
+  net::Figure1Network fig = net::make_figure1_network(speed_bps);
+  Scenario s;
+
+  // The Figure-2 route: 0 -> 4 -> 6 -> 3.
+  const net::Route route({fig.host0, fig.sw4, fig.sw6, fig.host3});
+  s.flows.push_back(gmf::make_figure3_flow("mpeg-0-3", route, sizes,
+                                           /*deadline=*/gmfnet::Time::ms(100),
+                                           /*jitter=*/gmfnet::Time::ms(1),
+                                           /*priority=*/1));
+
+  if (with_cross_traffic) {
+    // A second MPEG stream sharing link(4,6) and switch 6.
+    const net::Route r2({fig.host1, fig.sw4, fig.sw6, fig.host3});
+    gmf::MpegSizes smaller = sizes;
+    smaller.i_bits /= 2;
+    smaller.p_bits /= 2;
+    smaller.b_bits /= 2;
+    s.flows.push_back(gmf::make_figure3_flow("mpeg-1-3", r2, smaller,
+                                             gmfnet::Time::ms(100),
+                                             gmfnet::Time::ms(1),
+                                             /*priority=*/0));
+    // A voice flow entering at switch 5 and sharing link(6,3).
+    const net::Route r3({fig.host2, fig.sw5, fig.sw6, fig.host3});
+    s.flows.push_back(make_voip_flow("voip-2-3", r3, gmfnet::Time::ms(20),
+                                     /*priority=*/2));
+  }
+
+  s.network = std::move(fig.net);
+  return s;
+}
+
+gmf::Flow make_voip_flow(std::string name, net::Route route,
+                         gmfnet::Time deadline, std::int64_t priority) {
+  gmf::FrameSpec f;
+  f.min_separation = gmfnet::Time::ms(20);  // 50 packets/s (G.711, 20 ms)
+  f.deadline = deadline;
+  f.jitter = gmfnet::Time::us(500);  // OS/process release wobble
+  f.payload_bits = 160 * 8;          // 160-byte voice payload
+  return gmf::Flow(std::move(name), std::move(route), {f}, priority,
+                   /*rtp=*/true);
+}
+
+Scenario make_voip_office_scenario(int calls,
+                                   ethernet::LinkSpeedBps speed_bps,
+                                   std::uint64_t seed) {
+  // Enough hosts that each call can get its own pair when possible.
+  const int hosts = std::max(2, 2 * calls);
+  net::StarNetwork star = net::make_star_network(hosts, speed_bps);
+  Scenario s;
+  Rng rng(seed);
+  for (int c = 0; c < calls; ++c) {
+    const auto a = static_cast<std::size_t>(
+        rng.next_below(star.hosts.size()));
+    std::size_t b = a;
+    while (b == a) {
+      b = static_cast<std::size_t>(rng.next_below(star.hosts.size()));
+    }
+    const net::Route fwd({star.hosts[a], star.sw, star.hosts[b]});
+    const net::Route rev({star.hosts[b], star.sw, star.hosts[a]});
+    s.flows.push_back(make_voip_flow("call" + std::to_string(c) + "-fwd",
+                                     fwd));
+    s.flows.push_back(make_voip_flow("call" + std::to_string(c) + "-rev",
+                                     rev));
+  }
+  s.network = std::move(star.net);
+  return s;
+}
+
+Scenario make_videoconf_scenario(ethernet::LinkSpeedBps speed_bps,
+                                 const gmf::MpegSizes& sizes) {
+  net::Figure1Network fig = net::make_figure1_network(speed_bps);
+  Scenario s;
+
+  const auto add_pair = [&](net::NodeId a, net::NodeId b,
+                            const std::string& tag) {
+    const auto fwd = net::shortest_route(fig.net, a, b);
+    const auto rev = net::shortest_route(fig.net, b, a);
+    if (!fwd || !rev) throw std::logic_error("videoconf: no route");
+    // Video at priority 1, audio at 2: audio is the latency-critical leg.
+    s.flows.push_back(gmf::make_figure3_flow("video-" + tag, *fwd, sizes,
+                                             gmfnet::Time::ms(100),
+                                             gmfnet::Time::ms(1), 1));
+    s.flows.push_back(gmf::make_figure3_flow("video-" + tag + "-rev", *rev,
+                                             sizes, gmfnet::Time::ms(100),
+                                             gmfnet::Time::ms(1), 1));
+    s.flows.push_back(make_voip_flow("audio-" + tag, *fwd,
+                                     gmfnet::Time::ms(20), 2));
+    s.flows.push_back(make_voip_flow("audio-" + tag + "-rev", *rev,
+                                     gmfnet::Time::ms(20), 2));
+  };
+
+  add_pair(fig.host0, fig.host3, "0-3");
+  add_pair(fig.host1, fig.host2, "1-2");
+
+  s.network = std::move(fig.net);
+  return s;
+}
+
+}  // namespace gmfnet::workload

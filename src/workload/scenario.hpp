@@ -1,0 +1,48 @@
+// Canned scenarios: the paper's worked example and the application mixes
+// its introduction motivates (VoIP, video conferencing).
+#pragma once
+
+#include <vector>
+
+#include "gmf/flow.hpp"
+#include "gmf/mpeg.hpp"
+#include "net/topology.hpp"
+
+namespace gmfnet::workload {
+
+/// A network plus a flow set, ready for AnalysisContext / Simulator.
+struct Scenario {
+  net::Network network;
+  std::vector<gmf::Flow> flows;
+};
+
+/// The paper's running example: the Figure-1 network with the Figure-3 MPEG
+/// stream routed 0 -> 4 -> 6 -> 3 (Figure 2).  `with_cross_traffic` adds a
+/// competing videoconference flow 1 -> 4 -> 6 -> 3 and a voice flow
+/// 2 -> 5 -> 6 -> 3, exercising shared links and switch contention.
+[[nodiscard]] Scenario make_figure2_scenario(
+    ethernet::LinkSpeedBps speed_bps = 10'000'000,
+    bool with_cross_traffic = false,
+    const gmf::MpegSizes& sizes = {});
+
+/// A G.711-style VoIP call leg: 160-byte payload every 20 ms over RTP.
+/// The classic interactive-latency budget of 150 ms is split; the network
+/// share used as end-to-end deadline here is 20 ms by default.
+[[nodiscard]] gmf::Flow make_voip_flow(std::string name, net::Route route,
+                                       gmfnet::Time deadline = gmfnet::Time::ms(20),
+                                       std::int64_t priority = 0);
+
+/// `calls` bidirectional VoIP calls between random host pairs of a star
+/// network (one switch).  The scenario of an office deploying telephony on
+/// one software switch — the setting of the paper's motivating incident.
+[[nodiscard]] Scenario make_voip_office_scenario(int calls,
+                                                 ethernet::LinkSpeedBps speed_bps,
+                                                 std::uint64_t seed = 1);
+
+/// Video conference on the Figure-1 network: every end host pair (0,3) and
+/// (1,2) runs an MPEG video flow plus a VoIP audio flow in both directions.
+[[nodiscard]] Scenario make_videoconf_scenario(
+    ethernet::LinkSpeedBps speed_bps = 100'000'000,
+    const gmf::MpegSizes& sizes = {});
+
+}  // namespace gmfnet::workload

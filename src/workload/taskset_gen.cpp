@@ -1,0 +1,113 @@
+#include "workload/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ethernet/framing.hpp"
+#include "net/shortest_path.hpp"
+
+namespace gmfnet::workload {
+
+namespace {
+
+gmfnet::Time log_uniform(Rng& rng, gmfnet::Time lo, gmfnet::Time hi) {
+  const double llo = std::log(static_cast<double>(lo.ps()));
+  const double lhi = std::log(static_cast<double>(hi.ps()));
+  return gmfnet::Time(static_cast<gmfnet::Time::rep>(
+      std::exp(rng.uniform(llo, lhi))));
+}
+
+/// Payload bits such that the frame's wire time on `speed` is roughly
+/// `target_c`.  Inverts the framing overhead approximately, then clamps to
+/// legal UDP sizes.
+ethernet::Bits payload_for_time(gmfnet::Time target_c,
+                                ethernet::LinkSpeedBps speed) {
+  const double wire_bits =
+      target_c.to_sec() * static_cast<double>(speed);
+  double data_bits = wire_bits * static_cast<double>(ethernet::kDataBitsPerFrame) /
+                     static_cast<double>(ethernet::kMaxFrameWireBits);
+  data_bits -= static_cast<double>(ethernet::kUdpHeaderBits);
+  const double max_bits =
+      static_cast<double>(ethernet::kMaxUdpPayloadBytes) * 8.0;
+  data_bits = std::clamp(data_bits, 8.0, max_bits);
+  return static_cast<ethernet::Bits>(data_bits);
+}
+
+}  // namespace
+
+std::optional<GeneratedTaskset> generate_taskset(
+    const net::Network& network, const std::vector<net::NodeId>& hosts,
+    const TasksetParams& params, Rng& rng) {
+  if (hosts.size() < 2 || params.num_flows < 1) return std::nullopt;
+
+  const std::vector<double> shares =
+      rng.uunifast(static_cast<std::size_t>(params.num_flows),
+                   params.total_utilization);
+
+  GeneratedTaskset out;
+  out.flows.reserve(static_cast<std::size_t>(params.num_flows));
+
+  for (int f = 0; f < params.num_flows; ++f) {
+    // Find a routable endpoint pair (bounded retries).
+    std::optional<net::Route> route;
+    for (int attempt = 0; attempt < 64 && !route; ++attempt) {
+      const auto a = static_cast<std::size_t>(
+          rng.next_below(hosts.size()));
+      auto b = static_cast<std::size_t>(rng.next_below(hosts.size()));
+      if (a == b) continue;
+      route = net::shortest_route(network, hosts[a], hosts[b]);
+    }
+    if (!route) return std::nullopt;
+
+    // Slowest link along the route defines the utilization realisation.
+    ethernet::LinkSpeedBps min_speed = std::numeric_limits<ethernet::LinkSpeedBps>::max();
+    for (const net::LinkRef l : route->links()) {
+      min_speed = std::min(min_speed, network.linkspeed(l.src, l.dst));
+    }
+
+    const int n = static_cast<int>(rng.uniform_i64(params.min_frames,
+                                                   params.max_frames));
+    const gmfnet::Time base =
+        log_uniform(rng, params.separation_lo, params.separation_hi);
+    const double share = shares[static_cast<std::size_t>(f)];
+
+    std::vector<gmf::FrameSpec> frames;
+    frames.reserve(static_cast<std::size_t>(n));
+    gmfnet::Time tsum = gmfnet::Time::zero();
+    for (int k = 0; k < n; ++k) {
+      gmf::FrameSpec spec;
+      const double sep_mult =
+          rng.uniform(1.0 - params.separation_spread,
+                      1.0 + params.separation_spread);
+      spec.min_separation = gmfnet::max(
+          gmfnet::Time::us(100),
+          gmfnet::Time(static_cast<gmfnet::Time::rep>(
+              static_cast<double>(base.ps()) * sep_mult)));
+      tsum += spec.min_separation;
+
+      const double size_mult = rng.uniform(1.0 - params.size_spread,
+                                           1.0 + params.size_spread);
+      const gmfnet::Time target_c =
+          gmfnet::Time(static_cast<gmfnet::Time::rep>(
+              static_cast<double>(spec.min_separation.ps()) * share *
+              size_mult));
+      spec.payload_bits = payload_for_time(target_c, min_speed);
+
+      const double jf = rng.uniform(0.0, params.max_jitter_fraction);
+      spec.jitter = gmfnet::Time(static_cast<gmfnet::Time::rep>(
+          static_cast<double>(spec.min_separation.ps()) * jf));
+      frames.push_back(spec);
+    }
+    const double df = rng.uniform(params.deadline_factor_lo,
+                                  params.deadline_factor_hi);
+    const gmfnet::Time deadline(
+        static_cast<gmfnet::Time::rep>(static_cast<double>(tsum.ps()) * df));
+    for (gmf::FrameSpec& spec : frames) spec.deadline = deadline;
+
+    out.flows.emplace_back("flow" + std::to_string(f), *route,
+                           std::move(frames));
+  }
+  return out;
+}
+
+}  // namespace gmfnet::workload

@@ -1,0 +1,59 @@
+// Random GMF flow-set generation for the evaluation sweeps (E5, E6, E8).
+//
+// Follows the standard recipe of schedulability experiments: a total
+// utilization target is split over flows with UUniFast, each flow gets a
+// random route between end hosts, a random GMF cycle (frame count,
+// separations, per-frame sizes realising the flow's utilization share on
+// its bottleneck link), and a deadline proportional to its cycle length.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::workload {
+
+struct TasksetParams {
+  int num_flows = 8;
+  /// Total utilization budget, split over flows by UUniFast.  Each flow's
+  /// share is realised as CSUM/TSUM on the *slowest* link of its route, so
+  /// any single link carries at most the sum of the shares of the flows
+  /// crossing it (<= target on shared-bottleneck topologies).
+  double total_utilization = 0.5;
+  int min_frames = 1;
+  int max_frames = 8;
+  /// Base frame separation drawn log-uniformly from [lo, hi].
+  gmfnet::Time separation_lo = gmfnet::Time::ms(5);
+  gmfnet::Time separation_hi = gmfnet::Time::ms(50);
+  /// Per-frame separation = base * U[1-spread, 1+spread].
+  double separation_spread = 0.5;
+  /// Per-frame size skew: sizes multiply U[1-spread, 1+spread] around the
+  /// utilization-derived mean (GMF heterogeneity; 0 = all frames equal, the
+  /// sporadic-friendly case).
+  double size_spread = 0.8;
+  /// End-to-end deadline = factor * TSUM, factor ~ U[lo, hi].
+  double deadline_factor_lo = 0.5;
+  double deadline_factor_hi = 1.0;
+  /// Source generalized jitter = fraction * min separation, ~ U[0, max].
+  double max_jitter_fraction = 0.1;
+};
+
+/// One generated flow set plus the endpoints used.
+struct GeneratedTaskset {
+  std::vector<gmf::Flow> flows;
+};
+
+/// Generates a flow set between the given candidate end hosts.  Flows whose
+/// endpoints have no switch-only path are re-drawn; returns std::nullopt
+/// when the topology cannot host `num_flows` routed flows (after bounded
+/// retries).  Priorities are left at 0; callers typically run
+/// core::assign_priorities afterwards.
+[[nodiscard]] std::optional<GeneratedTaskset> generate_taskset(
+    const net::Network& network, const std::vector<net::NodeId>& hosts,
+    const TasksetParams& params, Rng& rng);
+
+}  // namespace gmfnet::workload

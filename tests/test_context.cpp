@@ -1,0 +1,167 @@
+#include "core/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmf/mpeg.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+workload::Scenario scenario() {
+  return workload::make_figure2_scenario(10'000'000,
+                                         /*with_cross_traffic=*/true);
+}
+
+TEST(StageKey, OrderingAndFactories) {
+  const StageKey a = StageKey::link(NodeId(1), NodeId(2));
+  const StageKey b = StageKey::ingress(NodeId(2));
+  EXPECT_TRUE(a.is_link());
+  EXPECT_FALSE(b.is_link());
+  EXPECT_EQ(a.as_link(), LinkRef(NodeId(1), NodeId(2)));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, StageKey::link(LinkRef(NodeId(1), NodeId(2))));
+}
+
+TEST(Context, ValidatesOnConstruction) {
+  auto s = scenario();
+  EXPECT_NO_THROW(AnalysisContext(s.network, s.flows));
+
+  // A flow with a broken route must be rejected.
+  auto bad = scenario();
+  net::Network net2 = bad.network;
+  std::vector<gmf::Flow> flows2 = bad.flows;
+  flows2[0] = gmf::Flow("broken",
+                        net::Route({NodeId(0), NodeId(5), NodeId(3)}),
+                        {bad.flows[0].frame(0)});
+  EXPECT_THROW(AnalysisContext(net2, flows2), std::logic_error);
+}
+
+TEST(Context, FlowsOnLink) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  // Flows 0 (0->4->6->3) and 1 (1->4->6->3) share link(4,6); flow 2
+  // (2->5->6->3) does not.
+  const auto& on46 = ctx.flows_on_link(LinkRef(NodeId(4), NodeId(6)));
+  ASSERT_EQ(on46.size(), 2u);
+  EXPECT_EQ(on46[0], FlowId(0));
+  EXPECT_EQ(on46[1], FlowId(1));
+  // All three converge on link(6,3).
+  EXPECT_EQ(ctx.flows_on_link(LinkRef(NodeId(6), NodeId(3))).size(), 3u);
+  // Unused links carry nothing.
+  EXPECT_TRUE(ctx.flows_on_link(LinkRef(NodeId(6), NodeId(7))).empty());
+}
+
+TEST(Context, HepAndLpRespectPriorities) {
+  auto s = scenario();
+  // Priorities in the scenario: flow0=1, flow1=0, flow2=2.
+  const AnalysisContext ctx(s.network, s.flows);
+  const LinkRef l63(NodeId(6), NodeId(3));
+  // For flow 1 (lowest prio), both others are hep on the shared link.
+  EXPECT_EQ(ctx.hep(FlowId(1), l63).size(), 2u);
+  EXPECT_TRUE(ctx.lp(FlowId(1), l63).empty());
+  // For flow 2 (highest), nobody is hep.
+  EXPECT_TRUE(ctx.hep(FlowId(2), l63).empty());
+  EXPECT_EQ(ctx.lp(FlowId(2), l63).size(), 2u);
+  // hep never contains the flow itself.
+  for (const FlowId j : ctx.hep(FlowId(0), l63)) EXPECT_NE(j, FlowId(0));
+}
+
+TEST(Context, EqualPriorityCountsAsHep) {
+  auto s = scenario();
+  for (auto& f : s.flows) f.set_priority(3);
+  const AnalysisContext ctx(s.network, s.flows);
+  const LinkRef l63(NodeId(6), NodeId(3));
+  EXPECT_EQ(ctx.hep(FlowId(0), l63).size(), 2u);  // "higher or equal"
+  EXPECT_TRUE(ctx.lp(FlowId(0), l63).empty());
+}
+
+TEST(Context, LinkParamsAndDemandPrecomputed) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  const LinkRef first(NodeId(0), NodeId(4));
+  const auto& p = ctx.link_params(FlowId(0), first);
+  EXPECT_EQ(p.frame_count(), 9u);  // Figure-3 MPEG cycle
+  const auto& d = ctx.demand(FlowId(0), first);
+  EXPECT_EQ(d.csum(), p.csum());
+  // Asking for a link the flow does not traverse throws.
+  EXPECT_THROW((void)ctx.link_params(FlowId(2), first), std::out_of_range);
+  EXPECT_THROW((void)ctx.demand(FlowId(2), first), std::out_of_range);
+}
+
+TEST(Context, CircPrecomputedForSwitches) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  // Figure-1 degrees: switch 4 and 6 have 4 interfaces, switch 5 has 3.
+  EXPECT_EQ(ctx.circ(NodeId(4)), gmfnet::Time::us_f(14.8));
+  EXPECT_EQ(ctx.circ(NodeId(5)), gmfnet::Time::us_f(11.1));
+  EXPECT_EQ(ctx.circ(NodeId(6)), gmfnet::Time::us_f(14.8));
+  EXPECT_EQ(ctx.circ(NodeId(0)), gmfnet::Time::zero());  // not a switch
+}
+
+TEST(Context, StageSequencePerFigure6) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  const auto& st = ctx.stages(FlowId(0));  // route 0 -> 4 -> 6 -> 3
+  ASSERT_EQ(st.size(), 5u);
+  EXPECT_EQ(st[0], StageKey::link(NodeId(0), NodeId(4)));
+  EXPECT_EQ(st[1], StageKey::ingress(NodeId(4)));
+  EXPECT_EQ(st[2], StageKey::link(NodeId(4), NodeId(6)));
+  EXPECT_EQ(st[3], StageKey::ingress(NodeId(6)));
+  EXPECT_EQ(st[4], StageKey::link(NodeId(6), NodeId(3)));
+}
+
+TEST(Context, UtilizationQueries) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  const LinkRef l63(NodeId(6), NodeId(3));
+  double u = 0;
+  for (const FlowId j : ctx.flows_on_link(l63)) {
+    u += ctx.link_params(j, l63).utilization();
+  }
+  EXPECT_DOUBLE_EQ(ctx.link_utilization(l63), u);
+  EXPECT_GT(ctx.ingress_utilization(LinkRef(NodeId(0), NodeId(4))), 0.0);
+  // Level utilization for the top-priority flow counts only itself.
+  EXPECT_DOUBLE_EQ(ctx.egress_level_utilization(FlowId(2), l63),
+                   ctx.link_params(FlowId(2), l63).utilization());
+}
+
+TEST(JitterMap, DefaultsToZeroAndStoresValues) {
+  JitterMap m;
+  const StageKey st = StageKey::ingress(NodeId(4));
+  EXPECT_EQ(m.jitter(FlowId(0), st, 3), gmfnet::Time::zero());
+  EXPECT_EQ(m.max_jitter(FlowId(0), st), gmfnet::Time::zero());
+  m.set_jitter(FlowId(0), st, 3, gmfnet::Time::ms(2));
+  EXPECT_EQ(m.jitter(FlowId(0), st, 3), gmfnet::Time::ms(2));
+  EXPECT_EQ(m.jitter(FlowId(0), st, 0), gmfnet::Time::zero());
+  EXPECT_EQ(m.max_jitter(FlowId(0), st), gmfnet::Time::ms(2));
+}
+
+TEST(JitterMap, InitialCarriesSourceJitter) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  const JitterMap m = JitterMap::initial(ctx);
+  const StageKey first = ctx.stages(FlowId(0)).front();
+  // Figure-3 flow: 1 ms source jitter on every frame.
+  EXPECT_EQ(m.jitter(FlowId(0), first, 0), gmfnet::Time::ms(1));
+  EXPECT_EQ(m.max_jitter(FlowId(0), first), gmfnet::Time::ms(1));
+  // Downstream stages start at zero.
+  EXPECT_EQ(m.max_jitter(FlowId(0), ctx.stages(FlowId(0))[2]),
+            gmfnet::Time::zero());
+}
+
+TEST(JitterMap, EqualityAndAdoptFlow) {
+  auto s = scenario();
+  const AnalysisContext ctx(s.network, s.flows);
+  JitterMap a = JitterMap::initial(ctx);
+  JitterMap b = a;
+  EXPECT_EQ(a, b);
+  const StageKey st = StageKey::ingress(NodeId(4));
+  b.set_jitter(FlowId(1), st, 0, gmfnet::Time::us(7));
+  EXPECT_NE(a, b);
+  a.adopt_flow(b, FlowId(1));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gmfnet::core

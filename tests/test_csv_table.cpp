@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace gmfnet {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.to_string(), "a,b\n");
+  EXPECT_EQ(w.row_count(), 0u);
+}
+
+TEST(Csv, MixedValueTypes) {
+  CsvWriter w({"name", "count", "ratio"});
+  w.begin_row();
+  w.add("x");
+  w.add(std::int64_t{42});
+  w.add(0.5);
+  EXPECT_EQ(w.to_string(), "name,count,ratio\nx,42,0.5\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"v"});
+  w.begin_row();
+  w.add("a,b");
+  w.begin_row();
+  w.add("say \"hi\"");
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, SaveRoundTrip) {
+  CsvWriter w({"x"});
+  w.begin_row();
+  w.add(std::int64_t{7});
+  const std::string path = testing::TempDir() + "/gmfnet_csv_test.csv";
+  ASSERT_TRUE(w.save(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "x\n7\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SaveToBadPathFails) {
+  CsvWriter w({"x"});
+  EXPECT_FALSE(w.save("/nonexistent_dir_zzz/file.csv"));
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t("Title");
+  t.set_columns({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| col    | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  // Separator lines present.
+  EXPECT_NE(s.find("+--------+-------+"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t;
+  t.set_columns({"a", "b"});
+  t.add_row({"only"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(1e6), "1e+06");
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fixed(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace gmfnet

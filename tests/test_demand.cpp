@@ -1,0 +1,233 @@
+// Tests of the request-bound functions MXS/MX/NXS/NX (eqs 10-13), including
+// property sweeps against a brute-force reference implementation.
+#include "gmf/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::gmf {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+Flow make_flow(std::vector<FrameSpec> frames) {
+  const net::Figure1Network f = net::make_figure1_network();
+  return Flow("t", net::Route({f.host0, f.sw4, f.sw6, f.host3}),
+              std::move(frames));
+}
+
+std::vector<FrameSpec> frames_abc() {
+  std::vector<FrameSpec> fr(3);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(300), gmfnet::Time::zero(),
+           12'000 * 8};
+  fr[1] = {gmfnet::Time::ms(20), gmfnet::Time::ms(300), gmfnet::Time::zero(),
+           1'000 * 8};
+  fr[2] = {gmfnet::Time::ms(10), gmfnet::Time::ms(300), gmfnet::Time::zero(),
+           4'000 * 8};
+  return fr;
+}
+
+/// Brute-force eq (10)/(12) under the right-closed semantics of DESIGN.md
+/// correction #7: max over all windows whose span is <= t, no cap.
+gmfnet::Time brute_mxs(const FlowLinkParams& p, gmfnet::Time t) {
+  if (t < gmfnet::Time::zero()) return gmfnet::Time::zero();
+  gmfnet::Time best = gmfnet::Time::zero();
+  for (std::size_t k1 = 0; k1 < p.frame_count(); ++k1) {
+    for (std::size_t k2 = 1; k2 <= p.frame_count(); ++k2) {
+      if (p.tsum_window(k1, k2) <= t) {
+        best = gmfnet::max(best, p.csum_window(k1, k2));
+      }
+    }
+  }
+  return best;
+}
+
+std::int64_t brute_nxs(const FlowLinkParams& p, gmfnet::Time t) {
+  if (t < gmfnet::Time::zero()) return 0;
+  std::int64_t best = 0;
+  for (std::size_t k1 = 0; k1 < p.frame_count(); ++k1) {
+    for (std::size_t k2 = 1; k2 <= p.frame_count(); ++k2) {
+      if (p.tsum_window(k1, k2) <= t) {
+        best = std::max(best, p.nsum_window(k1, k2));
+      }
+    }
+  }
+  return best;
+}
+
+gmfnet::Time max_c(const FlowLinkParams& p) {
+  gmfnet::Time cmax = gmfnet::Time::zero();
+  for (std::size_t k = 0; k < p.frame_count(); ++k) {
+    cmax = gmfnet::max(cmax, p.c(k));
+  }
+  return cmax;
+}
+
+std::int64_t max_n(const FlowLinkParams& p) {
+  std::int64_t nmax = 0;
+  for (std::size_t k = 0; k < p.frame_count(); ++k) {
+    nmax = std::max(nmax, p.nframes(k));
+  }
+  return nmax;
+}
+
+TEST(Demand, NegativeWindowsAreZero) {
+  const Flow flow = make_flow(frames_abc());
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  EXPECT_EQ(d.mx(gmfnet::Time(-5)), gmfnet::Time::zero());
+  EXPECT_EQ(d.nx(gmfnet::Time(-5)), 0);
+  EXPECT_EQ(d.mxs(gmfnet::Time(-1)), gmfnet::Time::zero());
+  EXPECT_EQ(d.nxs(gmfnet::Time(-1)), 0);
+}
+
+TEST(Demand, ZeroWindowIsCriticalInstantRelease) {
+  // Right-closed windows: a window of length 0 still contains one release
+  // of the largest frame.
+  const Flow flow = make_flow(frames_abc());
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  EXPECT_EQ(d.mx(gmfnet::Time::zero()), max_c(p));
+  EXPECT_EQ(d.nx(gmfnet::Time::zero()), max_n(p));
+}
+
+TEST(Demand, TinyWindowSeesLargestSingleFrame) {
+  const Flow flow = make_flow(frames_abc());
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  const gmfnet::Time probe = gmfnet::Time::ms(5);  // < all separations
+  EXPECT_EQ(d.mxs(probe), max_c(p));
+  EXPECT_EQ(d.nxs(probe), max_n(p));
+}
+
+TEST(Demand, FullCycleWindow) {
+  const Flow flow = make_flow(frames_abc());
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  // A right-closed window of exactly TSUM holds a full cycle plus one more
+  // release at the far edge.
+  EXPECT_EQ(d.mx(p.tsum()), p.csum() + max_c(p));
+  EXPECT_EQ(d.nx(p.tsum()), p.nsum() + max_n(p));
+  EXPECT_EQ(d.mx(2 * p.tsum()), 2 * p.csum() + max_c(p));
+  // Just under a full cycle never exceeds one cycle's demand.
+  EXPECT_LE(d.mx(p.tsum() - gmfnet::Time(1)), p.csum());
+}
+
+TEST(Demand, AccessorsMirrorParams) {
+  const Flow flow = make_flow(frames_abc());
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  EXPECT_EQ(d.tsum(), p.tsum());
+  EXPECT_EQ(d.csum(), p.csum());
+  EXPECT_EQ(d.nsum(), p.nsum());
+}
+
+TEST(Demand, SporadicSpecialCaseMatchesClassicRbf) {
+  // n=1: MX(t) must equal (floor(t/T)+1)*C — the classic right-closed
+  // request bound of static-priority response-time analysis.
+  std::vector<FrameSpec> fr(1);
+  fr[0] = {gmfnet::Time::ms(20), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           1'000 * 8};
+  const Flow flow = make_flow(fr);
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  const gmfnet::Time period = gmfnet::Time::ms(20);
+  for (gmfnet::Time t :
+       {gmfnet::Time::zero(), gmfnet::Time::us(1), gmfnet::Time::ms(1),
+        gmfnet::Time::ms(20), gmfnet::Time::ms(21), gmfnet::Time::ms(40),
+        gmfnet::Time::ms(39)}) {
+    const auto arrivals = t.floor_div(period) + 1;
+    EXPECT_EQ(d.mx(t).ps(), arrivals * p.c(0).ps()) << t.str();
+    EXPECT_EQ(d.nx(t), arrivals * p.nframes(0)) << t.str();
+  }
+}
+
+// -- property sweeps against brute force -------------------------------------
+
+class DemandProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemandProperty, MatchesBruteForceWithinCycle) {
+  Rng rng(GetParam());
+  // Random GMF cycle with 1..6 frames.
+  const auto n = static_cast<std::size_t>(rng.uniform_i64(1, 6));
+  std::vector<FrameSpec> fr(n);
+  for (auto& s : fr) {
+    s.min_separation = gmfnet::Time::us(rng.uniform_i64(500, 40'000));
+    s.deadline = gmfnet::Time::ms(500);
+    s.jitter = gmfnet::Time::zero();
+    s.payload_bits = rng.uniform_i64(1, 20'000) * 8;
+  }
+  const Flow flow = make_flow(fr);
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+
+  for (int probe = 0; probe < 200; ++probe) {
+    const gmfnet::Time t(
+        rng.uniform_i64(0, p.tsum().ps() - 1));
+    EXPECT_EQ(d.mxs(t), brute_mxs(p, t)) << "t=" << t.str();
+    EXPECT_EQ(d.nxs(t), brute_nxs(p, t)) << "t=" << t.str();
+  }
+}
+
+TEST_P(DemandProperty, MxIsMonotoneAndSubadditiveAcrossCycles) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const auto n = static_cast<std::size_t>(rng.uniform_i64(1, 5));
+  std::vector<FrameSpec> fr(n);
+  for (auto& s : fr) {
+    s.min_separation = gmfnet::Time::us(rng.uniform_i64(1'000, 30'000));
+    s.deadline = gmfnet::Time::ms(500);
+    s.payload_bits = rng.uniform_i64(1, 15'000) * 8;
+  }
+  const Flow flow = make_flow(fr);
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+
+  gmfnet::Time prev_mx = gmfnet::Time::zero();
+  std::int64_t prev_nx = 0;
+  const gmfnet::Time step = gmfnet::Time(p.tsum().ps() / 37 + 1);
+  for (gmfnet::Time t = gmfnet::Time::zero(); t < 3 * p.tsum(); t += step) {
+    const gmfnet::Time mx = d.mx(t);
+    const std::int64_t nx = d.nx(t);
+    // Monotone non-decreasing.
+    EXPECT_GE(mx, prev_mx);
+    EXPECT_GE(nx, prev_nx);
+    // Never exceeds one cycle's demand per cycle plus one extra cycle
+    // (coarse sanity bound: MX(t) <= (t/TSUM + 1) * CSUM).
+    const auto cycles = t.floor_div(p.tsum()) + 1;
+    EXPECT_LE(mx, cycles * p.csum());
+    EXPECT_LE(nx, cycles * p.nsum());
+    prev_mx = mx;
+    prev_nx = nx;
+  }
+}
+
+TEST_P(DemandProperty, CycleShiftIdentity) {
+  // Exact identity: MX(t + TSUM) = MX(t) + CSUM and NX(t + TSUM) =
+  // NX(t) + NSUM for every t >= 0 — the hyperperiod decomposition of
+  // eqs (11)/(13).
+  Rng rng(GetParam() * 7919);
+  const auto n = static_cast<std::size_t>(rng.uniform_i64(1, 6));
+  std::vector<FrameSpec> fr(n);
+  for (auto& s : fr) {
+    s.min_separation = gmfnet::Time::us(rng.uniform_i64(500, 25'000));
+    s.deadline = gmfnet::Time::ms(500);
+    s.payload_bits = rng.uniform_i64(1, 12'000) * 8;
+  }
+  const Flow flow = make_flow(fr);
+  const FlowLinkParams p(flow, kSpeed);
+  const DemandCurve d(p);
+  for (int probe = 0; probe < 100; ++probe) {
+    const gmfnet::Time t(rng.uniform_i64(0, 3 * p.tsum().ps()));
+    EXPECT_EQ(d.mx(t + p.tsum()), d.mx(t) + p.csum()) << t.str();
+    EXPECT_EQ(d.nx(t + p.tsum()), d.nx(t) + p.nsum()) << t.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+}  // namespace
+}  // namespace gmfnet::gmf

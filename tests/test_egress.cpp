@@ -1,0 +1,204 @@
+// Unit tests for the switch-egress analysis (eqs 28-35).
+#include "core/egress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+struct World {
+  net::StarNetwork star = net::make_star_network(4, kSpeed);
+
+  net::Route route(std::size_t from, std::size_t to) const {
+    return net::Route({star.hosts[from], star.sw, star.hosts[to]});
+  }
+
+  gmf::Flow sporadic(std::string name, std::size_t from, std::size_t to,
+                     gmfnet::Time period, ethernet::Bits payload,
+                     std::int64_t priority) const {
+    return gmf::make_sporadic_flow(std::move(name), route(from, to), period,
+                                   period, payload, priority);
+  }
+};
+
+TEST(Egress, LoneFlowPaysBlockingSelfCircAndTransmission) {
+  const World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8, 0)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const LinkRef out(w.star.sw, w.star.hosts[1]);
+  const auto& p = ctx.link_params(FlowId(0), out);
+  const gmfnet::Time circ = ctx.circ(w.star.sw);
+
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  // w(0) = MFT + NF*CIRC; R = w + C.
+  EXPECT_EQ(r.response, p.mft() + p.nframes(0) * circ + p.c(0));
+}
+
+TEST(Egress, PaperLiteralVariantOmitsSelfCirc) {
+  const World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8, 0)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const LinkRef out(w.star.sw, w.star.hosts[1]);
+  const auto& p = ctx.link_params(FlowId(0), out);
+  HopOptions literal;
+  literal.charge_self_circ = false;
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw, literal);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, p.mft() + p.c(0));  // eq (30)/(32) literally
+}
+
+TEST(Egress, HigherPriorityInterferesLowerDoesNotBeyondBlocking) {
+  const World w;
+  // Three flows to the same output host: priorities 2 > 1 > 0.
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("mid", 0, 3, gmfnet::Time::ms(20), 1000 * 8, 1),
+      w.sporadic("high", 1, 3, gmfnet::Time::ms(20), 2000 * 8, 2),
+      w.sporadic("low", 2, 3, gmfnet::Time::ms(20), 12000 * 8, 0)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const LinkRef out(w.star.sw, w.star.hosts[3]);
+  const gmfnet::Time circ = ctx.circ(w.star.sw);
+  const auto& pm = ctx.link_params(FlowId(0), out);
+  const auto& ph = ctx.link_params(FlowId(1), out);
+
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  // mid suffers: MFT blocking (from low, already transmitting), high's
+  // transmission + its task services, its own frame services, then its own
+  // transmission.  The 12000-byte low-priority packet contributes ONLY the
+  // single-frame MFT blocking.
+  const gmfnet::Time expected = pm.mft() + ph.c(0) +
+                                (ph.nframes(0) + pm.nframes(0)) * circ +
+                                pm.c(0);
+  EXPECT_EQ(r.response, expected);
+}
+
+TEST(Egress, EqualPriorityCountsAsInterference) {
+  const World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 3, gmfnet::Time::ms(20), 1000 * 8, 1),
+      w.sporadic("b", 1, 3, gmfnet::Time::ms(20), 1000 * 8, 1)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const LinkRef out(w.star.sw, w.star.hosts[3]);
+  const auto& p = ctx.link_params(FlowId(0), out);
+  const gmfnet::Time circ = ctx.circ(w.star.sw);
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response,
+            p.mft() + p.c(0) + (2 * p.nframes(0)) * circ + p.c(0));
+}
+
+TEST(Egress, DifferentOutputPortsDoNotInterfere) {
+  const World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8, 0),
+      w.sporadic("b", 2, 3, gmfnet::Time::ms(20), 12000 * 8, 5)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const LinkRef out(w.star.sw, w.star.hosts[1]);
+  const auto& p = ctx.link_params(FlowId(0), out);
+  const gmfnet::Time circ = ctx.circ(w.star.sw);
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, p.mft() + p.nframes(0) * circ + p.c(0));
+}
+
+TEST(Egress, PropagationDelayAdds) {
+  net::Network net;
+  const NodeId h0 = net.add_endhost();
+  const NodeId sw = net.add_switch();
+  const NodeId h1 = net.add_endhost();
+  net.add_duplex_link(h0, sw, kSpeed);
+  net.add_duplex_link(sw, h1, kSpeed, gmfnet::Time::us(70));
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({h0, sw, h1}), gmfnet::Time::ms(20),
+      gmfnet::Time::ms(20), 1000 * 8)};
+  const AnalysisContext ctx(net, flows);
+  const LinkRef out(sw, h1);
+  const auto& p = ctx.link_params(FlowId(0), out);
+  const HopResult r =
+      analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0), 0, sw);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, p.mft() + p.nframes(0) * ctx.circ(sw) + p.c(0) +
+                            gmfnet::Time::us(70));
+}
+
+TEST(Egress, FeasibilityUsesLevelUtilization) {
+  const World w;
+  // Low-priority flow is overloaded BY HIGHER traffic: high alone exceeds
+  // the link.
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("low", 0, 3, gmfnet::Time::ms(20), 1000 * 8, 0),
+      w.sporadic("high", 1, 3, gmfnet::Time::ms(2), 15000 * 8, 9)};
+  const AnalysisContext ctx(w.star.net, flows);
+  EXPECT_FALSE(egress_feasible(ctx, FlowId(0), w.star.sw));
+  // The high-priority flow itself is also infeasible (its own load > 1).
+  EXPECT_FALSE(egress_feasible(ctx, FlowId(1), w.star.sw));
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                     0, w.star.sw);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Egress, HighPriorityUnaffectedByLowOverloadOnOtherPort) {
+  const World w;
+  // Heavy low-priority traffic to host 1; light high-priority to host 3.
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("heavy-low", 0, 1, gmfnet::Time::ms(25), 18000 * 8, 0),
+      w.sporadic("light-high", 2, 3, gmfnet::Time::ms(20), 500 * 8, 9)};
+  const AnalysisContext ctx(w.star.net, flows);
+  EXPECT_TRUE(egress_feasible(ctx, FlowId(1), w.star.sw));
+  const HopResult r = analyze_egress(ctx, JitterMap::initial(ctx), FlowId(1),
+                                     0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  const LinkRef out(w.star.sw, w.star.hosts[3]);
+  const auto& p = ctx.link_params(FlowId(1), out);
+  EXPECT_EQ(r.response,
+            p.mft() + p.nframes(0) * ctx.circ(w.star.sw) + p.c(0));
+}
+
+TEST(Egress, RejectsSourceOrDestinationNode) {
+  const World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8, 0)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+  EXPECT_THROW((void)analyze_egress(ctx, jm, FlowId(0), 0, w.star.hosts[0]),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_egress(ctx, jm, FlowId(0), 0, w.star.hosts[1]),
+               std::invalid_argument);
+}
+
+TEST(Egress, GmfCycleWorstFrameDominates) {
+  const World w;
+  std::vector<gmf::FrameSpec> fr(3);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           16'000 * 8};
+  fr[1] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           1'500 * 8};
+  fr[2] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           4'000 * 8};
+  std::vector<gmf::Flow> flows = {gmf::Flow("g", w.route(0, 1), fr)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+  gmfnet::Time r0 =
+      analyze_egress(ctx, jm, FlowId(0), 0, w.star.sw).response;
+  gmfnet::Time r1 =
+      analyze_egress(ctx, jm, FlowId(0), 1, w.star.sw).response;
+  gmfnet::Time r2 =
+      analyze_egress(ctx, jm, FlowId(0), 2, w.star.sw).response;
+  EXPECT_GT(r0, r2);
+  EXPECT_GT(r2, r1);
+}
+
+}  // namespace
+}  // namespace gmfnet::core

@@ -1,0 +1,168 @@
+// Tests of the Figure-6 end-to-end assembly.
+#include "core/end_to_end.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/egress.hpp"
+#include "core/first_hop.hpp"
+#include "core/ingress.hpp"
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+AnalysisContext lone_flow_ctx(const net::StarNetwork& star,
+                              gmfnet::Time jitter = gmfnet::Time::zero()) {
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 1000 * 8, 0, jitter)};
+  return AnalysisContext(star.net, flows);
+}
+
+TEST(EndToEnd, LoneFlowSumsStages) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const AnalysisContext ctx = lone_flow_ctx(star);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.stages.size(), 3u);  // first link, in(sw), link(sw, dst)
+
+  // Stage-by-stage totals must add up (source jitter is zero here).
+  gmfnet::Time sum = gmfnet::Time::zero();
+  for (const StageResponse& s : r.stages) {
+    EXPECT_TRUE(s.hop.converged);
+    sum += s.hop.response;
+  }
+  EXPECT_EQ(r.response, sum);
+  EXPECT_TRUE(r.meets_deadline);
+}
+
+TEST(EndToEnd, SourceJitterIncludedInResponse) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const AnalysisContext ctx0 = lone_flow_ctx(star);
+  const AnalysisContext ctx1 = lone_flow_ctx(star, gmfnet::Time::ms(2));
+  JitterMap j0 = JitterMap::initial(ctx0);
+  JitterMap j1 = JitterMap::initial(ctx1);
+  const FrameResult r0 = analyze_frame_end_to_end(ctx0, j0, FlowId(0), 0);
+  const FrameResult r1 = analyze_frame_end_to_end(ctx1, j1, FlowId(0), 0);
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(r1.converged);
+  // Figure 6 line 3: RSUM starts at GJ; the lone flow sees no other
+  // interference so the difference is exactly the jitter.
+  EXPECT_EQ(r1.response, r0.response + gmfnet::Time::ms(2));
+}
+
+TEST(EndToEnd, StageJittersAreRecordedAsJsum) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const AnalysisContext ctx = lone_flow_ctx(star, gmfnet::Time::us(300));
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+
+  const auto& stages = ctx.stages(FlowId(0));
+  // Line 8: first-link jitter = source GJ.
+  EXPECT_EQ(jm.jitter(FlowId(0), stages[0], 0), gmfnet::Time::us(300));
+  // Line 13: in(sw) jitter = GJ + R(first hop).
+  EXPECT_EQ(jm.jitter(FlowId(0), stages[1], 0),
+            gmfnet::Time::us(300) + r.stages[0].hop.response);
+  // Line 17: egress-link jitter = GJ + R(first) + R(ingress).
+  EXPECT_EQ(jm.jitter(FlowId(0), stages[2], 0),
+            gmfnet::Time::us(300) + r.stages[0].hop.response +
+                r.stages[1].hop.response);
+}
+
+TEST(EndToEnd, MatchesManualStageComposition) {
+  // Recompute the pipeline by calling the per-hop analyses directly with
+  // the jitters Figure 6 would assign, and compare.
+  const auto star = net::make_star_network(4, kSpeed);
+  const AnalysisContext ctx = lone_flow_ctx(star);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+
+  JitterMap manual = JitterMap::initial(ctx);
+  const HopResult h1 = analyze_first_hop(ctx, manual, FlowId(0), 0);
+  manual.set_jitter(FlowId(0), StageKey::ingress(star.sw), 0, h1.response);
+  const HopResult h2 = analyze_ingress(ctx, manual, FlowId(0), 0, star.sw);
+  manual.set_jitter(FlowId(0), StageKey::link(star.sw, star.hosts[1]), 0,
+                    h1.response + h2.response);
+  const HopResult h3 = analyze_egress(ctx, manual, FlowId(0), 0, star.sw);
+  EXPECT_EQ(r.response, h1.response + h2.response + h3.response);
+}
+
+TEST(EndToEnd, MultiSwitchRouteHasTwoStagesPerSwitch) {
+  const auto line = net::make_line_network(3, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a",
+      net::Route({line.src_host, line.switches[0], line.switches[1],
+                  line.switches[2], line.dst_host}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 1000 * 8)};
+  const AnalysisContext ctx(line.net, flows);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.stages.size(), 1u + 2u * 3u);  // first link + 2 per switch
+}
+
+TEST(EndToEnd, DeadlineVerdictPerFrame) {
+  const auto star = net::make_star_network(4, kSpeed);
+  // Deadline so tight that even the lone flow misses it (MFT alone is
+  // 1.23 ms > 1 ms).
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "tight", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(1), 1000 * 8)};
+  const AnalysisContext ctx(star.net, flows);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.meets_deadline);
+}
+
+TEST(EndToEnd, FlowLevelAggregation) {
+  const auto s = workload::make_figure2_scenario(kSpeed, false);
+  const AnalysisContext ctx(s.network, s.flows);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FlowResult fr = analyze_flow_end_to_end(ctx, jm, FlowId(0));
+  ASSERT_EQ(fr.frames.size(), 9u);  // MPEG cycle
+  EXPECT_TRUE(fr.all_converged());
+  gmfnet::Time worst = gmfnet::Time::zero();
+  for (const auto& f : fr.frames) worst = gmfnet::max(worst, f.response);
+  EXPECT_EQ(fr.worst_response(), worst);
+  // The big I+P frame must dominate the response times.
+  EXPECT_EQ(fr.worst_response(), fr.frames[0].response);
+}
+
+TEST(EndToEnd, DivergentStageReportedNotThrown) {
+  const auto star = net::make_star_network(4, kSpeed);
+  // Overloaded: 15000 bytes every 2 ms over a 10 Mbit/s link.
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "over", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
+  const AnalysisContext ctx(star.net, flows);
+  JitterMap jm = JitterMap::initial(ctx);
+  const FrameResult r = analyze_frame_end_to_end(ctx, jm, FlowId(0), 0);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.meets_deadline);
+  ASSERT_FALSE(r.stages.empty());
+  EXPECT_FALSE(r.stages.back().hop.converged);
+}
+
+TEST(EndToEnd, CrossTrafficIncreasesBound) {
+  const auto quiet = workload::make_figure2_scenario(kSpeed, false);
+  const auto busy = workload::make_figure2_scenario(kSpeed, true);
+  const AnalysisContext cq(quiet.network, quiet.flows);
+  const AnalysisContext cb(busy.network, busy.flows);
+  JitterMap jq = JitterMap::initial(cq);
+  JitterMap jb = JitterMap::initial(cb);
+  const FlowResult rq = analyze_flow_end_to_end(cq, jq, FlowId(0));
+  const FlowResult rb = analyze_flow_end_to_end(cb, jb, FlowId(0));
+  ASSERT_TRUE(rq.all_converged());
+  ASSERT_TRUE(rb.all_converged());
+  EXPECT_GT(rb.worst_response(), rq.worst_response());
+}
+
+}  // namespace
+}  // namespace gmfnet::core

@@ -1,0 +1,195 @@
+// Unit tests for the first-hop analysis (eqs 14-20) against hand-computed
+// closed forms on small scenarios.
+#include "core/first_hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+/// Star network with one switch and four hosts; flows are built on demand.
+struct World {
+  net::StarNetwork star = net::make_star_network(4, kSpeed);
+
+  net::Route route(std::size_t from, std::size_t to) const {
+    return net::Route({star.hosts[from], star.sw, star.hosts[to]});
+  }
+
+  gmf::Flow sporadic(std::string name, std::size_t from, std::size_t to,
+                     gmfnet::Time period, ethernet::Bits payload,
+                     gmfnet::Time jitter = gmfnet::Time::zero()) const {
+    return gmf::make_sporadic_flow(std::move(name), route(from, to), period,
+                                   period, payload, 0, jitter);
+  }
+};
+
+TEST(FirstHop, LoneFlowEqualsTransmissionTime) {
+  World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+
+  const HopResult r = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  const gmfnet::Time c =
+      ctx.link_params(FlowId(0), LinkRef(w.star.hosts[0], w.star.sw)).c(0);
+  EXPECT_EQ(r.response, c);  // no contention, zero propagation
+  EXPECT_EQ(r.instances, 1);
+}
+
+TEST(FirstHop, PropagationDelayAdds) {
+  net::Network net;
+  const NodeId h0 = net.add_endhost();
+  const NodeId sw = net.add_switch();
+  const NodeId h1 = net.add_endhost();
+  net.add_duplex_link(h0, sw, kSpeed, gmfnet::Time::us(50));
+  net.add_duplex_link(sw, h1, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({h0, sw, h1}), gmfnet::Time::ms(20),
+      gmfnet::Time::ms(20), 1000 * 8)};
+  const AnalysisContext ctx(net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+
+  const HopResult r = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  const gmfnet::Time c =
+      ctx.link_params(FlowId(0), LinkRef(h0, sw)).c(0);
+  EXPECT_EQ(r.response, c + gmfnet::Time::us(50));  // eq (19)
+}
+
+TEST(FirstHop, TwoFlowsSameHostInterfere) {
+  World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8),
+      w.sporadic("b", 0, 2, gmfnet::Time::ms(20), 4000 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+
+  const LinkRef first(w.star.hosts[0], w.star.sw);
+  const gmfnet::Time ca = ctx.link_params(FlowId(0), first).c(0);
+  const gmfnet::Time cb = ctx.link_params(FlowId(1), first).c(0);
+
+  const HopResult ra = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(ra.converged);
+  // Work-conserving first hop: flow b's packet can be ahead in the queue.
+  EXPECT_EQ(ra.response, ca + cb);
+
+  const HopResult rb = analyze_first_hop(ctx, jm, FlowId(1), 0);
+  ASSERT_TRUE(rb.converged);
+  EXPECT_EQ(rb.response, ca + cb);
+}
+
+TEST(FirstHop, PriorityIsIgnoredOnFirstHop) {
+  // The operator cannot control the host's queueing discipline: even a
+  // top-priority flow suffers all other flows on the first link.
+  World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("hi", 0, 1, gmfnet::Time::ms(20), 1000 * 8),
+      w.sporadic("lo", 0, 2, gmfnet::Time::ms(20), 4000 * 8)};
+  flows[0].set_priority(100);
+  flows[1].set_priority(0);
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+  const LinkRef first(w.star.hosts[0], w.star.sw);
+  const HopResult r = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, ctx.link_params(FlowId(0), first).c(0) +
+                            ctx.link_params(FlowId(1), first).c(0));
+}
+
+TEST(FirstHop, FlowsOnOtherHostsDoNotInterfere) {
+  World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8),
+      w.sporadic("b", 2, 3, gmfnet::Time::ms(20), 8000 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+  const HopResult r = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response,
+            ctx.link_params(FlowId(0), LinkRef(w.star.hosts[0], w.star.sw))
+                .c(0));
+}
+
+TEST(FirstHop, JitterOfInterfererEnlargesBound) {
+  World w;
+  std::vector<gmf::Flow> quiet = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(5), 1000 * 8),
+      w.sporadic("b", 0, 2, gmfnet::Time::ms(5), 2000 * 8)};
+  std::vector<gmf::Flow> jittery = quiet;
+  jittery[1] = w.sporadic("b", 0, 2, gmfnet::Time::ms(5), 2000 * 8,
+                          /*jitter=*/gmfnet::Time::ms(4));
+
+  const AnalysisContext ctx_q(w.star.net, quiet);
+  const AnalysisContext ctx_j(w.star.net, jittery);
+  const HopResult rq =
+      analyze_first_hop(ctx_q, JitterMap::initial(ctx_q), FlowId(0), 0);
+  const HopResult rj =
+      analyze_first_hop(ctx_j, JitterMap::initial(ctx_j), FlowId(0), 0);
+  ASSERT_TRUE(rq.converged);
+  ASSERT_TRUE(rj.converged);
+  // A 4 ms jitter window lets a second packet of b (period 5 ms) squeeze
+  // into the busy window.
+  EXPECT_GT(rj.response, rq.response);
+}
+
+TEST(FirstHop, GmfFramesAnalyzedIndividually) {
+  World w;
+  std::vector<gmf::FrameSpec> fr(2);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           12'000 * 8};
+  fr[1] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           1'000 * 8};
+  std::vector<gmf::Flow> flows = {gmf::Flow("g", w.route(0, 1), fr)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const JitterMap jm = JitterMap::initial(ctx);
+  const HopResult r0 = analyze_first_hop(ctx, jm, FlowId(0), 0);
+  const HopResult r1 = analyze_first_hop(ctx, jm, FlowId(0), 1);
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(r1.converged);
+  EXPECT_GT(r0.response, r1.response);  // big frame takes longer
+}
+
+TEST(FirstHop, OverloadedLinkDetected) {
+  World w;
+  // 60 Mbit/s offered on a 10 Mbit/s link: eq (20) fails.
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(2), 15'000 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  EXPECT_FALSE(first_hop_feasible(ctx, FlowId(0)));
+  const HopResult r =
+      analyze_first_hop(ctx, JitterMap::initial(ctx), FlowId(0), 0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(FirstHop, FeasibleWhenUnderUtilized) {
+  World w;
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  EXPECT_TRUE(first_hop_feasible(ctx, FlowId(0)));
+}
+
+TEST(FirstHop, HighUtilizationStillConverges) {
+  World w;
+  // Two flows together ~76% of the link; busy period spans multiple
+  // periods, exercising the q loop.
+  std::vector<gmf::Flow> flows = {
+      w.sporadic("a", 0, 1, gmfnet::Time::ms(4), 1800 * 8),
+      w.sporadic("b", 0, 2, gmfnet::Time::ms(4), 1800 * 8)};
+  const AnalysisContext ctx(w.star.net, flows);
+  const HopResult r =
+      analyze_first_hop(ctx, JitterMap::initial(ctx), FlowId(0), 0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.instances, 1);
+  EXPECT_GT(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace gmfnet::core

@@ -1,0 +1,63 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmfnet {
+namespace {
+
+TEST(FixedPoint, ConstantFunctionConvergesImmediately) {
+  const auto r =
+      iterate_fixed_point(Time::us(5), [](Time) { return Time::us(5); });
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value, Time::us(5));
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(FixedPoint, ClimbsToFixedPoint) {
+  // f(x) = min(x + 1us, 10us): fixed point at 10us.
+  const auto f = [](Time x) { return min(x + Time::us(1), Time::us(10)); };
+  const auto r = iterate_fixed_point(Time::zero(), f);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value, Time::us(10));
+}
+
+TEST(FixedPoint, ResponseTimeShape) {
+  // Classic RTA: w = C + ceil(w/T) * Ci with C=2, T=5, Ci=2 (ms).
+  const Time c = Time::ms(2);
+  const Time t = Time::ms(5);
+  const Time ci = Time::ms(2);
+  const auto f = [&](Time w) {
+    return c + gmfnet::max(w, Time(1)).ceil_div(t) * ci;
+  };
+  const auto r = iterate_fixed_point(c, f);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value, Time::ms(4));  // w = 2 + ceil(4/5)*2 = 4
+}
+
+TEST(FixedPoint, DivergenceHitsHorizon) {
+  FixedPointOptions opts;
+  opts.horizon = Time::ms(1);
+  const auto f = [](Time x) { return x + Time::us(100); };
+  const auto r = iterate_fixed_point(Time::zero(), f, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.value, opts.horizon);
+}
+
+TEST(FixedPoint, IterationCap) {
+  FixedPointOptions opts;
+  opts.max_iterations = 10;
+  const auto f = [](Time x) { return x + Time(1); };
+  const auto r = iterate_fixed_point(Time::zero(), f, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 10);
+}
+
+TEST(FixedPoint, SeedThatIsAlreadyFixed) {
+  const auto f = [](Time x) { return x; };
+  const auto r = iterate_fixed_point(Time::ms(7), f);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value, Time::ms(7));
+}
+
+}  // namespace
+}  // namespace gmfnet

@@ -1,0 +1,142 @@
+#include "gmf/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace gmfnet::gmf {
+namespace {
+
+net::Figure1Network fig() { return net::make_figure1_network(); }
+
+net::Route route03(const net::Figure1Network& f) {
+  return net::Route({f.host0, f.sw4, f.sw6, f.host3});
+}
+
+std::vector<FrameSpec> three_frames() {
+  std::vector<FrameSpec> frames(3);
+  frames[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100),
+               gmfnet::Time::ms(1), 12'000 * 8};
+  frames[1] = {gmfnet::Time::ms(20), gmfnet::Time::ms(80),
+               gmfnet::Time::ms(2), 4'000 * 8};
+  frames[2] = {gmfnet::Time::ms(10), gmfnet::Time::ms(60),
+               gmfnet::Time::zero(), 1'000 * 8};
+  return frames;
+}
+
+TEST(Flow, BasicAccessors) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), three_frames(), 5, true);
+  EXPECT_EQ(flow.name(), "f");
+  EXPECT_EQ(flow.frame_count(), 3u);
+  EXPECT_EQ(flow.priority(), 5);
+  EXPECT_TRUE(flow.rtp());
+  EXPECT_EQ(flow.source(), f.host0);
+  EXPECT_EQ(flow.destination(), f.host3);
+  EXPECT_EQ(flow.frame(1).payload_bits, 4'000 * 8);
+}
+
+TEST(Flow, TsumSumsSeparations) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), three_frames());
+  EXPECT_EQ(flow.tsum(), gmfnet::Time::ms(60));
+}
+
+TEST(Flow, TsumWindowSpansArrivals) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), three_frames());
+  // eq (9): k2 arrivals span k2-1 separations.
+  EXPECT_EQ(flow.tsum_window(0, 1), gmfnet::Time::zero());
+  EXPECT_EQ(flow.tsum_window(0, 2), gmfnet::Time::ms(30));
+  EXPECT_EQ(flow.tsum_window(0, 3), gmfnet::Time::ms(50));
+  // Wrap-around: starting at frame 2, the next arrival is frame 0.
+  EXPECT_EQ(flow.tsum_window(2, 2), gmfnet::Time::ms(10));
+  EXPECT_EQ(flow.tsum_window(2, 3), gmfnet::Time::ms(40));
+}
+
+TEST(Flow, MaxJitterAndMinDeadline) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), three_frames());
+  EXPECT_EQ(flow.max_source_jitter(), gmfnet::Time::ms(2));
+  EXPECT_EQ(flow.min_deadline(), gmfnet::Time::ms(60));
+}
+
+TEST(Flow, NbitsAddsHeaders) {
+  const auto f = fig();
+  const Flow plain("p", route03(f), three_frames(), 0, false);
+  const Flow rtp("r", route03(f), three_frames(), 0, true);
+  EXPECT_EQ(plain.nbits(2), 1'000 * 8 + 64);
+  EXPECT_EQ(rtp.nbits(2), 1'000 * 8 + 64 + 128);
+}
+
+TEST(Flow, ValidateAcceptsWellFormed) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), three_frames());
+  EXPECT_NO_THROW(flow.validate(f.net));
+}
+
+TEST(Flow, ValidateRejectsEmptyFrames) {
+  const auto f = fig();
+  const Flow flow("f", route03(f), {});
+  EXPECT_THROW(flow.validate(f.net), std::logic_error);
+}
+
+TEST(Flow, ValidateRejectsBadFrameFields) {
+  const auto f = fig();
+  auto frames = three_frames();
+  frames[1].min_separation = gmfnet::Time::zero();
+  EXPECT_THROW(Flow("f", route03(f), frames).validate(f.net),
+               std::logic_error);
+
+  frames = three_frames();
+  frames[0].deadline = gmfnet::Time::zero();
+  EXPECT_THROW(Flow("f", route03(f), frames).validate(f.net),
+               std::logic_error);
+
+  frames = three_frames();
+  frames[2].jitter = gmfnet::Time(-1);
+  EXPECT_THROW(Flow("f", route03(f), frames).validate(f.net),
+               std::logic_error);
+
+  frames = three_frames();
+  frames[2].payload_bits = -8;
+  EXPECT_THROW(Flow("f", route03(f), frames).validate(f.net),
+               std::logic_error);
+
+  frames = three_frames();
+  frames[2].payload_bits = (65507 + 1) * 8;  // beyond UDP maximum
+  EXPECT_THROW(Flow("f", route03(f), frames).validate(f.net),
+               std::logic_error);
+}
+
+TEST(Flow, ValidateRejectsBadRoute) {
+  const auto f = fig();
+  const net::Route bad({f.host0, f.sw5, f.host3});  // missing links
+  EXPECT_THROW(Flow("f", bad, three_frames()).validate(f.net),
+               std::logic_error);
+}
+
+TEST(Flow, SporadicFactoryIsSingleFrame) {
+  const auto f = fig();
+  const Flow s = make_sporadic_flow("s", route03(f), gmfnet::Time::ms(20),
+                                    gmfnet::Time::ms(10), 160 * 8, 3,
+                                    gmfnet::Time::us(500), true);
+  EXPECT_EQ(s.frame_count(), 1u);
+  EXPECT_EQ(s.tsum(), gmfnet::Time::ms(20));
+  EXPECT_EQ(s.priority(), 3);
+  EXPECT_TRUE(s.rtp());
+  EXPECT_EQ(s.frame(0).jitter, gmfnet::Time::us(500));
+  EXPECT_NO_THROW(s.validate(f.net));
+}
+
+TEST(Flow, SettersWork) {
+  const auto f = fig();
+  Flow flow("f", route03(f), three_frames());
+  flow.set_priority(9);
+  flow.set_name("renamed");
+  EXPECT_EQ(flow.priority(), 9);
+  EXPECT_EQ(flow.name(), "renamed");
+}
+
+}  // namespace
+}  // namespace gmfnet::gmf

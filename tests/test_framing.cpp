@@ -1,0 +1,169 @@
+#include "ethernet/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ethernet/constants.hpp"
+
+namespace gmfnet::ethernet {
+namespace {
+
+// --- constants of §3.1 ------------------------------------------------------
+
+TEST(Constants, PaperWireFormat) {
+  EXPECT_EQ(kDataBitsPerFrame, 11840);   // 1480 data bytes per frame
+  EXPECT_EQ(kMaxFrameWireBits, 12304);   // max Ethernet frame on the wire
+  EXPECT_EQ(kL2OverheadBits, 304);       // 14+4+8+12 bytes
+  EXPECT_EQ(kIpHeaderBits, 160);
+  EXPECT_EQ(kUdpHeaderBits, 64);
+  EXPECT_EQ(kRtpHeaderBits, 128);
+}
+
+// --- udp_datagram_bits ------------------------------------------------------
+
+TEST(DatagramBits, PadsPayloadToWholeBytes) {
+  // ceil(S/8)*8 + 64.
+  EXPECT_EQ(udp_datagram_bits(0), 64);
+  EXPECT_EQ(udp_datagram_bits(1), 8 + 64);
+  EXPECT_EQ(udp_datagram_bits(8), 8 + 64);
+  EXPECT_EQ(udp_datagram_bits(9), 16 + 64);
+  EXPECT_EQ(udp_datagram_bits(1600), 1600 + 64);
+}
+
+TEST(DatagramBits, RtpAddsSixteenBytes) {
+  EXPECT_EQ(udp_datagram_bits(160 * 8, true),
+            udp_datagram_bits(160 * 8, false) + 128);
+}
+
+// --- fragmentation ----------------------------------------------------------
+
+TEST(FragmentCount, SingleFrameUpToCapacity) {
+  EXPECT_EQ(fragment_count(0), 1);
+  EXPECT_EQ(fragment_count(1), 1);
+  EXPECT_EQ(fragment_count(kDataBitsPerFrame), 1);
+  EXPECT_EQ(fragment_count(kDataBitsPerFrame + 1), 2);
+  EXPECT_EQ(fragment_count(3 * kDataBitsPerFrame), 3);
+}
+
+TEST(FragmentWireBits, FullFragmentsAreMaxSize) {
+  const Bits nbits = 2 * kDataBitsPerFrame + 100;
+  EXPECT_EQ(fragment_wire_bits(nbits, 0), kMaxFrameWireBits);
+  EXPECT_EQ(fragment_wire_bits(nbits, 1), kMaxFrameWireBits);
+  // Trailing fragment: 100 data bits + IP header + L2 overhead.
+  EXPECT_EQ(fragment_wire_bits(nbits, 2), 100 + 160 + 304);
+}
+
+TEST(FragmentWireBits, ExactMultipleHasAllFullFrames) {
+  const Bits nbits = 2 * kDataBitsPerFrame;
+  EXPECT_EQ(fragment_wire_bits(nbits, 0), kMaxFrameWireBits);
+  EXPECT_EQ(fragment_wire_bits(nbits, 1), kMaxFrameWireBits);
+}
+
+TEST(FragmentWireBits, FullFrameIdentity) {
+  // DESIGN.md correction #1: a "partial" frame carrying exactly 11840 bits
+  // must weigh exactly like a full frame: 11840 + 160 + 304 = 12304.
+  EXPECT_EQ(kDataBitsPerFrame + kIpHeaderBits + kL2OverheadBits,
+            kMaxFrameWireBits);
+}
+
+TEST(DatagramWireBits, SumsFragments) {
+  EXPECT_EQ(datagram_wire_bits(kDataBitsPerFrame), kMaxFrameWireBits);
+  EXPECT_EQ(datagram_wire_bits(2 * kDataBitsPerFrame + 40),
+            2 * kMaxFrameWireBits + 40 + 464);
+  // Tiny datagram: one frame with its own overheads.
+  EXPECT_EQ(datagram_wire_bits(64), 64 + 464);
+}
+
+TEST(FragmentLayout, MatchesPerFragmentQueries) {
+  const Bits nbits = 3 * kDataBitsPerFrame + 5000;
+  const auto layout = fragment_layout(nbits);
+  ASSERT_EQ(layout.size(), 4u);
+  Bits total = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    EXPECT_EQ(layout[i],
+              fragment_wire_bits(nbits, static_cast<std::int64_t>(i)));
+    total += layout[i];
+  }
+  EXPECT_EQ(total, datagram_wire_bits(nbits));
+}
+
+TEST(Constants, VlanTagDelta) {
+  // DESIGN.md correction note #6: a priority-tagged max frame is 12336
+  // bits; the paper's 12304 underestimates tagged deployments by 0.26%.
+  EXPECT_EQ(kVlanTagBits, 32);
+  EXPECT_EQ(kMaxFrameWireBits + kVlanTagBits, 12336);
+  const double underestimate =
+      static_cast<double>(kVlanTagBits) /
+      static_cast<double>(kMaxFrameWireBits + kVlanTagBits);
+  EXPECT_NEAR(underestimate, 0.0026, 0.0002);
+}
+
+// --- timing -----------------------------------------------------------------
+
+TEST(Mft, PaperValues) {
+  // eq (1): MFT = 12304 / linkspeed.
+  EXPECT_EQ(max_frame_transmission_time(10'000'000), gmfnet::Time::ns(1'230'400));
+  EXPECT_EQ(max_frame_transmission_time(100'000'000), gmfnet::Time::ns(123'040));
+  EXPECT_EQ(max_frame_transmission_time(1'000'000'000), gmfnet::Time::ns(12'304));
+}
+
+TEST(WireTime, ExactAtRoundSpeeds) {
+  EXPECT_EQ(wire_time(10'000'000, 10'000'000), gmfnet::Time::sec(1));
+  EXPECT_EQ(wire_time(1, 1'000'000'000'000), gmfnet::Time(1));
+}
+
+TEST(WireTime, RoundsUp) {
+  // 1 bit at 3 bps = 333333333333.33.. ps -> rounds up.
+  const gmfnet::Time t = wire_time(1, 3);
+  EXPECT_EQ(t.ps(), 333'333'333'334);
+}
+
+TEST(TransmissionTime, MatchesManualComputation) {
+  // A 1480-byte payload: nbits = 11840 + 64 -> 2 fragments.
+  const Bits nbits = udp_datagram_bits(1480 * 8);
+  EXPECT_EQ(fragment_count(nbits), 2);
+  const Bits wire = datagram_wire_bits(nbits);
+  EXPECT_EQ(transmission_time(nbits, 10'000'000),
+            wire_time(wire, 10'000'000));
+}
+
+TEST(TransmissionTime, MonotoneInPayload) {
+  gmfnet::Time prev = gmfnet::Time::zero();
+  for (Bits payload = 0; payload < 40000; payload += 997) {
+    const Bits nbits = udp_datagram_bits(payload);
+    const gmfnet::Time c = transmission_time(nbits, 100'000'000);
+    EXPECT_GE(c, prev) << "payload " << payload;
+    prev = c;
+  }
+}
+
+TEST(TransmissionTime, FasterLinkIsFaster) {
+  const Bits nbits = udp_datagram_bits(20000);
+  EXPECT_LT(transmission_time(nbits, 100'000'000),
+            transmission_time(nbits, 10'000'000));
+}
+
+// Property sweep: the frame count implied by eq (5)'s ceil(C/MFT) never
+// exceeds the true fragment count (it is exactly equal at every payload:
+// each fragment occupies at most MFT of wire time, and overheads make short
+// fragments proportionally heavier, never lighter, than their share).
+class FramingProperty : public ::testing::TestWithParam<Bits> {};
+
+TEST_P(FramingProperty, CeilOfCOverMftEqualsFragmentCount) {
+  const Bits payload = GetParam();
+  const Bits nbits = udp_datagram_bits(payload);
+  for (LinkSpeedBps speed : {10'000'000LL, 100'000'000LL, 1'000'000'000LL}) {
+    const gmfnet::Time c = transmission_time(nbits, speed);
+    const gmfnet::Time mft = max_frame_transmission_time(speed);
+    EXPECT_EQ(c.ceil_div(mft), fragment_count(nbits))
+        << "payload=" << payload << " speed=" << speed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSweep, FramingProperty,
+                         ::testing::Values(0, 1, 100, 1472 * 8, 1473 * 8,
+                                           11840, 11841, 20000, 65000,
+                                           11840 * 3, 11840 * 3 + 1,
+                                           65507 * 8));
+
+}  // namespace
+}  // namespace gmfnet::ethernet

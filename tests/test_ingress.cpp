@@ -1,0 +1,161 @@
+// Unit tests for the switch-ingress analysis (eqs 21-27).
+#include "core/ingress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+struct World {
+  net::StarNetwork star = net::make_star_network(4, kSpeed);
+  gmfnet::Time circ;
+
+  World() { circ = ctx({}).circ(star.sw); }
+
+  net::Route route(std::size_t from, std::size_t to) const {
+    return net::Route({star.hosts[from], star.sw, star.hosts[to]});
+  }
+
+  gmf::Flow sporadic(std::string name, std::size_t from, std::size_t to,
+                     gmfnet::Time period, ethernet::Bits payload) const {
+    return gmf::make_sporadic_flow(std::move(name), route(from, to), period,
+                                   period, payload);
+  }
+
+  AnalysisContext ctx(std::vector<gmf::Flow> flows) const {
+    if (flows.empty()) {
+      flows.push_back(sporadic("probe", 0, 1, gmfnet::Time::ms(20), 800));
+    }
+    return AnalysisContext(star.net, std::move(flows));
+  }
+};
+
+TEST(Ingress, CircOfFourPortStarIs14_8us) {
+  const World w;
+  EXPECT_EQ(w.circ, gmfnet::Time::us_f(14.8));
+}
+
+TEST(Ingress, LoneSingleFrameFlowCostsOneCirc) {
+  const World w;
+  const auto ctx = w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::ms(20),
+                                     1000 * 8)});  // 1 Ethernet frame
+  const HopResult r = analyze_ingress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                      0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  // (NF-1)*CIRC queueing + CIRC final service = 1 * CIRC.
+  EXPECT_EQ(r.response, w.circ);
+}
+
+TEST(Ingress, MultiFragmentPacketCostsCircPerFrame) {
+  const World w;
+  // 4000-byte payload -> 3 Ethernet frames.
+  const auto ctx =
+      w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 4000 * 8)});
+  const auto& p =
+      ctx.link_params(FlowId(0), LinkRef(w.star.hosts[0], w.star.sw));
+  ASSERT_EQ(p.nframes(0), 3);
+  const HopResult r = analyze_ingress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                      0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, 3 * w.circ);
+}
+
+TEST(Ingress, SameInterfaceFlowsInterfere) {
+  const World w;
+  const auto ctx = w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8),
+                          w.sporadic("b", 0, 2, gmfnet::Time::ms(20),
+                                     4000 * 8)});  // 3 frames
+  const HopResult r = analyze_ingress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                      0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  // Own frame + 3 interfering frames, all CIRC-spaced services.
+  EXPECT_EQ(r.response, 4 * w.circ);
+}
+
+TEST(Ingress, OtherInterfaceFlowsDoNotInterfere) {
+  // Each incoming interface has its own task; round-robin guarantees each
+  // task a service every CIRC regardless of other interfaces' load.
+  const World w;
+  const auto ctx = w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 1000 * 8),
+                          w.sporadic("b", 2, 3, gmfnet::Time::ms(20),
+                                     12000 * 8)});
+  const HopResult r = analyze_ingress(ctx, JitterMap::initial(ctx), FlowId(0),
+                                      0, w.star.sw);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.response, w.circ);
+}
+
+TEST(Ingress, PaperLiteralVariantIsSmaller) {
+  const World w;
+  const auto ctx =
+      w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::ms(20), 4000 * 8)});
+  HopOptions sound;
+  HopOptions literal;
+  literal.charge_self_circ = false;
+  const auto jm = JitterMap::initial(ctx);
+  const HopResult rs =
+      analyze_ingress(ctx, jm, FlowId(0), 0, w.star.sw, sound);
+  const HopResult rl =
+      analyze_ingress(ctx, jm, FlowId(0), 0, w.star.sw, literal);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rl.converged);
+  // The printed recurrence omits the packet's own frame count: 1 CIRC.
+  EXPECT_EQ(rl.response, w.circ);
+  EXPECT_EQ(rs.response, 3 * w.circ);
+  EXPECT_LE(rl.response, rs.response);
+}
+
+TEST(Ingress, JitterOfInterfererMatters) {
+  const World w;
+  auto mk = [&](gmfnet::Time jitter) {
+    std::vector<gmf::Flow> flows = {
+        w.sporadic("a", 0, 1, gmfnet::Time::ms(4), 1000 * 8),
+        gmf::make_sporadic_flow("b", w.route(0, 2), gmfnet::Time::ms(4),
+                                gmfnet::Time::ms(4), 1000 * 8, 0, jitter)};
+    return AnalysisContext(w.star.net, flows);
+  };
+  const auto quiet = mk(gmfnet::Time::zero());
+  const auto jittery = mk(gmfnet::Time::ms(4));
+  // The ingress stage reads jitter at in(sw): propagate the source jitter
+  // there manually (as Figure 6 line 13 would).
+  JitterMap jq = JitterMap::initial(quiet);
+  JitterMap jj = JitterMap::initial(jittery);
+  jj.set_jitter(FlowId(1), StageKey::ingress(w.star.sw), 0,
+                gmfnet::Time::ms(4));
+  const HopResult rq = analyze_ingress(quiet, jq, FlowId(0), 0, w.star.sw);
+  const HopResult rj = analyze_ingress(jittery, jj, FlowId(0), 0, w.star.sw);
+  ASSERT_TRUE(rq.converged);
+  ASSERT_TRUE(rj.converged);
+  EXPECT_GT(rj.response, rq.response);
+}
+
+TEST(Ingress, RejectsNonIntermediateNode) {
+  const World w;
+  const auto ctx = w.ctx({});
+  EXPECT_THROW((void)analyze_ingress(ctx, JitterMap::initial(ctx),
+                                     FlowId(0), 0, w.star.hosts[0]),
+               std::invalid_argument);
+}
+
+TEST(Ingress, FeasibilityDetectsCircOverload) {
+  // Frames arriving faster than one per CIRC on a single interface.
+  // 14.8us per frame max rate = ~67.5k frames/s; a 1-frame packet every
+  // 20us offers 50k/s -> fits; every 10us -> 100k/s -> overload.
+  const World w;
+  const auto ok =
+      w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::us(20), 100 * 8)});
+  EXPECT_TRUE(ingress_feasible(ok, FlowId(0), w.star.sw));
+  const auto bad =
+      w.ctx({w.sporadic("a", 0, 1, gmfnet::Time::us(10), 100 * 8)});
+  EXPECT_FALSE(ingress_feasible(bad, FlowId(0), w.star.sw));
+  const HopResult r = analyze_ingress(bad, JitterMap::initial(bad), FlowId(0),
+                                      0, w.star.sw);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace gmfnet::core

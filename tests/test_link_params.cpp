@@ -1,0 +1,115 @@
+#include "gmf/link_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ethernet/constants.hpp"
+#include "net/topology.hpp"
+
+namespace gmfnet::gmf {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kTenMbit = 10'000'000;
+
+Flow make_test_flow(std::vector<FrameSpec> frames) {
+  const net::Figure1Network f = net::make_figure1_network();
+  return Flow("t", net::Route({f.host0, f.sw4, f.sw6, f.host3}),
+              std::move(frames));
+}
+
+std::vector<FrameSpec> simple_frames() {
+  // Two frames: a big one (2 Ethernet frames) and a small one (1).
+  std::vector<FrameSpec> fr(2);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           2'000 * 8};  // nbits 16064 -> 2 fragments
+  fr[1] = {gmfnet::Time::ms(10), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           100 * 8};  // 1 fragment
+  return fr;
+}
+
+TEST(LinkParams, PerFrameTransmissionTimes) {
+  const Flow flow = make_test_flow(simple_frames());
+  const FlowLinkParams p(flow, kTenMbit);
+  ASSERT_EQ(p.frame_count(), 2u);
+  EXPECT_EQ(p.c(0), ethernet::transmission_time(flow.nbits(0), kTenMbit));
+  EXPECT_EQ(p.c(1), ethernet::transmission_time(flow.nbits(1), kTenMbit));
+  EXPECT_EQ(p.nframes(0), 2);
+  EXPECT_EQ(p.nframes(1), 1);
+}
+
+TEST(LinkParams, MftMatchesEq1) {
+  const Flow flow = make_test_flow(simple_frames());
+  const FlowLinkParams p(flow, kTenMbit);
+  EXPECT_EQ(p.mft(), gmfnet::Time::ns(1'230'400));  // 12304 bits / 10 Mbit/s
+}
+
+TEST(LinkParams, AggregateSums) {
+  const Flow flow = make_test_flow(simple_frames());
+  const FlowLinkParams p(flow, kTenMbit);
+  EXPECT_EQ(p.csum(), p.c(0) + p.c(1));       // eq (4)
+  EXPECT_EQ(p.nsum(), 3);                     // eq (5)
+  EXPECT_EQ(p.tsum(), gmfnet::Time::ms(40));  // eq (6)
+}
+
+TEST(LinkParams, WindowedSumsWrapAround) {
+  const Flow flow = make_test_flow(simple_frames());
+  const FlowLinkParams p(flow, kTenMbit);
+  // eq (7): k2 consecutive frames starting at k1, mod n.
+  EXPECT_EQ(p.csum_window(0, 1), p.c(0));
+  EXPECT_EQ(p.csum_window(1, 1), p.c(1));
+  EXPECT_EQ(p.csum_window(1, 2), p.c(1) + p.c(0));
+  EXPECT_EQ(p.csum_window(0, 2), p.csum());
+  // eq (8).
+  EXPECT_EQ(p.nsum_window(1, 2), 3);
+  EXPECT_EQ(p.nsum_window(0, 1), 2);
+  // eq (9): spans use k2-1 separations.
+  EXPECT_EQ(p.tsum_window(0, 1), gmfnet::Time::zero());
+  EXPECT_EQ(p.tsum_window(0, 2), gmfnet::Time::ms(30));
+  EXPECT_EQ(p.tsum_window(1, 2), gmfnet::Time::ms(10));
+}
+
+TEST(LinkParams, UtilizationIsCsumOverTsum) {
+  const Flow flow = make_test_flow(simple_frames());
+  const FlowLinkParams p(flow, kTenMbit);
+  EXPECT_DOUBLE_EQ(p.utilization(),
+                   static_cast<double>(p.csum().ps()) /
+                       static_cast<double>(p.tsum().ps()));
+  EXPECT_GT(p.utilization(), 0.0);
+  EXPECT_LT(p.utilization(), 1.0);
+}
+
+TEST(LinkParams, SingleFrameFlow) {
+  std::vector<FrameSpec> fr(1);
+  fr[0] = {gmfnet::Time::ms(20), gmfnet::Time::ms(20), gmfnet::Time::zero(),
+           160 * 8};
+  const Flow flow = make_test_flow(fr);
+  const FlowLinkParams p(flow, kTenMbit);
+  EXPECT_EQ(p.csum_window(0, 1), p.csum());
+  EXPECT_EQ(p.tsum_window(0, 1), gmfnet::Time::zero());
+  EXPECT_EQ(p.nsum_window(0, 1), p.nsum());
+}
+
+// Property: windowed sums of a full cycle equal the aggregates, for every
+// starting phase.
+class LinkParamsCycle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinkParamsCycle, FullWindowEqualsAggregate) {
+  std::vector<FrameSpec> fr;
+  for (int k = 0; k < 5; ++k) {
+    fr.push_back({gmfnet::Time::ms(10 + 3 * k), gmfnet::Time::ms(200),
+                  gmfnet::Time::zero(), (500 + 4000 * k) * 8});
+  }
+  const Flow flow = make_test_flow(fr);
+  const FlowLinkParams p(flow, kTenMbit);
+  const std::size_t k1 = GetParam();
+  EXPECT_EQ(p.csum_window(k1, 5), p.csum());
+  EXPECT_EQ(p.nsum_window(k1, 5), p.nsum());
+  // Full-cycle span misses the final separation (k2-1 = 4 of 5 terms).
+  EXPECT_EQ(p.tsum_window(k1, 5),
+            p.tsum() - flow.frame((k1 + 4) % 5).min_separation);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhases, LinkParamsCycle,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace gmfnet::gmf

@@ -1,0 +1,96 @@
+#include "gmf/mpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmf/link_params.hpp"
+#include "net/topology.hpp"
+
+namespace gmfnet::gmf {
+namespace {
+
+net::Route route03(const net::Figure1Network& f) {
+  return net::Route({f.host0, f.sw4, f.sw6, f.host3});
+}
+
+TEST(Mpeg, Figure3FlowHasNineFrames) {
+  const auto f = net::make_figure1_network();
+  const Flow flow = make_figure3_flow("mpeg", route03(f));
+  // Figure 3: 9 frames (I+P, B, B, P, B, B, P, B, B), 30 ms apart.
+  EXPECT_EQ(flow.frame_count(), 9u);
+  for (std::size_t k = 0; k < 9; ++k) {
+    EXPECT_EQ(flow.frame(k).min_separation, gmfnet::Time::ms(30));
+  }
+}
+
+TEST(Mpeg, Figure3TsumIs270ms) {
+  // The paper's eq (6) worked example: TSUM_j = 270 ms.
+  const auto f = net::make_figure1_network();
+  const Flow flow = make_figure3_flow("mpeg", route03(f));
+  EXPECT_EQ(flow.tsum(), gmfnet::Time::ms(270));
+}
+
+TEST(Mpeg, PatternMapsSizes) {
+  const auto f = net::make_figure1_network();
+  MpegSizes sizes;
+  sizes.i_bits = 1000;
+  sizes.p_bits = 200;
+  sizes.b_bits = 48;
+  const Flow flow =
+      make_mpeg_flow("m", route03(f), "XIBP", sizes, gmfnet::Time::ms(30),
+                     gmfnet::Time::ms(100));
+  ASSERT_EQ(flow.frame_count(), 4u);
+  EXPECT_EQ(flow.frame(0).payload_bits, 1200);  // X = I+P coalesced
+  EXPECT_EQ(flow.frame(1).payload_bits, 1000);
+  EXPECT_EQ(flow.frame(2).payload_bits, 48);
+  EXPECT_EQ(flow.frame(3).payload_bits, 200);
+}
+
+TEST(Mpeg, Figure3FirstSlotIsCoalescedIP) {
+  const auto f = net::make_figure1_network();
+  MpegSizes sizes;
+  const Flow flow = make_figure3_flow("m", route03(f), sizes);
+  EXPECT_EQ(flow.frame(0).payload_bits, sizes.i_bits + sizes.p_bits);
+  EXPECT_EQ(flow.frame(1).payload_bits, sizes.b_bits);
+  EXPECT_EQ(flow.frame(3).payload_bits, sizes.p_bits);
+}
+
+TEST(Mpeg, RejectsBadPattern) {
+  const auto f = net::make_figure1_network();
+  EXPECT_THROW(make_mpeg_flow("m", route03(f), "IZB", MpegSizes{},
+                              gmfnet::Time::ms(30), gmfnet::Time::ms(100)),
+               std::invalid_argument);
+  EXPECT_THROW(make_mpeg_flow("m", route03(f), "", MpegSizes{},
+                              gmfnet::Time::ms(30), gmfnet::Time::ms(100)),
+               std::invalid_argument);
+}
+
+TEST(Mpeg, DefaultsValidateOnFigure1) {
+  const auto f = net::make_figure1_network();
+  const Flow flow = make_figure3_flow("m", route03(f));
+  EXPECT_NO_THROW(flow.validate(f.net));
+  EXPECT_EQ(flow.frame(0).jitter, gmfnet::Time::ms(1));  // Figure 4 example
+}
+
+TEST(Mpeg, IFrameDominatesTransmissionTime) {
+  // On the 10 Mbit/s link of the worked example, the I+P packet must take
+  // the longest of the cycle and the B packets the shortest.
+  const auto f = net::make_figure1_network();
+  const Flow flow = make_figure3_flow("m", route03(f));
+  const FlowLinkParams p(flow, 10'000'000);
+  for (std::size_t k = 1; k < 9; ++k) {
+    EXPECT_LT(p.c(k), p.c(0)) << "frame " << k;
+  }
+  EXPECT_LT(p.c(1), p.c(3));  // B < P
+}
+
+TEST(Mpeg, UtilizationBelowOneOnWorkedExampleLink) {
+  // The worked example assumes the stream fits a 10 Mbit/s link.
+  const auto f = net::make_figure1_network();
+  const Flow flow = make_figure3_flow("m", route03(f));
+  const FlowLinkParams p(flow, 10'000'000);
+  EXPECT_LT(p.utilization(), 1.0);
+  EXPECT_GT(p.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace gmfnet::gmf

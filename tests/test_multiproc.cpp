@@ -1,0 +1,111 @@
+// Integration tests for the Conclusions' multiprocessor switch extension:
+// the analysis must use the reduced per-CPU CIRC, shrink bounds
+// accordingly, and stay sound against the simulator running a partitioned
+// switch.
+#include <gtest/gtest.h>
+
+#include "core/holistic.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "switchsim/switch_model.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet {
+namespace {
+
+/// Star with configurable CPU count and inflated task costs so CIRC terms
+/// are visible next to the wire terms.
+net::StarNetwork make_star(int processors) {
+  net::SwitchParams p;
+  p.croute = Time::us(54);
+  p.csend = Time::us(20);
+  p.processors = processors;
+  return net::make_star_network(4, 100'000'000, p);
+}
+
+std::vector<gmf::Flow> bulk_flows(const net::StarNetwork& star) {
+  return {gmf::make_sporadic_flow(
+              "bulk", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+              Time::ms(20), Time::ms(20), 12'000 * 8, 1),
+          gmf::make_sporadic_flow(
+              "peer", net::Route({star.hosts[2], star.sw, star.hosts[1]}),
+              Time::ms(20), Time::ms(20), 6'000 * 8, 1)};
+}
+
+TEST(Multiproc, CircShrinksWithProcessors) {
+  const auto uni = make_star(1);
+  const auto quad = make_star(4);
+  core::AnalysisContext c1(uni.net, bulk_flows(uni));
+  core::AnalysisContext c4(quad.net, bulk_flows(quad));
+  // 4 interfaces over 4 CPUs -> 1 per CPU -> CIRC shrinks 4x.
+  EXPECT_EQ(c1.circ(uni.sw), 4 * c4.circ(quad.sw));
+}
+
+TEST(Multiproc, BoundsShrinkWithProcessors) {
+  const auto uni = make_star(1);
+  const auto quad = make_star(4);
+  core::AnalysisContext c1(uni.net, bulk_flows(uni));
+  core::AnalysisContext c4(quad.net, bulk_flows(quad));
+  const auto r1 = core::analyze_holistic(c1);
+  const auto r4 = core::analyze_holistic(c4);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r4.converged);
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_LT(r4.worst_response(core::FlowId(f)),
+              r1.worst_response(core::FlowId(f)))
+        << "flow " << f;
+  }
+}
+
+TEST(Multiproc, NonDivisibleInterfaceCountUsesCeil) {
+  // 4 interfaces over 3 CPUs: worst CPU serves ceil(4/3) = 2.
+  const auto star = make_star(3);
+  core::AnalysisContext ctx(star.net, bulk_flows(star));
+  EXPECT_EQ(ctx.circ(star.sw),
+            switchsim::circ(2, Time::us(54), Time::us(20)));
+}
+
+class MultiprocSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiprocSim, SimulationStaysUnderAnalyticBound) {
+  const int processors = GetParam();
+  const auto star = make_star(processors);
+  const auto flows = bulk_flows(star);
+  core::AnalysisContext ctx(star.net, flows);
+  const auto bound = core::analyze_holistic(ctx);
+  ASSERT_TRUE(bound.converged);
+
+  sim::SimOptions opts;
+  opts.horizon = Time::sec(2);
+  opts.seed = 42 + static_cast<std::uint64_t>(processors);
+  sim::Simulator simulator(star.net, flows, opts);
+  simulator.run();
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const net::FlowId id(static_cast<std::int32_t>(f));
+    EXPECT_GT(simulator.stats(id).packets_completed, 0u);
+    EXPECT_LE(simulator.stats(id).worst_response(),
+              bound.flows[f].worst_response())
+        << flows[f].name() << " with " << processors << " CPUs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, MultiprocSim, ::testing::Values(1, 2, 3, 4));
+
+TEST(Multiproc, SimulatorBenefitsFromMoreCpus) {
+  // Observed worst case should not get worse with more CPUs (same seed,
+  // same arrivals; service only gets denser).
+  auto run = [](int processors) {
+    const auto star = make_star(processors);
+    const auto flows = bulk_flows(star);
+    sim::SimOptions opts;
+    opts.horizon = Time::sec(1);
+    opts.seed = 7;
+    sim::Simulator simulator(star.net, flows, opts);
+    simulator.run();
+    return simulator.stats(net::FlowId(0)).worst_response();
+  };
+  EXPECT_LE(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace gmfnet

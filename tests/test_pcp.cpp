@@ -1,0 +1,78 @@
+#include "ethernet/pcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmfnet::ethernet {
+namespace {
+
+TEST(Pcp, EmptyInput) {
+  EXPECT_TRUE(quantize_priorities({}, 8).empty());
+}
+
+TEST(Pcp, FewerDistinctThanLevelsIsLossless) {
+  const std::vector<std::int64_t> prios = {5, 1, 3};
+  const auto pcp = quantize_priorities(prios, 8);
+  ASSERT_EQ(pcp.size(), 3u);
+  EXPECT_TRUE(quantization_is_lossless(prios, pcp));
+  // Order preserved: prio 1 < 3 < 5.
+  EXPECT_LT(pcp[1], pcp[2]);
+  EXPECT_LT(pcp[2], pcp[0]);
+}
+
+TEST(Pcp, EqualPrioritiesShareClass) {
+  const std::vector<std::int64_t> prios = {7, 7, 7};
+  const auto pcp = quantize_priorities(prios, 4);
+  EXPECT_EQ(pcp[0], pcp[1]);
+  EXPECT_EQ(pcp[1], pcp[2]);
+}
+
+TEST(Pcp, OutputStaysWithinLevelRange) {
+  std::vector<std::int64_t> prios;
+  for (int i = 0; i < 100; ++i) prios.push_back(i * 13 % 97);
+  for (int levels = 2; levels <= 8; ++levels) {
+    const auto pcp = quantize_priorities(prios, levels);
+    for (const Pcp p : pcp) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, levels);
+    }
+  }
+}
+
+TEST(Pcp, MonotoneMapping) {
+  std::vector<std::int64_t> prios = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  for (int levels = 2; levels <= 8; ++levels) {
+    const auto pcp = quantize_priorities(prios, levels);
+    for (std::size_t i = 0; i + 1 < prios.size(); ++i) {
+      EXPECT_LE(pcp[i], pcp[i + 1]) << "levels=" << levels;
+    }
+  }
+}
+
+TEST(Pcp, MoreDistinctThanLevelsMergesButCovers) {
+  std::vector<std::int64_t> prios;
+  for (int i = 0; i < 16; ++i) prios.push_back(i);
+  const auto pcp = quantize_priorities(prios, 4);
+  EXPECT_FALSE(quantization_is_lossless(prios, pcp));
+  // All four classes used, extremes mapped to extremes.
+  EXPECT_EQ(pcp.front(), 0);
+  EXPECT_EQ(pcp.back(), 3);
+}
+
+TEST(Pcp, LosslessCheckCatchesInversion) {
+  const std::vector<std::int64_t> prios = {1, 2};
+  EXPECT_FALSE(quantization_is_lossless(prios, {1, 0}));  // inverted
+  EXPECT_FALSE(quantization_is_lossless(prios, {0, 0}));  // merged
+  EXPECT_TRUE(quantization_is_lossless(prios, {0, 1}));
+}
+
+TEST(Pcp, TwoLevelsSplitRoughlyInHalf) {
+  std::vector<std::int64_t> prios = {0, 1, 2, 3};
+  const auto pcp = quantize_priorities(prios, 2);
+  EXPECT_EQ(pcp[0], 0);
+  EXPECT_EQ(pcp[1], 0);
+  EXPECT_EQ(pcp[2], 1);
+  EXPECT_EQ(pcp[3], 1);
+}
+
+}  // namespace
+}  // namespace gmfnet::ethernet

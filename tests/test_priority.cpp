@@ -1,0 +1,112 @@
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+std::vector<gmf::Flow> three_flows() {
+  const auto star = net::make_star_network(4, 10'000'000);
+  auto mk = [&](const std::string& name, gmfnet::Time period,
+                gmfnet::Time deadline) {
+    return gmf::make_sporadic_flow(
+        name, net::Route({star.hosts[0], star.sw, star.hosts[1]}), period,
+        deadline, 1000 * 8);
+  };
+  return {mk("slow", gmfnet::Time::ms(100), gmfnet::Time::ms(90)),
+          mk("fast", gmfnet::Time::ms(10), gmfnet::Time::ms(40)),
+          mk("mid", gmfnet::Time::ms(50), gmfnet::Time::ms(15))};
+}
+
+TEST(Priority, DeadlineMonotonicOrdersByMinDeadline) {
+  auto flows = three_flows();
+  assign_priorities(flows, PriorityScheme::kDeadlineMonotonic);
+  // Deadlines: slow=90, fast=40, mid=15 -> mid most urgent.
+  EXPECT_GT(flows[2].priority(), flows[1].priority());
+  EXPECT_GT(flows[1].priority(), flows[0].priority());
+  // Total order over 0..n-1.
+  EXPECT_EQ(flows[0].priority(), 0);
+  EXPECT_EQ(flows[2].priority(), 2);
+}
+
+TEST(Priority, RateMonotonicOrdersByMinSeparation) {
+  auto flows = three_flows();
+  assign_priorities(flows, PriorityScheme::kRateMonotonic);
+  // Periods: slow=100, fast=10, mid=50 -> fast most urgent.
+  EXPECT_GT(flows[1].priority(), flows[2].priority());
+  EXPECT_GT(flows[2].priority(), flows[0].priority());
+}
+
+TEST(Priority, ExplicitKeepsAssignments) {
+  auto flows = three_flows();
+  flows[0].set_priority(7);
+  flows[1].set_priority(3);
+  flows[2].set_priority(5);
+  assign_priorities(flows, PriorityScheme::kExplicit);
+  EXPECT_EQ(flows[0].priority(), 7);
+  EXPECT_EQ(flows[1].priority(), 3);
+  EXPECT_EQ(flows[2].priority(), 5);
+}
+
+TEST(Priority, DmUsesMinDeadlineOfGmfCycle) {
+  const auto star = net::make_star_network(4, 10'000'000);
+  std::vector<gmf::FrameSpec> fr(2);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::zero(),
+           800};
+  fr[1] = {gmfnet::Time::ms(30), gmfnet::Time::ms(5), gmfnet::Time::zero(),
+           800};  // min deadline 5 ms
+  std::vector<gmf::Flow> flows = {
+      gmf::Flow("gmf", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+                fr),
+      gmf::make_sporadic_flow(
+          "sporadic", net::Route({star.hosts[2], star.sw, star.hosts[3]}),
+          gmfnet::Time::ms(20), gmfnet::Time::ms(20), 800)};
+  assign_priorities(flows, PriorityScheme::kDeadlineMonotonic);
+  EXPECT_GT(flows[0].priority(), flows[1].priority());  // 5 ms < 20 ms
+}
+
+TEST(Priority, TieBreaksAreDeterministic) {
+  auto flows = three_flows();
+  for (auto& f : flows) f.set_priority(0);
+  auto copy = flows;
+  assign_priorities(flows, PriorityScheme::kDeadlineMonotonic);
+  assign_priorities(copy, PriorityScheme::kDeadlineMonotonic);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].priority(), copy[i].priority());
+  }
+}
+
+TEST(Priority, PcpLevelsLosslessWhenFewFlows) {
+  auto flows = three_flows();
+  assign_priorities(flows, PriorityScheme::kDeadlineMonotonic);
+  EXPECT_TRUE(apply_pcp_levels(flows, 8));
+  for (const auto& f : flows) {
+    EXPECT_GE(f.priority(), 0);
+    EXPECT_LT(f.priority(), 8);
+  }
+  // Relative order survived.
+  EXPECT_GT(flows[2].priority(), flows[1].priority());
+  EXPECT_GT(flows[1].priority(), flows[0].priority());
+}
+
+TEST(Priority, PcpLevelsLossyWhenTooManyClasses) {
+  const auto star = net::make_star_network(4, 10'000'000);
+  std::vector<gmf::Flow> flows;
+  for (int i = 0; i < 6; ++i) {
+    flows.push_back(gmf::make_sporadic_flow(
+        "f" + std::to_string(i),
+        net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+        gmfnet::Time::ms(10 + i), gmfnet::Time::ms(10 + i), 800));
+  }
+  assign_priorities(flows, PriorityScheme::kDeadlineMonotonic);
+  EXPECT_FALSE(apply_pcp_levels(flows, 2));  // 6 classes into 2 levels
+  for (const auto& f : flows) {
+    EXPECT_GE(f.priority(), 0);
+    EXPECT_LT(f.priority(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace gmfnet::core

@@ -1,0 +1,188 @@
+// Cross-module invariants, checked over randomized inputs with
+// parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "baseline/sporadic.hpp"
+#include "baseline/utilization.hpp"
+#include "core/holistic.hpp"
+#include "core/priority.hpp"
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace gmfnet {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  workload::GeneratedTaskset make(const net::Network& net,
+                                  const std::vector<net::NodeId>& hosts,
+                                  double util, int flows) {
+    Rng rng(GetParam());
+    workload::TasksetParams params;
+    params.num_flows = flows;
+    params.total_utilization = util;
+    params.deadline_factor_lo = 2.0;
+    params.deadline_factor_hi = 4.0;
+    auto ts = workload::generate_taskset(net, hosts, params, rng);
+    EXPECT_TRUE(ts.has_value());
+    return *ts;
+  }
+};
+
+TEST_P(PropertySweep, HolisticBoundsDominateSingleSweep) {
+  // Jitter feedback can only increase the bound: the holistic fixed point
+  // dominates a single Figure-6 pass from the initial jitter map.
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.3, 5);
+  core::AnalysisContext ctx(star.net, ts.flows);
+
+  core::JitterMap jm = core::JitterMap::initial(ctx);
+  std::vector<core::FlowResult> single;
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    single.push_back(core::analyze_flow_end_to_end(
+        ctx, jm, core::FlowId(static_cast<std::int32_t>(f))));
+  }
+  const auto holistic = core::analyze_holistic(ctx);
+  if (!holistic.converged) GTEST_SKIP() << "diverged at this utilization";
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    ASSERT_TRUE(single[f].all_converged());
+    for (std::size_t k = 0; k < ts.flows[f].frame_count(); ++k) {
+      EXPECT_GE(holistic.flows[f].frames[k].response,
+                single[f].frames[k].response)
+          << "flow " << f << " frame " << k;
+    }
+  }
+}
+
+TEST_P(PropertySweep, SporadicBaselineDominatesGmf) {
+  // Soundness of the comparison in E5: whenever both converge, the
+  // sporadic-collapsed bound is >= the GMF bound for every flow.
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.25, 5);
+  core::AnalysisContext ctx(star.net, ts.flows);
+  const auto gmf_res = core::analyze_holistic(ctx);
+  const auto spor_res =
+      baseline::analyze_sporadic_baseline(star.net, ts.flows);
+  if (!gmf_res.converged || !spor_res.converged) {
+    GTEST_SKIP() << "divergence at this seed";
+  }
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    const auto id = core::FlowId(static_cast<std::int32_t>(f));
+    EXPECT_GE(spor_res.worst_response(id), gmf_res.worst_response(id))
+        << ts.flows[f].name();
+  }
+}
+
+TEST_P(PropertySweep, ScheduleImpliesUtilizationTest) {
+  // The utilization test is necessary: anything the holistic analysis
+  // accepts also passes utilization < 1 on every resource.
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.4, 6);
+  core::AnalysisContext ctx(star.net, ts.flows);
+  const auto res = core::analyze_holistic(ctx);
+  if (res.schedulable) {
+    EXPECT_TRUE(baseline::utilization_test(star.net, ts.flows));
+  }
+}
+
+TEST_P(PropertySweep, PriorityRaiseNeverHurtsAFlow) {
+  // With everything else fixed, raising one flow's priority to the top can
+  // only shrink (or keep) that flow's own egress bound.
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.35, 5);
+  core::assign_priorities(ts.flows, core::PriorityScheme::kDeadlineMonotonic);
+
+  core::AnalysisContext base_ctx(star.net, ts.flows);
+  const auto base = core::analyze_holistic(base_ctx);
+
+  auto boosted = ts.flows;
+  boosted[0].set_priority(1'000'000);
+  core::AnalysisContext boost_ctx(star.net, boosted);
+  const auto boost = core::analyze_holistic(boost_ctx);
+
+  if (!base.converged || !boost.converged) GTEST_SKIP();
+  EXPECT_LE(boost.worst_response(core::FlowId(0)),
+            base.worst_response(core::FlowId(0)));
+}
+
+TEST_P(PropertySweep, AddingAFlowNeverShrinksBounds) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.3, 4);
+  core::AnalysisContext small_ctx(star.net, ts.flows);
+  const auto small = core::analyze_holistic(small_ctx);
+
+  auto bigger = ts.flows;
+  bigger.push_back(workload::make_voip_flow(
+      "extra", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), /*priority=*/50));
+  core::AnalysisContext big_ctx(star.net, bigger);
+  const auto big = core::analyze_holistic(big_ctx);
+
+  if (!small.converged || !big.converged) GTEST_SKIP();
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    const auto id = core::FlowId(static_cast<std::int32_t>(f));
+    EXPECT_GE(big.worst_response(id), small.worst_response(id));
+  }
+}
+
+TEST_P(PropertySweep, FasterLinksNeverHurt) {
+  // Same flows, 10x the link speed: every bound shrinks or stays.
+  auto slow_star = net::make_star_network(6, 100'000'000);
+  auto fast_star = net::make_star_network(6, 1'000'000'000);
+  auto ts = make(slow_star.net, slow_star.hosts, 0.3, 5);
+
+  core::AnalysisContext slow_ctx(slow_star.net, ts.flows);
+  core::AnalysisContext fast_ctx(fast_star.net, ts.flows);
+  const auto slow = core::analyze_holistic(slow_ctx);
+  const auto fast = core::analyze_holistic(fast_ctx);
+  if (!slow.converged || !fast.converged) GTEST_SKIP();
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    const auto id = core::FlowId(static_cast<std::int32_t>(f));
+    EXPECT_LE(fast.worst_response(id), slow.worst_response(id));
+  }
+}
+
+TEST_P(PropertySweep, PaperLiteralVariantNeverExceedsSoundVariant) {
+  // Ablation coherence (E10): the paper-literal recurrences omit self-CIRC
+  // terms, so their bounds are <= the sound default everywhere.
+  const auto star = net::make_star_network(6, 100'000'000);
+  auto ts = make(star.net, star.hosts, 0.3, 5);
+  core::AnalysisContext ctx(star.net, ts.flows);
+  core::HolisticOptions sound;
+  core::HolisticOptions literal;
+  literal.hop.charge_self_circ = false;
+  const auto rs = core::analyze_holistic(ctx, sound);
+  const auto rl = core::analyze_holistic(ctx, literal);
+  if (!rs.converged || !rl.converged) GTEST_SKIP();
+  for (std::size_t f = 0; f < ts.flows.size(); ++f) {
+    const auto id = core::FlowId(static_cast<std::int32_t>(f));
+    EXPECT_LE(rl.worst_response(id), rs.worst_response(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+TEST(Properties, DoublingSpeedHalvesLoneFlowWireTerms) {
+  // Closed-form scaling check on the full pipeline of a lone flow: all
+  // MFT/C terms scale 1/speed, CIRC terms stay.
+  auto mk = [](ethernet::LinkSpeedBps speed) {
+    const auto star = net::make_star_network(4, speed);
+    std::vector<gmf::Flow> flows = {workload::make_voip_flow(
+        "v", net::Route({star.hosts[0], star.sw, star.hosts[1]}))};
+    core::AnalysisContext ctx(star.net, flows);
+    return core::analyze_holistic(ctx).worst_response(core::FlowId(0));
+  };
+  const auto r10 = mk(10'000'000);
+  const auto r20 = mk(20'000'000);
+  // CIRC terms: ingress CIRC + egress CIRC at a 4-interface switch, plus
+  // the source jitter which does not scale either.
+  const gmfnet::Time circ = gmfnet::Time::us_f(14.8);
+  const gmfnet::Time fixed = 2 * circ + gmfnet::Time::us(500);
+  EXPECT_EQ((r10 - fixed).ps(), 2 * (r20 - fixed).ps());
+}
+
+}  // namespace
+}  // namespace gmfnet

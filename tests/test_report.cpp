@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+struct Fixture {
+  workload::Scenario s = workload::make_figure2_scenario(10'000'000, true);
+  AnalysisContext ctx{s.network, s.flows};
+  HolisticResult result = analyze_holistic(ctx);
+};
+
+TEST(Report, StageLabelsUseNodeNames) {
+  const Fixture f;
+  EXPECT_EQ(stage_label(f.ctx.network(),
+                        StageKey::link(NodeId(0), NodeId(4))),
+            "link(0 -> 4)");
+  EXPECT_EQ(stage_label(f.ctx.network(), StageKey::ingress(NodeId(4))),
+            "in(4)");
+}
+
+TEST(Report, SummaryContainsEveryFlowAndVerdict) {
+  const Fixture f;
+  const std::string text = render_report(f.ctx, f.result,
+                                         ReportOptions{false, false});
+  EXPECT_NE(text.find("SCHEDULABLE"), std::string::npos);
+  for (const auto& flow : f.s.flows) {
+    EXPECT_NE(text.find(flow.name()), std::string::npos) << flow.name();
+  }
+  EXPECT_NE(text.find("converged"), std::string::npos);
+}
+
+TEST(Report, PerFrameRowsPresent) {
+  const Fixture f;
+  ReportOptions opts;
+  opts.per_frame = true;
+  const std::string text = render_flow_report(f.ctx, f.result, FlowId(0),
+                                              opts);
+  // 9 MPEG frames -> rows 0..8 plus header.
+  for (int k = 0; k < 9; ++k) {
+    EXPECT_NE(text.find("| " + std::to_string(k) + " "), std::string::npos)
+        << "frame " << k;
+  }
+  EXPECT_NE(text.find("route 0 -> 4 -> 6 -> 3"), std::string::npos);
+}
+
+TEST(Report, PerStageColumnsPresent) {
+  const Fixture f;
+  ReportOptions opts;
+  opts.per_frame = true;
+  opts.per_stage = true;
+  const std::string text = render_flow_report(f.ctx, f.result, FlowId(0),
+                                              opts);
+  EXPECT_NE(text.find("link(0 -> 4)"), std::string::npos);
+  EXPECT_NE(text.find("in(4)"), std::string::npos);
+  EXPECT_NE(text.find("link(6 -> 3)"), std::string::npos);
+}
+
+TEST(Report, DivergedFlowReported) {
+  const auto star = net::make_star_network(4, 10'000'000);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
+  AnalysisContext ctx(star.net, flows);
+  const HolisticResult result = analyze_holistic(ctx);
+  const std::string text = render_report(ctx, result);
+  EXPECT_NE(text.find("NOT SCHEDULABLE"), std::string::npos);
+  EXPECT_NE(text.find("DIVERGED"), std::string::npos);
+}
+
+TEST(Report, MissVerdictShown) {
+  const auto star = net::make_star_network(4, 10'000'000);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "tight", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(1), 1000 * 8)};
+  AnalysisContext ctx(star.net, flows);
+  const HolisticResult result = analyze_holistic(ctx);
+  const std::string text = render_report(ctx, result);
+  EXPECT_NE(text.find("MISS"), std::string::npos);
+  EXPECT_NE(text.find("NOT SCHEDULABLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmfnet::core

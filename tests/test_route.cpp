@@ -1,0 +1,128 @@
+#include "net/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmfnet::net {
+namespace {
+
+/// host0 - sw1 - sw2 - host3, plus a spare host4 on sw1.
+struct Fixture {
+  Network net;
+  NodeId h0, s1, s2, h3, h4;
+
+  Fixture() {
+    h0 = net.add_endhost("h0");
+    s1 = net.add_switch("s1");
+    s2 = net.add_switch("s2");
+    h3 = net.add_endhost("h3");
+    h4 = net.add_endhost("h4");
+    net.add_duplex_link(h0, s1, 1'000'000);
+    net.add_duplex_link(s1, s2, 1'000'000);
+    net.add_duplex_link(s2, h3, 1'000'000);
+    net.add_duplex_link(h4, s1, 1'000'000);
+  }
+};
+
+TEST(Route, BasicAccessors) {
+  Fixture f;
+  const Route r({f.h0, f.s1, f.s2, f.h3});
+  EXPECT_EQ(r.node_count(), 4u);
+  EXPECT_EQ(r.hop_count(), 3u);
+  EXPECT_EQ(r.source(), f.h0);
+  EXPECT_EQ(r.destination(), f.h3);
+  EXPECT_EQ(r.node_at(1), f.s1);
+}
+
+TEST(Route, SuccAndPrec) {
+  Fixture f;
+  const Route r({f.h0, f.s1, f.s2, f.h3});
+  EXPECT_EQ(r.succ(f.h0), f.s1);
+  EXPECT_EQ(r.succ(f.s2), f.h3);
+  EXPECT_FALSE(r.succ(f.h3).valid());   // destination has no successor
+  EXPECT_FALSE(r.succ(f.h4).valid());   // not on route
+  EXPECT_EQ(r.prec(f.s1), f.h0);
+  EXPECT_EQ(r.prec(f.h3), f.s2);
+  EXPECT_FALSE(r.prec(f.h0).valid());   // source has no predecessor
+}
+
+TEST(Route, ContainsAndUsesLink) {
+  Fixture f;
+  const Route r({f.h0, f.s1, f.s2, f.h3});
+  EXPECT_TRUE(r.contains(f.s1));
+  EXPECT_FALSE(r.contains(f.h4));
+  EXPECT_TRUE(r.uses_link(f.s1, f.s2));
+  EXPECT_FALSE(r.uses_link(f.s2, f.s1));  // directed
+  EXPECT_FALSE(r.uses_link(f.h0, f.s2));  // not consecutive
+}
+
+TEST(Route, LinksInOrder) {
+  Fixture f;
+  const Route r({f.h0, f.s1, f.s2, f.h3});
+  const auto links = r.links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0], LinkRef(f.h0, f.s1));
+  EXPECT_EQ(links[2], LinkRef(f.s2, f.h3));
+}
+
+TEST(Route, Intermediates) {
+  Fixture f;
+  const Route r({f.h0, f.s1, f.s2, f.h3});
+  const auto mid = r.intermediates();
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], f.s1);
+  EXPECT_EQ(mid[1], f.s2);
+  const Route direct({f.h0, f.s1});
+  EXPECT_TRUE(direct.intermediates().empty());
+}
+
+TEST(Route, ValidateAcceptsWellFormed) {
+  Fixture f;
+  EXPECT_NO_THROW(Route({f.h0, f.s1, f.s2, f.h3}).validate(f.net));
+}
+
+TEST(Route, ValidateRejectsTooShort) {
+  Fixture f;
+  EXPECT_THROW(Route({f.h0}).validate(f.net), std::logic_error);
+  EXPECT_THROW(Route(std::vector<NodeId>{}).validate(f.net),
+               std::logic_error);
+}
+
+TEST(Route, ValidateRejectsRepeatedNode) {
+  Fixture f;
+  // s1 appears twice; even though links exist, loops are forbidden.
+  EXPECT_THROW(Route({f.h0, f.s1, f.s2, f.s1}).validate(f.net),
+               std::logic_error);
+}
+
+TEST(Route, ValidateRejectsMissingLink) {
+  Fixture f;
+  EXPECT_THROW(Route({f.h0, f.s2, f.h3}).validate(f.net), std::logic_error);
+}
+
+TEST(Route, ValidateRejectsSwitchEndpoint) {
+  Fixture f;
+  EXPECT_THROW(Route({f.s1, f.s2, f.h3}).validate(f.net), std::logic_error);
+}
+
+TEST(Route, ValidateRejectsHostIntermediate) {
+  Fixture f;
+  // h4 - s1 - h0 is host->switch->host, fine; but h0 as intermediate in a
+  // longer route is not.
+  f.net.add_duplex_link(f.h0, f.s2, 1'000'000);
+  EXPECT_THROW(Route({f.h4, f.s1, f.h0, f.s2, f.h3}).validate(f.net),
+               std::logic_error);
+}
+
+TEST(Route, RouterEndpointsAllowed) {
+  Network net;
+  const NodeId r = net.add_router("r");
+  const NodeId s = net.add_switch("s");
+  const NodeId h = net.add_endhost("h");
+  net.add_duplex_link(r, s, 1000);
+  net.add_duplex_link(s, h, 1000);
+  EXPECT_NO_THROW(Route({r, s, h}).validate(net));
+  EXPECT_NO_THROW(Route({h, s, r}).validate(net));
+}
+
+}  // namespace
+}  // namespace gmfnet::net

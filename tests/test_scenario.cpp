@@ -1,0 +1,85 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+
+namespace gmfnet::workload {
+namespace {
+
+TEST(Scenario, Figure2BaseHasOneMpegFlow) {
+  const Scenario s = make_figure2_scenario();
+  ASSERT_EQ(s.flows.size(), 1u);
+  EXPECT_EQ(s.flows[0].frame_count(), 9u);
+  // Route 0 -> 4 -> 6 -> 3 as in Figure 2.
+  const auto& r = s.flows[0].route();
+  ASSERT_EQ(r.node_count(), 4u);
+  EXPECT_EQ(r.node_at(0).v, 0);
+  EXPECT_EQ(r.node_at(1).v, 4);
+  EXPECT_EQ(r.node_at(2).v, 6);
+  EXPECT_EQ(r.node_at(3).v, 3);
+  EXPECT_NO_THROW(core::AnalysisContext(s.network, s.flows));
+}
+
+TEST(Scenario, Figure2CrossTrafficSharesResources) {
+  const Scenario s = make_figure2_scenario(10'000'000, true);
+  ASSERT_EQ(s.flows.size(), 3u);
+  core::AnalysisContext ctx(s.network, s.flows);
+  // All three flows end at host 3 over link(6,3).
+  EXPECT_EQ(
+      ctx.flows_on_link(net::LinkRef(net::NodeId(6), net::NodeId(3))).size(),
+      3u);
+}
+
+TEST(Scenario, VoipFlowShape) {
+  const Scenario s = make_figure2_scenario(10'000'000, true);
+  const gmf::Flow& voip = s.flows[2];
+  EXPECT_EQ(voip.frame_count(), 1u);
+  EXPECT_EQ(voip.frame(0).min_separation, gmfnet::Time::ms(20));
+  EXPECT_EQ(voip.frame(0).payload_bits, 160 * 8);
+  EXPECT_TRUE(voip.rtp());
+}
+
+TEST(Scenario, VoipOfficeBidirectionalCalls) {
+  const Scenario s = make_voip_office_scenario(5, 100'000'000);
+  EXPECT_EQ(s.flows.size(), 10u);  // fwd + rev per call
+  EXPECT_NO_THROW(core::AnalysisContext(s.network, s.flows));
+  // Forward and reverse legs connect the same pair.
+  for (std::size_t c = 0; c < 5; ++c) {
+    const auto& fwd = s.flows[2 * c].route();
+    const auto& rev = s.flows[2 * c + 1].route();
+    EXPECT_EQ(fwd.source(), rev.destination());
+    EXPECT_EQ(fwd.destination(), rev.source());
+  }
+}
+
+TEST(Scenario, VoipOfficeDeterministicPerSeed) {
+  const Scenario a = make_voip_office_scenario(4, 100'000'000, 9);
+  const Scenario b = make_voip_office_scenario(4, 100'000'000, 9);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].route(), b.flows[i].route());
+  }
+}
+
+TEST(Scenario, VideoconfMixesAudioAndVideo) {
+  const Scenario s = make_videoconf_scenario();
+  EXPECT_EQ(s.flows.size(), 8u);  // 2 pairs x (video+audio) x 2 directions
+  int audio = 0, video = 0;
+  for (const auto& f : s.flows) {
+    if (f.frame_count() == 1) ++audio;
+    if (f.frame_count() == 9) ++video;
+    // Audio outranks video.
+    if (f.frame_count() == 1) {
+      EXPECT_EQ(f.priority(), 2);
+    }
+    if (f.frame_count() == 9) {
+      EXPECT_EQ(f.priority(), 1);
+    }
+  }
+  EXPECT_EQ(audio, 4);
+  EXPECT_EQ(video, 4);
+  EXPECT_NO_THROW(core::AnalysisContext(s.network, s.flows));
+}
+
+}  // namespace
+}  // namespace gmfnet::workload

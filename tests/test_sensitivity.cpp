@@ -1,0 +1,137 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+TEST(Sensitivity, SlackPositiveForComfortableSet) {
+  const auto s = workload::make_figure2_scenario(kSpeed, true);
+  const AnalysisContext ctx(s.network, s.flows);
+  const auto slack = compute_slack(ctx);
+  ASSERT_TRUE(slack.has_value());
+  ASSERT_EQ(slack->size(), 3u);
+  for (const FlowSlack& fs : *slack) {
+    EXPECT_GT(fs.slack, gmfnet::Time::zero());
+    EXPECT_GT(fs.bottleneck_response, gmfnet::Time::zero());
+  }
+  // The MPEG flow's critical frame is the I+P packet.
+  EXPECT_EQ((*slack)[0].critical_frame, 0u);
+}
+
+TEST(Sensitivity, SlackNegativeOnDeadlineMiss) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "tight", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(1), 1000 * 8)};
+  const AnalysisContext ctx(star.net, flows);
+  const auto slack = compute_slack(ctx);
+  ASSERT_TRUE(slack.has_value());
+  EXPECT_LT((*slack)[0].slack, gmfnet::Time::zero());
+}
+
+TEST(Sensitivity, SlackNulloptOnDivergence) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
+  const AnalysisContext ctx(star.net, flows);
+  EXPECT_FALSE(compute_slack(ctx).has_value());
+}
+
+TEST(Sensitivity, BottleneckIsEgressOnSlowLink) {
+  // The egress stage carries MFT + transmission, which dwarfs CIRC terms
+  // at 10 Mbit/s: the bottleneck must be a link stage for the big frame.
+  const auto s = workload::make_figure2_scenario(kSpeed, false);
+  const AnalysisContext ctx(s.network, s.flows);
+  const auto slack = compute_slack(ctx);
+  ASSERT_TRUE(slack.has_value());
+  EXPECT_TRUE((*slack)[0].bottleneck.is_link());
+}
+
+TEST(Sensitivity, ScaleHelpersBehave) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const net::Network doubled = scale_link_speeds(star.net, 2.0);
+  EXPECT_EQ(doubled.linkspeed(star.hosts[0], star.sw), 2 * kSpeed);
+  EXPECT_EQ(doubled.node_count(), star.net.node_count());
+
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 1000 * 8)};
+  const auto scaled = scale_payloads(flows, 2.5);
+  EXPECT_EQ(scaled[0].frame(0).payload_bits, 2500 * 8);
+  // Clamps at the UDP maximum.
+  const auto huge = scale_payloads(flows, 1e6);
+  EXPECT_EQ(huge[0].frame(0).payload_bits, ethernet::kMaxUdpPayloadBytes * 8);
+}
+
+TEST(Sensitivity, PayloadScalingFindsTheEdge) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 2000 * 8)};
+  const ScalingResult r = max_payload_scaling(star.net, flows, 0.1, 16.0);
+  ASSERT_GT(r.max_factor, 1.0);  // current set is comfortably schedulable
+  ASSERT_LT(r.max_factor, 16.0);
+  // The reported factor is schedulable; ~5% above it is not.
+  AnalysisContext at(star.net, scale_payloads(flows, r.max_factor));
+  EXPECT_TRUE(analyze_holistic(at).schedulable);
+  AnalysisContext above(star.net,
+                        scale_payloads(flows, r.max_factor * 1.05));
+  EXPECT_FALSE(analyze_holistic(above).schedulable);
+}
+
+TEST(Sensitivity, PayloadScalingZeroWhenAlreadyInfeasible) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
+  EXPECT_DOUBLE_EQ(max_payload_scaling(star.net, flows).max_factor, 0.0);
+}
+
+TEST(Sensitivity, SpeedScalingRepairsOverload) {
+  const auto star = net::make_star_network(4, kSpeed);
+  // ~12 Mbit/s offered on 10 Mbit/s links, deadline = period: infeasible
+  // now, feasible with moderately faster links.
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "big", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 30000 * 8)};
+  {
+    AnalysisContext now(star.net, flows);
+    ASSERT_FALSE(analyze_holistic(now).schedulable);
+  }
+  const auto factor = min_speed_scaling(star.net, flows);
+  ASSERT_TRUE(factor.has_value());
+  EXPECT_GT(*factor, 1.0);
+  EXPECT_LT(*factor, 16.0);
+  AnalysisContext fixed(scale_link_speeds(star.net, *factor), flows);
+  EXPECT_TRUE(analyze_holistic(fixed).schedulable);
+}
+
+TEST(Sensitivity, SpeedScalingNulloptWhenHopeless) {
+  const auto star = net::make_star_network(4, kSpeed);
+  // Deadline of 50 us is below the CIRC floor (2 x 14.8 us + wire), which
+  // no link speed-up within 16x can fix at 10 Mbit/s base (MFT at 160
+  // Mbit/s is still ~77 us).
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "impossible", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::us(50), 1000 * 8)};
+  EXPECT_FALSE(min_speed_scaling(star.net, flows).has_value());
+}
+
+TEST(Sensitivity, SpeedScalingLoWhenAlreadyFine) {
+  const auto star = net::make_star_network(4, 100'000'000);
+  std::vector<gmf::Flow> flows = {workload::make_voip_flow(
+      "v", net::Route({star.hosts[0], star.sw, star.hosts[1]}))};
+  const auto factor = min_speed_scaling(star.net, flows, 0.25, 4.0);
+  ASSERT_TRUE(factor.has_value());
+  EXPECT_DOUBLE_EQ(*factor, 0.25);  // even quartered links suffice
+}
+
+}  // namespace
+}  // namespace gmfnet::core

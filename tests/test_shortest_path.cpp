@@ -1,0 +1,103 @@
+#include "net/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace gmfnet::net {
+namespace {
+
+TEST(ShortestPath, Figure1HostPairs) {
+  const Figure1Network f = make_figure1_network();
+  const auto r = shortest_route(f.net, f.host0, f.host3);
+  ASSERT_TRUE(r.has_value());
+  // 0 -> 4 -> 6 -> 3 is the unique 3-hop path (via 5 would be 4 hops).
+  ASSERT_EQ(r->node_count(), 4u);
+  EXPECT_EQ(r->node_at(0), f.host0);
+  EXPECT_EQ(r->node_at(1), f.sw4);
+  EXPECT_EQ(r->node_at(2), f.sw6);
+  EXPECT_EQ(r->node_at(3), f.host3);
+  EXPECT_NO_THROW(r->validate(f.net));
+}
+
+TEST(ShortestPath, SameHostPairIsNull) {
+  const Figure1Network f = make_figure1_network();
+  EXPECT_FALSE(shortest_route(f.net, f.host0, f.host0).has_value());
+}
+
+TEST(ShortestPath, NeverRoutesThroughHosts) {
+  // h0 - s - h1, and a "shortcut" h0 - hx - h1 that hosts can't relay.
+  Network net;
+  const NodeId h0 = net.add_endhost();
+  const NodeId hx = net.add_endhost();
+  const NodeId h1 = net.add_endhost();
+  const NodeId s = net.add_switch();
+  net.add_duplex_link(h0, hx, 1000);
+  net.add_duplex_link(hx, h1, 1000);
+  net.add_duplex_link(h0, s, 1000);
+  net.add_duplex_link(s, h1, 1000);
+  const auto r = shortest_route(net, h0, h1);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->node_count(), 3u);
+  EXPECT_EQ(r->node_at(1), s);
+}
+
+TEST(ShortestPath, DisconnectedReturnsNull) {
+  Network net;
+  const NodeId a = net.add_endhost();
+  const NodeId s = net.add_switch();
+  const NodeId b = net.add_endhost();
+  net.add_duplex_link(a, s, 1000);
+  // b is isolated.
+  EXPECT_FALSE(shortest_route(net, a, b).has_value());
+}
+
+TEST(ShortestPath, LatencyMetricPrefersFastLinks) {
+  // Two parallel switch paths: one short but slow, one longer but fast.
+  Network net;
+  const NodeId a = net.add_endhost("a");
+  const NodeId b = net.add_endhost("b");
+  const NodeId slow = net.add_switch("slow");
+  const NodeId f1 = net.add_switch("f1");
+  const NodeId f2 = net.add_switch("f2");
+  net.add_duplex_link(a, slow, 1'000'000);   // 1 Mbit/s
+  net.add_duplex_link(slow, b, 1'000'000);
+  net.add_duplex_link(a, f1, 1'000'000'000); // 1 Gbit/s
+  net.add_duplex_link(f1, f2, 1'000'000'000);
+  net.add_duplex_link(f2, b, 1'000'000'000);
+
+  const auto by_hops = shortest_route(net, a, b, RouteMetric::kHops);
+  ASSERT_TRUE(by_hops.has_value());
+  EXPECT_EQ(by_hops->hop_count(), 2u);  // via slow
+
+  const auto by_latency = shortest_route(net, a, b, RouteMetric::kLatency);
+  ASSERT_TRUE(by_latency.has_value());
+  EXPECT_EQ(by_latency->hop_count(), 3u);  // via f1,f2
+}
+
+TEST(ShortestPath, DeterministicTieBreak) {
+  const Figure1Network f = make_figure1_network();
+  const auto r1 = shortest_route(f.net, f.host1, f.host2);
+  const auto r2 = shortest_route(f.net, f.host1, f.host2);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(ShortestPath, LineNetworkEndToEnd) {
+  const LineNetwork l = make_line_network(5, 100'000'000);
+  const auto r = shortest_route(l.net, l.src_host, l.dst_host);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->hop_count(), 6u);  // 5 switches -> 6 links
+}
+
+TEST(ShortestPath, RouterAsEndpoint) {
+  const Figure1Network f = make_figure1_network();
+  const auto r = shortest_route(f.net, f.router7, f.host0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->source(), f.router7);
+  EXPECT_EQ(r->destination(), f.host0);
+  EXPECT_NO_THROW(r->validate(f.net));
+}
+
+}  // namespace
+}  // namespace gmfnet::net

@@ -1,0 +1,102 @@
+#include "sim/sim_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmfnet::sim {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kTenMbit = 10'000'000;
+
+EthFrame frame_of(ethernet::Bits wire_bits, int frag = 0) {
+  EthFrame f;
+  f.packet = PacketId{net::FlowId(0), 0};
+  f.frag_index = frag;
+  f.wire_bits = wire_bits;
+  return f;
+}
+
+struct Deliveries {
+  std::vector<std::pair<EthFrame, Time>> got;
+  LinkTransmitter::DeliverFn fn() {
+    return [this](const EthFrame& f, Time at) { got.emplace_back(f, at); };
+  }
+};
+
+TEST(SimLink, HostFifoTransmitsAtWireTime) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::zero(), /*auto_feed=*/true, d.fn());
+  tx.enqueue(Time::zero(), frame_of(10'000));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 1u);
+  EXPECT_EQ(d.got[0].second, Time::ms(1));  // 10000 bits / 10 Mbit/s
+}
+
+TEST(SimLink, PropagationDelaysDelivery) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::us(250), true, d.fn());
+  tx.enqueue(Time::zero(), frame_of(10'000));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 1u);
+  EXPECT_EQ(d.got[0].second, Time::ms(1) + Time::us(250));
+}
+
+TEST(SimLink, HostFifoIsBackToBack) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::zero(), true, d.fn());
+  tx.enqueue(Time::zero(), frame_of(10'000, 0));
+  tx.enqueue(Time::zero(), frame_of(20'000, 1));
+  EXPECT_EQ(tx.queued(), 1u);  // first frame is on the wire already
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 2u);
+  EXPECT_EQ(d.got[0].second, Time::ms(1));
+  EXPECT_EQ(d.got[1].second, Time::ms(3));  // 1 ms + 2 ms, no gap
+}
+
+TEST(SimLink, HostFifoPreservesOrder) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::zero(), true, d.fn());
+  for (int i = 0; i < 5; ++i) tx.enqueue(Time::zero(), frame_of(1'000, i));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d.got[static_cast<std::size_t>(i)].first.frag_index, i);
+}
+
+TEST(SimLink, IdleHostLinkRestartsOnNewFrame) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::zero(), true, d.fn());
+  tx.enqueue(Time::zero(), frame_of(10'000));
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(tx.busy());
+  tx.enqueue(Time::ms(10), frame_of(10'000));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 2u);
+  EXPECT_EQ(d.got[1].second, Time::ms(11));
+}
+
+TEST(SimLink, CardFifoAcceptsOneFrameAtATime) {
+  EventQueue q;
+  Deliveries d;
+  LinkTransmitter tx(q, kTenMbit, Time::zero(), /*auto_feed=*/false, d.fn());
+  EXPECT_TRUE(tx.card_fifo_empty());
+  EXPECT_TRUE(tx.try_load(Time::zero(), frame_of(10'000, 0)));
+  EXPECT_FALSE(tx.card_fifo_empty());
+  // Occupied until the transmission completes.
+  EXPECT_FALSE(tx.try_load(Time::us(1), frame_of(1'000, 1)));
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(tx.card_fifo_empty());
+  EXPECT_TRUE(tx.try_load(Time::ms(2), frame_of(1'000, 1)));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(d.got.size(), 2u);
+  EXPECT_EQ(d.got[0].second, Time::ms(1));
+  EXPECT_EQ(d.got[1].second, Time::ms(2) + Time::us(100));
+}
+
+}  // namespace
+}  // namespace gmfnet::sim

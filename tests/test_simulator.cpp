@@ -1,0 +1,182 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::sim {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+std::vector<gmf::Flow> lone_voip(const net::StarNetwork& star) {
+  return {workload::make_voip_flow(
+      "v", net::Route({star.hosts[0], star.sw, star.hosts[1]}))};
+}
+
+TEST(Simulator, DeliversEveryPacketOfALoneFlow) {
+  const auto star = net::make_star_network(4, kSpeed);
+  SimOptions opts;
+  opts.horizon = Time::ms(200);  // 10 packets at 20 ms
+  Simulator sim(star.net, lone_voip(star), opts);
+  sim.run();
+  const FlowSimStats& st = sim.stats(net::FlowId(0));
+  EXPECT_EQ(st.packets_completed, 11u);  // t=0..200 inclusive
+  EXPECT_EQ(st.packets_incomplete, 0u);
+  EXPECT_EQ(st.total_misses(), 0u);
+  EXPECT_GT(st.worst_response(), Time::zero());
+}
+
+TEST(Simulator, ResponseAtLeastTransmissionAndProcessing) {
+  const auto star = net::make_star_network(4, kSpeed);
+  SimOptions opts;
+  opts.horizon = Time::ms(100);
+  Simulator sim(star.net, lone_voip(star), opts);
+  sim.run();
+  // Lower bound: two wire traversals of the ~1936-bit voice frame plus the
+  // two switch tasks: > 2 * 0.19 ms.
+  EXPECT_GE(sim.stats(net::FlowId(0)).worst_response(), Time::us(380));
+}
+
+TEST(Simulator, RunTwiceThrows) {
+  const auto star = net::make_star_network(4, kSpeed);
+  SimOptions opts;
+  opts.horizon = Time::ms(20);
+  Simulator sim(star.net, lone_voip(star), opts);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  const auto s = workload::make_figure2_scenario(kSpeed, true);
+  SimOptions opts;
+  opts.horizon = Time::ms(500);
+  opts.source.model = ArrivalModel::kUniformSlack;
+  opts.seed = 77;
+  Simulator a(s.network, s.flows, opts);
+  Simulator b(s.network, s.flows, opts);
+  a.run();
+  b.run();
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    const net::FlowId id(static_cast<std::int32_t>(f));
+    EXPECT_EQ(a.stats(id).worst_response(), b.stats(id).worst_response());
+    EXPECT_EQ(a.stats(id).packets_completed, b.stats(id).packets_completed);
+  }
+}
+
+TEST(Simulator, DifferentSeedsDifferUnderRandomArrivals) {
+  const auto s = workload::make_figure2_scenario(kSpeed, true);
+  SimOptions opts;
+  opts.horizon = Time::ms(500);
+  opts.source.model = ArrivalModel::kUniformSlack;
+  opts.seed = 1;
+  Simulator a(s.network, s.flows, opts);
+  opts.seed = 2;
+  Simulator b(s.network, s.flows, opts);
+  a.run();
+  b.run();
+  bool any_diff = false;
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    const net::FlowId id(static_cast<std::int32_t>(f));
+    any_diff |=
+        a.stats(id).worst_response() != b.stats(id).worst_response();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulator, MultiFragmentPacketsCompleteAtomically) {
+  const auto star = net::make_star_network(4, kSpeed);
+  // 4000-byte packets -> 3 Ethernet frames each.
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "big", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(50), gmfnet::Time::ms(50), 4000 * 8)};
+  SimOptions opts;
+  opts.horizon = Time::ms(200);
+  Simulator sim(star.net, flows, opts);
+  sim.run();
+  const FlowSimStats& st = sim.stats(net::FlowId(0));
+  EXPECT_EQ(st.packets_completed, 5u);
+  // The response must cover the whole datagram's wire time on the first
+  // link (~3.35 ms) plus at least the last fragment on the second link;
+  // the switch pipelines fragments across links, so less than the naive
+  // 2x full serialization.
+  EXPECT_GE(st.worst_response(), Time::ms(4));
+  EXPECT_LE(st.worst_response(), Time::ms(8));
+}
+
+TEST(Simulator, MpegFlowStatsPerFrameKind) {
+  const auto s = workload::make_figure2_scenario(kSpeed, false);
+  SimOptions opts;
+  opts.horizon = Time::ms(540);  // two GMF cycles
+  Simulator sim(s.network, s.flows, opts);
+  sim.run();
+  const FlowSimStats& st = sim.stats(net::FlowId(0));
+  ASSERT_EQ(st.per_kind.size(), 9u);
+  // Every frame kind was observed at least twice.
+  for (std::size_t k = 0; k < 9; ++k) {
+    EXPECT_GE(st.per_kind[k].count(), 2u) << "kind " << k;
+  }
+  // The I+P frame kind has the largest observed response.
+  EXPECT_EQ(st.worst_response(), st.max_response[0]);
+}
+
+TEST(Simulator, GeneralizedJitterSpreadsFragments) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> with_jitter = {gmf::make_sporadic_flow(
+      "j", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(50), gmfnet::Time::ms(50), 4000 * 8, 0,
+      /*jitter=*/gmfnet::Time::ms(5))};
+  std::vector<gmf::Flow> without = {gmf::make_sporadic_flow(
+      "q", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(50), gmfnet::Time::ms(50), 4000 * 8)};
+  SimOptions opts;
+  opts.horizon = Time::ms(400);
+  opts.seed = 5;
+  Simulator sj(star.net, with_jitter, opts);
+  Simulator sq(star.net, without, opts);
+  sj.run();
+  sq.run();
+  // Scattered releases delay the completion of the last fragment.
+  EXPECT_GT(sj.stats(net::FlowId(0)).worst_response(),
+            sq.stats(net::FlowId(0)).worst_response());
+}
+
+TEST(Simulator, TraceRecordsJourney) {
+  const auto star = net::make_star_network(4, kSpeed);
+  SimTrace trace;
+  trace.enable();
+  SimOptions opts;
+  opts.horizon = Time::ms(25);  // two packets
+  opts.trace = &trace;
+  Simulator sim(star.net, lone_voip(star), opts);
+  sim.run();
+  ASSERT_FALSE(trace.records().empty());
+  int arrivals = 0, deliveries = 0, frame_events = 0;
+  for (const TraceRecord& r : trace.records()) {
+    if (r.event == TraceEvent::kPacketArrival) ++arrivals;
+    if (r.event == TraceEvent::kPacketDelivered) ++deliveries;
+    if (r.event == TraceEvent::kFrameDelivered) ++frame_events;
+  }
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_EQ(deliveries, 2);
+  // Each packet's single frame is delivered twice (switch, then host).
+  EXPECT_EQ(frame_events, 4);
+  EXPECT_FALSE(trace.render().empty());
+}
+
+TEST(Simulator, CrossTrafficRaisesObservedWorstCase) {
+  const auto quiet = workload::make_figure2_scenario(kSpeed, false);
+  const auto busy = workload::make_figure2_scenario(kSpeed, true);
+  SimOptions opts;
+  opts.horizon = Time::sec(2);
+  Simulator sq(quiet.network, quiet.flows, opts);
+  Simulator sb(busy.network, busy.flows, opts);
+  sq.run();
+  sb.run();
+  EXPECT_GE(sb.stats(net::FlowId(0)).worst_response(),
+            sq.stats(net::FlowId(0)).worst_response());
+}
+
+}  // namespace
+}  // namespace gmfnet::sim

@@ -1,0 +1,118 @@
+#include "baseline/sporadic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::baseline {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+TEST(Sporadic, CollapseTakesWorstOfEachDimension) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::FrameSpec> fr(3);
+  fr[0] = {gmfnet::Time::ms(30), gmfnet::Time::ms(100), gmfnet::Time::ms(1),
+           12'000 * 8};
+  fr[1] = {gmfnet::Time::ms(10), gmfnet::Time::ms(60), gmfnet::Time::ms(3),
+           1'000 * 8};
+  fr[2] = {gmfnet::Time::ms(20), gmfnet::Time::ms(80), gmfnet::Time::zero(),
+           4'000 * 8};
+  const gmf::Flow flow("g",
+                       net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+                       fr, 5, true);
+  const gmf::Flow s = collapse_to_sporadic(flow);
+  ASSERT_EQ(s.frame_count(), 1u);
+  EXPECT_EQ(s.frame(0).min_separation, gmfnet::Time::ms(10));  // min T
+  EXPECT_EQ(s.frame(0).deadline, gmfnet::Time::ms(60));        // min D
+  EXPECT_EQ(s.frame(0).jitter, gmfnet::Time::ms(3));           // max GJ
+  EXPECT_EQ(s.frame(0).payload_bits, 12'000 * 8);              // max S
+  EXPECT_EQ(s.priority(), 5);
+  EXPECT_TRUE(s.rtp());
+  EXPECT_EQ(s.route(), flow.route());
+}
+
+TEST(Sporadic, CollapseOfSporadicIsIdentityShape) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const gmf::Flow s = gmf::make_sporadic_flow(
+      "s", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(15), 1600, 2,
+      gmfnet::Time::us(100), false);
+  const gmf::Flow c = collapse_to_sporadic(s);
+  EXPECT_EQ(c.frame(0).min_separation, s.frame(0).min_separation);
+  EXPECT_EQ(c.frame(0).deadline, s.frame(0).deadline);
+  EXPECT_EQ(c.frame(0).jitter, s.frame(0).jitter);
+  EXPECT_EQ(c.frame(0).payload_bits, s.frame(0).payload_bits);
+}
+
+TEST(Sporadic, CollapsedSetSameSize) {
+  const auto sc = workload::make_figure2_scenario(kSpeed, true);
+  const auto collapsed = collapse_to_sporadic(sc.flows);
+  EXPECT_EQ(collapsed.size(), sc.flows.size());
+  for (const auto& f : collapsed) EXPECT_EQ(f.frame_count(), 1u);
+}
+
+TEST(Sporadic, BaselineIsMorePessimisticThanGmf) {
+  // The paper's motivation: GMF captures the I/B/P size variation, the
+  // sporadic collapse must assume every packet is an I-frame at the
+  // B-frame rate.  Utilization explodes and the bound (if any) dominates.
+  const auto sc = workload::make_figure2_scenario(kSpeed, false);
+  core::AnalysisContext gmf_ctx(sc.network, sc.flows);
+  const auto gmf_res = core::analyze_holistic(gmf_ctx);
+  ASSERT_TRUE(gmf_res.converged);
+
+  const auto spor_res = analyze_sporadic_baseline(sc.network, sc.flows);
+  if (spor_res.converged) {
+    EXPECT_GE(spor_res.worst_response(core::FlowId(0)),
+              gmf_res.worst_response(core::FlowId(0)));
+  } else {
+    // Divergence of the baseline is itself the expected pessimism.
+    SUCCEED();
+  }
+}
+
+TEST(Sporadic, BaselineSoundOnSporadicInputs) {
+  // For genuinely sporadic flows the two analyses coincide.
+  const auto sc = workload::make_voip_office_scenario(3, 100'000'000);
+  core::AnalysisContext ctx(sc.network, sc.flows);
+  const auto gmf_res = core::analyze_holistic(ctx);
+  const auto spor_res = analyze_sporadic_baseline(sc.network, sc.flows);
+  ASSERT_TRUE(gmf_res.converged);
+  ASSERT_TRUE(spor_res.converged);
+  EXPECT_EQ(gmf_res.schedulable, spor_res.schedulable);
+  for (std::size_t f = 0; f < sc.flows.size(); ++f) {
+    EXPECT_EQ(gmf_res.worst_response(core::FlowId(static_cast<std::int32_t>(f))),
+              spor_res.worst_response(core::FlowId(static_cast<std::int32_t>(f))));
+  }
+}
+
+TEST(Sporadic, GmfAcceptsWhatSporadicRejects) {
+  // A concrete witness of the GMF advantage: one big frame among many small
+  // ones fits; "every frame is big" does not.
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::FrameSpec> fr(4);
+  for (int k = 0; k < 4; ++k) {
+    fr[static_cast<std::size_t>(k)] = {gmfnet::Time::ms(10),
+                                       gmfnet::Time::ms(40),
+                                       gmfnet::Time::zero(),
+                                       (k == 0 ? 9'000 : 500) * 8};
+  }
+  std::vector<gmf::Flow> flows = {
+      gmf::Flow("gmf-a",
+                net::Route({star.hosts[0], star.sw, star.hosts[1]}), fr),
+      gmf::Flow("gmf-b",
+                net::Route({star.hosts[2], star.sw, star.hosts[1]}), fr)};
+  core::AnalysisContext ctx(star.net, flows);
+  const auto gmf_res = core::analyze_holistic(ctx);
+  EXPECT_TRUE(gmf_res.converged);
+  EXPECT_TRUE(gmf_res.schedulable);
+
+  // Collapsed: 9000 bytes every 10 ms per flow = 2 x 7.5 Mbit/s on a
+  // 10 Mbit/s shared egress -> infeasible.
+  const auto spor_res = analyze_sporadic_baseline(star.net, flows);
+  EXPECT_FALSE(spor_res.schedulable);
+}
+
+}  // namespace
+}  // namespace gmfnet::baseline

@@ -1,0 +1,96 @@
+#include "switchsim/stride.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace gmfnet::switchsim {
+namespace {
+
+TEST(Stride, AddTaskInitializesPassToStride) {
+  StrideScheduler s;
+  const std::size_t t = s.add_task(2, "a");
+  EXPECT_EQ(s.tickets(t), 2);
+  EXPECT_EQ(s.pass(t), StrideScheduler::kStride1 / 2);
+  EXPECT_EQ(s.name(t), "a");
+}
+
+TEST(Stride, RejectsNonPositiveTickets) {
+  StrideScheduler s;
+  EXPECT_THROW(s.add_task(0), std::invalid_argument);
+  EXPECT_THROW(s.add_task(-3), std::invalid_argument);
+}
+
+TEST(Stride, EqualTicketsIsRoundRobin) {
+  // "Stride scheduling can be configured such that each task has ticket=1;
+  // this causes stride scheduling to collapse to round-robin" (§2.2).
+  StrideScheduler s;
+  for (int i = 0; i < 4; ++i) s.add_task(1);
+  std::vector<std::size_t> order;
+  for (int i = 0; i < 12; ++i) order.push_back(s.dispatch());
+  const std::vector<std::size_t> expect = {0, 1, 2, 3, 0, 1, 2, 3,
+                                           0, 1, 2, 3};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Stride, TwoToOneTicketRatio) {
+  // "a task with ticket=2 will execute twice as frequently as a task with
+  // ticket=1" (§2.2).
+  StrideScheduler s;
+  const std::size_t heavy = s.add_task(2);
+  const std::size_t light = s.add_task(1);
+  std::map<std::size_t, int> count;
+  for (int i = 0; i < 300; ++i) ++count[s.dispatch()];
+  EXPECT_EQ(count[heavy], 200);
+  EXPECT_EQ(count[light], 100);
+}
+
+TEST(Stride, ProportionalShareThreeWay) {
+  StrideScheduler s;
+  const std::size_t a = s.add_task(3);
+  const std::size_t b = s.add_task(2);
+  const std::size_t c = s.add_task(1);
+  std::map<std::size_t, int> count;
+  for (int i = 0; i < 600; ++i) ++count[s.dispatch()];
+  EXPECT_EQ(count[a], 300);
+  EXPECT_EQ(count[b], 200);
+  EXPECT_EQ(count[c], 100);
+}
+
+TEST(Stride, SingleTaskAlwaysRuns) {
+  StrideScheduler s;
+  s.add_task(1);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.dispatch(), 0u);
+}
+
+TEST(Stride, ResetRestoresBootState) {
+  StrideScheduler s;
+  s.add_task(1);
+  s.add_task(1);
+  std::vector<std::size_t> first;
+  for (int i = 0; i < 6; ++i) first.push_back(s.dispatch());
+  s.reset();
+  std::vector<std::size_t> second;
+  for (int i = 0; i < 6; ++i) second.push_back(s.dispatch());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Stride, RoundRobinServiceGapBound) {
+  // Under equal tickets, between two services of any task every other task
+  // runs exactly once: the gap is exactly task_count dispatches.
+  StrideScheduler s;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) s.add_task(1);
+  std::map<std::size_t, int> last;
+  for (int step = 0; step < 10 * n; ++step) {
+    const std::size_t t = s.dispatch();
+    if (last.contains(t)) {
+      EXPECT_EQ(step - last[t], n);
+    }
+    last[t] = step;
+  }
+}
+
+}  // namespace
+}  // namespace gmfnet::switchsim

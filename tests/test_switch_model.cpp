@@ -1,0 +1,103 @@
+#include "switchsim/switch_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ethernet/framing.hpp"
+#include "net/topology.hpp"
+
+namespace gmfnet::switchsim {
+namespace {
+
+TEST(SwitchModel, PaperCircExample) {
+  // §3.3: "a task is serviced every 4*(2.7+1) us; that is every 14.8 us."
+  const gmfnet::Time c = circ(4, gmfnet::Time::ns(2700), gmfnet::Time::ns(1000));
+  EXPECT_EQ(c, gmfnet::Time::us_f(14.8));
+}
+
+TEST(SwitchModel, CircScalesWithInterfaces) {
+  const gmfnet::Time croute = gmfnet::Time::ns(2700);
+  const gmfnet::Time csend = gmfnet::Time::ns(1000);
+  EXPECT_EQ(circ(1, croute, csend), gmfnet::Time::us_f(3.7));
+  EXPECT_EQ(circ(8, croute, csend), gmfnet::Time::us_f(29.6));
+}
+
+TEST(SwitchModel, CircRejectsBadArguments) {
+  EXPECT_THROW((void)circ(0, gmfnet::Time::us(1), gmfnet::Time::us(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)interfaces_per_processor(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)interfaces_per_processor(0, 4), std::invalid_argument);
+}
+
+TEST(SwitchModel, InterfacesPerProcessor) {
+  EXPECT_EQ(interfaces_per_processor(48, 16), 3);  // the Conclusions example
+  EXPECT_EQ(interfaces_per_processor(48, 1), 48);
+  EXPECT_EQ(interfaces_per_processor(4, 4), 1);
+  EXPECT_EQ(interfaces_per_processor(5, 4), 2);  // ceil when not divisible
+}
+
+TEST(SwitchModel, ConclusionsFortyEightPortExample) {
+  // 16 CPUs, 48 ports, Click costs -> CIRC = 3 * 3.7 us = 11.1 us, and such
+  // a switch "can comfortably deal with links of speed 1 Gigabit/s".
+  const gmfnet::Time c = circ_multiproc(48, 16, gmfnet::Time::ns(2700),
+                                        gmfnet::Time::ns(1000));
+  EXPECT_EQ(c, gmfnet::Time::us_f(11.1));
+  EXPECT_TRUE(sustains_linkspeed(c, 1'000'000'000));
+}
+
+TEST(SwitchModel, SinglCpuFortyEightPortCannotDoGigabit) {
+  const gmfnet::Time c = circ_multiproc(48, 1, gmfnet::Time::ns(2700),
+                                        gmfnet::Time::ns(1000));
+  EXPECT_EQ(c, gmfnet::Time::us_f(177.6));
+  EXPECT_FALSE(sustains_linkspeed(c, 1'000'000'000));
+  // ...but a 10 Mbit/s link (MFT = 1.2304 ms) is fine.
+  EXPECT_TRUE(sustains_linkspeed(c, 10'000'000));
+}
+
+TEST(SwitchModel, SustainBoundaryIsStrict) {
+  // CIRC exactly equal to MFT does not sustain (task may lag a full frame).
+  const gmfnet::Time mft = ethernet::max_frame_transmission_time(1'000'000'000);
+  EXPECT_FALSE(sustains_linkspeed(mft, 1'000'000'000));
+  EXPECT_TRUE(sustains_linkspeed(mft - gmfnet::Time(1), 1'000'000'000));
+}
+
+TEST(SwitchModel, CircOfNetworkNode) {
+  // Figure 5's switch (node 4 of Figure 1) has 4 interfaces.
+  const net::Figure1Network f = net::make_figure1_network();
+  EXPECT_EQ(circ_of(f.net, f.sw4), gmfnet::Time::us_f(14.8));
+  // Switch 5 has 3 interfaces (4, 2, 6).
+  EXPECT_EQ(circ_of(f.net, f.sw5), gmfnet::Time::us_f(11.1));
+}
+
+TEST(SwitchModel, CircOfRespectsProcessors) {
+  net::SwitchParams p;
+  p.processors = 2;
+  const net::Figure1Network f = net::make_figure1_network(10'000'000, p);
+  // Switch 4: 4 interfaces over 2 CPUs -> 2 per CPU -> 7.4 us.
+  EXPECT_EQ(circ_of(f.net, f.sw4), gmfnet::Time::us_f(7.4));
+}
+
+TEST(SwitchModel, CircOfRejectsNonSwitch) {
+  const net::Figure1Network f = net::make_figure1_network();
+  EXPECT_THROW((void)circ_of(f.net, f.host0), std::invalid_argument);
+  EXPECT_THROW((void)circ_of(f.net, f.router7), std::invalid_argument);
+}
+
+/// Port-count sweep of the Conclusions' scaling argument: with Click's
+/// measured costs, a single CPU sustains 100 Mbit/s only up to 33 ports
+/// (CIRC < MFT = 123.04 us <=> ports <= 33).
+class CircSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircSweep, HundredMbitPortBudget) {
+  const int ports = GetParam();
+  const gmfnet::Time c = circ(ports, gmfnet::Time::ns(2700),
+                              gmfnet::Time::ns(1000));
+  const bool ok = sustains_linkspeed(c, 100'000'000);
+  EXPECT_EQ(ok, ports <= 33) << "ports=" << ports;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ports, CircSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 24, 32, 33, 34,
+                                           48, 64));
+
+}  // namespace
+}  // namespace gmfnet::switchsim

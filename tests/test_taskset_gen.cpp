@@ -1,0 +1,158 @@
+#include "workload/taskset_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/utilization.hpp"
+#include "net/topology.hpp"
+
+namespace gmfnet::workload {
+namespace {
+
+TEST(TasksetGen, GeneratesRequestedFlowCount) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  Rng rng(1);
+  TasksetParams params;
+  params.num_flows = 10;
+  const auto ts = generate_taskset(star.net, star.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->flows.size(), 10u);
+}
+
+TEST(TasksetGen, FlowsValidateAgainstNetwork) {
+  const auto tree = net::make_tree_network(3, 2, 100'000'000);
+  Rng rng(2);
+  TasksetParams params;
+  params.num_flows = 12;
+  const auto ts = generate_taskset(tree.net, tree.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  for (const auto& f : ts->flows) {
+    EXPECT_NO_THROW(f.validate(tree.net)) << f.name();
+  }
+}
+
+TEST(TasksetGen, RespectsFrameCountBounds) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  Rng rng(3);
+  TasksetParams params;
+  params.num_flows = 20;
+  params.min_frames = 2;
+  params.max_frames = 5;
+  const auto ts = generate_taskset(star.net, star.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  for (const auto& f : ts->flows) {
+    EXPECT_GE(f.frame_count(), 2u);
+    EXPECT_LE(f.frame_count(), 5u);
+  }
+}
+
+TEST(TasksetGen, SeparationsWithinConfiguredRange) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  Rng rng(4);
+  TasksetParams params;
+  params.num_flows = 16;
+  params.separation_lo = gmfnet::Time::ms(10);
+  params.separation_hi = gmfnet::Time::ms(20);
+  params.separation_spread = 0.25;
+  const auto ts = generate_taskset(star.net, star.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  for (const auto& f : ts->flows) {
+    for (const auto& fr : f.frames()) {
+      EXPECT_GE(fr.min_separation, gmfnet::Time::ms_f(7.4));
+      EXPECT_LE(fr.min_separation, gmfnet::Time::ms_f(25.1));
+    }
+  }
+}
+
+TEST(TasksetGen, UtilizationTracksTarget) {
+  // Offered utilization is realised against the bottleneck link, so on a
+  // single-switch star the per-link sum is within a reasonable factor of
+  // the split shares.
+  const auto star = net::make_star_network(8, 100'000'000);
+  for (const double target : {0.2, 0.5, 0.8}) {
+    Rng rng(5);
+    TasksetParams params;
+    params.num_flows = 16;
+    params.total_utilization = target;
+    params.size_spread = 0.0;  // exact realisation per frame
+    const auto ts = generate_taskset(star.net, star.hosts, params, rng);
+    ASSERT_TRUE(ts.has_value());
+    double total = 0;
+    core::AnalysisContext ctx(star.net, ts->flows);
+    for (std::size_t f = 0; f < ts->flows.size(); ++f) {
+      const auto& route = ts->flows[f].route();
+      total += ctx.link_params(core::FlowId(static_cast<std::int32_t>(f)),
+                               route.links().front())
+                   .utilization();
+    }
+    // Framing overheads and byte rounding put realised slightly above the
+    // share; payload clamping can pull it below.  Accept a loose band.
+    EXPECT_GT(total, 0.5 * target);
+    EXPECT_LT(total, 2.0 * target + 0.05);
+  }
+}
+
+TEST(TasksetGen, DeadlinesProportionalToCycle) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  Rng rng(6);
+  TasksetParams params;
+  params.num_flows = 10;
+  params.deadline_factor_lo = 0.5;
+  params.deadline_factor_hi = 1.0;
+  const auto ts = generate_taskset(star.net, star.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  for (const auto& f : ts->flows) {
+    const gmfnet::Time tsum = f.tsum();
+    for (const auto& fr : f.frames()) {
+      EXPECT_GE(fr.deadline.ps(), tsum.ps() / 2 - 1);
+      EXPECT_LE(fr.deadline, tsum);
+    }
+  }
+}
+
+TEST(TasksetGen, DeterministicPerSeed) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  TasksetParams params;
+  params.num_flows = 8;
+  Rng r1(42), r2(42);
+  const auto a = generate_taskset(star.net, star.hosts, params, r1);
+  const auto b = generate_taskset(star.net, star.hosts, params, r2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  for (std::size_t i = 0; i < a->flows.size(); ++i) {
+    EXPECT_EQ(a->flows[i].route(), b->flows[i].route());
+    ASSERT_EQ(a->flows[i].frame_count(), b->flows[i].frame_count());
+    for (std::size_t k = 0; k < a->flows[i].frame_count(); ++k) {
+      EXPECT_EQ(a->flows[i].frame(k).payload_bits,
+                b->flows[i].frame(k).payload_bits);
+      EXPECT_EQ(a->flows[i].frame(k).min_separation,
+                b->flows[i].frame(k).min_separation);
+    }
+  }
+}
+
+TEST(TasksetGen, FailsGracefullyWithoutRoutes) {
+  // Two disconnected hosts: no routable pairs.  (Directly cabled hosts
+  // WOULD be routable — a one-link route is legal.)
+  net::Network net;
+  const auto a = net.add_endhost();
+  const auto b = net.add_endhost();
+  Rng rng(7);
+  TasksetParams params;
+  params.num_flows = 2;
+  EXPECT_FALSE(generate_taskset(net, {a, b}, params, rng).has_value());
+}
+
+TEST(TasksetGen, RejectsDegenerateInputs) {
+  const auto star = net::make_star_network(4, 100'000'000);
+  Rng rng(8);
+  TasksetParams params;
+  params.num_flows = 0;
+  EXPECT_FALSE(generate_taskset(star.net, star.hosts, params, rng)
+                   .has_value());
+  params.num_flows = 3;
+  EXPECT_FALSE(
+      generate_taskset(star.net, {star.hosts[0]}, params, rng).has_value());
+}
+
+}  // namespace
+}  // namespace gmfnet::workload

@@ -1,0 +1,92 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmfnet {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time().ps(), 0);
+  EXPECT_EQ(Time(), Time::zero());
+}
+
+TEST(Time, FactoriesScaleCorrectly) {
+  EXPECT_EQ(Time::ns(1).ps(), 1'000);
+  EXPECT_EQ(Time::us(1).ps(), 1'000'000);
+  EXPECT_EQ(Time::ms(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Time::sec(1).ps(), 1'000'000'000'000);
+}
+
+TEST(Time, FractionalFactoriesRound) {
+  EXPECT_EQ(Time::us_f(2.7).ps(), 2'700'000);
+  EXPECT_EQ(Time::us_f(14.8).ps(), 14'800'000);
+  EXPECT_EQ(Time::ms_f(1.2304).ps(), 1'230'400'000);
+  EXPECT_EQ(Time::ns_f(0.4).ps(), 400);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(Time::ms(30).to_sec(), 0.030);
+  EXPECT_DOUBLE_EQ(Time::us(5).to_ns(), 5000.0);
+  EXPECT_DOUBLE_EQ(Time::sec(2).to_ms(), 2000.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::ms(3);
+  const Time b = Time::us(500);
+  EXPECT_EQ((a + b).ps(), 3'500'000'000);
+  EXPECT_EQ((a - b).ps(), 2'500'000'000);
+  EXPECT_EQ((a * 3).ps(), 9'000'000'000);
+  EXPECT_EQ((3 * a), a * 3);
+  EXPECT_EQ((-a).ps(), -3'000'000'000);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::us(10);
+  t += Time::us(5);
+  EXPECT_EQ(t, Time::us(15));
+  t -= Time::us(1);
+  EXPECT_EQ(t, Time::us(14));
+  t *= 2;
+  EXPECT_EQ(t, Time::us(28));
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::us(1), Time::us(2));
+  EXPECT_LE(Time::us(2), Time::us(2));
+  EXPECT_GT(Time::ms(1), Time::us(999));
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+}
+
+TEST(Time, FloorCeilDivision) {
+  EXPECT_EQ(Time::ms(10).floor_div(Time::ms(3)), 3);
+  EXPECT_EQ(Time::ms(10).ceil_div(Time::ms(3)), 4);
+  EXPECT_EQ(Time::ms(9).ceil_div(Time::ms(3)), 3);
+  EXPECT_EQ(Time::zero().ceil_div(Time::ms(3)), 0);
+  EXPECT_EQ(Time::ms(10).mod(Time::ms(3)), Time::ms(1));
+  EXPECT_EQ(Time::ms(9).mod(Time::ms(3)), Time::zero());
+}
+
+TEST(Time, MinMax) {
+  EXPECT_EQ(min(Time::us(1), Time::us(2)), Time::us(1));
+  EXPECT_EQ(max(Time::us(1), Time::us(2)), Time::us(2));
+  EXPECT_EQ(min(Time::us(2), Time::us(2)), Time::us(2));
+}
+
+TEST(Time, StrPicksUnits) {
+  EXPECT_EQ(Time(500).str(), "500ps");
+  EXPECT_EQ(Time::us_f(14.8).str(), "14.8us");
+  EXPECT_EQ(Time::ms(30).str(), "30ms");
+  EXPECT_EQ(Time::sec(2).str(), "2s");
+  EXPECT_EQ(Time::ns(12).str(), "12ns");
+}
+
+TEST(Time, PaperConstantsAreExact) {
+  // 12304 bits at 10 Mbit/s = 1.2304 ms; at 1 Gbit/s = 12.304 us.
+  const Time t10m = Time(12304LL * 1'000'000'000'000 / 10'000'000);
+  EXPECT_EQ(t10m, Time::ns(1'230'400));
+  const Time t1g = Time(12304LL * 1'000'000'000'000 / 1'000'000'000);
+  EXPECT_EQ(t1g, Time::ns(12'304));
+}
+
+}  // namespace
+}  // namespace gmfnet

@@ -1,0 +1,119 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmfnet::net {
+namespace {
+
+TEST(Topology, Figure1MatchesPaperNumbering) {
+  const Figure1Network f = make_figure1_network();
+  EXPECT_EQ(f.net.node_count(), 8u);
+  EXPECT_EQ(f.host0.v, 0);
+  EXPECT_EQ(f.host3.v, 3);
+  EXPECT_EQ(f.sw4.v, 4);
+  EXPECT_EQ(f.sw6.v, 6);
+  EXPECT_EQ(f.router7.v, 7);
+  EXPECT_EQ(f.net.node(f.sw4).kind, NodeKind::kSwitch);
+  EXPECT_EQ(f.net.node(f.router7).kind, NodeKind::kRouter);
+}
+
+TEST(Topology, Figure1Cabling) {
+  const Figure1Network f = make_figure1_network();
+  // Figure 5 shows switch 4 with 4 interfaces: hosts 0, 1 and switches 5, 6.
+  EXPECT_EQ(f.net.ninterfaces(f.sw4), 4);
+  EXPECT_TRUE(f.net.has_link(f.host0, f.sw4));
+  EXPECT_TRUE(f.net.has_link(f.sw4, f.sw6));
+  EXPECT_TRUE(f.net.has_link(f.sw6, f.host3));
+  EXPECT_TRUE(f.net.has_link(f.sw6, f.router7));
+  EXPECT_FALSE(f.net.has_link(f.host0, f.sw5));
+  // The worked example in §3.1 uses 10 Mbit/s on link(0,4).
+  EXPECT_EQ(f.net.linkspeed(f.host0, f.sw4), 10'000'000);
+}
+
+TEST(Topology, Figure1CustomSpeedAndParams) {
+  SwitchParams p;
+  p.processors = 2;
+  const Figure1Network f = make_figure1_network(1'000'000'000, p);
+  EXPECT_EQ(f.net.linkspeed(f.sw4, f.sw6), 1'000'000'000);
+  EXPECT_EQ(f.net.node(f.sw5).sw.processors, 2);
+}
+
+TEST(Topology, LineNetworkShape) {
+  const LineNetwork l = make_line_network(3, 100'000'000);
+  EXPECT_EQ(l.switches.size(), 3u);
+  EXPECT_EQ(l.leaf_hosts.size(), 3u);
+  // src - sw0, sw0 - sw1, sw1 - sw2, sw2 - dst, plus one leaf per switch.
+  EXPECT_TRUE(l.net.has_link(l.src_host, l.switches[0]));
+  EXPECT_TRUE(l.net.has_link(l.switches[2], l.dst_host));
+  EXPECT_TRUE(l.net.has_link(l.leaf_hosts[1], l.switches[1]));
+  // Middle switch: two neighbours on the line + leaf = 3 interfaces.
+  EXPECT_EQ(l.net.ninterfaces(l.switches[1]), 3);
+}
+
+TEST(Topology, LineNetworkSingleSwitch) {
+  const LineNetwork l = make_line_network(1, 10'000'000);
+  EXPECT_EQ(l.net.ninterfaces(l.switches[0]), 3);  // src, dst, leaf
+}
+
+TEST(Topology, LineNetworkRejectsZeroSwitches) {
+  EXPECT_THROW(make_line_network(0, 10'000'000), std::invalid_argument);
+}
+
+TEST(Topology, StarNetworkShape) {
+  const StarNetwork s = make_star_network(6, 100'000'000);
+  EXPECT_EQ(s.hosts.size(), 6u);
+  EXPECT_EQ(s.net.ninterfaces(s.sw), 6);
+  for (const NodeId h : s.hosts) {
+    EXPECT_TRUE(s.net.has_link(h, s.sw));
+    EXPECT_TRUE(s.net.has_link(s.sw, h));
+  }
+}
+
+TEST(Topology, TreeNetworkShape) {
+  const TreeNetwork t = make_tree_network(3, 2, 100'000'000);
+  EXPECT_EQ(t.switches.size(), 7u);  // 1 + 2 + 4
+  EXPECT_EQ(t.hosts.size(), 8u);     // 4 leaves x 2 hosts
+  // Root has two children; leaf switches have parent + 2 hosts.
+  EXPECT_EQ(t.net.ninterfaces(t.root), 2);
+}
+
+TEST(Topology, TreeDepthOne) {
+  const TreeNetwork t = make_tree_network(1, 3, 100'000'000);
+  EXPECT_EQ(t.switches.size(), 1u);
+  EXPECT_EQ(t.hosts.size(), 3u);
+}
+
+TEST(Topology, RandomNetworkConnectedAndValid) {
+  Rng rng(123);
+  const RandomNetwork r = make_random_network(6, 10, 4, 100'000'000, rng);
+  EXPECT_EQ(r.switches.size(), 6u);
+  EXPECT_EQ(r.hosts.size(), 10u);
+  EXPECT_NO_THROW(r.net.validate());
+  // Spanning-tree construction guarantees switch connectivity: every host
+  // can reach every other host.
+  for (std::size_t i = 1; i < r.hosts.size(); ++i) {
+    // ninterfaces >= 1 for every host.
+    EXPECT_GE(r.net.ninterfaces(r.hosts[i]), 1);
+  }
+}
+
+TEST(Topology, RandomNetworkDeterministicPerSeed) {
+  Rng rng1(7), rng2(7);
+  const RandomNetwork a = make_random_network(5, 6, 2, 10'000'000, rng1);
+  const RandomNetwork b = make_random_network(5, 6, 2, 10'000'000, rng2);
+  ASSERT_EQ(a.net.link_count(), b.net.link_count());
+  for (std::size_t i = 0; i < a.net.links().size(); ++i) {
+    EXPECT_EQ(a.net.links()[i].src, b.net.links()[i].src);
+    EXPECT_EQ(a.net.links()[i].dst, b.net.links()[i].dst);
+  }
+}
+
+TEST(Topology, AllBuildersValidate) {
+  EXPECT_NO_THROW(make_figure1_network().net.validate());
+  EXPECT_NO_THROW(make_line_network(4, 1'000'000).net.validate());
+  EXPECT_NO_THROW(make_star_network(3, 1'000'000).net.validate());
+  EXPECT_NO_THROW(make_tree_network(2, 1, 1'000'000).net.validate());
+}
+
+}  // namespace
+}  // namespace gmfnet::net

@@ -1,0 +1,127 @@
+#include "gmf/trace_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gmfnet::gmf {
+namespace {
+
+/// Synthesizes a trace from a repeating size pattern with per-packet
+/// separation wobble (>= the nominal separation, as GMF allows).
+std::vector<TracePacket> make_trace(const std::vector<ethernet::Bits>& sizes,
+                                    gmfnet::Time nominal_sep, int cycles,
+                                    double wobble, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TracePacket> trace;
+  gmfnet::Time t = gmfnet::Time::zero();
+  for (int c = 0; c < cycles; ++c) {
+    for (const ethernet::Bits s : sizes) {
+      trace.push_back(TracePacket{t, s});
+      const double mult = 1.0 + rng.uniform01() * wobble;
+      t += gmfnet::Time(static_cast<gmfnet::Time::rep>(
+          static_cast<double>(nominal_sep.ps()) * mult));
+    }
+  }
+  return trace;
+}
+
+const std::vector<ethernet::Bits> kMpegSizes = {
+    16000 * 8, 1500 * 8, 1500 * 8, 4000 * 8, 1500 * 8,
+    1500 * 8,  4000 * 8, 1500 * 8, 1500 * 8};  // I+P B B P B B P B B
+
+TEST(TraceFit, DetectsMpegCycleLength) {
+  const auto trace =
+      make_trace(kMpegSizes, gmfnet::Time::ms(30), 6, 0.05, 1);
+  const CycleDetection det = detect_cycle(trace);
+  EXPECT_EQ(det.cycle_length, 9u);
+  EXPECT_DOUBLE_EQ(det.residual, 0.0);  // sizes perfectly periodic
+}
+
+TEST(TraceFit, SporadicTrafficDetectsAsCycleOne) {
+  // Constant-size packets: no length beats n=1.
+  const auto trace = make_trace({160 * 8}, gmfnet::Time::ms(20), 40, 0.3, 2);
+  EXPECT_EQ(detect_cycle(trace).cycle_length, 1u);
+}
+
+TEST(TraceFit, RandomSizesDetectAsCycleOne) {
+  // Uncorrelated random sizes: folding cannot help substantially.
+  Rng rng(3);
+  std::vector<TracePacket> trace;
+  gmfnet::Time t = gmfnet::Time::zero();
+  for (int i = 0; i < 200; ++i) {
+    trace.push_back(TracePacket{t, rng.uniform_i64(1, 1500) * 8});
+    t += gmfnet::Time::ms(10);
+  }
+  EXPECT_EQ(detect_cycle(trace).cycle_length, 1u);
+}
+
+TEST(TraceFit, DoesNotPickMultipleOfTrueCycle) {
+  const auto trace = make_trace({8000, 800, 800}, gmfnet::Time::ms(10), 12,
+                                0.0, 4);
+  // n = 3, 6, 9 ... all fold perfectly; parsimony must choose 3.
+  EXPECT_EQ(detect_cycle(trace).cycle_length, 3u);
+}
+
+TEST(TraceFit, ShortTracesFallBackGracefully) {
+  EXPECT_EQ(detect_cycle({}).cycle_length, 1u);
+  const std::vector<TracePacket> one = {{gmfnet::Time::zero(), 800}};
+  EXPECT_EQ(detect_cycle(one).cycle_length, 1u);
+}
+
+TEST(TraceFit, FitSlotsExtractsSoundParameters) {
+  const auto trace =
+      make_trace(kMpegSizes, gmfnet::Time::ms(30), 5, 0.10, 5);
+  const auto slots = fit_slots(trace, 9);
+  ASSERT_EQ(slots.size(), 9u);
+  for (std::size_t k = 0; k < 9; ++k) {
+    // Max payload equals the pattern's size (no size noise here).
+    EXPECT_EQ(slots[k].max_payload, kMpegSizes[k]);
+    // Min separation is >= nominal (wobble only adds) and reasonably near.
+    EXPECT_GE(slots[k].min_separation, gmfnet::Time::ms(30));
+    EXPECT_LE(slots[k].min_separation, gmfnet::Time::ms(34));
+    EXPECT_GE(slots[k].samples, 4u);
+  }
+}
+
+TEST(TraceFit, FitSlotsRejectsBadInput) {
+  const auto trace = make_trace({800}, gmfnet::Time::ms(10), 3, 0.0, 6);
+  EXPECT_THROW(fit_slots(trace, 0), std::invalid_argument);
+  EXPECT_THROW(fit_slots(trace, trace.size()), std::invalid_argument);
+  std::vector<TracePacket> bad = trace;
+  bad[1].timestamp = bad[0].timestamp;  // not strictly increasing
+  EXPECT_THROW(fit_slots(bad, 1), std::invalid_argument);
+}
+
+TEST(TraceFit, FittedFlowIsAnalyzableAndSound) {
+  const auto star = net::make_star_network(4, 10'000'000);
+  const net::Route route({star.hosts[0], star.sw, star.hosts[1]});
+  const auto trace =
+      make_trace(kMpegSizes, gmfnet::Time::ms(30), 6, 0.05, 7);
+  const Flow flow = fit_gmf_flow(trace, "fitted", route,
+                                 /*deadline=*/gmfnet::Time::ms(100));
+  EXPECT_EQ(flow.frame_count(), 9u);
+  EXPECT_NO_THROW(flow.validate(star.net));
+  // Fitted parameters reproduce the generator's shape.
+  EXPECT_EQ(flow.frame(0).payload_bits, kMpegSizes[0]);
+  EXPECT_GE(flow.tsum(), gmfnet::Time::ms(270));
+}
+
+TEST(TraceFit, FittedFlowConservativeForTraceReplay) {
+  // Every observed separation >= fitted minimum and every observed size
+  // <= fitted maximum: the fitted GMF flow admits the trace as one of its
+  // legal behaviours (slot-aligned by construction).
+  const auto trace =
+      make_trace(kMpegSizes, gmfnet::Time::ms(30), 8, 0.2, 8);
+  const auto slots = fit_slots(trace, 9);
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    const auto& slot = slots[i % 9];
+    EXPECT_GE(trace[i + 1].timestamp - trace[i].timestamp,
+              slot.min_separation);
+    EXPECT_LE(trace[i].payload_bits, slot.max_payload);
+  }
+}
+
+}  // namespace
+}  // namespace gmfnet::gmf

@@ -1,0 +1,98 @@
+#include "baseline/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/holistic.hpp"
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::baseline {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+TEST(Utilization, EmptyFlowSetIsZero) {
+  const auto star = net::make_star_network(4, kSpeed);
+  const auto rep = measure_utilization(star.net, {});
+  EXPECT_DOUBLE_EQ(rep.max_link_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(rep.max_ingress_utilization, 0.0);
+  EXPECT_TRUE(utilization_test(star.net, {}));
+}
+
+TEST(Utilization, SingleFlowMatchesLinkParams) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 4000 * 8)};
+  core::AnalysisContext ctx(star.net, flows);
+  const double expected =
+      ctx.link_params(core::FlowId(0),
+                      net::LinkRef(star.hosts[0], star.sw))
+          .utilization();
+  const auto rep = measure_utilization(star.net, flows);
+  EXPECT_DOUBLE_EQ(rep.max_link_utilization, expected);
+  EXPECT_GT(rep.max_ingress_utilization, 0.0);
+}
+
+TEST(Utilization, SharedLinkSumsFlows) {
+  const auto star = net::make_star_network(4, kSpeed);
+  auto mk = [&](const std::string& n, std::size_t from) {
+    return gmf::make_sporadic_flow(
+        n, net::Route({star.hosts[from], star.sw, star.hosts[3]}),
+        gmfnet::Time::ms(20), gmfnet::Time::ms(20), 4000 * 8);
+  };
+  std::vector<gmf::Flow> one = {mk("a", 0)};
+  std::vector<gmf::Flow> two = {mk("a", 0), mk("b", 1)};
+  const auto rep1 = measure_utilization(star.net, one);
+  const auto rep2 = measure_utilization(star.net, two);
+  // Both flows converge on link(sw, host3).
+  EXPECT_NEAR(rep2.max_link_utilization, 2 * rep1.max_link_utilization,
+              1e-12);
+}
+
+TEST(Utilization, DetectsOverload) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
+  const auto rep = measure_utilization(star.net, flows);
+  EXPECT_GT(rep.max_link_utilization, 1.0);
+  EXPECT_FALSE(utilization_test(star.net, flows));
+}
+
+TEST(Utilization, CustomBound) {
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(20), 10000 * 8)};
+  const auto rep = measure_utilization(star.net, flows);
+  ASSERT_GT(rep.max_link_utilization, 0.3);  // ~0.42
+  EXPECT_TRUE(utilization_test(star.net, flows, 1.0));
+  EXPECT_FALSE(utilization_test(star.net, flows, 0.3));
+}
+
+TEST(Utilization, NecessaryButNotSufficient) {
+  // A set that passes the utilization test can still blow a deadline: the
+  // utilization baseline is not a guarantee (which is why the paper's
+  // analysis exists).
+  const auto star = net::make_star_network(4, kSpeed);
+  std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
+      "tight", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(20), gmfnet::Time::ms(1), 1000 * 8)};
+  EXPECT_TRUE(utilization_test(star.net, flows));
+  core::AnalysisContext ctx(star.net, flows);
+  EXPECT_FALSE(core::analyze_holistic(ctx).schedulable);
+}
+
+TEST(Utilization, Figure2ScenarioWithinBounds) {
+  const auto s = workload::make_figure2_scenario(kSpeed, true);
+  const auto rep = measure_utilization(s.network, s.flows);
+  EXPECT_GT(rep.max_link_utilization, 0.0);
+  EXPECT_LT(rep.max_link_utilization, 1.0);
+  EXPECT_LT(rep.max_ingress_utilization, 1.0);
+  EXPECT_TRUE(utilization_test(s.network, s.flows));
+}
+
+}  // namespace
+}  // namespace gmfnet::baseline
