@@ -1,0 +1,193 @@
+// Experiment E10: admission-decision cost as the resident flow set grows —
+// the seed's from-scratch controller (rebuild AnalysisContext + cold
+// holistic fixed point per query) vs the incremental AnalysisEngine
+// (cached parameter caches, route-based dirty tracking, warm-started fixed
+// point).
+//
+// Topology: a "campus" of independent star cells (one switch + 8 phones
+// each), the shape an operator's admission controller actually serves —
+// arrivals touch one locality domain, not the whole campus.  From-scratch
+// cost grows with the total resident count; incremental cost grows only
+// with the touched component.
+//
+//   $ ./bench_admission_scaling [probes_per_size]
+//
+// Exits non-zero if incremental admission is not >= 5x faster than
+// from-scratch at 64+ resident flows (the acceptance bar), or if the two
+// paths ever disagree on a verdict.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "engine/analysis_engine.hpp"
+#include "net/network.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace gmfnet;
+
+namespace {
+
+constexpr int kCells = 8;
+constexpr int kHostsPerCell = 8;
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+struct Campus {
+  net::Network net;
+  // hosts[cell][i]
+  std::vector<std::vector<net::NodeId>> hosts;
+  std::vector<net::NodeId> switches;
+};
+
+Campus make_campus() {
+  Campus c;
+  for (int cell = 0; cell < kCells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    c.hosts.emplace_back();
+    for (int h = 0; h < kHostsPerCell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.back().push_back(host);
+    }
+  }
+  return c;
+}
+
+/// Resident flow n in cell (n % kCells) between a rotating host pair of
+/// that cell: alternately a VoIP call and a surveillance-camera feed (a
+/// 4-frame GMF cycle: one 20 kB I-frame then three 3 kB P-frames at 25 fps
+/// — the paper's multimedia workload shape, much heavier to analyse than a
+/// sporadic call).
+gmf::Flow resident_flow(const Campus& c, int n) {
+  const int cell = n % kCells;
+  const int pair = (n / kCells) % (kHostsPerCell / 2);
+  const auto a = static_cast<std::size_t>(2 * pair);
+  const auto b = a + 1;
+  net::Route route({c.hosts[static_cast<std::size_t>(cell)][a],
+                    c.switches[static_cast<std::size_t>(cell)],
+                    c.hosts[static_cast<std::size_t>(cell)][b]});
+  if (n % 2 == 0) {
+    return workload::make_voip_flow("call" + std::to_string(n),
+                                    std::move(route), gmfnet::Time::ms(20),
+                                    /*priority=*/5);
+  }
+  std::vector<gmf::FrameSpec> frames;
+  for (int k = 0; k < 4; ++k) {
+    gmf::FrameSpec fs;
+    fs.min_separation = gmfnet::Time::ms(40);
+    fs.deadline = gmfnet::Time::ms(100);
+    fs.jitter = gmfnet::Time::ms(1);
+    fs.payload_bits = (k == 0 ? 20000 : 3000) * 8;
+    frames.push_back(fs);
+  }
+  return gmf::Flow("cam" + std::to_string(n), std::move(route),
+                   std::move(frames), /*priority=*/1);
+}
+
+double wall_us(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int probes = argc > 1 ? std::atoi(argv[1]) : 32;
+  std::printf("=== E10: admission cost scaling — from-scratch vs incremental "
+              "(%d-cell campus, %d probes per size) ===\n\n",
+              kCells, probes);
+
+  const Campus campus = make_campus();
+
+  Table t("Per-admission decision cost (median over probes)");
+  t.set_columns({"resident flows", "from-scratch us", "incremental us",
+                 "speedup", "verdicts agree"});
+  CsvWriter csv({"residents", "scratch_us", "incremental_us", "speedup"});
+
+  bool bar_met = true;
+  bool verdicts_agree = true;
+  for (const int residents : {8, 16, 32, 64, 128, 256}) {
+    std::vector<gmf::Flow> flows;
+    flows.reserve(static_cast<std::size_t>(residents));
+    for (int n = 0; n < residents; ++n) {
+      flows.push_back(resident_flow(campus, n));
+    }
+
+    // The incremental engine carries its converged state between arrivals.
+    engine::AnalysisEngine eng(campus.net);
+    for (const gmf::Flow& f : flows) eng.add_flow(f);
+    (void)eng.evaluate();  // settle the warm cache (not timed)
+
+    // Median over probes: robust against scheduler spikes on busy hosts.
+    std::vector<double> scratch_samples, incremental_samples;
+    scratch_samples.reserve(static_cast<std::size_t>(probes));
+    incremental_samples.reserve(static_cast<std::size_t>(probes));
+    for (int p = 0; p < probes; ++p) {
+      const gmf::Flow cand = resident_flow(campus, residents + p);
+
+      // Seed behaviour: rebuild the world, iterate from cold.
+      core::HolisticResult cold;
+      scratch_samples.push_back(wall_us([&] {
+        std::vector<gmf::Flow> candidate_set = flows;
+        candidate_set.push_back(cand);
+        const core::AnalysisContext ctx(campus.net, candidate_set);
+        cold = core::analyze_holistic(ctx);
+      }));
+
+      // Engine behaviour: copy-on-write view, dirty component only, warm
+      // start from the cached fixed point.
+      engine::WhatIfResult warm;
+      incremental_samples.push_back(wall_us([&] { warm = eng.what_if(cand); }));
+
+      verdicts_agree &= warm.admissible == cold.schedulable;
+      verdicts_agree &=
+          warm.result.worst_response(
+              core::FlowId(static_cast<std::int32_t>(residents))) ==
+          cold.worst_response(
+              core::FlowId(static_cast<std::int32_t>(residents)));
+    }
+    const auto median = [](std::vector<double> v) {
+      std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+      return v[v.size() / 2];
+    };
+    const double scratch_us = median(std::move(scratch_samples));
+    const double incremental_us = median(std::move(incremental_samples));
+    const double speedup = scratch_us / incremental_us;
+    if (residents >= 64 && speedup < 5.0) bar_met = false;
+
+    t.add_row({std::to_string(residents), Table::fixed(scratch_us, 1),
+               Table::fixed(incremental_us, 1), Table::fixed(speedup, 1) + "x",
+               verdicts_agree ? "yes" : "NO"});
+    csv.begin_row();
+    csv.add(residents);
+    csv.add(scratch_us);
+    csv.add(incremental_us);
+    csv.add(speedup);
+  }
+  t.print();
+  csv.save("bench_admission_scaling.csv");
+  std::printf("\nCSV written to bench_admission_scaling.csv\n");
+
+  if (!verdicts_agree) {
+    std::printf("FAIL: incremental and from-scratch verdicts disagree.\n");
+    return 1;
+  }
+  if (!bar_met) {
+    std::printf("FAIL: incremental admission is not >= 5x faster than "
+                "from-scratch at 64+ resident flows.\n");
+    return 1;
+  }
+  std::printf("PASS: incremental admission >= 5x faster at 64+ resident "
+              "flows, verdicts identical.\n");
+  return 0;
+}

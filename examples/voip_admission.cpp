@@ -4,7 +4,13 @@
 // guaranteed network delay, and refuses the call that would break any
 // guarantee.
 //
+// Decisions run on the incremental AnalysisEngine: the analysis world and
+// its converged jitter fixed point live across arrivals, so each verdict
+// re-analyses only the component the call touches, warm-started — the
+// per-decision latency column is the point.
+//
 //   $ ./voip_admission [max_calls]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,7 +34,8 @@ int main(int argc, char** argv) {
               "10 Mbit/s links...\n\n");
 
   Table t("Admission log");
-  t.set_columns({"call", "endpoints", "verdict", "worst bound after"});
+  t.set_columns({"call", "endpoints", "verdict", "decision us",
+                 "worst bound after"});
   Rng rng(7);
   int admitted = 0;
   for (int c = 0; c < max_calls; ++c) {
@@ -39,7 +46,11 @@ int main(int argc, char** argv) {
     const gmf::Flow call = workload::make_voip_flow(
         "call" + std::to_string(c),
         net::Route({star.hosts[a], star.sw, star.hosts[b]}));
+    const auto t0 = std::chrono::steady_clock::now();
     const auto result = controller.try_admit(call);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
     std::string worst = "-";
     if (result) {
       ++admitted;
@@ -51,13 +62,19 @@ int main(int argc, char** argv) {
     }
     t.add_row({std::to_string(c),
                "h" + std::to_string(a) + " -> h" + std::to_string(b),
-               result ? "ADMIT" : "reject", worst});
+               result ? "ADMIT" : "reject", Table::fixed(us, 1), worst});
     if (!result && admitted + 8 < c) break;  // saturated; stop logging
   }
   t.print();
 
+  const engine::EngineStats& stats = controller.engine().stats();
   std::printf("\n%d calls admitted, %zu rejected.\n", admitted,
               controller.rejected_count());
+  std::printf("Engine: %zu per-flow analyses run, %zu cached flow results "
+              "reused, %zu sweeps total\n        across %zu evaluations "
+              "(%zu cold, %zu incremental).\n",
+              stats.flow_analyses, stats.flow_results_reused, stats.sweeps,
+              stats.evaluations, stats.full_runs, stats.incremental_runs);
   std::printf("Every admitted call keeps a proven end-to-end bound below "
               "its 20 ms budget —\nthe guarantee the incident's network "
               "lacked.\n");

@@ -4,36 +4,29 @@ namespace gmfnet::core {
 
 AdmissionController::AdmissionController(net::Network network,
                                          HolisticOptions opts)
-    : net_(std::move(network)), opts_(opts) {
-  net_.validate();
-}
+    : engine_(std::move(network), opts) {}
 
 std::optional<HolisticResult> AdmissionController::try_admit(gmf::Flow flow) {
-  std::vector<gmf::Flow> candidate = flows_;
-  candidate.push_back(std::move(flow));
-
-  // AnalysisContext validates the candidate flow against the network; let
-  // malformed flows surface as exceptions rather than "rejected".
-  AnalysisContext ctx(net_, candidate);
-  HolisticResult result = analyze_holistic(ctx, opts_);
-  if (!result.schedulable) {
+  // The engine validates the candidate against the network; malformed flows
+  // surface as exceptions rather than "rejected".
+  auto result = engine_.try_admit(flow);
+  if (!result) {
     ++rejected_;
-    return std::nullopt;
+    return result;
   }
-  flows_ = std::move(candidate);
+  admitted_.push_back(std::move(flow));
   return result;
 }
 
-void AdmissionController::remove(std::size_t index) {
-  if (index < flows_.size()) {
-    flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(index));
-  }
+bool AdmissionController::remove(std::size_t index) {
+  if (!engine_.remove_flow(index)) return false;
+  admitted_.erase(admitted_.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
 }
 
 std::optional<HolisticResult> AdmissionController::current_guarantees() const {
-  if (flows_.empty()) return std::nullopt;
-  AnalysisContext ctx(net_, flows_);
-  return analyze_holistic(ctx, opts_);
+  if (engine_.flow_count() == 0) return std::nullopt;
+  return engine_.evaluate();
 }
 
 }  // namespace gmfnet::core

@@ -1,12 +1,23 @@
 // The admission controller of §3.5: a flow is accepted iff, with the flow
 // added, the holistic analysis converges and every frame of every flow
 // (existing and new) still meets its end-to-end deadline.
+//
+// The controller is a thin policy wrapper over engine::AnalysisEngine: the
+// engine keeps the analysis world (parameter caches, converged jitter fixed
+// point) alive between arrivals, so each decision re-analyses only the
+// component the candidate actually touches, warm-started from the previous
+// fixed point — instead of rebuilding the world per query.
+//
+// Layering note: this header stays in core/ for API stability (the
+// controller predates the engine), but it sits logically in the engine
+// layer — core's analyses never depend on it.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/holistic.hpp"
+#include "engine/analysis_engine.hpp"
 #include "gmf/flow.hpp"
 #include "net/network.hpp"
 
@@ -23,26 +34,40 @@ class AdmissionController {
   std::optional<HolisticResult> try_admit(gmf::Flow flow);
 
   /// Removes a previously admitted flow by index (order of admission);
-  /// subsequent indices shift down.  Removal never invalidates guarantees,
-  /// so no re-analysis is needed.
-  void remove(std::size_t index);
+  /// subsequent indices shift down.  Returns false (and changes nothing)
+  /// when `index` does not name an admitted flow.  Removal never
+  /// invalidates guarantees, so no re-analysis happens here.
+  bool remove(std::size_t index);
 
   [[nodiscard]] const std::vector<gmf::Flow>& admitted() const {
-    return flows_;
+    return admitted_;
   }
-  [[nodiscard]] std::size_t admitted_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t admitted_count() const {
+    return admitted_.size();
+  }
   [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
 
-  /// Holistic result for the currently admitted set (recomputed on demand;
-  /// nullopt when no flow is admitted).
+  /// Holistic result for the currently admitted set (served from the
+  /// engine's cache, recomputed incrementally when stale; nullopt when no
+  /// flow is admitted).
   [[nodiscard]] std::optional<HolisticResult> current_guarantees() const;
 
-  [[nodiscard]] const net::Network& network() const { return net_; }
+  [[nodiscard]] const net::Network& network() const {
+    return engine_.network();
+  }
+
+  /// The underlying incremental engine (exposed for instrumentation).
+  [[nodiscard]] const engine::AnalysisEngine& engine() const {
+    return engine_;
+  }
 
  private:
-  net::Network net_;
-  HolisticOptions opts_;
-  std::vector<gmf::Flow> flows_;
+  /// mutable: current_guarantees() is logically const but may refresh the
+  /// engine's memoized result.
+  mutable engine::AnalysisEngine engine_;
+  /// Mirror of the engine's resident set, kept so admitted() can expose the
+  /// flows as one contiguous vector.
+  std::vector<gmf::Flow> admitted_;
   std::size_t rejected_ = 0;
 };
 

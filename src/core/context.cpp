@@ -1,6 +1,8 @@
 #include "core/context.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "switchsim/switch_model.hpp"
 
@@ -17,27 +19,44 @@ JitterMap JitterMap::initial(const AnalysisContext& ctx) {
     for (std::size_t k = 0; k < flow.frame_count(); ++k) {
       src_jitter[k] = flow.frame(k).jitter;
     }
-    m.per_flow_[f][stages.front()] = std::move(src_jitter);
+    m.per_flow_[f] = std::make_shared<StageMap>();
+    (*m.per_flow_[f])[stages.front()] = std::move(src_jitter);
   }
   return m;
 }
 
+const JitterMap::StageMap& JitterMap::flow_map(std::size_t f) const {
+  static const StageMap kEmpty;
+  if (f >= per_flow_.size() || !per_flow_[f]) return kEmpty;
+  return *per_flow_[f];
+}
+
+JitterMap::StageMap& JitterMap::mutable_flow_map(std::size_t f) {
+  if (f >= per_flow_.size()) per_flow_.resize(f + 1);
+  auto& slot = per_flow_[f];
+  if (!slot) {
+    slot = std::make_shared<StageMap>();
+  } else if (slot.use_count() > 1) {
+    // Shared with a snapshot/copy: clone before the write.
+    slot = std::make_shared<StageMap>(*slot);
+  }
+  return *slot;
+}
+
 gmfnet::Time JitterMap::jitter(FlowId flow, const StageKey& stage,
                                std::size_t frame) const {
-  const auto f = static_cast<std::size_t>(flow.v);
-  if (f >= per_flow_.size()) return gmfnet::Time::zero();
-  const auto it = per_flow_[f].find(stage);
-  if (it == per_flow_[f].end() || frame >= it->second.size()) {
+  const StageMap& m = flow_map(static_cast<std::size_t>(flow.v));
+  const auto it = m.find(stage);
+  if (it == m.end() || frame >= it->second.size()) {
     return gmfnet::Time::zero();
   }
   return it->second[frame];
 }
 
 gmfnet::Time JitterMap::max_jitter(FlowId flow, const StageKey& stage) const {
-  const auto f = static_cast<std::size_t>(flow.v);
-  if (f >= per_flow_.size()) return gmfnet::Time::zero();
-  const auto it = per_flow_[f].find(stage);
-  if (it == per_flow_[f].end()) return gmfnet::Time::zero();
+  const StageMap& sm = flow_map(static_cast<std::size_t>(flow.v));
+  const auto it = sm.find(stage);
+  if (it == sm.end()) return gmfnet::Time::zero();
   gmfnet::Time m = gmfnet::Time::zero();
   for (gmfnet::Time t : it->second) m = gmfnet::max(m, t);
   return m;
@@ -45,59 +64,155 @@ gmfnet::Time JitterMap::max_jitter(FlowId flow, const StageKey& stage) const {
 
 void JitterMap::set_jitter(FlowId flow, const StageKey& stage,
                            std::size_t frame, gmfnet::Time value) {
-  const auto f = static_cast<std::size_t>(flow.v);
-  if (f >= per_flow_.size()) per_flow_.resize(f + 1);
-  auto& v = per_flow_[f][stage];
+  auto& v = mutable_flow_map(static_cast<std::size_t>(flow.v))[stage];
   if (frame >= v.size()) v.resize(frame + 1, gmfnet::Time::zero());
   v[frame] = value;
 }
 
 void JitterMap::adopt_flow(const JitterMap& other, FlowId flow) {
+  adopt_flow(other, flow, flow);
+}
+
+void JitterMap::adopt_flow(const JitterMap& other, FlowId from, FlowId to) {
+  const auto src = static_cast<std::size_t>(from.v);
+  const auto dst = static_cast<std::size_t>(to.v);
+  if (dst >= per_flow_.size()) per_flow_.resize(dst + 1);
+  // Adoption shares the source's map; a later write to either side clones.
+  per_flow_[dst] =
+      src < other.per_flow_.size() ? other.per_flow_[src] : nullptr;
+}
+
+void JitterMap::erase_flow(FlowId flow) {
   const auto f = static_cast<std::size_t>(flow.v);
-  if (f >= per_flow_.size()) per_flow_.resize(f + 1);
-  per_flow_[f] = f < other.per_flow_.size()
-                     ? other.per_flow_[f]
-                     : std::map<StageKey, std::vector<gmfnet::Time>>{};
+  if (f < per_flow_.size()) {
+    per_flow_.erase(per_flow_.begin() + static_cast<std::ptrdiff_t>(f));
+  }
+}
+
+void JitterMap::clear_flow(FlowId flow) {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f < per_flow_.size()) per_flow_[f] = nullptr;
+}
+
+bool JitterMap::flow_equals(const JitterMap& other, FlowId flow) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  // Shared maps are equal by construction; only diverged ones need a deep
+  // compare.
+  if (f < per_flow_.size() && f < other.per_flow_.size() &&
+      per_flow_[f] == other.per_flow_[f]) {
+    return true;
+  }
+  return flow_map(f) == other.flow_map(f);
+}
+
+bool JitterMap::operator==(const JitterMap& other) const {
+  if (per_flow_.size() != other.per_flow_.size()) return false;
+  for (std::size_t f = 0; f < per_flow_.size(); ++f) {
+    if (!flow_equals(other, FlowId(static_cast<std::int32_t>(f)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AnalysisContext::AnalysisContext(net::Network network)
+    : net_(std::make_shared<const net::Network>(std::move(network))) {
+  net_->validate();
+  std::vector<gmfnet::Time> circ(net_->node_count(), gmfnet::Time::zero());
+  for (const NodeId n : net_->nodes_of_kind(net::NodeKind::kSwitch)) {
+    circ[static_cast<std::size_t>(n.v)] = switchsim::circ_of(*net_, n);
+  }
+  circ_ = std::make_shared<const std::vector<gmfnet::Time>>(std::move(circ));
 }
 
 AnalysisContext::AnalysisContext(net::Network network,
                                  std::vector<gmf::Flow> flows)
-    : net_(std::move(network)), flows_(std::move(flows)) {
-  net_.validate();
-  for (const gmf::Flow& f : flows_) f.validate(net_);
+    : AnalysisContext(std::move(network)) {
+  derived_.reserve(flows.size());
+  for (gmf::Flow& f : flows) add_flow(std::move(f));
+}
 
-  stages_.resize(flows_.size());
-  circ_.resize(net_.node_count(), gmfnet::Time::zero());
-  for (const NodeId n : net_.nodes_of_kind(net::NodeKind::kSwitch)) {
-    circ_[static_cast<std::size_t>(n.v)] = switchsim::circ_of(net_, n);
+FlowId AnalysisContext::add_flow(gmf::Flow flow) {
+  flow.validate(*net_);
+  const FlowId id(static_cast<std::int32_t>(derived_.size()));
+
+  auto d = std::make_shared<FlowDerived>();
+  d->flow = std::move(flow);
+  const net::Route& route = d->flow.route();
+
+  // Stage sequence per Figure 6: first link, then per-switch (in, link).
+  d->stages.push_back(StageKey::link(route.node_at(0), route.node_at(1)));
+  for (std::size_t i = 1; i + 1 < route.node_count(); ++i) {
+    d->stages.push_back(StageKey::ingress(route.node_at(i)));
+    d->stages.push_back(StageKey::link(route.node_at(i), route.node_at(i + 1)));
   }
 
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    const FlowId id(static_cast<std::int32_t>(f));
-    const gmf::Flow& flow = flows_[f];
-    const net::Route& route = flow.route();
+  d->links = route.links();
+  d->params.reserve(d->links.size());
+  for (const LinkRef l : d->links) {
+    d->params.emplace_back(d->flow, net_->linkspeed(l.src, l.dst));
+  }
+  d->demand.reserve(d->params.size());
+  for (const gmf::FlowLinkParams& p : d->params) d->demand.emplace_back(p);
 
-    // Stage sequence per Figure 6: first link, then per-switch (in, link).
-    auto& st = stages_[f];
-    st.push_back(StageKey::link(route.node_at(0), route.node_at(1)));
-    for (std::size_t i = 1; i + 1 < route.node_count(); ++i) {
-      st.push_back(StageKey::ingress(route.node_at(i)));
-      st.push_back(StageKey::link(route.node_at(i), route.node_at(i + 1)));
-    }
+  derived_.push_back(std::move(d));
 
-    for (const LinkRef l : route.links()) {
-      flows_on_link_[l].push_back(id);
-      pair_index_[{id.v, l}] = params_.size();
-      params_.emplace_back(flow, net_.linkspeed(l.src, l.dst));
-      demand_.emplace_back(params_.back());
+  // Route-based incremental update: only this flow's links are touched.
+  for (const LinkRef l : derived_.back()->links) {
+    LinkState& state = links_[l];
+    state.flows.push_back(id);
+    recompute_link_aggregates(l, state);
+  }
+  return id;
+}
+
+void AnalysisContext::remove_flow(std::size_t index) {
+  if (index >= derived_.size()) {
+    throw std::out_of_range("remove_flow: no flow at this index");
+  }
+  const auto removed = static_cast<std::int32_t>(index);
+  const std::vector<LinkRef> touched = derived_[index]->links;
+
+  derived_.erase(derived_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  // Flow ids above the removed one shift down by one, on every link.
+  for (auto it = links_.begin(); it != links_.end();) {
+    auto& flows = it->second.flows;
+    std::erase(flows, FlowId(removed));
+    for (FlowId& f : flows) {
+      if (f.v > removed) f = FlowId(f.v - 1);
     }
+    if (flows.empty()) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Only the removed flow's route links need their aggregates rebuilt.
+  for (const LinkRef l : touched) {
+    const auto it = links_.find(l);
+    if (it != links_.end()) recompute_link_aggregates(l, it->second);
+  }
+}
+
+void AnalysisContext::recompute_link_aggregates(LinkRef link,
+                                                LinkState& state) const {
+  const gmfnet::Time c = circ(link.dst);
+  state.utilization = 0.0;
+  state.ingress_utilization = 0.0;
+  for (const FlowId j : state.flows) {
+    const gmf::FlowLinkParams& p = link_params(j, link);
+    state.utilization += p.utilization();
+    state.ingress_utilization += static_cast<double>(p.nsum()) *
+                                 static_cast<double>(c.ps()) /
+                                 static_cast<double>(p.tsum().ps());
   }
 }
 
 const std::vector<FlowId>& AnalysisContext::flows_on_link(LinkRef link) const {
   static const std::vector<FlowId> kEmpty;
-  const auto it = flows_on_link_.find(link);
-  return it == flows_on_link_.end() ? kEmpty : it->second;
+  const auto it = links_.find(link);
+  return it == links_.end() ? kEmpty : it->second.flows;
 }
 
 std::vector<FlowId> AnalysisContext::hep(FlowId i, LinkRef link) const {
@@ -118,45 +233,45 @@ std::vector<FlowId> AnalysisContext::lp(FlowId i, LinkRef link) const {
   return out;
 }
 
+const AnalysisContext::FlowDerived& AnalysisContext::derived(
+    FlowId i, const char* what) const {
+  const auto f = static_cast<std::size_t>(i.v);
+  if (i.v < 0 || f >= derived_.size()) {
+    throw std::out_of_range(std::string(what) + ": no such flow");
+  }
+  return *derived_[f];
+}
+
 const gmf::FlowLinkParams& AnalysisContext::link_params(FlowId i,
                                                         LinkRef link) const {
-  const auto it = pair_index_.find({i.v, link});
-  if (it == pair_index_.end()) {
-    throw std::out_of_range("link_params: flow does not traverse link");
+  const FlowDerived& d = derived(i, "link_params");
+  for (std::size_t k = 0; k < d.links.size(); ++k) {
+    if (d.links[k] == link) return d.params[k];
   }
-  return params_[it->second];
+  throw std::out_of_range("link_params: flow does not traverse link");
 }
 
 const gmf::DemandCurve& AnalysisContext::demand(FlowId i, LinkRef link) const {
-  const auto it = pair_index_.find({i.v, link});
-  if (it == pair_index_.end()) {
-    throw std::out_of_range("demand: flow does not traverse link");
+  const FlowDerived& d = derived(i, "demand");
+  for (std::size_t k = 0; k < d.links.size(); ++k) {
+    if (d.links[k] == link) return d.demand[k];
   }
-  return demand_[it->second];
+  throw std::out_of_range("demand: flow does not traverse link");
 }
 
 gmfnet::Time AnalysisContext::circ(NodeId n) const {
-  if (!net_.has_node(n)) throw std::out_of_range("circ: bad node");
-  return circ_[static_cast<std::size_t>(n.v)];
+  if (!net_->has_node(n)) throw std::out_of_range("circ: bad node");
+  return (*circ_)[static_cast<std::size_t>(n.v)];
 }
 
 double AnalysisContext::link_utilization(LinkRef link) const {
-  double u = 0;
-  for (const FlowId j : flows_on_link(link)) {
-    u += link_params(j, link).utilization();
-  }
-  return u;
+  const auto it = links_.find(link);
+  return it == links_.end() ? 0.0 : it->second.utilization;
 }
 
 double AnalysisContext::ingress_utilization(LinkRef link) const {
-  const gmfnet::Time c = circ(link.dst);
-  double u = 0;
-  for (const FlowId j : flows_on_link(link)) {
-    const auto& p = link_params(j, link);
-    u += static_cast<double>(p.nsum()) * static_cast<double>(c.ps()) /
-         static_cast<double>(p.tsum().ps());
-  }
-  return u;
+  const auto it = links_.find(link);
+  return it == links_.end() ? 0.0 : it->second.ingress_utilization;
 }
 
 double AnalysisContext::egress_level_utilization(FlowId i, LinkRef link) const {
@@ -168,7 +283,11 @@ double AnalysisContext::egress_level_utilization(FlowId i, LinkRef link) const {
 }
 
 const std::vector<StageKey>& AnalysisContext::stages(FlowId i) const {
-  return stages_[static_cast<std::size_t>(i.v)];
+  return derived_[static_cast<std::size_t>(i.v)]->stages;
+}
+
+const std::vector<LinkRef>& AnalysisContext::route_links(FlowId i) const {
+  return derived_[static_cast<std::size_t>(i.v)]->links;
 }
 
 }  // namespace gmfnet::core

@@ -1,11 +1,20 @@
-// AnalysisContext: the immutable world the response-time analyses run
-// against (network + flow set + all derived per-link parameters), and
-// JitterMap: the mutable per-stage generalized-jitter state that the
-// holistic iteration drives to a fixed point.
+// AnalysisContext: the world the response-time analyses run against
+// (network + flow set + all derived per-link parameters), and JitterMap:
+// the mutable per-stage generalized-jitter state that the holistic
+// iteration drives to a fixed point.
+//
+// The context is built *incrementally*: flows can be added and removed one
+// at a time, and only the state derived from the touched flow's route links
+// is (re)computed — untouched flows' parameter caches are never rebuilt.
+// All heavy per-flow derived state (stage pipeline, FlowLinkParams,
+// DemandCurves) is immutable once built and shared between copies, so
+// copying a context is a cheap copy-on-write view: the admission engine
+// fans what-if analyses over copies without recomputing anything.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "gmf/demand.hpp"
@@ -48,6 +57,11 @@ class AnalysisContext;
 /// Per-flow, per-stage, per-frame generalized jitter — the quantity the
 /// holistic analysis iterates on.  Missing entries read as zero (the
 /// holistic initial assumption for non-source stages).
+///
+/// Per-flow stage maps are copy-on-write: copying a JitterMap shares them,
+/// and a write clones only the written flow's map.  Snapshots (Jacobi
+/// sweeps, the engine's convergence checks and warm starts) therefore cost
+/// one pointer per untouched flow.  Equality compares values, not sharing.
 class JitterMap {
  public:
   JitterMap() = default;
@@ -72,28 +86,67 @@ class JitterMap {
   /// snapshot).
   void adopt_flow(const JitterMap& other, FlowId flow);
 
-  bool operator==(const JitterMap&) const = default;
+  /// Cross-id adoption: replaces this map's entries for `to` with `other`'s
+  /// entries for `from`.  Used by the incremental engine to carry a flow's
+  /// converged jitters across flow-id shifts caused by removals.
+  void adopt_flow(const JitterMap& other, FlowId from, FlowId to);
+
+  /// Drops `flow`'s entries and shifts every higher flow id down by one —
+  /// the jitter-map counterpart of erasing a flow from the context.
+  void erase_flow(FlowId flow);
+
+  /// Clears `flow`'s entries (they read as zero again) without shifting ids.
+  void clear_flow(FlowId flow);
+
+  /// True when this map's and `other`'s entries for `flow` are identical.
+  /// Lets the incremental engine detect convergence by comparing only the
+  /// flows a sweep may have changed, instead of the whole map.
+  [[nodiscard]] bool flow_equals(const JitterMap& other, FlowId flow) const;
+
+  bool operator==(const JitterMap& other) const;
 
  private:
-  friend class AnalysisContext;
-  /// per_flow_[flow.v][stage] -> per-frame jitter vector
-  std::vector<std::map<StageKey, std::vector<gmfnet::Time>>> per_flow_;
+  /// [stage] -> per-frame jitter vector, for one flow.
+  using StageMap = std::map<StageKey, std::vector<gmfnet::Time>>;
+
+  /// Read view of one flow's entries (empty when absent).
+  [[nodiscard]] const StageMap& flow_map(std::size_t f) const;
+  /// Write access: clones the flow's map iff it is shared (copy-on-write).
+  [[nodiscard]] StageMap& mutable_flow_map(std::size_t f);
+
+  /// per_flow_[flow.v] -> shared stage map (null reads as empty).
+  std::vector<std::shared_ptr<StageMap>> per_flow_;
 };
 
-/// Immutable analysis world.  Construction validates the network and every
-/// flow, and eagerly precomputes, for every (flow, route link) pair, the
-/// FlowLinkParams and DemandCurve — so all analysis-time queries are
-/// read-only and safe to issue from parallel (Jacobi) sweeps.
+/// The analysis world.  Flow addition validates the flow and eagerly
+/// precomputes, for every link of its route, the FlowLinkParams and
+/// DemandCurve — so all analysis-time queries are read-only and safe to
+/// issue from parallel (Jacobi) sweeps.  Per-link aggregates (utilization
+/// sums) are maintained incrementally: an add/remove touches only the links
+/// of the affected flow's route.
 class AnalysisContext {
  public:
+  /// Empty world over `network`; flows are added incrementally.
+  explicit AnalysisContext(net::Network network);
+  /// Monolithic construction: equivalent to adding every flow in order.
   AnalysisContext(net::Network network, std::vector<gmf::Flow> flows);
 
-  [[nodiscard]] const net::Network& network() const { return net_; }
-  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  /// Validates `flow` (throws std::logic_error on malformed flows), derives
+  /// its per-link parameter caches and appends it.  Only this flow's route
+  /// links are touched; every other flow's derived state is untouched and
+  /// stays shared with any copies of the context.
+  FlowId add_flow(gmf::Flow flow);
+
+  /// Removes the flow at `index` (flow ids above it shift down by one).
+  /// Only the per-link aggregates of the removed flow's route links are
+  /// recomputed.  Throws std::out_of_range on a bad index.
+  void remove_flow(std::size_t index);
+
+  [[nodiscard]] const net::Network& network() const { return *net_; }
+  [[nodiscard]] std::size_t flow_count() const { return derived_.size(); }
   [[nodiscard]] const gmf::Flow& flow(FlowId id) const {
-    return flows_[static_cast<std::size_t>(id.v)];
+    return derived_[static_cast<std::size_t>(id.v)]->flow;
   }
-  [[nodiscard]] const std::vector<gmf::Flow>& flows() const { return flows_; }
 
   /// flows(N1,N2): ids of flows whose route uses the directed link.
   [[nodiscard]] const std::vector<FlowId>& flows_on_link(LinkRef link) const;
@@ -113,6 +166,7 @@ class AnalysisContext {
   [[nodiscard]] gmfnet::Time circ(NodeId n) const;
 
   /// Sum over flows on `link` of CSUM/TSUM — the left side of eq (20).
+  /// Maintained incrementally; O(log links) per query.
   [[nodiscard]] double link_utilization(LinkRef link) const;
   /// Ingress-task load on the FIFO of `link`: sum of NSUM*CIRC(dst)/TSUM.
   [[nodiscard]] double ingress_utilization(LinkRef link) const;
@@ -123,16 +177,39 @@ class AnalysisContext {
   /// (ingress, egress-link) per intermediate switch.
   [[nodiscard]] const std::vector<StageKey>& stages(FlowId i) const;
 
+  /// The route links of flow `i`, in traversal order (cached).
+  [[nodiscard]] const std::vector<LinkRef>& route_links(FlowId i) const;
+
  private:
-  net::Network net_;
-  std::vector<gmf::Flow> flows_;
-  std::map<LinkRef, std::vector<FlowId>> flows_on_link_;
-  std::vector<std::vector<StageKey>> stages_;
-  // (flow, link) -> dense index into params_/demand_.
-  std::map<std::pair<std::int32_t, LinkRef>, std::size_t> pair_index_;
-  std::vector<gmf::FlowLinkParams> params_;
-  std::vector<gmf::DemandCurve> demand_;
-  std::vector<gmfnet::Time> circ_;  ///< by node id; zero for non-switches
+  /// One flow plus everything derived from it alone (given the network):
+  /// immutable once built, shared between context copies — copying a
+  /// context costs one pointer per untouched flow.
+  struct FlowDerived {
+    gmf::Flow flow;
+    std::vector<StageKey> stages;
+    std::vector<LinkRef> links;               ///< route links, in order
+    std::vector<gmf::FlowLinkParams> params;  ///< parallel to `links`
+    std::vector<gmf::DemandCurve> demand;     ///< parallel to `links`
+  };
+
+  /// Per-link mutable state: the flows crossing the link plus the
+  /// incrementally maintained utilization aggregates.
+  struct LinkState {
+    std::vector<FlowId> flows;
+    double utilization = 0.0;          ///< sum of CSUM/TSUM
+    double ingress_utilization = 0.0;  ///< sum of NSUM*CIRC(dst)/TSUM
+  };
+
+  [[nodiscard]] const FlowDerived& derived(FlowId i, const char* what) const;
+  /// Recomputes `state`'s aggregates from scratch, summing in flow-id order
+  /// (bit-identical to a monolithic rebuild).
+  void recompute_link_aggregates(LinkRef link, LinkState& state) const;
+
+  std::shared_ptr<const net::Network> net_;
+  /// CIRC by node id (zero for non-switches); network-static, shared.
+  std::shared_ptr<const std::vector<gmfnet::Time>> circ_;
+  std::vector<std::shared_ptr<const FlowDerived>> derived_;
+  std::map<LinkRef, LinkState> links_;
 };
 
 }  // namespace gmfnet::core

@@ -49,7 +49,8 @@ std::vector<FlowResult> sweep_jacobi(const AnalysisContext& ctx,
 HolisticResult analyze_holistic(const AnalysisContext& ctx,
                                 const HolisticOptions& opts) {
   HolisticResult out;
-  out.jitters = JitterMap::initial(ctx);
+  out.jitters =
+      opts.initial_jitters ? *opts.initial_jitters : JitterMap::initial(ctx);
 
   std::unique_ptr<ThreadPool> pool;
   if (opts.order == SweepOrder::kJacobi) {

@@ -27,6 +27,14 @@ struct HolisticOptions {
   int max_sweeps = 64;            ///< fixed-point sweep cap
   SweepOrder order = SweepOrder::kGaussSeidel;
   std::size_t threads = 0;        ///< Jacobi worker threads (0 = hardware)
+  /// Warm start: seed the iteration from this map instead of
+  /// JitterMap::initial(ctx).  Sound whenever the seed lies at or below the
+  /// least fixed point of the sweep operator — e.g. the converged map of the
+  /// same flow set minus some flows (interference only grew, so the old
+  /// fixed point is a valid under-approximation and the iteration converges
+  /// to the *same* least fixed point, in far fewer sweeps).  Not owned; must
+  /// outlive the analyze_holistic call.
+  const JitterMap* initial_jitters = nullptr;
 };
 
 struct HolisticResult {

@@ -1,0 +1,304 @@
+#include "engine/analysis_engine.hpp"
+
+#include <utility>
+
+#include "core/end_to_end.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gmfnet::engine {
+
+AnalysisEngine::AnalysisEngine(net::Network network, core::HolisticOptions opts)
+    : ctx_(std::move(network)), opts_(opts) {
+  opts_.initial_jitters = nullptr;  // the engine owns warm starting
+}
+
+net::FlowId AnalysisEngine::add_flow(gmf::Flow flow) {
+  const net::FlowId id = ctx_.add_flow(std::move(flow));
+  for (const net::LinkRef l : ctx_.route_links(id)) dirty_links_.insert(l);
+  return id;
+}
+
+bool AnalysisEngine::remove_flow(std::size_t index) {
+  if (index >= ctx_.flow_count()) return false;
+  for (const net::LinkRef l :
+       ctx_.route_links(net::FlowId(static_cast<std::int32_t>(index)))) {
+    dirty_links_.insert(l);
+  }
+  ctx_.remove_flow(index);
+  if (cache_.valid && index < cache_.result.flows.size()) {
+    // Keep the cache parallel to the shifted flow ids; the surviving
+    // entries remain the converged state of their (clean) components.
+    cache_.result.flows.erase(cache_.result.flows.begin() +
+                              static_cast<std::ptrdiff_t>(index));
+    cache_.result.jitters.erase_flow(
+        net::FlowId(static_cast<std::int32_t>(index)));
+  }
+  removal_pending_ = true;
+  return true;
+}
+
+std::vector<bool> AnalysisEngine::dirty_closure(
+    const core::AnalysisContext& ctx, std::vector<bool> dirty) const {
+  const std::size_t n = ctx.flow_count();
+  dirty.resize(n, false);
+  // Flows without a cached FlowResult (added since the last evaluation)
+  // must be dirty: run_incremental reuses cache entries for clean flows.
+  // add_flow also dirties their route links, but seed them explicitly
+  // rather than leaning on that invariant.
+  for (std::size_t f = cache_.result.flows.size(); f < n; ++f) {
+    dirty[f] = true;
+  }
+  std::vector<net::FlowId> worklist;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (dirty[f]) {
+      worklist.push_back(net::FlowId(static_cast<std::int32_t>(f)));
+      continue;
+    }
+    for (const net::LinkRef l :
+         ctx.route_links(net::FlowId(static_cast<std::int32_t>(f)))) {
+      if (dirty_links_.count(l) != 0) {
+        dirty[f] = true;
+        worklist.push_back(net::FlowId(static_cast<std::int32_t>(f)));
+        break;
+      }
+    }
+  }
+  // Transitive closure over link sharing: interference only travels across
+  // shared links, so everything outside the closure keeps its fixed point.
+  while (!worklist.empty()) {
+    const net::FlowId i = worklist.back();
+    worklist.pop_back();
+    for (const net::LinkRef l : ctx.route_links(i)) {
+      for (const net::FlowId j : ctx.flows_on_link(l)) {
+        const auto jf = static_cast<std::size_t>(j.v);
+        if (!dirty[jf]) {
+          dirty[jf] = true;
+          worklist.push_back(j);
+        }
+      }
+    }
+  }
+  return dirty;
+}
+
+core::JitterMap AnalysisEngine::warm_start(const core::AnalysisContext& ctx,
+                                           const std::vector<bool>& dirty,
+                                           bool reset_dirty) const {
+  // Clean flows sit exactly at their (unchanged) fixed point; dirty flows
+  // after an add start from the old fixed point, a sound
+  // under-approximation of the new one.  Start from one copy of the cached
+  // map and reset only the flows that must restart from the initial state
+  // (flows added since the last evaluation, and the dirty component after a
+  // removal).
+  core::JitterMap start = cache_.result.jitters;
+  const std::size_t cached = cache_.result.flows.size();
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    if (f < cached && !(dirty[f] && reset_dirty)) continue;
+    const net::FlowId id(static_cast<std::int32_t>(f));
+    start.clear_flow(id);
+    const gmf::Flow& flow = ctx.flow(id);
+    const core::StageKey& source = ctx.stages(id).front();
+    for (std::size_t k = 0; k < flow.frame_count(); ++k) {
+      start.set_jitter(id, source, k, flow.frame(k).jitter);
+    }
+  }
+  return start;
+}
+
+core::HolisticResult AnalysisEngine::run_incremental(
+    const core::AnalysisContext& ctx, const std::vector<bool>& dirty,
+    core::JitterMap start, RunStats& rs) const {
+  std::vector<net::FlowId> dirty_ids;
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    if (dirty[f]) dirty_ids.push_back(net::FlowId(static_cast<std::int32_t>(f)));
+  }
+
+  core::HolisticResult out;
+  out.jitters = std::move(start);
+
+  std::vector<core::FlowResult> fresh(dirty_ids.size());
+  bool diverged = false;
+  for (int sweep = 0; sweep < opts_.max_sweeps; ++sweep) {
+    // A sweep writes only the analysed (dirty) flows' own entries, so the
+    // convergence snapshot/compare can stay proportional to the dirty
+    // component instead of the whole map.
+    core::JitterMap before;
+    for (const net::FlowId id : dirty_ids) {
+      before.adopt_flow(out.jitters, id, id);
+    }
+    for (std::size_t k = 0; k < dirty_ids.size(); ++k) {
+      fresh[k] =
+          core::analyze_flow_end_to_end(ctx, out.jitters, dirty_ids[k],
+                                        opts_.hop);
+    }
+    out.sweeps = sweep + 1;
+    ++rs.sweeps;
+    rs.flow_analyses += dirty_ids.size();
+
+    for (const core::FlowResult& fr : fresh) {
+      if (!fr.all_converged()) {
+        diverged = true;
+        break;
+      }
+    }
+    if (diverged) break;
+    bool unchanged = true;
+    for (const net::FlowId id : dirty_ids) {
+      if (!out.jitters.flow_equals(before, id)) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Assemble the full per-flow result vector: fresh for the dirty
+  // component, cached (still converged, untouched component) otherwise.
+  out.flows.resize(ctx.flow_count());
+  for (std::size_t k = 0; k < dirty_ids.size(); ++k) {
+    out.flows[static_cast<std::size_t>(dirty_ids[k].v)] = std::move(fresh[k]);
+  }
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    if (!dirty[f]) {
+      out.flows[f] = cache_.result.flows[f];
+      ++rs.flow_results_reused;
+    }
+  }
+
+  if (diverged || !out.converged) {
+    out.converged = false;
+    out.schedulable = false;
+    return out;
+  }
+  out.schedulable = true;
+  for (const core::FlowResult& fr : out.flows) {
+    if (!fr.schedulable()) {
+      out.schedulable = false;
+      break;
+    }
+  }
+  return out;
+}
+
+void AnalysisEngine::install(core::HolisticResult result) {
+  cache_.result = std::move(result);
+  cache_.valid = cache_.result.converged;
+  dirty_links_.clear();
+  removal_pending_ = false;
+}
+
+const core::HolisticResult& AnalysisEngine::evaluate() {
+  const bool clean = dirty_links_.empty() && !removal_pending_ &&
+                     cache_.result.flows.size() == ctx_.flow_count();
+  if (cache_.valid && clean) return cache_.result;
+
+  if (!cache_.valid) {
+    // No converged state to start from: cold full-set run.
+    record_run(RunStats{});
+    install(core::analyze_holistic(ctx_, opts_));
+    return cache_.result;
+  }
+
+  const std::vector<bool> dirty =
+      dirty_closure(ctx_, std::vector<bool>(ctx_.flow_count(), false));
+  core::JitterMap start = warm_start(ctx_, dirty, removal_pending_);
+  RunStats rs;
+  core::HolisticResult result =
+      run_incremental(ctx_, dirty, std::move(start), rs);
+  record_run(rs);
+  install(std::move(result));
+  return cache_.result;
+}
+
+WhatIfResult AnalysisEngine::probe(const core::AnalysisContext& view,
+                                   RunStats& rs) const {
+  WhatIfResult out;
+  if (!cache_.valid) {
+    // Resident set has no converged state (diverging base): cold run.
+    // Force Gauss-Seidel: probes may run inside evaluate_batch's pool
+    // workers, and a Jacobi run would build a nested pool per probe.
+    core::HolisticOptions cold = opts_;
+    cold.order = core::SweepOrder::kGaussSeidel;
+    out.result = core::analyze_holistic(view, cold);
+  } else {
+    // The candidate is the last flow of the view; its component is dirty.
+    std::vector<bool> seed(view.flow_count(), false);
+    seed.back() = true;
+    const std::vector<bool> dirty = dirty_closure(view, std::move(seed));
+    core::JitterMap start = warm_start(view, dirty, /*reset_dirty=*/false);
+    out.result = run_incremental(view, dirty, std::move(start), rs);
+  }
+  out.admissible = out.result.schedulable;
+  return out;
+}
+
+void AnalysisEngine::record_run(const RunStats& rs) {
+  ++stats_.evaluations;
+  if (cache_.valid) {
+    ++stats_.incremental_runs;
+  } else {
+    ++stats_.full_runs;
+  }
+  stats_.flow_analyses += rs.flow_analyses;
+  stats_.flow_results_reused += rs.flow_results_reused;
+  stats_.sweeps += rs.sweeps;
+}
+
+WhatIfResult AnalysisEngine::what_if(const gmf::Flow& candidate) {
+  evaluate();
+  core::AnalysisContext view = ctx_;
+  view.add_flow(candidate);
+  RunStats rs;
+  const WhatIfResult out = probe(view, rs);
+  record_run(rs);
+  return out;
+}
+
+std::optional<core::HolisticResult> AnalysisEngine::try_admit(
+    gmf::Flow candidate) {
+  evaluate();
+  core::AnalysisContext view = ctx_;
+  view.add_flow(std::move(candidate));
+  RunStats rs;
+  WhatIfResult probed = probe(view, rs);
+  record_run(rs);
+  if (!probed.admissible) return std::nullopt;
+
+  // Commit: adopt the what-if view and its converged state wholesale; the
+  // next arrival warm-starts from here.
+  ctx_ = std::move(view);
+  install(std::move(probed.result));
+  return cache_.result;
+}
+
+std::vector<WhatIfResult> AnalysisEngine::evaluate_batch(
+    const std::vector<gmf::Flow>& candidates) {
+  evaluate();
+  std::vector<WhatIfResult> out(candidates.size());
+  if (candidates.empty()) return out;
+
+  // Build the copy-on-write views serially so validation errors surface to
+  // the caller before any analysis runs.  Each view shares every resident
+  // flow's derived state with the cached context; only the candidate's own
+  // parameters are computed.
+  std::vector<core::AnalysisContext> views;
+  views.reserve(candidates.size());
+  for (const gmf::Flow& c : candidates) {
+    views.push_back(ctx_);
+    views.back().add_flow(c);
+  }
+
+  std::vector<RunStats> rs(candidates.size());
+  ThreadPool pool(opts_.threads);
+  pool.parallel_for(candidates.size(), [&](std::size_t i) {
+    out[i] = probe(views[i], rs[i]);
+  });
+
+  for (const RunStats& r : rs) record_run(r);
+  return out;
+}
+
+}  // namespace gmfnet::engine

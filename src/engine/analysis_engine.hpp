@@ -1,0 +1,177 @@
+// AnalysisEngine: the long-lived, incremental admission-control core.
+//
+// The seed's AdmissionController re-derived the whole world per query: every
+// try_admit copied the flow vector, rebuilt the AnalysisContext and iterated
+// the holistic fixed point from a cold jitter map.  The engine keeps the
+// world alive between queries and makes the per-arrival work proportional to
+// what the arrival actually changed:
+//
+//  * Route-based dirty tracking.  Adding or removing a flow dirties only the
+//    links of its route.  At evaluation time the dirty set is closed
+//    transitively over link sharing (a flow is affected iff it shares a link
+//    with an affected flow), and only that component is re-analysed; every
+//    other flow's converged FlowResult is reused verbatim.  Per-flow
+//    parameter caches (gmf::FlowLinkParams, DemandCurves) live in the
+//    context and are never rebuilt for untouched flows.
+//
+//  * Warm-started fixed point.  Re-analysis seeds the holistic iteration
+//    from the previously converged JitterMap instead of zeros.  The sweep
+//    operator is monotone and adding a flow only adds interference, so the
+//    old fixed point under-approximates the new one and the iteration
+//    reaches the *same* least fixed point in near-minimal sweeps (a one-flow
+//    delta typically converges in 2).  After a removal the affected
+//    component restarts from the initial map (its fixed point may shrink);
+//    unaffected components keep their converged state either way.
+//
+//  * Batch admission.  evaluate_batch fans independent what-if analyses over
+//    a gmfnet::ThreadPool; each candidate runs against a copy-on-write view
+//    of the cached context (shared derived state, nothing recomputed) and
+//    the shared warm jitter map.
+//
+// Results are bit-identical to a from-scratch AnalysisContext +
+// analyze_holistic run on the same flow set: both iterations converge to the
+// unique least fixed point, and per-flow results are pure functions of
+// (context, fixed point).  tests/test_engine_equivalence.cpp checks this
+// property over randomized scenarios.
+//
+// The engine is not thread-safe; drive it from one thread (evaluate_batch
+// parallelises internally).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::engine {
+
+/// Outcome of one non-committing what-if admission probe.
+struct WhatIfResult {
+  /// Full holistic result of resident set + candidate (candidate is the
+  /// last flow id).
+  core::HolisticResult result;
+  /// True when the combined set is schedulable — the admission verdict.
+  bool admissible = false;
+};
+
+/// Instrumentation counters (monotonic since construction).
+struct EngineStats {
+  std::size_t evaluations = 0;       ///< evaluate()/what-if runs executed
+  std::size_t full_runs = 0;         ///< cold full-set analyses
+  std::size_t incremental_runs = 0;  ///< warm dirty-component analyses
+  std::size_t flow_analyses = 0;     ///< per-flow per-sweep analyses run
+  std::size_t flow_results_reused = 0;  ///< cached FlowResults reused
+  std::size_t sweeps = 0;            ///< total sweeps executed
+};
+
+class AnalysisEngine {
+ public:
+  /// `opts.initial_jitters` is ignored: the engine owns warm starting.
+  explicit AnalysisEngine(net::Network network,
+                          core::HolisticOptions opts = {});
+
+  // -- resident-set mutation (lazy: no analysis happens here) ---------------
+
+  /// Validates and appends `flow` unconditionally (no admission test; use
+  /// try_admit for gated admission).  Throws std::logic_error on malformed
+  /// flows.  Dirties only the flow's route links.
+  net::FlowId add_flow(gmf::Flow flow);
+
+  /// Removes the resident flow at `index` (ids above shift down by one).
+  /// Returns false when `index` is out of range, leaving all state
+  /// untouched.  Dirties only the removed flow's route links.
+  bool remove_flow(std::size_t index);
+
+  // -- queries --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t flow_count() const { return ctx_.flow_count(); }
+  [[nodiscard]] const gmf::Flow& flow(std::size_t index) const {
+    return ctx_.flow(net::FlowId(static_cast<std::int32_t>(index)));
+  }
+  [[nodiscard]] const net::Network& network() const { return ctx_.network(); }
+  [[nodiscard]] const core::AnalysisContext& context() const { return ctx_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  // -- analysis -------------------------------------------------------------
+
+  /// Holistic result for the resident set.  Incremental: only the dirty
+  /// component (if any) is re-analysed, warm-started from the cached fixed
+  /// point.  The returned reference stays valid until the next engine call.
+  const core::HolisticResult& evaluate();
+
+  /// What-if: result of resident set + `candidate`, without committing
+  /// anything.  Throws std::logic_error on malformed candidates.
+  WhatIfResult what_if(const gmf::Flow& candidate);
+
+  /// Tests `candidate` against the resident set; on acceptance it joins the
+  /// set (and the converged state is kept — no re-analysis needed) and the
+  /// full result is returned, on rejection the set is unchanged and
+  /// std::nullopt is returned.
+  std::optional<core::HolisticResult> try_admit(gmf::Flow candidate);
+
+  /// Independent what-if probes for every candidate against the *same*
+  /// resident set, fanned over a thread pool; candidates are not committed
+  /// and do not see each other.  out[i] corresponds to candidates[i].
+  /// Throws std::logic_error if any candidate is malformed (before any
+  /// analysis runs).
+  std::vector<WhatIfResult> evaluate_batch(
+      const std::vector<gmf::Flow>& candidates);
+
+ private:
+  struct Cache {
+    /// True when `result.jitters` is a converged fixed point for the
+    /// resident set as of the last evaluation, and `result.flows` holds one
+    /// converged FlowResult per then-resident flow.
+    bool valid = false;
+    core::HolisticResult result;
+  };
+
+  struct RunStats {
+    std::size_t flow_analyses = 0;
+    std::size_t flow_results_reused = 0;
+    std::size_t sweeps = 0;
+  };
+
+  /// Marks every flow sharing a link (transitively) with a seed flow.
+  /// Seeds: the flows passed in as already-dirty, flows touching
+  /// `dirty_links_`, and flows with id >= the cached result size (added
+  /// since the last evaluation, so they have no reusable FlowResult).
+  [[nodiscard]] std::vector<bool> dirty_closure(
+      const core::AnalysisContext& ctx, std::vector<bool> dirty) const;
+
+  /// Warm-start map for `ctx`: initial everywhere, then cached converged
+  /// entries adopted for every flow with a cache entry — except dirty flows
+  /// when `reset_dirty` (after removals their fixed point may shrink).
+  [[nodiscard]] core::JitterMap warm_start(const core::AnalysisContext& ctx,
+                                           const std::vector<bool>& dirty,
+                                           bool reset_dirty) const;
+
+  /// Gauss-Seidel sweeps over the dirty flows only, from `start`; clean
+  /// flows' results are adopted from the cache.  Bit-identical to a cold
+  /// full-set run (same least fixed point).
+  [[nodiscard]] core::HolisticResult run_incremental(
+      const core::AnalysisContext& ctx, const std::vector<bool>& dirty,
+      core::JitterMap start, RunStats& rs) const;
+
+  /// One what-if probe against a prepared view (resident set + candidate).
+  [[nodiscard]] WhatIfResult probe(const core::AnalysisContext& view,
+                                   RunStats& rs) const;
+
+  /// Folds one run's counters into stats_ (call before any cache install).
+  void record_run(const RunStats& rs);
+
+  void install(core::HolisticResult result);
+
+  core::AnalysisContext ctx_;
+  core::HolisticOptions opts_;
+  Cache cache_;
+  std::set<net::LinkRef> dirty_links_;
+  bool removal_pending_ = false;
+  EngineStats stats_;
+};
+
+}  // namespace gmfnet::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace gmfnet {
 
@@ -57,8 +58,22 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::called_from_worker() const {
+  const auto self = std::this_thread::get_id();
+  for (const std::thread& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  if (called_from_worker()) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for: nested call from a worker of the same "
+        "pool would deadlock");
+  }
+  std::lock_guard pf_lock(parallel_for_mu_);
   if (n == 0) return;
   const std::size_t nthreads = std::max<std::size_t>(1, size());
   const std::size_t chunk = (n + nthreads - 1) / nthreads;

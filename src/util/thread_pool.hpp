@@ -34,15 +34,21 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs body(i) for i in [0, n), distributing chunks over the pool, and
-  /// waits for completion. Safe to call from one thread at a time.
+  /// waits for completion.  Safe to call from one thread at a time: an
+  /// internal mutex serializes concurrent calls from different threads, and
+  /// a nested call from one of this pool's own workers (which could never
+  /// finish — the caller occupies the very worker it would wait on) throws
+  /// std::logic_error before enqueuing anything.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
+  [[nodiscard]] bool called_from_worker() const;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
+  std::mutex parallel_for_mu_;  ///< serializes parallel_for callers
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

@@ -98,15 +98,32 @@ TEST(Admission, RemoveFreesCapacity) {
     ASSERT_LT(accepted, 200);
   }
   // Removing one admitted flow must allow a new one in again.
-  ac.remove(0);
+  EXPECT_TRUE(ac.remove(0));
   EXPECT_TRUE(ac.try_admit(voip_between(star, 0, 1, "y")).has_value());
 }
 
-TEST(Admission, RemoveOutOfRangeIsNoop) {
+TEST(Admission, RemoveInRangeReturnsTrueAndShrinksSet) {
   const auto star = net::make_star_network(4, kSpeed);
   AdmissionController ac(star.net);
-  ac.remove(5);
+  ASSERT_TRUE(ac.try_admit(voip_between(star, 0, 1, "a")).has_value());
+  ASSERT_TRUE(ac.try_admit(voip_between(star, 2, 3, "b")).has_value());
+  EXPECT_TRUE(ac.remove(0));
+  ASSERT_EQ(ac.admitted_count(), 1u);
+  // Indices shift down: the surviving flow is now index 0.
+  EXPECT_EQ(ac.admitted()[0].name(), "b");
+}
+
+TEST(Admission, RemoveOutOfRangeReturnsFalseAndIsNoop) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AdmissionController ac(star.net);
+  EXPECT_FALSE(ac.remove(0));
+  EXPECT_FALSE(ac.remove(5));
   EXPECT_EQ(ac.admitted_count(), 0u);
+  ASSERT_TRUE(ac.try_admit(voip_between(star, 0, 1, "only")).has_value());
+  // One past the end is still out of range.
+  EXPECT_FALSE(ac.remove(1));
+  EXPECT_EQ(ac.admitted_count(), 1u);
+  EXPECT_EQ(ac.admitted()[0].name(), "only");
 }
 
 TEST(Admission, CurrentGuaranteesEmptyWhenNoFlows) {

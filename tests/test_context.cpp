@@ -150,6 +150,85 @@ TEST(JitterMap, InitialCarriesSourceJitter) {
             gmfnet::Time::zero());
 }
 
+TEST(Context, IncrementalAddMatchesMonolithic) {
+  auto s = scenario();
+  const AnalysisContext mono(s.network, s.flows);
+  AnalysisContext inc(s.network);
+  EXPECT_EQ(inc.flow_count(), 0u);
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    const FlowId id = inc.add_flow(s.flows[f]);
+    EXPECT_EQ(id, FlowId(static_cast<std::int32_t>(f)));
+  }
+  ASSERT_EQ(inc.flow_count(), mono.flow_count());
+  const LinkRef l63(NodeId(6), NodeId(3));
+  EXPECT_EQ(inc.flows_on_link(l63), mono.flows_on_link(l63));
+  EXPECT_DOUBLE_EQ(inc.link_utilization(l63), mono.link_utilization(l63));
+  EXPECT_DOUBLE_EQ(inc.ingress_utilization(l63),
+                   mono.ingress_utilization(l63));
+  for (std::size_t f = 0; f < s.flows.size(); ++f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    EXPECT_EQ(inc.stages(id), mono.stages(id));
+    EXPECT_EQ(inc.route_links(id), mono.route_links(id));
+  }
+}
+
+TEST(Context, RemoveFlowShiftsIdsAndRecomputesAggregates) {
+  auto s = scenario();
+  AnalysisContext ctx(s.network, s.flows);
+  ASSERT_EQ(ctx.flow_count(), 3u);
+  ctx.remove_flow(0);  // drop the MPEG flow 0 -> 4 -> 6 -> 3
+  ASSERT_EQ(ctx.flow_count(), 2u);
+  // Former flows 1 and 2 are now ids 0 and 1.
+  EXPECT_EQ(ctx.flow(FlowId(0)).name(), s.flows[1].name());
+  EXPECT_EQ(ctx.flow(FlowId(1)).name(), s.flows[2].name());
+  const LinkRef l63(NodeId(6), NodeId(3));
+  ASSERT_EQ(ctx.flows_on_link(l63).size(), 2u);
+  // Aggregates equal a fresh build of the shrunk set.
+  std::vector<gmf::Flow> rest = {s.flows[1], s.flows[2]};
+  const AnalysisContext fresh(s.network, rest);
+  EXPECT_DOUBLE_EQ(ctx.link_utilization(l63), fresh.link_utilization(l63));
+  // The first-hop link of the removed flow carries nothing anymore.
+  EXPECT_TRUE(ctx.flows_on_link(LinkRef(NodeId(0), NodeId(4))).empty());
+  EXPECT_DOUBLE_EQ(ctx.link_utilization(LinkRef(NodeId(0), NodeId(4))), 0.0);
+  EXPECT_THROW(ctx.remove_flow(2), std::out_of_range);
+}
+
+TEST(JitterMap, EraseFlowShiftsIdsDown) {
+  JitterMap m;
+  const StageKey st = StageKey::ingress(NodeId(4));
+  m.set_jitter(FlowId(0), st, 0, gmfnet::Time::ms(1));
+  m.set_jitter(FlowId(1), st, 0, gmfnet::Time::ms(2));
+  m.set_jitter(FlowId(2), st, 0, gmfnet::Time::ms(3));
+  m.erase_flow(FlowId(1));
+  EXPECT_EQ(m.jitter(FlowId(0), st, 0), gmfnet::Time::ms(1));
+  EXPECT_EQ(m.jitter(FlowId(1), st, 0), gmfnet::Time::ms(3));
+}
+
+TEST(JitterMap, ClearFlowAndFlowEquals) {
+  JitterMap a;
+  const StageKey st = StageKey::ingress(NodeId(4));
+  a.set_jitter(FlowId(0), st, 0, gmfnet::Time::ms(1));
+  a.set_jitter(FlowId(1), st, 0, gmfnet::Time::ms(2));
+  JitterMap b = a;
+  EXPECT_TRUE(a.flow_equals(b, FlowId(0)));
+  b.set_jitter(FlowId(0), st, 0, gmfnet::Time::ms(9));
+  EXPECT_FALSE(a.flow_equals(b, FlowId(0)));
+  EXPECT_TRUE(a.flow_equals(b, FlowId(1)));  // CoW: flow 1 untouched
+  a.clear_flow(FlowId(0));
+  EXPECT_EQ(a.jitter(FlowId(0), st, 0), gmfnet::Time::zero());
+  EXPECT_EQ(a.jitter(FlowId(1), st, 0), gmfnet::Time::ms(2));
+}
+
+TEST(JitterMap, CrossIdAdoptFlow) {
+  JitterMap a;
+  const StageKey st = StageKey::ingress(NodeId(4));
+  a.set_jitter(FlowId(2), st, 0, gmfnet::Time::ms(5));
+  JitterMap b;
+  b.adopt_flow(a, FlowId(2), FlowId(0));
+  EXPECT_EQ(b.jitter(FlowId(0), st, 0), gmfnet::Time::ms(5));
+  EXPECT_EQ(b.jitter(FlowId(2), st, 0), gmfnet::Time::zero());
+}
+
 TEST(JitterMap, EqualityAndAdoptFlow) {
   auto s = scenario();
   const AnalysisContext ctx(s.network, s.flows);

@@ -1,0 +1,188 @@
+// Unit tests of the incremental AnalysisEngine: lazy dirty tracking, warm
+// starts, cache reuse, what-if probes and batch admission.  The bit-exact
+// incremental == from-scratch property is covered separately in
+// test_engine_equivalence.cpp.
+#include "engine/analysis_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::engine {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
+
+gmf::Flow voip_between(const net::StarNetwork& star, std::size_t a,
+                       std::size_t b, const std::string& name) {
+  return workload::make_voip_flow(
+      name, net::Route({star.hosts[a], star.sw, star.hosts[b]}));
+}
+
+TEST(Engine, EmptySetEvaluatesSchedulable) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  const auto& r = eng.evaluate();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.flows.empty());
+}
+
+TEST(Engine, EvaluateIsMemoized) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  (void)eng.evaluate();
+  const std::size_t evals = eng.stats().evaluations;
+  // No mutation in between: the cached result is served as-is.
+  (void)eng.evaluate();
+  (void)eng.evaluate();
+  EXPECT_EQ(eng.stats().evaluations, evals);
+}
+
+TEST(Engine, AddFlowReanalyzesOnlyItsComponent) {
+  // Star with disjoint host pairs: flows share no links, so adding one must
+  // not re-analyse the others.
+  const auto star = net::make_star_network(8, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  eng.add_flow(voip_between(star, 2, 3, "b"));
+  ASSERT_TRUE(eng.evaluate().schedulable);
+
+  const std::size_t analyses = eng.stats().flow_analyses;
+  eng.add_flow(voip_between(star, 4, 5, "c"));
+  const auto& r = eng.evaluate();
+  EXPECT_TRUE(r.schedulable);
+  ASSERT_EQ(r.flows.size(), 3u);
+  // Two untouched flows reused; the new flow converges in 2 subset sweeps,
+  // so exactly 2 per-flow analyses ran.
+  EXPECT_EQ(eng.stats().flow_analyses - analyses, 2u);
+  EXPECT_GE(eng.stats().flow_results_reused, 2u);
+}
+
+TEST(Engine, WarmStartConvergesInTwoSweepsForIndependentAdd) {
+  const auto star = net::make_star_network(8, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  eng.add_flow(voip_between(star, 2, 3, "b"));
+  (void)eng.evaluate();
+  eng.add_flow(voip_between(star, 4, 5, "c"));
+  EXPECT_EQ(eng.evaluate().sweeps, 2);
+}
+
+TEST(Engine, RemoveFlowShiftsIndicesAndFreesCapacity) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  // Fill the 0->1 path.
+  int accepted = 0;
+  while (eng.try_admit(voip_between(star, 0, 1, "x" + std::to_string(accepted)))
+             .has_value()) {
+    ++accepted;
+    ASSERT_LT(accepted, 200);
+  }
+  ASSERT_GE(accepted, 1);
+  EXPECT_TRUE(eng.remove_flow(0));
+  EXPECT_EQ(eng.flow_count(), static_cast<std::size_t>(accepted - 1));
+  EXPECT_TRUE(eng.try_admit(voip_between(star, 0, 1, "y")).has_value());
+}
+
+TEST(Engine, RemoveOutOfRangeReturnsFalse) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  EXPECT_FALSE(eng.remove_flow(0));
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  EXPECT_FALSE(eng.remove_flow(1));
+  EXPECT_TRUE(eng.remove_flow(0));
+  EXPECT_EQ(eng.flow_count(), 0u);
+}
+
+TEST(Engine, TryAdmitRejectsWithoutCommitting) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  ASSERT_TRUE(eng.try_admit(voip_between(star, 0, 1, "ok")).has_value());
+  // 15000 bytes per 2 ms = 60 Mbit/s on a 10 Mbit/s link.
+  gmf::Flow hog = gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8);
+  EXPECT_FALSE(eng.try_admit(hog).has_value());
+  ASSERT_EQ(eng.flow_count(), 1u);
+  EXPECT_EQ(eng.flow(0).name(), "ok");
+  // The cached state survived the rejected probe.
+  EXPECT_TRUE(eng.evaluate().schedulable);
+}
+
+TEST(Engine, WhatIfDoesNotCommit) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  const WhatIfResult w = eng.what_if(voip_between(star, 2, 3, "probe"));
+  EXPECT_TRUE(w.admissible);
+  EXPECT_EQ(w.result.flows.size(), 2u);  // resident + candidate
+  EXPECT_EQ(eng.flow_count(), 1u);       // nothing committed
+}
+
+TEST(Engine, MalformedCandidateThrows) {
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  gmf::Flow bad("bad", net::Route({star.hosts[0], star.hosts[1]}), {});
+  EXPECT_THROW(eng.try_admit(bad), std::logic_error);
+  EXPECT_THROW(eng.what_if(bad), std::logic_error);
+  EXPECT_THROW(eng.add_flow(bad), std::logic_error);
+  EXPECT_THROW((void)eng.evaluate_batch({bad}), std::logic_error);
+  EXPECT_EQ(eng.flow_count(), 0u);
+}
+
+TEST(Engine, EvaluateBatchMatchesIndividualProbes) {
+  const auto star = net::make_star_network(10, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "a"));
+  eng.add_flow(voip_between(star, 2, 3, "b"));
+  (void)eng.evaluate();
+
+  std::vector<gmf::Flow> cands;
+  cands.push_back(voip_between(star, 4, 5, "c0"));
+  cands.push_back(voip_between(star, 6, 7, "c1"));
+  cands.push_back(gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[8], star.sw, star.hosts[9]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8));
+
+  const auto batch = eng.evaluate_batch(cands);
+  ASSERT_EQ(batch.size(), cands.size());
+  EXPECT_EQ(eng.flow_count(), 2u);  // probes are independent, uncommitted
+
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const WhatIfResult solo = eng.what_if(cands[i]);
+    EXPECT_EQ(batch[i].admissible, solo.admissible) << "candidate " << i;
+    EXPECT_EQ(batch[i].result.schedulable, solo.result.schedulable);
+    if (solo.result.converged) {
+      EXPECT_TRUE(batch[i].result.jitters == solo.result.jitters)
+          << "candidate " << i;
+    }
+  }
+  EXPECT_TRUE(batch[0].admissible);
+  EXPECT_TRUE(batch[1].admissible);
+  EXPECT_FALSE(batch[2].admissible);
+}
+
+TEST(Engine, EngineSurvivesUnschedulableResidentSet) {
+  // add_flow is ungated, so the resident set can become unschedulable (or
+  // even diverging); evaluate must report it and recover after removal.
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net);
+  eng.add_flow(voip_between(star, 0, 1, "ok"));
+  eng.add_flow(gmf::make_sporadic_flow(
+      "hog", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
+      gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8));
+  EXPECT_FALSE(eng.evaluate().schedulable);
+  EXPECT_TRUE(eng.remove_flow(1));
+  const auto& r = eng.evaluate();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.schedulable);
+  ASSERT_EQ(r.flows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gmfnet::engine

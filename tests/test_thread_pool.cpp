@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gmfnet {
@@ -61,6 +63,60 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     });
   }
   EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerThrows) {
+  // The documented contract: parallel_for from a worker of the same pool
+  // would wait on the very worker making the call.  It must throw instead
+  // of deadlocking — before enqueuing anything.
+  ThreadPool pool(2);
+  std::atomic<int> rejected{0};
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    ran.fetch_add(1);
+    try {
+      pool.parallel_for(2, [](std::size_t) {});
+      ADD_FAILURE() << "nested parallel_for did not throw";
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(rejected.load(), 4);
+  // The pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreSerialized) {
+  // Two external threads hammering the same pool: the internal mutex must
+  // serialize the calls so every index of every call runs exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kPerCall = 500;
+  constexpr int kCallsPerThread = 10;
+  std::vector<std::atomic<int>> hits(kPerCall);
+  std::atomic<long> total{0};
+  auto hammer = [&] {
+    for (int c = 0; c < kCallsPerThread; ++c) {
+      std::vector<int> local(kPerCall, 0);
+      pool.parallel_for(kPerCall, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        local[i] += 1;
+        total.fetch_add(1);
+      });
+      // Within one call, each index ran exactly once.
+      for (std::size_t i = 0; i < kPerCall; ++i) ASSERT_EQ(local[i], 1);
+    }
+  };
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2L * kCallsPerThread * kPerCall);
+  for (std::size_t i = 0; i < kPerCall; ++i) {
+    EXPECT_EQ(hits[i].load(), 2 * kCallsPerThread) << "index " << i;
+  }
 }
 
 TEST(ThreadPool, StandaloneParallelFor) {
