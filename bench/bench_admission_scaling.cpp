@@ -26,6 +26,7 @@
 #include "core/holistic.hpp"
 #include "engine/analysis_engine.hpp"
 #include "net/network.hpp"
+#include "util/bench_json.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   t.set_columns({"resident flows", "from-scratch us", "incremental us",
                  "speedup", "verdicts agree"});
   CsvWriter csv({"residents", "scratch_us", "incremental_us", "speedup"});
+  BenchJsonWriter json("admission_scaling");
 
   bool bar_met = true;
   bool verdicts_agree = true;
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
     std::vector<double> scratch_samples, incremental_samples;
     scratch_samples.reserve(static_cast<std::size_t>(probes));
     incremental_samples.reserve(static_cast<std::size_t>(probes));
+    bool size_agree = true;
     for (int p = 0; p < probes; ++p) {
       const gmf::Flow cand = resident_flow(campus, residents + p);
 
@@ -149,13 +152,14 @@ int main(int argc, char** argv) {
       engine::WhatIfResult warm;
       incremental_samples.push_back(wall_us([&] { warm = eng.what_if(cand); }));
 
-      verdicts_agree &= warm.admissible == cold.schedulable;
-      verdicts_agree &=
+      size_agree &= warm.admissible == cold.schedulable;
+      size_agree &=
           warm.result.worst_response(
               core::FlowId(static_cast<std::int32_t>(residents))) ==
           cold.worst_response(
               core::FlowId(static_cast<std::int32_t>(residents)));
     }
+    verdicts_agree &= size_agree;
     const auto median = [](std::vector<double> v) {
       std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
       return v[v.size() / 2];
@@ -167,16 +171,28 @@ int main(int argc, char** argv) {
 
     t.add_row({std::to_string(residents), Table::fixed(scratch_us, 1),
                Table::fixed(incremental_us, 1), Table::fixed(speedup, 1) + "x",
-               verdicts_agree ? "yes" : "NO"});
+               size_agree ? "yes" : "NO"});
     csv.begin_row();
     csv.add(residents);
     csv.add(scratch_us);
     csv.add(incremental_us);
     csv.add(speedup);
+    json.begin_row();
+    json.add("residents", residents);
+    json.add("scratch_us", scratch_us);
+    json.add("incremental_us", incremental_us);
+    json.add("speedup", speedup);
+    json.add("verdicts_agree", size_agree);
   }
   t.print();
   csv.save("bench_admission_scaling.csv");
-  std::printf("\nCSV written to bench_admission_scaling.csv\n");
+  if (json.save()) {
+    std::printf("\nCSV written to bench_admission_scaling.csv, JSON to %s\n",
+                json.path().c_str());
+  } else {
+    std::printf("\nFAIL: could not write %s\n", json.path().c_str());
+    return 1;
+  }
 
   if (!verdicts_agree) {
     std::printf("FAIL: incremental and from-scratch verdicts disagree.\n");

@@ -15,9 +15,11 @@ JitterMap JitterMap::initial(const AnalysisContext& ctx) {
     const FlowId id(static_cast<std::int32_t>(f));
     const gmf::Flow& flow = ctx.flow(id);
     const auto& stages = ctx.stages(id);
-    std::vector<gmfnet::Time> src_jitter(flow.frame_count());
+    StageJitter src_jitter;
+    src_jitter.frames.resize(flow.frame_count());
     for (std::size_t k = 0; k < flow.frame_count(); ++k) {
-      src_jitter[k] = flow.frame(k).jitter;
+      src_jitter.frames[k] = flow.frame(k).jitter;
+      src_jitter.max = gmfnet::max(src_jitter.max, src_jitter.frames[k]);
     }
     m.per_flow_[f] = std::make_shared<StageMap>();
     (*m.per_flow_[f])[stages.front()] = std::move(src_jitter);
@@ -47,26 +49,34 @@ gmfnet::Time JitterMap::jitter(FlowId flow, const StageKey& stage,
                                std::size_t frame) const {
   const StageMap& m = flow_map(static_cast<std::size_t>(flow.v));
   const auto it = m.find(stage);
-  if (it == m.end() || frame >= it->second.size()) {
+  if (it == m.end() || frame >= it->second.frames.size()) {
     return gmfnet::Time::zero();
   }
-  return it->second[frame];
+  return it->second.frames[frame];
 }
 
 gmfnet::Time JitterMap::max_jitter(FlowId flow, const StageKey& stage) const {
   const StageMap& sm = flow_map(static_cast<std::size_t>(flow.v));
   const auto it = sm.find(stage);
-  if (it == sm.end()) return gmfnet::Time::zero();
-  gmfnet::Time m = gmfnet::Time::zero();
-  for (gmfnet::Time t : it->second) m = gmfnet::max(m, t);
-  return m;
+  return it == sm.end() ? gmfnet::Time::zero() : it->second.max;
 }
 
 void JitterMap::set_jitter(FlowId flow, const StageKey& stage,
                            std::size_t frame, gmfnet::Time value) {
-  auto& v = mutable_flow_map(static_cast<std::size_t>(flow.v))[stage];
+  StageJitter& sj = mutable_flow_map(static_cast<std::size_t>(flow.v))[stage];
+  auto& v = sj.frames;
   if (frame >= v.size()) v.resize(frame + 1, gmfnet::Time::zero());
+  const gmfnet::Time old = v[frame];
   v[frame] = value;
+  // Maintain the cached maximum exactly: a write at or above it raises it;
+  // overwriting the (unique or not) maximum with less forces one rescan.
+  if (value >= sj.max) {
+    sj.max = value;
+  } else if (old == sj.max) {
+    gmfnet::Time m = gmfnet::Time::zero();
+    for (const gmfnet::Time t : v) m = gmfnet::max(m, t);
+    sj.max = m;
+  }
 }
 
 void JitterMap::adopt_flow(const JitterMap& other, FlowId flow) {
@@ -92,6 +102,18 @@ void JitterMap::erase_flow(FlowId flow) {
 void JitterMap::clear_flow(FlowId flow) {
   const auto f = static_cast<std::size_t>(flow.v);
   if (f < per_flow_.size()) per_flow_[f] = nullptr;
+}
+
+JitterMap::FlowStateHandle JitterMap::flow_state(FlowId flow) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  if (f >= per_flow_.size()) return nullptr;
+  return per_flow_[f];
+}
+
+const void* JitterMap::flow_state_ptr(FlowId flow) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  return f < per_flow_.size() ? static_cast<const void*>(per_flow_[f].get())
+                              : nullptr;
 }
 
 bool JitterMap::flow_equals(const JitterMap& other, FlowId flow) const {
@@ -217,10 +239,7 @@ const std::vector<FlowId>& AnalysisContext::flows_on_link(LinkRef link) const {
 
 std::vector<FlowId> AnalysisContext::hep(FlowId i, LinkRef link) const {
   std::vector<FlowId> out;
-  const std::int64_t pi = flow(i).priority();
-  for (const FlowId j : flows_on_link(link)) {
-    if (j != i && flow(j).priority() >= pi) out.push_back(j);
-  }
+  for_each_hep(i, link, [&](FlowId j) { out.push_back(j); });
   return out;
 }
 
@@ -275,10 +294,11 @@ double AnalysisContext::ingress_utilization(LinkRef link) const {
 }
 
 double AnalysisContext::egress_level_utilization(FlowId i, LinkRef link) const {
+  // Runs per egress hop analysis, so it must not allocate a temporary id
+  // vector the way hep() does.
   double u = link_params(i, link).utilization();
-  for (const FlowId j : hep(i, link)) {
-    u += link_params(j, link).utilization();
-  }
+  for_each_hep(i, link,
+               [&](FlowId j) { u += link_params(j, link).utilization(); });
   return u;
 }
 

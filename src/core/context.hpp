@@ -103,11 +103,39 @@ class JitterMap {
   /// flows a sweep may have changed, instead of the whole map.
   [[nodiscard]] bool flow_equals(const JitterMap& other, FlowId flow) const;
 
+  /// Opaque shared handle to one flow's current entry state (null = no
+  /// entries).  Holding the handle *pins* that state: per-flow maps are
+  /// copy-on-write and only mutate in place when unshared, so any later
+  /// write to the flow — in this map or any copy — clones first.  Therefore
+  /// flow_state_ptr(f) == held_handle.get() proves the flow's entries are
+  /// unchanged since the handle was taken (no in-place mutation, and no
+  /// address reuse while the handle keeps the old state alive).  The hop-
+  /// level envelope cache (core/hop_level.hpp) uses this to revalidate a
+  /// built envelope in O(1) per interferer, with zero map lookups.
+  using FlowStateHandle = std::shared_ptr<const void>;
+  [[nodiscard]] FlowStateHandle flow_state(FlowId flow) const;
+  /// The raw identity of `flow`'s current state, for comparison against a
+  /// *held* FlowStateHandle (sound only while the handle is alive).
+  [[nodiscard]] const void* flow_state_ptr(FlowId flow) const;
+
   bool operator==(const JitterMap& other) const;
 
  private:
-  /// [stage] -> per-frame jitter vector, for one flow.
-  using StageMap = std::map<StageKey, std::vector<gmfnet::Time>>;
+  /// Per-frame jitters of one flow at one stage, with the frame maximum
+  /// maintained incrementally — max_jitter (extra_j) is read k times per
+  /// hop analysis per fixed-point chain, so it must not rescan the frames.
+  struct StageJitter {
+    std::vector<gmfnet::Time> frames;
+    gmfnet::Time max = gmfnet::Time::zero();  ///< max over `frames`
+
+    /// Value equality ignores `max`: it is derived from `frames`.
+    bool operator==(const StageJitter& other) const {
+      return frames == other.frames;
+    }
+  };
+
+  /// [stage] -> per-frame jitter state, for one flow.
+  using StageMap = std::map<StageKey, StageJitter>;
 
   /// Read view of one flow's entries (empty when absent).
   [[nodiscard]] const StageMap& flow_map(std::size_t f) const;
@@ -156,6 +184,17 @@ class AnalysisContext {
   /// lp(τ_i, N1, N2), eq (3): other flows on the link with lower priority.
   [[nodiscard]] std::vector<FlowId> lp(FlowId i, LinkRef link) const;
 
+  /// Allocation-free hep traversal: calls `fn(j)` for every flow of
+  /// hep(τ_i, link), in link order — the single definition of eq (2)'s
+  /// filter for the hot paths that must not build an id vector.
+  template <typename Fn>
+  void for_each_hep(FlowId i, LinkRef link, Fn&& fn) const {
+    const std::int64_t pi = flow(i).priority();
+    for (const FlowId j : flows_on_link(link)) {
+      if (j != i && flow(j).priority() >= pi) fn(j);
+    }
+  }
+
   /// Basic parameters of flow `i` on `link` (must be a link of its route).
   [[nodiscard]] const gmf::FlowLinkParams& link_params(FlowId i,
                                                        LinkRef link) const;
@@ -172,6 +211,21 @@ class AnalysisContext {
   [[nodiscard]] double ingress_utilization(LinkRef link) const;
   /// Egress load of eq (34)/(35) for flow i: hep flows plus i itself.
   [[nodiscard]] double egress_level_utilization(FlowId i, LinkRef link) const;
+
+  /// Opaque shared handle to flow `i`'s immutable derived state (params,
+  /// demand curves, stages).  The state is shared across context copies and
+  /// never mutated, so two equal handles denote the *same* flow with the
+  /// same curves; holding the handle keeps the state alive, making raw
+  /// derived_state_ptr comparisons against a held handle ABA-safe.  The
+  /// hop-level envelope cache uses this to revalidate interferer curves in
+  /// O(1) per flow.
+  using DerivedStateHandle = std::shared_ptr<const void>;
+  [[nodiscard]] DerivedStateHandle derived_state(FlowId i) const {
+    return derived_[static_cast<std::size_t>(i.v)];
+  }
+  [[nodiscard]] const void* derived_state_ptr(FlowId i) const {
+    return derived_[static_cast<std::size_t>(i.v)].get();
+  }
 
   /// The ordered pipeline stages of flow `i` per Figure 6: first link, then
   /// (ingress, egress-link) per intermediate switch.

@@ -1,7 +1,6 @@
 #include "core/first_hop.hpp"
 
-#include <vector>
-
+#include "core/hop_level.hpp"
 #include "util/fixed_point.hpp"
 
 namespace gmfnet::core {
@@ -29,26 +28,81 @@ HopResult analyze_first_hop(const AnalysisContext& ctx,
   const gmfnet::Time ck = pi.c(frame);
   const gmfnet::Time tsum_i = pi.tsum();
 
-  // Gather interfering flows with their demand curves and extra_j.
-  struct Interferer {
-    const gmf::DemandCurve* curve;
-    gmfnet::Time extra;
-    bool is_self;
-  };
-  std::vector<Interferer> all;
-  for (const FlowId j : ctx.flows_on_link(link)) {
-    all.push_back(Interferer{&ctx.demand(j, link),
-                             jitters.max_jitter(j, stage), j == i});
-  }
-
   FixedPointOptions fp;
   fp.horizon = opts.horizon;
+  HopScratch& scratch = HopScratch::local();
 
-  // Busy period, eqs (14)-(15).  Seeded with C_i^k (DESIGN.md correction #2:
-  // eq (14)'s zero seed is itself a fixed point when all jitters are zero).
+  if (opts.use_envelope &&
+      ctx.flows_on_link(link).size() > kEnvelopeMinInterferers) {
+    // Interfering flows = every other flow on the link; the merged envelope
+    // of their jitter-shifted MX curves is cached per hop and revalidated
+    // in O(k) (see hop_level.hpp).  The analysed flow's own demand is
+    // evaluated directly so its per-frame jitter writes don't invalidate
+    // the cache.
+    auto& ids = scratch.ids;
+    ids.clear();
+    for (const FlowId j : ctx.flows_on_link(link)) {
+      if (j != i) ids.push_back(j);
+    }
+    LevelSlot& slot =
+        scratch.slot(HopSlotKey{HopKind::kFirstHop, src.v, nxt.v, i.v});
+    slot.ensure(ctx, jitters, ids, stage, link);
+    slot.ensure_self(ctx.demand(i, link), jitters.max_jitter(i, stage));
+
+    // Busy period, eqs (14)-(15).  Seeded with C_i^k (DESIGN.md correction
+    // #2: eq (14)'s zero seed is itself a fixed point when all jitters are
+    // zero).
+    const auto busy_fn = [&](gmfnet::Time t) {
+      return gmfnet::Time(
+          slot.self_envelope().eval(t, slot.self_cursor()).cost +
+          slot.envelope().eval(t, slot.cursor()).cost);
+    };
+    const FixedPointResult busy = iterate_fixed_point(ck, busy_fn, fp);
+    result.iterations += busy.iterations;
+    result.busy_period = busy.value;
+    if (!busy.converged) return result;
+
+    // Q = ceil(t / TSUM_i): instances of frame k inside the busy period.
+    const std::int64_t q_count =
+        gmfnet::max(busy.value, gmfnet::Time(1)).ceil_div(tsum_i);
+    result.instances = q_count;
+
+    gmfnet::Time worst = gmfnet::Time::zero();
+    for (std::int64_t q = 0; q < q_count; ++q) {
+      // Queueing time, eqs (16)-(17): w(q) = q*CSUM_i + sum over other
+      // flows of MX_j(w + extra_j).
+      const gmfnet::Time self = q * pi.csum();
+      const auto w_fn = [&](gmfnet::Time w) {
+        return self +
+               gmfnet::Time(slot.envelope().eval(w, slot.cursor()).cost);
+      };
+      const FixedPointResult w = iterate_fixed_point(self, w_fn, fp);
+      result.iterations += w.iterations;
+      if (!w.converged) return result;
+      // eq (18): R(q) = w(q) - q*TSUM_i + C_i^k.
+      worst = gmfnet::max(worst, w.value - q * tsum_i + ck);
+    }
+
+    result.response = worst + ctx.network().prop(src, nxt);  // eq (19)
+    result.converged = true;
+    return result;
+  }
+
+  // Reference (naive) path: per-interferer binary searches each iteration,
+  // gathered into the reusable per-thread buffer.
+  auto& level = scratch.naive;
+  level.clear();
+  for (const FlowId j : ctx.flows_on_link(link)) {
+    level.push_back(HopScratch::NaiveSpec{&ctx.demand(j, link),
+                                          jitters.max_jitter(j, stage),
+                                          j == i});
+  }
+
   const auto busy_fn = [&](gmfnet::Time t) {
     gmfnet::Time next = gmfnet::Time::zero();
-    for (const Interferer& j : all) next += j.curve->mx(t + j.extra);
+    for (const HopScratch::NaiveSpec& j : level) {
+      next += j.curve->mx(t + j.shift);
+    }
     return next;
   };
   const FixedPointResult busy = iterate_fixed_point(ck, busy_fn, fp);
@@ -56,33 +110,28 @@ HopResult analyze_first_hop(const AnalysisContext& ctx,
   result.busy_period = busy.value;
   if (!busy.converged) return result;
 
-  // Q = ceil(t / TSUM_i): instances of frame k inside the busy period.
   const std::int64_t q_count =
       gmfnet::max(busy.value, gmfnet::Time(1)).ceil_div(tsum_i);
   result.instances = q_count;
 
   gmfnet::Time worst = gmfnet::Time::zero();
   for (std::int64_t q = 0; q < q_count; ++q) {
-    // Queueing time, eqs (16)-(17): w(q) = q*CSUM_i + sum over other flows
-    // of MX_j(w + extra_j).
     const gmfnet::Time self = q * pi.csum();
     const auto w_fn = [&](gmfnet::Time w) {
       gmfnet::Time next = self;
-      for (const Interferer& j : all) {
+      for (const HopScratch::NaiveSpec& j : level) {
         if (j.is_self) continue;
-        next += j.curve->mx(w + j.extra);
+        next += j.curve->mx(w + j.shift);
       }
       return next;
     };
     const FixedPointResult w = iterate_fixed_point(self, w_fn, fp);
     result.iterations += w.iterations;
     if (!w.converged) return result;
-    // eq (18): R(q) = w(q) - q*TSUM_i + C_i^k.
     worst = gmfnet::max(worst, w.value - q * tsum_i + ck);
   }
 
-  // eq (19): add the propagation delay of the link.
-  result.response = worst + ctx.network().prop(src, nxt);
+  result.response = worst + ctx.network().prop(src, nxt);  // eq (19)
   result.converged = true;
   return result;
 }

@@ -1,47 +1,115 @@
 #include "core/holistic.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "util/thread_pool.hpp"
 
 namespace gmfnet::core {
 
-namespace {
-
-/// One Gauss-Seidel sweep: analyse flows in order against the live map.
-std::vector<FlowResult> sweep_gauss_seidel(const AnalysisContext& ctx,
-                                           JitterMap& jitters,
-                                           const HopOptions& hop) {
-  std::vector<FlowResult> results(ctx.flow_count());
-  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+std::vector<std::vector<FlowId>> link_neighbors(const AnalysisContext& ctx) {
+  const std::size_t n = ctx.flow_count();
+  std::vector<std::vector<FlowId>> out(n);
+  for (std::size_t f = 0; f < n; ++f) {
     const FlowId id(static_cast<std::int32_t>(f));
-    results[f] = analyze_flow_end_to_end(ctx, jitters, id, hop);
+    std::vector<FlowId>& nb = out[f];
+    for (const LinkRef l : ctx.route_links(id)) {
+      for (const FlowId j : ctx.flows_on_link(l)) {
+        if (j != id) nb.push_back(j);
+      }
+    }
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
   }
-  return results;
+  return out;
 }
 
-/// One Jacobi sweep: all flows against a frozen snapshot, in parallel; own
-/// jitters are merged back afterwards.  The pool is created once per
-/// analyze_holistic call and reused across sweeps.
-std::vector<FlowResult> sweep_jacobi(const AnalysisContext& ctx,
-                                     JitterMap& jitters,
-                                     const HopOptions& hop,
-                                     ThreadPool& pool) {
-  const JitterMap snapshot = jitters;
-  std::vector<FlowResult> results(ctx.flow_count());
-  std::vector<JitterMap> locals(ctx.flow_count(), snapshot);
+namespace {
 
-  pool.parallel_for(ctx.flow_count(), [&](std::size_t f) {
+// Sweep-to-sweep change tracking: re-analysing flow f is the identity
+// whenever neither f's own entries nor any read-set neighbor's entries
+// changed since f's previous analysis (the analysis is a deterministic
+// function of exactly those entries).  Each sweep therefore records, per
+// flow, whether its own entries actually changed — replacing the full
+// `jitters == before` JitterMap comparison — and the next sweep skips flows
+// whose inputs are clean, reusing their previous FlowResult verbatim.
+// Results stay bit-identical to always-re-analyse sweeps; only redundant
+// work is dropped (in particular the final, unchanged sweep that merely
+// confirms convergence).
+
+/// True when `changed[f]` or any of f's neighbors' flags is set.
+bool inputs_dirty(const std::vector<char>& changed,
+                  const std::vector<std::vector<FlowId>>& neighbors,
+                  std::size_t f) {
+  if (changed[f]) return true;
+  for (const FlowId j : neighbors[f]) {
+    if (changed[static_cast<std::size_t>(j.v)]) return true;
+  }
+  return false;
+}
+
+/// One Gauss-Seidel sweep: analyse flows in order against the live map.
+/// `changed` is read in place — entries below the current flow hold this
+/// sweep's status, entries at or above it the previous sweep's, which is
+/// exactly the read-set each flow saw last time.  Returns false on a
+/// divergent per-hop analysis.
+bool sweep_gauss_seidel(const AnalysisContext& ctx, JitterMap& jitters,
+                        const HopOptions& hop,
+                        const std::vector<std::vector<FlowId>>& neighbors,
+                        bool first_sweep, std::vector<char>& changed,
+                        std::vector<FlowResult>& results) {
+  JitterMap before;  // per-flow snapshot, copy-on-write (one pointer)
+  bool ok = true;
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    if (!first_sweep && !inputs_dirty(changed, neighbors, f)) {
+      changed[f] = 0;  // identity re-analysis skipped; result reused
+      continue;
+    }
     const FlowId id(static_cast<std::int32_t>(f));
+    before.adopt_flow(jitters, id);
+    results[f] = analyze_flow_end_to_end(ctx, jitters, id, hop);
+    changed[f] = jitters.flow_equals(before, id) ? 0 : 1;
+    ok &= results[f].all_converged();
+  }
+  return ok;
+}
+
+/// One Jacobi sweep: all dirty-input flows against a frozen snapshot, in
+/// parallel; their jitters are merged back afterwards.  The pool is created
+/// once per analyze_holistic call and reused across sweeps.
+bool sweep_jacobi(const AnalysisContext& ctx, JitterMap& jitters,
+                  const HopOptions& hop,
+                  const std::vector<std::vector<FlowId>>& neighbors,
+                  bool first_sweep, std::vector<char>& changed,
+                  std::vector<FlowResult>& results, ThreadPool& pool) {
+  const JitterMap snapshot = jitters;
+  const std::size_t n = ctx.flow_count();
+  // All reads go against the previous sweep's flags (Jacobi semantics).
+  const std::vector<char> changed_prev = changed;
+  std::vector<char> analyzed(n, 0);
+  std::vector<JitterMap> locals(n);
+
+  pool.parallel_for(n, [&](std::size_t f) {
+    if (!first_sweep && !inputs_dirty(changed_prev, neighbors, f)) {
+      changed[f] = 0;
+      return;
+    }
+    const FlowId id(static_cast<std::int32_t>(f));
+    locals[f] = snapshot;
     results[f] = analyze_flow_end_to_end(ctx, locals[f], id, hop);
+    changed[f] = locals[f].flow_equals(snapshot, id) ? 0 : 1;
+    analyzed[f] = 1;
   });
 
   JitterMap merged = snapshot;
-  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+  bool ok = true;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!analyzed[f]) continue;
     merged.adopt_flow(locals[f], FlowId(static_cast<std::int32_t>(f)));
+    ok &= results[f].all_converged();
   }
   jitters = std::move(merged);
-  return results;
+  return ok;
 }
 
 }  // namespace
@@ -51,6 +119,10 @@ HolisticResult analyze_holistic(const AnalysisContext& ctx,
   HolisticResult out;
   out.jitters =
       opts.initial_jitters ? *opts.initial_jitters : JitterMap::initial(ctx);
+  out.flows.resize(ctx.flow_count());
+
+  const std::vector<std::vector<FlowId>> neighbors = link_neighbors(ctx);
+  std::vector<char> changed(ctx.flow_count(), 1);
 
   std::unique_ptr<ThreadPool> pool;
   if (opts.order == SweepOrder::kJacobi) {
@@ -58,23 +130,25 @@ HolisticResult analyze_holistic(const AnalysisContext& ctx,
   }
 
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-    const JitterMap before = out.jitters;
-    out.flows = opts.order == SweepOrder::kGaussSeidel
-                    ? sweep_gauss_seidel(ctx, out.jitters, opts.hop)
-                    : sweep_jacobi(ctx, out.jitters, opts.hop, *pool);
+    const bool first = sweep == 0;
+    const bool ok =
+        opts.order == SweepOrder::kGaussSeidel
+            ? sweep_gauss_seidel(ctx, out.jitters, opts.hop, neighbors, first,
+                                 changed, out.flows)
+            : sweep_jacobi(ctx, out.jitters, opts.hop, neighbors, first,
+                           changed, out.flows, *pool);
     out.sweeps = sweep + 1;
 
     // Any per-hop divergence means the jitters would grow without bound:
     // report unschedulable immediately.
-    for (const FlowResult& fr : out.flows) {
-      if (!fr.all_converged()) {
-        out.converged = false;
-        out.schedulable = false;
-        return out;
-      }
+    if (!ok) {
+      out.converged = false;
+      out.schedulable = false;
+      return out;
     }
 
-    if (out.jitters == before) {
+    if (std::none_of(changed.begin(), changed.end(),
+                     [](char c) { return c != 0; })) {
       out.converged = true;
       break;
     }

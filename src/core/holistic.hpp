@@ -55,6 +55,15 @@ struct HolisticResult {
   }
 };
 
+/// For each flow, the ids of all other flows sharing at least one route
+/// link with it — the exact read-set of its per-sweep analysis (every
+/// interferer of every stage lives on one of the flow's route links).  The
+/// sweep skip logic of analyze_holistic and the engine's incremental runs
+/// re-analyse a flow only when it or a neighbor changed in the window since
+/// its last analysis.
+[[nodiscard]] std::vector<std::vector<FlowId>> link_neighbors(
+    const AnalysisContext& ctx);
+
 /// Runs the holistic fixed point on the whole flow set of `ctx`.
 [[nodiscard]] HolisticResult analyze_holistic(const AnalysisContext& ctx,
                                               const HolisticOptions& opts = {});

@@ -33,6 +33,13 @@ struct HopOptions {
   /// `false` reproduces the paper's literal recurrences, which omit the
   /// self CIRC terms; kept for the ablation bench (E10).
   bool charge_self_circ = true;
+
+  /// Evaluate per-hop demand through the merged gmf::LevelEnvelope fast
+  /// path (one cursor-advanced pass per fixed-point iteration) instead of
+  /// k binary searches over the individual DemandCurves.  Bit-identical
+  /// results either way — the naive path is kept as the reference for the
+  /// equivalence suites and the bench_demand_eval speedup measurement.
+  bool use_envelope = true;
 };
 
 }  // namespace gmfnet::core

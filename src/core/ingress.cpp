@@ -1,8 +1,8 @@
 #include "core/ingress.hpp"
 
 #include <stdexcept>
-#include <vector>
 
+#include "core/hop_level.hpp"
 #include "util/fixed_point.hpp"
 
 namespace gmfnet::core {
@@ -37,27 +37,81 @@ HopResult analyze_ingress(const AnalysisContext& ctx, const JitterMap& jitters,
   const gmfnet::Time tsum_i = pi.tsum();
   const std::int64_t nf_k = pi.nframes(frame);
 
-  // Interference: every flow received over the same incoming interface.
-  // Their jitter at this stage is GJ_j,in(N) (Figure 6 line 13).
-  struct Interferer {
-    const gmf::DemandCurve* curve;
-    gmfnet::Time extra;
-    bool is_self;
-  };
-  std::vector<Interferer> all;
-  for (const FlowId j : ctx.flows_on_link(in_link)) {
-    all.push_back(Interferer{&ctx.demand(j, in_link),
-                             jitters.max_jitter(j, stage), j == i});
-  }
-
   FixedPointOptions fp;
   fp.horizon = opts.horizon;
+  HopScratch& scratch = HopScratch::local();
 
-  // Busy period, eqs (21)-(22): every received Ethernet frame costs one
-  // CIRC-spaced service.  Seeded with the packet's own drain time.
+  if (opts.use_envelope &&
+      ctx.flows_on_link(in_link).size() > kEnvelopeMinInterferers) {
+    // Interference: every other flow received over the same incoming
+    // interface, with jitter GJ_j,in(N) (Figure 6 line 13); merged NX
+    // envelope cached per hop, self evaluated directly.
+    auto& ids = scratch.ids;
+    ids.clear();
+    for (const FlowId j : ctx.flows_on_link(in_link)) {
+      if (j != i) ids.push_back(j);
+    }
+    LevelSlot& slot =
+        scratch.slot(HopSlotKey{HopKind::kIngress, n.v, -1, i.v});
+    slot.ensure(ctx, jitters, ids, stage, in_link);
+    slot.ensure_self(ctx.demand(i, in_link), jitters.max_jitter(i, stage));
+
+    // Busy period, eqs (21)-(22): every received Ethernet frame costs one
+    // CIRC-spaced service.  Seeded with the packet's own drain time.
+    const auto busy_fn = [&](gmfnet::Time t) {
+      const std::int64_t frames =
+          slot.self_envelope().eval(t, slot.self_cursor()).count +
+          slot.envelope().eval(t, slot.cursor()).count;
+      return frames * circ;
+    };
+    const FixedPointResult busy =
+        iterate_fixed_point(nf_k * circ, busy_fn, fp);
+    result.iterations += busy.iterations;
+    result.busy_period = busy.value;
+    if (!busy.converged) return result;
+
+    const std::int64_t q_count =
+        gmfnet::max(busy.value, gmfnet::Time(1)).ceil_div(tsum_i);  // eq (27)
+    result.instances = q_count;
+
+    gmfnet::Time worst = gmfnet::Time::zero();
+    for (std::int64_t q = 0; q < q_count; ++q) {
+      // Queueing, eqs (23)-(24).  Self term per DESIGN.md correction #4:
+      // q full cycles (q*NSUM_i frames) plus the packet's own frames except
+      // the final one, whose service is the +CIRC of eq (25).
+      // opts.charge_self_circ = false reproduces the literal q*CIRC seed.
+      const gmfnet::Time self = opts.charge_self_circ
+                                    ? (q * pi.nsum() + nf_k - 1) * circ
+                                    : q * circ;
+      const auto w_fn = [&](gmfnet::Time w) {
+        return self + slot.envelope().eval(w, slot.cursor()).count * circ;
+      };
+      const FixedPointResult w = iterate_fixed_point(self, w_fn, fp);
+      result.iterations += w.iterations;
+      if (!w.converged) return result;
+      // eq (25): R(q) = w(q) - q*TSUM_i + CIRC(N)  (the final frame's
+      // service).
+      worst = gmfnet::max(worst, w.value - q * tsum_i + circ);
+    }
+
+    result.response = worst;
+    result.converged = true;
+    return result;
+  }
+
+  // Reference (naive) path.
+  auto& all = scratch.naive;
+  all.clear();
+  for (const FlowId j : ctx.flows_on_link(in_link)) {
+    all.push_back(HopScratch::NaiveSpec{&ctx.demand(j, in_link),
+                                        jitters.max_jitter(j, stage), j == i});
+  }
+
   const auto busy_fn = [&](gmfnet::Time t) {
     std::int64_t frames = 0;
-    for (const Interferer& j : all) frames += j.curve->nx(t + j.extra);
+    for (const HopScratch::NaiveSpec& j : all) {
+      frames += j.curve->nx(t + j.shift);
+    }
     return frames * circ;
   };
   const FixedPointResult busy =
@@ -72,25 +126,20 @@ HopResult analyze_ingress(const AnalysisContext& ctx, const JitterMap& jitters,
 
   gmfnet::Time worst = gmfnet::Time::zero();
   for (std::int64_t q = 0; q < q_count; ++q) {
-    // Queueing, eqs (23)-(24).  Self term per DESIGN.md correction #4:
-    // q full cycles (q*NSUM_i frames) plus the packet's own frames except
-    // the final one, whose service is the +CIRC of eq (25).
-    // opts.charge_self_circ = false reproduces the literal q*CIRC seed.
     const gmfnet::Time self = opts.charge_self_circ
                                   ? (q * pi.nsum() + nf_k - 1) * circ
                                   : q * circ;
     const auto w_fn = [&](gmfnet::Time w) {
       std::int64_t frames = 0;
-      for (const Interferer& j : all) {
+      for (const HopScratch::NaiveSpec& j : all) {
         if (j.is_self) continue;
-        frames += j.curve->nx(w + j.extra);
+        frames += j.curve->nx(w + j.shift);
       }
       return self + frames * circ;
     };
     const FixedPointResult w = iterate_fixed_point(self, w_fn, fp);
     result.iterations += w.iterations;
     if (!w.converged) return result;
-    // eq (25): R(q) = w(q) - q*TSUM_i + CIRC(N)  (the final frame's service).
     worst = gmfnet::max(worst, w.value - q * tsum_i + circ);
   }
 

@@ -116,35 +116,55 @@ core::HolisticResult AnalysisEngine::run_incremental(
   core::HolisticResult out;
   out.jitters = std::move(start);
 
+  // Per-flow change flags over the dirty component (clean flows never
+  // change — they are not analysed).  A dirty flow is re-analysed only when
+  // it or a read-set neighbor changed since its previous analysis; a skipped
+  // re-analysis would have been the identity, so results stay bit-identical
+  // (same scheme as analyze_holistic's sweeps).  The read-set is walked on
+  // the fly over the flow's route links — probes must not pay an
+  // all-flows neighbor table for a small dirty component.
+  std::vector<char> changed(ctx.flow_count(), 0);
+  for (const net::FlowId id : dirty_ids) {
+    changed[static_cast<std::size_t>(id.v)] = 1;
+  }
+  const auto inputs_dirty = [&](net::FlowId id) {
+    if (changed[static_cast<std::size_t>(id.v)]) return true;
+    for (const net::LinkRef l : ctx.route_links(id)) {
+      for (const net::FlowId j : ctx.flows_on_link(l)) {
+        if (changed[static_cast<std::size_t>(j.v)]) return true;
+      }
+    }
+    return false;
+  };
+
   std::vector<core::FlowResult> fresh(dirty_ids.size());
   bool diverged = false;
   for (int sweep = 0; sweep < opts_.max_sweeps; ++sweep) {
     // A sweep writes only the analysed (dirty) flows' own entries, so the
-    // convergence snapshot/compare can stay proportional to the dirty
-    // component instead of the whole map.
+    // convergence snapshot/compare stays proportional to the flows actually
+    // analysed instead of the whole map.
     core::JitterMap before;
-    for (const net::FlowId id : dirty_ids) {
-      before.adopt_flow(out.jitters, id, id);
-    }
     for (std::size_t k = 0; k < dirty_ids.size(); ++k) {
+      const net::FlowId id = dirty_ids[k];
+      if (sweep > 0 && !inputs_dirty(id)) {
+        changed[static_cast<std::size_t>(id.v)] = 0;
+        continue;
+      }
+      before.adopt_flow(out.jitters, id, id);
       fresh[k] =
-          core::analyze_flow_end_to_end(ctx, out.jitters, dirty_ids[k],
-                                        opts_.hop);
+          core::analyze_flow_end_to_end(ctx, out.jitters, id, opts_.hop);
+      changed[static_cast<std::size_t>(id.v)] =
+          out.jitters.flow_equals(before, id) ? 0 : 1;
+      ++rs.flow_analyses;
+      if (!fresh[k].all_converged()) diverged = true;
     }
     out.sweeps = sweep + 1;
     ++rs.sweeps;
-    rs.flow_analyses += dirty_ids.size();
 
-    for (const core::FlowResult& fr : fresh) {
-      if (!fr.all_converged()) {
-        diverged = true;
-        break;
-      }
-    }
     if (diverged) break;
     bool unchanged = true;
     for (const net::FlowId id : dirty_ids) {
-      if (!out.jitters.flow_equals(before, id)) {
+      if (changed[static_cast<std::size_t>(id.v)]) {
         unchanged = false;
         break;
       }

@@ -1,47 +1,73 @@
 #include "gmf/demand.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <unordered_map>
 
 namespace gmfnet::gmf {
 
+namespace {
+std::uint64_t next_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 DemandCurve::DemandCurve(const FlowLinkParams& p)
-    : tsum_(p.tsum()), csum_(p.csum()), nsum_(p.nsum()) {
+    : uid_(next_uid()), tsum_(p.tsum()), csum_(p.csum()), nsum_(p.nsum()) {
   const std::size_t n = p.frame_count();
 
-  // Enumerate every window: phase k1 in [0,n), length k2 in [1,n].
-  struct Raw {
-    gmfnet::Time::rep span;
+  // Enumerate every window (phase k1 in [0,n), length k2 in [1,n]) and
+  // dedupe equal spans as they are produced, keeping the per-span maxima.
+  // Real traces repeat separations heavily (a constant-rate MPEG cycle has
+  // only n distinct spans out of n^2 windows), so deduping first shrinks the
+  // sort from O(n^2 log n) to O(u log u) over the u unique spans.
+  struct Best {
     gmfnet::Time::rep cost;
     std::int64_t count;
   };
-  std::vector<Raw> raw;
-  raw.reserve(n * n);
+  std::unordered_map<gmfnet::Time::rep, Best> by_span;
+  // Reserve for the common dedupe-heavy shape (constant-rate traces have
+  // ~n unique spans); irregular traces grow geometrically from there
+  // instead of committing a worst-case n^2 bucket array up front.
+  by_span.reserve(2 * n);
   for (std::size_t k1 = 0; k1 < n; ++k1) {
     for (std::size_t k2 = 1; k2 <= n; ++k2) {
-      raw.push_back(Raw{p.tsum_window(k1, k2).ps(),
-                        p.csum_window(k1, k2).ps(),
-                        p.nsum_window(k1, k2)});
+      const gmfnet::Time::rep span = p.tsum_window(k1, k2).ps();
+      const gmfnet::Time::rep cost = p.csum_window(k1, k2).ps();
+      const std::int64_t count = p.nsum_window(k1, k2);
+      auto [it, inserted] = by_span.try_emplace(span, Best{cost, count});
+      if (!inserted) {
+        it->second.cost = std::max(it->second.cost, cost);
+        it->second.count = std::max(it->second.count, count);
+      }
     }
   }
-  std::sort(raw.begin(), raw.end(),
-            [](const Raw& a, const Raw& b) { return a.span < b.span; });
 
-  // Collapse to a staircase: strictly increasing spans carrying the running
-  // maxima of cost and count.
-  steps_.reserve(raw.size());
+  steps_.reserve(by_span.size());
+  for (const auto& [span, best] : by_span) {
+    steps_.push_back(Step{span, best.cost, best.count});
+  }
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.span < b.span; });
+
+  // Turn per-span maxima into a staircase: running prefix maxima, dropping
+  // steps dominated by a shorter span (keeps queries branch-light and the
+  // envelope arrays minimal).
   gmfnet::Time::rep best_cost = 0;
   std::int64_t best_count = 0;
-  for (const Raw& r : raw) {
-    best_cost = std::max(best_cost, r.cost);
-    best_count = std::max(best_count, r.count);
-    if (!steps_.empty() && steps_.back().span == r.span) {
-      steps_.back().max_cost = best_cost;
-      steps_.back().max_count = best_count;
-    } else {
-      steps_.push_back(Step{r.span, best_cost, best_count});
+  std::size_t out = 0;
+  for (const Step& s : steps_) {
+    best_cost = std::max(best_cost, s.max_cost);
+    best_count = std::max(best_count, s.max_count);
+    if (out > 0 && steps_[out - 1].max_cost == best_cost &&
+        steps_[out - 1].max_count == best_count) {
+      continue;  // dominated: adds span without raising either maximum
     }
+    steps_[out++] = Step{s.span, best_cost, best_count};
   }
+  steps_.resize(out);
 }
 
 namespace {

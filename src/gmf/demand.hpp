@@ -31,6 +31,14 @@ namespace gmfnet::gmf {
 /// Precomputed request-bound curve of one flow on one link.
 class DemandCurve {
  public:
+  /// One step of the staircase: the prefix maxima of cost/count over all
+  /// windows whose span is <= `span`.
+  struct Step {
+    gmfnet::Time::rep span;       ///< TSUM(k1,k2)
+    gmfnet::Time::rep max_cost;   ///< prefix max of CSUM(k1,k2)
+    std::int64_t max_count;       ///< prefix max of NSUM(k1,k2)
+  };
+
   explicit DemandCurve(const FlowLinkParams& params);
 
   /// MXS (eq 10, right-closed): max transmission demand of a window of
@@ -53,13 +61,18 @@ class DemandCurve {
   [[nodiscard]] gmfnet::Time csum() const { return csum_; }
   [[nodiscard]] std::int64_t nsum() const { return nsum_; }
 
- private:
-  struct Step {
-    gmfnet::Time::rep span;       ///< TSUM(k1,k2)
-    gmfnet::Time::rep max_cost;   ///< prefix max of CSUM(k1,k2)
-    std::int64_t max_count;       ///< prefix max of NSUM(k1,k2)
-  };
+  /// The intra-cycle staircase: spans strictly increasing, cost/count
+  /// non-decreasing, first span always 0 (the critical-instant release).
+  /// LevelEnvelope flattens these into its merged per-hop view.
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
 
+  /// Process-unique id, assigned at construction.  Envelope caches key on
+  /// this instead of the object address, so a curve freed and another
+  /// allocated at the same address can never be mistaken for it (ABA).
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
+ private:
+  std::uint64_t uid_;
   gmfnet::Time tsum_;
   gmfnet::Time csum_;
   std::int64_t nsum_ = 0;

@@ -1,0 +1,84 @@
+#include "util/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace gmfnet {
+
+namespace {
+std::string escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchJsonWriter::begin_row() { rows_.emplace_back(); }
+
+void BenchJsonWriter::add(const std::string& key, double v) {
+  char buf[64];
+  // JSON has no NaN/Inf; encode them as null.
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  rows_.back().emplace_back(key, buf);
+}
+
+void BenchJsonWriter::add(const std::string& key, std::int64_t v) {
+  rows_.back().emplace_back(key, std::to_string(v));
+}
+
+void BenchJsonWriter::add(const std::string& key, const std::string& v) {
+  rows_.back().emplace_back(key, "\"" + escape(v) + "\"");
+}
+
+void BenchJsonWriter::add(const std::string& key, bool v) {
+  rows_.back().emplace_back(key, v ? "true" : "false");
+}
+
+std::string BenchJsonWriter::to_string() const {
+  std::string out = "{\n  \"bench\": \"" + escape(name_) + "\",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r == 0 ? "\n" : ",\n";
+    out += "    {";
+    for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+      if (f != 0) out += ", ";
+      out += "\"" + escape(rows_[r][f].first) + "\": " + rows_[r][f].second;
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchJsonWriter::save() const {
+  std::ofstream f(path(), std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string s = to_string();
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace gmfnet

@@ -1,0 +1,49 @@
+// Machine-readable bench output: every bench dumps its headline series as
+// BENCH_<name>.json next to the working directory, so CI can archive the
+// perf trajectory PR over PR (and humans can diff it) without scraping
+// stdout tables.
+//
+// Schema (stable, append-only):
+//   {
+//     "bench": "<name>",
+//     "rows": [ { "<key>": <number|string>, ... }, ... ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gmfnet {
+
+/// Flat row-oriented JSON emitter; rows are buffered and `save` writes the
+/// whole artifact at once (a crashed bench leaves no half-written file).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  /// Starts a new row; fields are appended with `add`.
+  void begin_row();
+  void add(const std::string& key, double v);
+  void add(const std::string& key, std::int64_t v);
+  void add(const std::string& key, int v) {
+    add(key, static_cast<std::int64_t>(v));
+  }
+  void add(const std::string& key, const std::string& v);
+  void add(const std::string& key, bool v);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes BENCH_<name>.json into the current directory; returns false on
+  /// I/O failure.
+  bool save() const;
+  [[nodiscard]] std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+ private:
+  std::string name_;
+  /// Rows of (key, pre-rendered JSON value) pairs, in insertion order.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace gmfnet

@@ -5,6 +5,17 @@
 // so the iterates climb until they either stabilise (the fixed point, which
 // is the quantity the analysis needs) or pass a horizon that proves the
 // system is not schedulable at this level (eq (20)/(34) style divergence).
+//
+// Monotone-iterate contract: because x_0 <= F(x_0) and F is monotone, the
+// sequence of arguments passed to `f` within one iterate_fixed_point call
+// is non-decreasing (each argument is >= the previous one; the final,
+// converged application repeats the same value).  Demand evaluation relies
+// on this: gmf::LevelEnvelope threads a forward EvalCursor through `f`, so
+// each iteration advances per-interferer staircase positions in O(1)
+// amortized instead of binary-searching from scratch.  The cursor detects
+// and survives violations (it re-anchors on any backward query, e.g. when
+// the next w(q) chain re-seeds lower), so the contract is a performance
+// contract, not a correctness precondition.
 #pragma once
 
 #include <cstdint>

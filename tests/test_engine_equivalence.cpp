@@ -30,6 +30,18 @@ core::HolisticResult from_scratch(const net::Network& net,
   return core::analyze_holistic(ctx);
 }
 
+/// The pre-envelope reference: same from-scratch run with the per-hop
+/// analyses forced onto the naive per-interferer MX/NX path (no merged
+/// LevelEnvelope, no cursor).  Pinning the engine against this closes the
+/// loop: engine (envelope) == cold (envelope) == cold (naive).
+core::HolisticResult from_scratch_naive(const net::Network& net,
+                                        const std::vector<gmf::Flow>& flows) {
+  const core::AnalysisContext ctx(net, flows);
+  core::HolisticOptions opts;
+  opts.hop.use_envelope = false;
+  return core::analyze_holistic(ctx, opts);
+}
+
 void expect_bit_identical(const core::HolisticResult& inc,
                           const core::HolisticResult& cold,
                           const std::string& where) {
@@ -127,6 +139,13 @@ TEST_P(EngineEquivalence, IncrementalMatchesFromScratch) {
   expect_bit_identical(eng.evaluate(), from_scratch(net, mirror),
                        "seed " + std::to_string(seed) + " after re-add");
 
+  // Envelope fast path vs the pre-envelope naive per-hop evaluation: the
+  // cold runs above used the (default) envelope path; the naive reference
+  // must agree bit-for-bit on the same final flow set.
+  expect_bit_identical(from_scratch(net, mirror),
+                       from_scratch_naive(net, mirror),
+                       "seed " + std::to_string(seed) + " envelope parity");
+
   // Batch what-if probes match cold runs and commit nothing.
   std::vector<gmf::Flow> cands = {ts->flows.back(), ts->flows[0]};
   const auto batch = eng.evaluate_batch(cands);
@@ -137,6 +156,10 @@ TEST_P(EngineEquivalence, IncrementalMatchesFromScratch) {
     with.push_back(cands[i]);
     expect_bit_identical(batch[i].result, from_scratch(net, with),
                          "seed " + std::to_string(seed) + " batch candidate " +
+                             std::to_string(i));
+    expect_bit_identical(batch[i].result, from_scratch_naive(net, with),
+                         "seed " + std::to_string(seed) +
+                             " batch candidate (naive parity) " +
                              std::to_string(i));
   }
 }
