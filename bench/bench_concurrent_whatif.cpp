@@ -1,0 +1,146 @@
+// Concurrent what-if throughput: N reader threads issuing admission probes
+// against the engine's published snapshot (EngineSnapshot::what_if — the
+// lock-free RCU read path) while the resident world stays warm.
+//
+// Topology: the 8-cell campus of bench_admission_scaling with 256 resident
+// flows on rotating host pairs — many small locality domains, so probes
+// spread across shards and the only shared state is the immutable
+// snapshot.  Each reader loops over candidates in "its" cells; throughput
+// is total completed probes / wall time, measured at 1/2/4/8 readers.
+//
+//   $ ./bench_concurrent_whatif [ms_per_point]
+//
+// Emits BENCH_concurrent_whatif.json ({threads, qps, speedup}).  On
+// machines with >= 8 hardware threads the bench exits non-zero unless
+// throughput grows monotonically with reader count (5% tolerance) and the
+// 8-reader point is >= 4x the single-reader point; with fewer cores the
+// bars are reported but not enforced (they measure the hardware, not the
+// code).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/campus_topology.hpp"
+#include "engine/analysis_engine.hpp"
+#include "net/network.hpp"
+#include "util/bench_json.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace gmfnet;
+using benchtopo::Campus;
+using benchtopo::make_campus;
+using benchtopo::voip_resident_flow;
+
+namespace {
+
+constexpr int kCells = 8;
+constexpr int kResidents = 256;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ms_per_point = argc > 1 ? std::atoi(argv[1]) : 400;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== concurrent what-if throughput — lock-free snapshot "
+              "probes (%d residents, %u hardware threads, %d ms/point) "
+              "===\n\n",
+              kResidents, hw, ms_per_point);
+
+  const Campus campus = make_campus(kCells);
+  engine::AnalysisEngine eng(campus.net);
+  for (int n = 0; n < kResidents; ++n) {
+    eng.add_flow(voip_resident_flow(campus, kCells, n));
+  }
+  const auto snap = eng.snapshot();
+  std::printf("resident world: %zu flows in %zu locality domains\n\n",
+              snap->flow_count(), snap->shard_count());
+
+  // Reference verdicts so readers can sanity-check their probes.
+  std::vector<gmf::Flow> cands;
+  std::vector<bool> expect;
+  for (int p = 0; p < 64; ++p) {
+    cands.push_back(voip_resident_flow(campus, kCells, kResidents + p));
+    expect.push_back(snap->what_if(cands.back()).admissible);
+  }
+
+  Table t("What-if throughput vs reader threads");
+  t.set_columns({"readers", "probes/s", "speedup vs 1"});
+  BenchJsonWriter json("concurrent_whatif");
+
+  double qps1 = 0.0;
+  std::vector<double> qps_points;
+  for (const int readers : {1, 2, 4, 8}) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> done{0};
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(readers));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        std::size_t i = static_cast<std::size_t>(r) * 17;
+        std::int64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t k = i++ % cands.size();
+          const engine::WhatIfResult w = snap->what_if(cands[k]);
+          if (w.admissible != expect[k]) bad.fetch_add(1);
+          ++local;
+        }
+        done.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_per_point));
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& th : threads) th.join();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const double qps = static_cast<double>(done.load()) / secs;
+    if (readers == 1) qps1 = qps;
+    qps_points.push_back(qps);
+    const double speedup = qps / qps1;
+    t.add_row({std::to_string(readers), Table::fixed(qps, 0),
+               Table::fixed(speedup, 2) + "x"});
+    json.begin_row();
+    json.add("threads", readers);
+    json.add("qps", qps);
+    json.add("speedup", speedup);
+    if (bad.load() != 0) {
+      std::printf("FAIL: %d probes disagreed with the reference verdicts\n",
+                  bad.load());
+      return 1;
+    }
+  }
+  t.print();
+  if (!json.save()) {
+    std::printf("\nFAIL: could not write %s\n", json.path().c_str());
+    return 1;
+  }
+  std::printf("\nJSON written to %s\n", json.path().c_str());
+
+  bool monotonic = true;
+  for (std::size_t k = 1; k < qps_points.size(); ++k) {
+    monotonic &= qps_points[k] >= 0.95 * qps_points[k - 1];
+  }
+  const double at8 = qps_points.back() / qps_points.front();
+  if (hw >= 8) {
+    if (!monotonic || at8 < 4.0) {
+      std::printf("FAIL: throughput must grow monotonically and reach >= 4x "
+                  "at 8 readers (got %.2fx, monotonic=%s).\n",
+                  at8, monotonic ? "yes" : "no");
+      return 1;
+    }
+    std::printf("PASS: throughput monotonic, %.2fx at 8 readers.\n", at8);
+  } else {
+    std::printf("NOTE: %u hardware threads < 8 — scaling bars reported, not "
+                "enforced (%.2fx at 8 readers, monotonic=%s).\n",
+                hw, at8, monotonic ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared bench topology: a "campus" of independent star cells (one switch
+// + kHostsPerCell phones each), the shape an operator's admission
+// controller actually serves.  Used by bench_admission_scaling and
+// bench_concurrent_whatif so the two benches measure the same world.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::benchtopo {
+
+constexpr int kHostsPerCell = 8;
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+struct Campus {
+  net::Network net;
+  // hosts[cell][i]
+  std::vector<std::vector<net::NodeId>> hosts;
+  std::vector<net::NodeId> switches;
+};
+
+inline Campus make_campus(int cells) {
+  Campus c;
+  for (int cell = 0; cell < cells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    c.hosts.emplace_back();
+    for (int h = 0; h < kHostsPerCell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.back().push_back(host);
+    }
+  }
+  return c;
+}
+
+/// The camera feed of the paper's multimedia workload shape: a 4-frame GMF
+/// cycle, one 20 kB I-frame then three 3 kB P-frames at 25 fps — much
+/// heavier to analyse than a sporadic call.
+inline gmf::Flow camera_flow(const std::string& name, net::Route route) {
+  std::vector<gmf::FrameSpec> frames;
+  for (int k = 0; k < 4; ++k) {
+    gmf::FrameSpec fs;
+    fs.min_separation = gmfnet::Time::ms(40);
+    fs.deadline = gmfnet::Time::ms(100);
+    fs.jitter = gmfnet::Time::ms(1);
+    fs.payload_bits = (k == 0 ? 20000 : 3000) * 8;
+    frames.push_back(fs);
+  }
+  return gmf::Flow(name, std::move(route), std::move(frames), /*priority=*/1);
+}
+
+/// Resident flow n in cell (n % cells) between a rotating host pair of
+/// that cell: alternately a VoIP call and a camera feed.  Host pairs are
+/// link-disjoint, so each pair is its own locality domain.
+inline gmf::Flow resident_flow(const Campus& c, int cells, int n) {
+  const int cell = n % cells;
+  const int pair = (n / cells) % (kHostsPerCell / 2);
+  const auto a = static_cast<std::size_t>(2 * pair);
+  const auto b = a + 1;
+  net::Route route({c.hosts[static_cast<std::size_t>(cell)][a],
+                    c.switches[static_cast<std::size_t>(cell)],
+                    c.hosts[static_cast<std::size_t>(cell)][b]});
+  if (n % 2 == 0) {
+    return workload::make_voip_flow("call" + std::to_string(n),
+                                    std::move(route), gmfnet::Time::ms(20),
+                                    /*priority=*/5);
+  }
+  return camera_flow("cam" + std::to_string(n), std::move(route));
+}
+
+/// VoIP-only variant of resident_flow (uniform probe cost; used by the
+/// concurrent-throughput bench).
+inline gmf::Flow voip_resident_flow(const Campus& c, int cells, int n) {
+  const int cell = n % cells;
+  const int pair = (n / cells) % (kHostsPerCell / 2);
+  const auto a = static_cast<std::size_t>(2 * pair);
+  net::Route route({c.hosts[static_cast<std::size_t>(cell)][a],
+                    c.switches[static_cast<std::size_t>(cell)],
+                    c.hosts[static_cast<std::size_t>(cell)][a + 1]});
+  return workload::make_voip_flow("call" + std::to_string(n),
+                                  std::move(route), gmfnet::Time::ms(20),
+                                  /*priority=*/5);
+}
+
+/// Resident flow n of the four_domain scenario: every flow of cell
+/// (n % cells) is sourced at the cell's hub host 0, so the whole cell is
+/// one link-sharing component (one locality domain per cell).
+inline gmf::Flow hub_flow(const Campus& c, int cells, int n) {
+  const int cell = n % cells;
+  const auto dst =
+      static_cast<std::size_t>(1 + (n / cells) % (kHostsPerCell - 1));
+  net::Route route({c.hosts[static_cast<std::size_t>(cell)][0],
+                    c.switches[static_cast<std::size_t>(cell)],
+                    c.hosts[static_cast<std::size_t>(cell)][dst]});
+  return workload::make_voip_flow("hub" + std::to_string(n), std::move(route),
+                                  gmfnet::Time::ms(20), /*priority=*/5);
+}
+
+}  // namespace gmfnet::benchtopo

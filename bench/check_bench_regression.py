@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json artifacts.
+
+Usage: check_bench_regression.py <baseline_dir> <current_dir> [--tolerance=0.25]
+
+Compares the headline *ratio* metrics (speedups — machine-portable, unlike
+raw microseconds) of the current bench run against the checked-in baselines
+under bench/baselines/, and exits non-zero when any metric regressed by more
+than the tolerance (default 25%).  Raw-time metrics are deliberately not
+gated: CI runners differ in absolute speed, ratios of same-machine runs do
+not.
+
+Row matching is by key fields (e.g. section + residents), so adding new rows
+or benches never breaks the gate; removing a baselined row does (a silently
+vanished data point is itself a regression).
+"""
+
+import json
+import pathlib
+import sys
+
+# bench name -> {file, key fields, filter (subset row must match),
+#                metrics: {name: direction}}
+CHECKS = {
+    "admission_scaling": {
+        "file": "BENCH_admission_scaling.json",
+        "key": ["section", "residents"],
+        "filter": {},
+        "metrics": {"speedup": "higher"},
+    },
+    "demand_eval": {
+        "file": "BENCH_demand_eval.json",
+        "key": ["section", "interferers"],
+        "filter": {"section": "hop_analysis"},
+        "metrics": {"speedup": "higher"},
+    },
+    # concurrent_whatif is intentionally absent: its scaling curve measures
+    # the runner's core count, not the code; the bench gates itself on
+    # machines with >= 8 hardware threads.
+}
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("rows", [])
+
+
+def row_key(row, fields):
+    return tuple(row.get(f) for f in fields)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    tolerance = 0.25
+    for a in sys.argv[1:]:
+        if a.startswith("--tolerance"):
+            if "=" not in a:
+                print("use --tolerance=<fraction>, e.g. --tolerance=0.25")
+                return 2
+            tolerance = float(a.split("=", 1)[1])
+    baseline_dir, current_dir = map(pathlib.Path, args)
+
+    failures = []
+    checked = 0
+    for bench, cfg in CHECKS.items():
+        base_path = baseline_dir / cfg["file"]
+        cur_path = current_dir / cfg["file"]
+        if not base_path.exists():
+            print(f"[{bench}] no baseline at {base_path} — skipping "
+                  f"(record one to start gating)")
+            continue
+        if not cur_path.exists():
+            failures.append(f"[{bench}] baseline exists but current run "
+                            f"produced no {cur_path}")
+            continue
+        current = {}
+        for row in load_rows(cur_path):
+            current[row_key(row, cfg["key"])] = row
+        for row in load_rows(base_path):
+            if any(row.get(k) != v for k, v in cfg["filter"].items()):
+                continue
+            key = row_key(row, cfg["key"])
+            cur = current.get(key)
+            if cur is None:
+                failures.append(f"[{bench}] row {key} in baseline but "
+                                f"missing from current run")
+                continue
+            for metric, direction in cfg["metrics"].items():
+                if metric not in row:
+                    continue
+                base_v, cur_v = float(row[metric]), float(cur[metric])
+                checked += 1
+                if direction == "higher":
+                    floor = base_v * (1.0 - tolerance)
+                    ok = cur_v >= floor
+                    verdict = "OK" if ok else "REGRESSED"
+                    print(f"[{bench}] {key} {metric}: baseline {base_v:.2f} "
+                          f"current {cur_v:.2f} (floor {floor:.2f}) "
+                          f"{verdict}")
+                    if not ok:
+                        failures.append(
+                            f"[{bench}] {key} {metric} regressed "
+                            f">{tolerance:.0%}: {base_v:.2f} -> {cur_v:.2f}")
+    print(f"\n{checked} metrics checked, {len(failures)} failures")
+    for f in failures:
+        print("FAIL:", f)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

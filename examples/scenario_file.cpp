@@ -93,13 +93,19 @@ int main(int argc, char** argv) {
               scenario.network.node_count(), scenario.network.link_count(),
               scenario.flows.size(), path.c_str());
 
-  // The engine owns the analysis world; the slack report runs against its
-  // cached context and the what-if probes below reuse its fixed point.
+  // The engine owns the sharded analysis world; the what-if probes below
+  // reuse its published fixed point.  The slack sweep wants one whole-set
+  // context, so it builds its own — but warm-starts its solve from the
+  // engine's converged jitters (same flows, same global order), so the
+  // fixed point is confirmed rather than recomputed.
   engine::AnalysisEngine eng(scenario.network);
   for (const gmf::Flow& f : scenario.flows) eng.add_flow(f);
-  (void)eng.evaluate();
+  const core::HolisticResult& engine_result = eng.evaluate();
 
-  const auto slack = core::compute_slack(eng.context());
+  const core::AnalysisContext slack_ctx(scenario.network, scenario.flows);
+  core::HolisticOptions slack_opts;
+  slack_opts.initial_jitters = &engine_result.jitters;
+  const auto slack = core::compute_slack(slack_ctx, slack_opts);
   if (!slack) {
     std::printf("analysis diverged: the configuration is overloaded\n");
     return 1;

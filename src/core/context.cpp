@@ -188,6 +188,30 @@ FlowId AnalysisContext::add_flow(gmf::Flow flow) {
   return id;
 }
 
+FlowId AnalysisContext::adopt_flow(const AnalysisContext& from, FlowId src) {
+  const auto s = static_cast<std::size_t>(src.v);
+  if (src.v < 0 || s >= from.derived_.size()) {
+    throw std::out_of_range("adopt_flow: no such flow in source context");
+  }
+  const FlowId id(static_cast<std::int32_t>(derived_.size()));
+  // Share the immutable derived state verbatim; only this context's
+  // per-link aggregates are recomputed, exactly as add_flow would.
+  derived_.push_back(from.derived_[s]);
+  for (const LinkRef l : derived_.back()->links) {
+    LinkState& state = links_[l];
+    state.flows.push_back(id);
+    recompute_link_aggregates(l, state);
+  }
+  return id;
+}
+
+AnalysisContext AnalysisContext::empty_clone(const AnalysisContext& like) {
+  AnalysisContext out;
+  out.net_ = like.net_;
+  out.circ_ = like.circ_;
+  return out;
+}
+
 void AnalysisContext::remove_flow(std::size_t index) {
   if (index >= derived_.size()) {
     throw std::out_of_range("remove_flow: no flow at this index");

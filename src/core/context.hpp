@@ -10,6 +10,20 @@
 // DemandCurves) is immutable once built and shared between copies, so
 // copying a context is a cheap copy-on-write view: the admission engine
 // fans what-if analyses over copies without recomputing anything.
+//
+// Concurrency contract (the snapshot what-if path leans on this): every
+// const member function, the copy constructor, and adopt_flow *reading its
+// source* are safe to call from any number of threads concurrently, as long
+// as no thread mutates the object being read.  The shared derived state
+// (FlowDerived, network, CIRC table) is immutable after construction and
+// reference-counted with atomic counts, so concurrent copies and
+// cross-context adoption never race.  Mutations (add_flow / remove_flow)
+// require exclusive access to the mutated context only — they never write
+// through the shared state.  The same contract holds for JitterMap: const
+// reads and copies are concurrency-safe, writes are copy-on-write against
+// any state shared with other maps (a shared per-flow map is cloned before
+// the first write), so concurrent readers holding snapshots never observe
+// a writer's mutation.
 #pragma once
 
 #include <cstdint>
@@ -170,6 +184,20 @@ class AnalysisContext {
   /// recomputed.  Throws std::out_of_range on a bad index.
   void remove_flow(std::size_t index);
 
+  /// Appends flow `src` of `from` by *adopting* its immutable derived state
+  /// (parameters, demand curves, stages) — no validation, no curve
+  /// rebuilding; only this context's per-link aggregates are updated.  The
+  /// engine's shard/snapshot layer uses this to assemble domain- and
+  /// probe-contexts from committed state in O(route links) per flow.
+  /// `from` must be over the same network.  Equivalent to
+  /// add_flow(from.flow(src)) but O(curves) cheaper, bit-identically.
+  FlowId adopt_flow(const AnalysisContext& from, FlowId src);
+
+  /// An empty context sharing `like`'s network and CIRC table: skips
+  /// network re-validation and CIRC recomputation, so building a per-domain
+  /// context costs only the per-flow adoption.
+  [[nodiscard]] static AnalysisContext empty_clone(const AnalysisContext& like);
+
   [[nodiscard]] const net::Network& network() const { return *net_; }
   [[nodiscard]] std::size_t flow_count() const { return derived_.size(); }
   [[nodiscard]] const gmf::Flow& flow(FlowId id) const {
@@ -253,6 +281,9 @@ class AnalysisContext {
     double utilization = 0.0;          ///< sum of CSUM/TSUM
     double ingress_utilization = 0.0;  ///< sum of NSUM*CIRC(dst)/TSUM
   };
+
+  /// Uninitialized shell for empty_clone (no network yet).
+  AnalysisContext() = default;
 
   [[nodiscard]] const FlowDerived& derived(FlowId i, const char* what) const;
   /// Recomputes `state`'s aggregates from scratch, summing in flow-id order

@@ -171,4 +171,82 @@ HolisticResult analyze_holistic(const AnalysisContext& ctx,
   return out;
 }
 
+HolisticResult analyze_holistic_dirty(const AnalysisContext& ctx,
+                                      const std::vector<bool>& dirty,
+                                      JitterMap start,
+                                      const HolisticOptions& opts,
+                                      IncrementalStats* stats) {
+  std::vector<FlowId> dirty_ids;
+  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
+    if (f < dirty.size() && dirty[f]) {
+      dirty_ids.push_back(FlowId(static_cast<std::int32_t>(f)));
+    }
+  }
+
+  HolisticResult out;
+  out.jitters = std::move(start);
+  out.flows.resize(ctx.flow_count());
+
+  // Per-flow change flags over the dirty set (clean flows never change —
+  // they are not analysed).  A dirty flow is re-analysed only when it or a
+  // read-set neighbor changed since its previous analysis; a skipped
+  // re-analysis would have been the identity, so results stay bit-identical
+  // (same scheme as analyze_holistic's sweeps).  The read-set is walked on
+  // the fly over the flow's route links — probes must not pay an all-flows
+  // neighbor table for a small dirty component.
+  std::vector<char> changed(ctx.flow_count(), 0);
+  for (const FlowId id : dirty_ids) {
+    changed[static_cast<std::size_t>(id.v)] = 1;
+  }
+  const auto inputs_dirty = [&](FlowId id) {
+    if (changed[static_cast<std::size_t>(id.v)]) return true;
+    for (const LinkRef l : ctx.route_links(id)) {
+      for (const FlowId j : ctx.flows_on_link(l)) {
+        if (changed[static_cast<std::size_t>(j.v)]) return true;
+      }
+    }
+    return false;
+  };
+
+  bool diverged = false;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    // A sweep writes only the analysed (dirty) flows' own entries, so the
+    // convergence snapshot/compare stays proportional to the flows actually
+    // analysed instead of the whole map.
+    JitterMap before;
+    for (const FlowId id : dirty_ids) {
+      if (sweep > 0 && !inputs_dirty(id)) {
+        changed[static_cast<std::size_t>(id.v)] = 0;
+        continue;
+      }
+      before.adopt_flow(out.jitters, id, id);
+      FlowResult& fr = out.flows[static_cast<std::size_t>(id.v)];
+      fr = analyze_flow_end_to_end(ctx, out.jitters, id, opts.hop);
+      changed[static_cast<std::size_t>(id.v)] =
+          out.jitters.flow_equals(before, id) ? 0 : 1;
+      if (stats != nullptr) ++stats->flow_analyses;
+      if (!fr.all_converged()) diverged = true;
+    }
+    out.sweeps = sweep + 1;
+    if (stats != nullptr) ++stats->sweeps;
+
+    if (diverged) break;
+    bool unchanged = true;
+    for (const FlowId id : dirty_ids) {
+      if (changed[static_cast<std::size_t>(id.v)]) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // schedulable stays false: the caller adopts its cached FlowResults for
+  // the clean flows and finalizes the verdict over the complete vector.
+  return out;
+}
+
 }  // namespace gmfnet::core

@@ -68,4 +68,30 @@ struct HolisticResult {
 [[nodiscard]] HolisticResult analyze_holistic(const AnalysisContext& ctx,
                                               const HolisticOptions& opts = {});
 
+/// Counters of one restricted run (engine instrumentation).
+struct IncrementalStats {
+  std::size_t flow_analyses = 0;  ///< per-flow per-sweep analyses executed
+  std::size_t sweeps = 0;         ///< sweeps executed
+};
+
+/// The per-shard / per-probe solve entry point: Gauss-Seidel holistic fixed
+/// point restricted to the `dirty` flows of `ctx`, iterated from `start`.
+/// Clean flows are never analysed or written — their entries in `start`
+/// must already sit at the (unchanged) fixed point, which makes the run
+/// bit-identical to a whole-set analyze_holistic on the same context (both
+/// reach the unique least fixed point; see the warm-start note on
+/// HolisticOptions::initial_jitters).  With every flow dirty and `start`
+/// the initial map, this *is* the cold Gauss-Seidel run.
+///
+/// On return, `flows` entries of clean flows are default-constructed and
+/// `schedulable` is left false: the caller owns adopting its cached
+/// FlowResults for clean flows and finalizing the schedulability verdict
+/// (skipped when `converged` is false).  `opts.order` and
+/// `opts.initial_jitters` are ignored (the run is Gauss-Seidel from
+/// `start` by construction).
+[[nodiscard]] HolisticResult analyze_holistic_dirty(
+    const AnalysisContext& ctx, const std::vector<bool>& dirty,
+    JitterMap start, const HolisticOptions& opts,
+    IncrementalStats* stats = nullptr);
+
 }  // namespace gmfnet::core

@@ -1,323 +1,534 @@
 #include "engine/analysis_engine.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <utility>
-
-#include "core/end_to_end.hpp"
-#include "util/thread_pool.hpp"
 
 namespace gmfnet::engine {
 
-AnalysisEngine::AnalysisEngine(net::Network network, core::HolisticOptions opts)
-    : ctx_(std::move(network)), opts_(opts) {
+AnalysisEngine::AnalysisEngine(net::Network network, core::HolisticOptions opts,
+                               bool shard_by_domain)
+    : empty_ctx_(std::make_shared<const core::AnalysisContext>(
+          std::move(network))),
+      opts_(opts),
+      shard_by_domain_(shard_by_domain) {
   opts_.initial_jitters = nullptr;  // the engine owns warm starting
+  assemble_and_publish();           // publish the (empty) world
 }
 
-net::FlowId AnalysisEngine::add_flow(gmf::Flow flow) {
-  const net::FlowId id = ctx_.add_flow(std::move(flow));
-  for (const net::LinkRef l : ctx_.route_links(id)) dirty_links_.insert(l);
-  return id;
+const gmf::Flow& AnalysisEngine::flow(std::size_t index) const {
+  const FlowLoc& loc = locs_.at(index);
+  return shards_[loc.shard].ctx->flow(
+      net::FlowId(static_cast<std::int32_t>(loc.local)));
 }
 
-bool AnalysisEngine::remove_flow(std::size_t index) {
-  if (index >= ctx_.flow_count()) return false;
-  for (const net::LinkRef l :
-       ctx_.route_links(net::FlowId(static_cast<std::int32_t>(index)))) {
-    dirty_links_.insert(l);
-  }
-  ctx_.remove_flow(index);
-  if (cache_.valid && index < cache_.result.flows.size()) {
-    // Keep the cache parallel to the shifted flow ids; the surviving
-    // entries remain the converged state of their (clean) components.
-    cache_.result.flows.erase(cache_.result.flows.begin() +
-                              static_cast<std::ptrdiff_t>(index));
-    cache_.result.jitters.erase_flow(
-        net::FlowId(static_cast<std::int32_t>(index)));
-  }
-  removal_pending_ = true;
-  return true;
+EngineStats AnalysisEngine::stats() const {
+  EngineStats out;
+  out.evaluations = stats_.evaluations.load(std::memory_order_relaxed);
+  out.full_runs = stats_.full_runs.load(std::memory_order_relaxed);
+  out.incremental_runs =
+      stats_.incremental_runs.load(std::memory_order_relaxed);
+  out.flow_analyses = stats_.flow_analyses.load(std::memory_order_relaxed);
+  out.flow_results_reused =
+      stats_.flow_results_reused.load(std::memory_order_relaxed);
+  out.sweeps = stats_.sweeps.load(std::memory_order_relaxed);
+  return out;
 }
 
-std::vector<bool> AnalysisEngine::dirty_closure(
-    const core::AnalysisContext& ctx, std::vector<bool> dirty) const {
-  const std::size_t n = ctx.flow_count();
-  dirty.resize(n, false);
-  // Flows without a cached FlowResult (added since the last evaluation)
-  // must be dirty: run_incremental reuses cache entries for clean flows.
-  // add_flow also dirties their route links, but seed them explicitly
-  // rather than leaning on that invariant.
-  for (std::size_t f = cache_.result.flows.size(); f < n; ++f) {
-    dirty[f] = true;
+void AnalysisEngine::reset_stats() {
+  stats_.evaluations.store(0, std::memory_order_relaxed);
+  stats_.full_runs.store(0, std::memory_order_relaxed);
+  stats_.incremental_runs.store(0, std::memory_order_relaxed);
+  stats_.flow_analyses.store(0, std::memory_order_relaxed);
+  stats_.flow_results_reused.store(0, std::memory_order_relaxed);
+  stats_.sweeps.store(0, std::memory_order_relaxed);
+}
+
+void AnalysisEngine::record_run(const RunStats& rs) {
+  if (!rs.ran) return;
+  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (rs.full) {
+    stats_.full_runs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.incremental_runs.fetch_add(1, std::memory_order_relaxed);
   }
-  std::vector<net::FlowId> worklist;
-  for (std::size_t f = 0; f < n; ++f) {
-    if (dirty[f]) {
-      worklist.push_back(net::FlowId(static_cast<std::int32_t>(f)));
-      continue;
+  stats_.flow_analyses.fetch_add(rs.flow_analyses, std::memory_order_relaxed);
+  stats_.flow_results_reused.fetch_add(rs.flow_results_reused,
+                                       std::memory_order_relaxed);
+  stats_.sweeps.fetch_add(rs.sweeps, std::memory_order_relaxed);
+}
+
+std::vector<std::uint32_t> AnalysisEngine::touched_shards(
+    const std::vector<net::LinkRef>& links) const {
+  std::vector<std::uint32_t> out;
+  if (!shard_by_domain_) {
+    // Single-domain mode: everything lives in shard 0.
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) out.push_back(i);
+    return out;
+  }
+  for (const net::LinkRef l : links) {
+    const auto it = link_shard_.find(l);
+    if (it != link_shard_.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint32_t AnalysisEngine::merge_shards(
+    const std::vector<std::uint32_t>& parts) {
+  Shard merged;
+  core::AnalysisContext ctx = core::AnalysisContext::empty_clone(*empty_ctx_);
+
+  // The merged cache keeps every part's warm state: flows a part's
+  // converged cache covers are adopted at their (unchanged) fixed point;
+  // uncovered flows — parts never solved, or flows added since a part's
+  // last solve — get a padded entry seeded with the holistic initial state
+  // and their route links dirtied, so the next run restarts exactly them
+  // (plus closure) instead of the whole merged domain going cold.  A part
+  // whose cache exists but did not converge invalidates the merge (its
+  // entries are mid-iteration): the merged shard then solves cold, the same
+  // as the pre-shard engine's invalid cache.
+  bool converged = true;
+  bool sched = true;
+  for (const std::uint32_t pi : parts) {
+    if (shards_[pi].cache) {
+      converged &= shards_[pi].cache->converged;
+      sched &= shards_[pi].cache->schedulable;
     }
-    for (const net::LinkRef l :
-         ctx.route_links(net::FlowId(static_cast<std::int32_t>(f)))) {
-      if (dirty_links_.count(l) != 0) {
-        dirty[f] = true;
-        worklist.push_back(net::FlowId(static_cast<std::int32_t>(f)));
-        break;
+  }
+
+  // Merge in the canonical global-id order (see merge_order): the
+  // Gauss-Seidel sweep order inside a merged component matches the
+  // one-context engine's exactly.
+  const std::vector<MergeEnt> ents = merge_order(
+      parts, [this](std::uint32_t part) -> const std::vector<net::FlowId>& {
+        return shards_[part].to_global;
+      });
+
+  core::HolisticResult cache;
+  cache.converged = converged;
+  cache.schedulable = sched;
+  std::vector<std::size_t> uncovered;
+  for (std::size_t pos = 0; pos < ents.size(); ++pos) {
+    const MergeEnt& e = ents[pos];
+    const Shard& part = shards_[e.shard];
+    ctx.adopt_flow(*part.ctx, net::FlowId(static_cast<std::int32_t>(e.local)));
+    merged.to_global.push_back(e.global);
+    if (part.cache_valid() && e.local < part.cache->flows.size()) {
+      cache.flows.push_back(part.cache->flows[e.local]);
+      cache.jitters.adopt_flow(part.cache->jitters,
+                               net::FlowId(static_cast<std::int32_t>(e.local)),
+                               net::FlowId(static_cast<std::int32_t>(pos)));
+    } else {
+      cache.flows.emplace_back();
+      uncovered.push_back(pos);
+    }
+  }
+  // With no covered flow at all there is no warm state to keep: leave the
+  // cache null so the run goes (and is counted) cold.
+  const bool any_covered = uncovered.size() < ents.size();
+  if (any_covered) {
+    for (const std::size_t pos : uncovered) {
+      const net::FlowId local(static_cast<std::int32_t>(pos));
+      seed_source_jitters(ctx, local, cache.jitters);
+      for (const net::LinkRef l : ctx.route_links(local)) {
+        merged.dirty_links.insert(l);
       }
     }
   }
-  // Transitive closure over link sharing: interference only travels across
-  // shared links, so everything outside the closure keeps its fixed point.
-  while (!worklist.empty()) {
-    const net::FlowId i = worklist.back();
-    worklist.pop_back();
-    for (const net::LinkRef l : ctx.route_links(i)) {
+  for (const std::uint32_t pi : parts) {
+    Shard& part = shards_[pi];
+    if (part.cache) {
+      cache.sweeps = std::max(cache.sweeps, part.cache->sweeps);
+    }
+    merged.dirty_links.insert(part.dirty_links.begin(),
+                              part.dirty_links.end());
+    merged.removal_pending |= part.removal_pending;
+  }
+  merged.ctx = std::make_shared<const core::AnalysisContext>(std::move(ctx));
+  if (any_covered) {
+    merged.cache =
+        std::make_shared<const core::HolisticResult>(std::move(cache));
+  }
+
+  // parts is ascending: erase back-to-front so indices stay valid, then
+  // renumber the survivors and index the merged shard that absorbed the
+  // erased parts' flows and links.
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    shards_.erase(shards_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  renumber_shards(parts);
+  shards_.push_back(std::move(merged));
+  const auto merged_idx = static_cast<std::uint32_t>(shards_.size() - 1);
+  index_shard(merged_idx);
+  return merged_idx;
+}
+
+bool AnalysisEngine::split_if_disconnected(std::uint32_t idx) {
+  Shard& s = shards_[idx];
+  const core::AnalysisContext& ctx = *s.ctx;
+  const std::size_t n = ctx.flow_count();
+  if (n <= 1) return false;
+
+  // Union-find (path halving) over local flow ids via shared links.
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const net::LinkRef l :
+         ctx.route_links(net::FlowId(static_cast<std::int32_t>(f)))) {
       for (const net::FlowId j : ctx.flows_on_link(l)) {
-        const auto jf = static_cast<std::size_t>(j.v);
-        if (!dirty[jf]) {
-          dirty[jf] = true;
-          worklist.push_back(j);
+        unite(static_cast<std::uint32_t>(f),
+              static_cast<std::uint32_t>(j.v));
+      }
+    }
+  }
+
+  // Components in first-appearance (local id) order: each part's flows keep
+  // their relative local order, preserving per-link flow order.
+  std::vector<std::vector<std::uint32_t>> members;
+  std::map<std::uint32_t, std::size_t> comp_of_root;
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::uint32_t r = find(static_cast<std::uint32_t>(f));
+    const auto it = comp_of_root.find(r);
+    if (it == comp_of_root.end()) {
+      comp_of_root.emplace(r, members.size());
+      members.push_back({static_cast<std::uint32_t>(f)});
+    } else {
+      members[it->second].push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+  if (members.size() <= 1) return false;
+
+  const bool cache_full =
+      s.cache && s.cache->converged && s.cache->flows.size() == n;
+  std::vector<Shard> parts;
+  parts.reserve(members.size());
+  for (const std::vector<std::uint32_t>& m : members) {
+    Shard part;
+    core::AnalysisContext pctx = core::AnalysisContext::empty_clone(*empty_ctx_);
+    for (const std::uint32_t f : m) {
+      pctx.adopt_flow(ctx, net::FlowId(static_cast<std::int32_t>(f)));
+      part.to_global.push_back(s.to_global[f]);
+    }
+    if (cache_full) {
+      // The parent fixed point restricted to a disconnected component is
+      // exactly that component's fixed point.
+      core::HolisticResult c;
+      c.converged = true;
+      c.sweeps = s.cache->sweeps;
+      bool sched = true;
+      for (std::size_t k = 0; k < m.size(); ++k) {
+        c.flows.push_back(s.cache->flows[m[k]]);
+        c.jitters.adopt_flow(s.cache->jitters,
+                             net::FlowId(static_cast<std::int32_t>(m[k])),
+                             net::FlowId(static_cast<std::int32_t>(k)));
+        sched &= c.flows.back().schedulable();
+      }
+      c.schedulable = sched;
+      part.cache = std::make_shared<const core::HolisticResult>(std::move(c));
+    }
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      for (const net::LinkRef l :
+           pctx.route_links(net::FlowId(static_cast<std::int32_t>(k)))) {
+        if (s.dirty_links.count(l) != 0) part.dirty_links.insert(l);
+      }
+    }
+    part.removal_pending = s.removal_pending && !part.dirty_links.empty();
+    part.ctx = std::make_shared<const core::AnalysisContext>(std::move(pctx));
+    parts.push_back(std::move(part));
+  }
+  shards_[idx] = std::move(parts.front());
+  for (std::size_t k = 1; k < parts.size(); ++k) {
+    shards_.push_back(std::move(parts[k]));
+  }
+  return true;
+}
+
+void AnalysisEngine::index_shard(std::uint32_t sid) {
+  const Shard& s = shards_[sid];
+  for (std::uint32_t l = 0; l < s.to_global.size(); ++l) {
+    locs_[static_cast<std::size_t>(s.to_global[l].v)] = FlowLoc{sid, l};
+    for (const net::LinkRef link :
+         s.ctx->route_links(net::FlowId(static_cast<std::int32_t>(l)))) {
+      link_shard_[link] = sid;
+    }
+  }
+}
+
+void AnalysisEngine::renumber_shards(const std::vector<std::uint32_t>& erased) {
+  // remap[old position] -> new position after the erasures.
+  const std::size_t old_count = shards_.size() + erased.size();
+  std::vector<std::uint32_t> remap(old_count, 0);
+  std::size_t gone = 0;
+  for (std::uint32_t i = 0; i < old_count; ++i) {
+    if (gone < erased.size() && erased[gone] == i) {
+      ++gone;  // remap stays 0; the caller re-indexes the absorbing shard
+    } else {
+      remap[i] = i - static_cast<std::uint32_t>(gone);
+    }
+  }
+  for (FlowLoc& fl : locs_) fl.shard = remap[fl.shard];
+  for (auto& [link, sid] : link_shard_) sid = remap[sid];
+}
+
+net::FlowId AnalysisEngine::add_flow(gmf::Flow flow) {
+  flow.validate(network());
+  const net::FlowId global(static_cast<std::int32_t>(locs_.size()));
+
+  const std::vector<std::uint32_t> touched =
+      touched_shards(flow.route().links());
+  std::uint32_t target;
+  if (touched.empty()) {
+    target = static_cast<std::uint32_t>(shards_.size());
+    Shard fresh;
+    fresh.ctx = std::make_shared<const core::AnalysisContext>(
+        core::AnalysisContext::empty_clone(*empty_ctx_));
+    shards_.push_back(std::move(fresh));
+  } else if (touched.size() == 1) {
+    target = touched.front();
+  } else {
+    // The new flow bridges several domains: union them first.
+    target = merge_shards(touched);
+  }
+
+  Shard& s = shards_[target];
+  core::AnalysisContext work = *s.ctx;
+  const net::FlowId local = work.add_flow(std::move(flow));
+  for (const net::LinkRef l : work.route_links(local)) {
+    s.dirty_links.insert(l);
+    link_shard_[l] = target;
+  }
+  s.ctx = std::make_shared<const core::AnalysisContext>(std::move(work));
+  s.to_global.push_back(global);
+  locs_.push_back(FlowLoc{target, static_cast<std::uint32_t>(local.v)});
+  global_ = nullptr;
+  return global;
+}
+
+bool AnalysisEngine::remove_flow(std::size_t index) {
+  if (index >= locs_.size()) return false;
+  const FlowLoc loc = locs_[index];
+  Shard& s = shards_[loc.shard];
+  const net::FlowId local(static_cast<std::int32_t>(loc.local));
+  const std::vector<net::LinkRef> touched_links = s.ctx->route_links(local);
+
+  core::AnalysisContext work = *s.ctx;
+  work.remove_flow(loc.local);
+  s.ctx = std::make_shared<const core::AnalysisContext>(std::move(work));
+  s.to_global.erase(s.to_global.begin() +
+                    static_cast<std::ptrdiff_t>(loc.local));
+  if (s.cache && loc.local < s.cache->flows.size()) {
+    // Keep the cache parallel to the shifted local ids; the surviving
+    // entries remain the converged state of their (clean) components.
+    core::HolisticResult c = *s.cache;
+    c.flows.erase(c.flows.begin() + static_cast<std::ptrdiff_t>(loc.local));
+    c.jitters.erase_flow(local);
+    s.cache = std::make_shared<const core::HolisticResult>(std::move(c));
+  }
+  for (const net::LinkRef l : touched_links) s.dirty_links.insert(l);
+  s.removal_pending = true;
+
+  // Global ids above the removed one shift down by one, in every shard —
+  // flat integer passes (forced by the index-shifting removal contract);
+  // all structural rework stays domain-local.
+  for (Shard& sh : shards_) {
+    for (net::FlowId& g : sh.to_global) {
+      if (static_cast<std::size_t>(g.v) > index) g = net::FlowId(g.v - 1);
+    }
+  }
+  locs_.erase(locs_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  // Links that lost their last flow leave the link->shard map.
+  for (const net::LinkRef l : touched_links) {
+    if (s.ctx->flows_on_link(l).empty()) link_shard_.erase(l);
+  }
+
+  if (s.flow_count() == 0) {
+    shards_.erase(shards_.begin() + static_cast<std::ptrdiff_t>(loc.shard));
+    renumber_shards({loc.shard});
+  } else {
+    // Locals above the removed one shifted down within the shard.
+    for (std::uint32_t l = loc.local;
+         l < shards_[loc.shard].to_global.size(); ++l) {
+      locs_[static_cast<std::size_t>(shards_[loc.shard].to_global[l].v)] =
+          FlowLoc{loc.shard, l};
+    }
+    if (shard_by_domain_) {
+      // Rebuild-on-remove: the removal may have disconnected the domain.
+      const std::size_t before_split = shards_.size();
+      if (split_if_disconnected(loc.shard)) {
+        index_shard(loc.shard);
+        for (auto k = static_cast<std::uint32_t>(before_split);
+             k < shards_.size(); ++k) {
+          index_shard(k);
         }
       }
     }
   }
-  return dirty;
+  global_ = nullptr;
+  return true;
 }
 
-core::JitterMap AnalysisEngine::warm_start(const core::AnalysisContext& ctx,
-                                           const std::vector<bool>& dirty,
-                                           bool reset_dirty) const {
-  // Clean flows sit exactly at their (unchanged) fixed point; dirty flows
-  // after an add start from the old fixed point, a sound
-  // under-approximation of the new one.  Start from one copy of the cached
-  // map and reset only the flows that must restart from the initial state
-  // (flows added since the last evaluation, and the dirty component after a
-  // removal).
-  core::JitterMap start = cache_.result.jitters;
-  const std::size_t cached = cache_.result.flows.size();
-  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
-    if (f < cached && !(dirty[f] && reset_dirty)) continue;
-    const net::FlowId id(static_cast<std::int32_t>(f));
-    start.clear_flow(id);
-    const gmf::Flow& flow = ctx.flow(id);
-    const core::StageKey& source = ctx.stages(id).front();
-    for (std::size_t k = 0; k < flow.frame_count(); ++k) {
-      start.set_jitter(id, source, k, flow.frame(k).jitter);
-    }
-  }
-  return start;
+void AnalysisEngine::ensure_pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(opts_.threads);
 }
 
-core::HolisticResult AnalysisEngine::run_incremental(
-    const core::AnalysisContext& ctx, const std::vector<bool>& dirty,
-    core::JitterMap start, RunStats& rs) const {
-  std::vector<net::FlowId> dirty_ids;
-  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
-    if (dirty[f]) dirty_ids.push_back(net::FlowId(static_cast<std::int32_t>(f)));
-  }
-
-  core::HolisticResult out;
-  out.jitters = std::move(start);
-
-  // Per-flow change flags over the dirty component (clean flows never
-  // change — they are not analysed).  A dirty flow is re-analysed only when
-  // it or a read-set neighbor changed since its previous analysis; a skipped
-  // re-analysis would have been the identity, so results stay bit-identical
-  // (same scheme as analyze_holistic's sweeps).  The read-set is walked on
-  // the fly over the flow's route links — probes must not pay an
-  // all-flows neighbor table for a small dirty component.
-  std::vector<char> changed(ctx.flow_count(), 0);
-  for (const net::FlowId id : dirty_ids) {
-    changed[static_cast<std::size_t>(id.v)] = 1;
-  }
-  const auto inputs_dirty = [&](net::FlowId id) {
-    if (changed[static_cast<std::size_t>(id.v)]) return true;
-    for (const net::LinkRef l : ctx.route_links(id)) {
-      for (const net::FlowId j : ctx.flows_on_link(l)) {
-        if (changed[static_cast<std::size_t>(j.v)]) return true;
-      }
-    }
-    return false;
-  };
-
-  std::vector<core::FlowResult> fresh(dirty_ids.size());
-  bool diverged = false;
-  for (int sweep = 0; sweep < opts_.max_sweeps; ++sweep) {
-    // A sweep writes only the analysed (dirty) flows' own entries, so the
-    // convergence snapshot/compare stays proportional to the flows actually
-    // analysed instead of the whole map.
-    core::JitterMap before;
-    for (std::size_t k = 0; k < dirty_ids.size(); ++k) {
-      const net::FlowId id = dirty_ids[k];
-      if (sweep > 0 && !inputs_dirty(id)) {
-        changed[static_cast<std::size_t>(id.v)] = 0;
-        continue;
-      }
-      before.adopt_flow(out.jitters, id, id);
-      fresh[k] =
-          core::analyze_flow_end_to_end(ctx, out.jitters, id, opts_.hop);
-      changed[static_cast<std::size_t>(id.v)] =
-          out.jitters.flow_equals(before, id) ? 0 : 1;
-      ++rs.flow_analyses;
-      if (!fresh[k].all_converged()) diverged = true;
-    }
-    out.sweeps = sweep + 1;
-    ++rs.sweeps;
-
-    if (diverged) break;
-    bool unchanged = true;
-    for (const net::FlowId id : dirty_ids) {
-      if (changed[static_cast<std::size_t>(id.v)]) {
-        unchanged = false;
-        break;
-      }
-    }
-    if (unchanged) {
-      out.converged = true;
-      break;
+void AnalysisEngine::assemble_and_publish() {
+  core::HolisticResult g;
+  g.converged = true;
+  g.sweeps = 0;
+  g.flows.resize(locs_.size());
+  bool sched = true;
+  for (const Shard& s : shards_) {
+    // Every shard holds a result here: evaluate() solves all dirty shards
+    // before assembling, and a run always installs one (even diverged).
+    g.converged &= s.cache->converged;
+    sched &= s.cache->schedulable;
+    g.sweeps = std::max(g.sweeps, s.cache->sweeps);
+    for (std::size_t l = 0; l < s.to_global.size(); ++l) {
+      const auto gid = static_cast<std::size_t>(s.to_global[l].v);
+      g.flows[gid] = s.cache->flows[l];
+      g.jitters.adopt_flow(s.cache->jitters,
+                           net::FlowId(static_cast<std::int32_t>(l)),
+                           net::FlowId(static_cast<std::int32_t>(gid)));
     }
   }
+  g.schedulable = g.converged && sched;
+  global_ = std::make_shared<const core::HolisticResult>(std::move(g));
 
-  // Assemble the full per-flow result vector: fresh for the dirty
-  // component, cached (still converged, untouched component) otherwise.
-  out.flows.resize(ctx.flow_count());
-  for (std::size_t k = 0; k < dirty_ids.size(); ++k) {
-    out.flows[static_cast<std::size_t>(dirty_ids[k].v)] = std::move(fresh[k]);
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->empty_ctx_ = empty_ctx_;
+  snap->opts_ = opts_;
+  snap->sharded_ = shard_by_domain_;
+  snap->shards_.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    snap->shards_.push_back(
+        EngineSnapshot::ShardView{s.ctx, s.cache, s.to_global});
   }
-  for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
-    if (!dirty[f]) {
-      out.flows[f] = cache_.result.flows[f];
-      ++rs.flow_results_reused;
-    }
-  }
-
-  if (diverged || !out.converged) {
-    out.converged = false;
-    out.schedulable = false;
-    return out;
-  }
-  out.schedulable = true;
-  for (const core::FlowResult& fr : out.flows) {
-    if (!fr.schedulable()) {
-      out.schedulable = false;
-      break;
-    }
-  }
-  return out;
-}
-
-void AnalysisEngine::install(core::HolisticResult result) {
-  cache_.result = std::move(result);
-  cache_.valid = cache_.result.converged;
-  dirty_links_.clear();
-  removal_pending_ = false;
+  snap->locs_ = locs_;
+  snap->link_shard_ = link_shard_;
+  snap->global_ = global_;
+  std::atomic_store(&published_,
+                    std::shared_ptr<const EngineSnapshot>(std::move(snap)));
 }
 
 const core::HolisticResult& AnalysisEngine::evaluate() {
-  const bool clean = dirty_links_.empty() && !removal_pending_ &&
-                     cache_.result.flows.size() == ctx_.flow_count();
-  if (cache_.valid && clean) return cache_.result;
+  std::vector<std::size_t> dirty;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].needs_run()) dirty.push_back(i);
+  }
+  if (dirty.empty() && global_ != nullptr) return *global_;
 
-  if (!cache_.valid) {
-    // No converged state to start from: cold full-set run.
-    record_run(RunStats{});
-    install(core::analyze_holistic(ctx_, opts_));
-    return cache_.result;
+  std::vector<RunStats> rs(dirty.size());
+  if (dirty.size() > 1) {
+    // Independent domains: fan the dirty shards over the pool.  Shard runs
+    // are Gauss-Seidel (no nested pools) and touch disjoint state.
+    ensure_pool();
+    pool_->parallel_for(dirty.size(), [&](std::size_t k) {
+      rs[k] = shards_[dirty[k]].run(opts_);
+    });
+  } else if (dirty.size() == 1) {
+    rs[0] = shards_[dirty.front()].run(opts_);
+  }
+  for (const RunStats& r : rs) record_run(r);
+
+  if (!dirty.empty()) {
+    // Flows of untouched shards are adopted verbatim at assembly.
+    std::size_t run_flows = 0;
+    for (const std::size_t i : dirty) run_flows += shards_[i].flow_count();
+    stats_.flow_results_reused.fetch_add(locs_.size() - run_flows,
+                                         std::memory_order_relaxed);
   }
 
-  const std::vector<bool> dirty =
-      dirty_closure(ctx_, std::vector<bool>(ctx_.flow_count(), false));
-  core::JitterMap start = warm_start(ctx_, dirty, removal_pending_);
-  RunStats rs;
-  core::HolisticResult result =
-      run_incremental(ctx_, dirty, std::move(start), rs);
-  record_run(rs);
-  install(std::move(result));
-  return cache_.result;
+  assemble_and_publish();
+  return *global_;
 }
 
-WhatIfResult AnalysisEngine::probe(const core::AnalysisContext& view,
-                                   RunStats& rs) const {
-  WhatIfResult out;
-  if (!cache_.valid) {
-    // Resident set has no converged state (diverging base): cold run.
-    // Force Gauss-Seidel: probes may run inside evaluate_batch's pool
-    // workers, and a Jacobi run would build a nested pool per probe.
-    core::HolisticOptions cold = opts_;
-    cold.order = core::SweepOrder::kGaussSeidel;
-    out.result = core::analyze_holistic(view, cold);
-  } else {
-    // The candidate is the last flow of the view; its component is dirty.
-    std::vector<bool> seed(view.flow_count(), false);
-    seed.back() = true;
-    const std::vector<bool> dirty = dirty_closure(view, std::move(seed));
-    core::JitterMap start = warm_start(view, dirty, /*reset_dirty=*/false);
-    out.result = run_incremental(view, dirty, std::move(start), rs);
-  }
-  out.admissible = out.result.schedulable;
-  return out;
-}
-
-void AnalysisEngine::record_run(const RunStats& rs) {
-  ++stats_.evaluations;
-  if (cache_.valid) {
-    ++stats_.incremental_runs;
-  } else {
-    ++stats_.full_runs;
-  }
-  stats_.flow_analyses += rs.flow_analyses;
-  stats_.flow_results_reused += rs.flow_results_reused;
-  stats_.sweeps += rs.sweeps;
+std::shared_ptr<const EngineSnapshot> AnalysisEngine::snapshot() {
+  (void)evaluate();
+  return published();
 }
 
 WhatIfResult AnalysisEngine::what_if(const gmf::Flow& candidate) {
-  evaluate();
-  core::AnalysisContext view = ctx_;
-  view.add_flow(candidate);
-  RunStats rs;
-  const WhatIfResult out = probe(view, rs);
-  record_run(rs);
-  return out;
+  (void)evaluate();
+  const std::shared_ptr<const EngineSnapshot> snap = published();
+  EngineSnapshot::Probe probe = snap->run_probe(candidate);
+  // Untouched shards' flows enter the full result verbatim: count them as
+  // reused alongside the clean flows of the probed component.
+  probe.rs.flow_results_reused += flow_count() + 1 - probe.to_global.size();
+  record_run(probe.rs);
+  return snap->assemble(probe);
 }
 
 std::optional<core::HolisticResult> AnalysisEngine::try_admit(
     gmf::Flow candidate) {
-  evaluate();
-  core::AnalysisContext view = ctx_;
-  view.add_flow(std::move(candidate));
-  RunStats rs;
-  WhatIfResult probed = probe(view, rs);
-  record_run(rs);
-  if (!probed.admissible) return std::nullopt;
+  (void)evaluate();
+  const std::shared_ptr<const EngineSnapshot> snap = published();
+  EngineSnapshot::Probe probe = snap->run_probe(candidate);
+  probe.rs.flow_results_reused += flow_count() + 1 - probe.to_global.size();
+  record_run(probe.rs);
+  const WhatIfResult out = snap->assemble(probe);
+  if (!out.admissible) return std::nullopt;
 
-  // Commit: adopt the what-if view and its converged state wholesale; the
+  // Commit: adopt the probe's context and converged state wholesale; the
   // next arrival warm-starts from here.
-  ctx_ = std::move(view);
-  install(std::move(probed.result));
-  return cache_.result;
+  commit_probe(std::move(probe));
+  return *global_;
+}
+
+void AnalysisEngine::commit_probe(EngineSnapshot::Probe probe) {
+  assert(probe.base_converged);
+  Shard merged;
+  merged.to_global = std::move(probe.to_global);
+  merged.ctx =
+      std::make_shared<const core::AnalysisContext>(std::move(*probe.ctx));
+  merged.cache =
+      std::make_shared<const core::HolisticResult>(std::move(probe.local));
+  // probe.touched is ascending: erase back-to-front, renumber survivors,
+  // then index the committed shard (which includes the new candidate, so
+  // locs_ grows by one first).
+  for (auto it = probe.touched.rbegin(); it != probe.touched.rend(); ++it) {
+    shards_.erase(shards_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  renumber_shards(probe.touched);
+  locs_.push_back(FlowLoc{});
+  shards_.push_back(std::move(merged));
+  index_shard(static_cast<std::uint32_t>(shards_.size() - 1));
+  assemble_and_publish();
 }
 
 std::vector<WhatIfResult> AnalysisEngine::evaluate_batch(
     const std::vector<gmf::Flow>& candidates) {
-  evaluate();
+  (void)evaluate();
   std::vector<WhatIfResult> out(candidates.size());
   if (candidates.empty()) return out;
 
-  // Build the copy-on-write views serially so validation errors surface to
-  // the caller before any analysis runs.  Each view shares every resident
-  // flow's derived state with the cached context; only the candidate's own
-  // parameters are computed.
-  std::vector<core::AnalysisContext> views;
-  views.reserve(candidates.size());
-  for (const gmf::Flow& c : candidates) {
-    views.push_back(ctx_);
-    views.back().add_flow(c);
-  }
+  // Surface validation errors to the caller before any analysis runs.
+  for (const gmf::Flow& c : candidates) c.validate(network());
 
-  std::vector<RunStats> rs(candidates.size());
-  ThreadPool pool(opts_.threads);
-  pool.parallel_for(candidates.size(), [&](std::size_t i) {
-    out[i] = probe(views[i], rs[i]);
+  const std::shared_ptr<const EngineSnapshot> snap = published();
+  ensure_pool();
+  pool_->parallel_for(candidates.size(), [&](std::size_t i) {
+    EngineSnapshot::Probe probe = snap->run_probe(candidates[i]);
+    probe.rs.flow_results_reused +=
+        snap->flow_count() + 1 - probe.to_global.size();
+    record_run(probe.rs);
+    out[i] = snap->assemble(probe);
   });
-
-  for (const RunStats& r : rs) record_run(r);
   return out;
 }
 

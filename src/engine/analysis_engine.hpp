@@ -1,68 +1,80 @@
-// AnalysisEngine: the long-lived, incremental admission-control core.
+// AnalysisEngine: the long-lived, incremental, sharded admission-control
+// core.
 //
-// The seed's AdmissionController re-derived the whole world per query: every
-// try_admit copied the flow vector, rebuilt the AnalysisContext and iterated
-// the holistic fixed point from a cold jitter map.  The engine keeps the
-// world alive between queries and makes the per-arrival work proportional to
-// what the arrival actually changed:
+// The holistic analysis converges to a unique least fixed point per
+// link-sharing component, so disjoint locality domains are analytically
+// independent.  The engine exploits that twice over:
 //
-//  * Route-based dirty tracking.  Adding or removing a flow dirties only the
-//    links of its route.  At evaluation time the dirty set is closed
-//    transitively over link sharing (a flow is affected iff it shares a link
-//    with an affected flow), and only that component is re-analysed; every
-//    other flow's converged FlowResult is reused verbatim.  Per-flow
-//    parameter caches (gmf::FlowLinkParams, DemandCurves) live in the
-//    context and are never rebuilt for untouched flows.
+//  * Locality-domain sharding.  The resident set is partitioned into the
+//    connected components of the link-sharing graph, maintained
+//    incrementally as flows come and go: an add unions the domains its
+//    route touches (merging shards when it bridges them), a removal
+//    rebuilds the touched shard's partition and splits it when the
+//    component fell apart.  Each shard owns its own AnalysisContext, dirty
+//    set and warm JitterMap (engine/shard.hpp), so an admission touching
+//    one domain re-analyses only that shard — the work is proportional to
+//    the touched domain, not the resident count — and a full-set
+//    evaluation fans the dirty shards over a thread pool.
+//
+//  * RCU-style published snapshots.  After every committed mutation the
+//    engine publishes an immutable EngineSnapshot (engine/snapshot.hpp) by
+//    a single atomic shared_ptr swap.  Reader threads load the snapshot
+//    (`published()`) and run `EngineSnapshot::what_if` probes against it
+//    with zero engine locking — all snapshot state is immutable or
+//    copy-on-write — so N operator threads issue concurrent what-ifs while
+//    the writer thread keeps admitting.  Readers see the world as of the
+//    last publication: consistent, possibly one mutation stale.
 //
 //  * Warm-started fixed point.  Re-analysis seeds the holistic iteration
 //    from the previously converged JitterMap instead of zeros.  The sweep
 //    operator is monotone and adding a flow only adds interference, so the
 //    old fixed point under-approximates the new one and the iteration
-//    reaches the *same* least fixed point in near-minimal sweeps (a one-flow
-//    delta typically converges in 2).  After a removal the affected
-//    component restarts from the initial map (its fixed point may shrink);
-//    unaffected components keep their converged state either way.
-//
-//  * Batch admission.  evaluate_batch fans independent what-if analyses over
-//    a gmfnet::ThreadPool; each candidate runs against a copy-on-write view
-//    of the cached context (shared derived state, nothing recomputed) and
-//    the shared warm jitter map.
+//    reaches the *same* least fixed point in near-minimal sweeps (a
+//    one-flow delta typically converges in 2).  After a removal the
+//    affected component restarts from the initial map (its fixed point may
+//    shrink); unaffected components keep their converged state either way.
 //
 // Results are bit-identical to a from-scratch AnalysisContext +
-// analyze_holistic run on the same flow set: both iterations converge to the
-// unique least fixed point, and per-flow results are pure functions of
-// (context, fixed point).  tests/test_engine_equivalence.cpp checks this
-// property over randomized scenarios.
+// analyze_holistic run on the same flow set: both iterations converge to
+// the unique least fixed point, per-flow results are pure functions of
+// (context, fixed point), and shard-local contexts preserve the global
+// per-link flow order, so even the floating-point link aggregates match.
+// tests/test_engine_equivalence.cpp and tests/test_engine_shard.cpp check
+// this property over randomized scenarios, including concurrent readers.
 //
-// The engine is not thread-safe; drive it from one thread (evaluate_batch
-// parallelises internally).
+// Threading contract: ONE writer thread drives the mutating API (add_flow,
+// remove_flow, evaluate, what_if, try_admit, evaluate_batch).  Any number
+// of reader threads may concurrently call published() / stats() and probe
+// the returned snapshots.  evaluate_batch parallelises internally.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/holistic.hpp"
+#include "engine/shard.hpp"
+#include "engine/snapshot.hpp"
 #include "gmf/flow.hpp"
 #include "net/network.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gmfnet::engine {
 
-/// Outcome of one non-committing what-if admission probe.
-struct WhatIfResult {
-  /// Full holistic result of resident set + candidate (candidate is the
-  /// last flow id).
-  core::HolisticResult result;
-  /// True when the combined set is schedulable — the admission verdict.
-  bool admissible = false;
-};
-
-/// Instrumentation counters (monotonic since construction).
+/// Instrumentation counters (monotonic since construction or the last
+/// reset()).  Materialized from relaxed atomics: safe to read while
+/// concurrent probes record, though each counter is only individually
+/// consistent mid-flight.  At quiescence `evaluations == full_runs +
+/// incremental_runs` (every solver run is exactly one of the two); a read
+/// racing a probe's record may transiently see the sum off by the in-flight
+/// runs.
 struct EngineStats {
-  std::size_t evaluations = 0;       ///< evaluate()/what-if runs executed
-  std::size_t full_runs = 0;         ///< cold full-set analyses
-  std::size_t incremental_runs = 0;  ///< warm dirty-component analyses
+  std::size_t evaluations = 0;       ///< solver runs executed (shards+probes)
+  std::size_t full_runs = 0;         ///< cold runs (no usable warm cache)
+  std::size_t incremental_runs = 0;  ///< warm dirty-component runs
   std::size_t flow_analyses = 0;     ///< per-flow per-sweep analyses run
   std::size_t flow_results_reused = 0;  ///< cached FlowResults reused
   std::size_t sweeps = 0;            ///< total sweeps executed
@@ -71,107 +83,154 @@ struct EngineStats {
 class AnalysisEngine {
  public:
   /// `opts.initial_jitters` is ignored: the engine owns warm starting.
+  /// `opts.order` is also ignored: every shard/probe solve is Gauss-Seidel
+  /// (the engine's parallelism comes from fanning shards and batch probes
+  /// over the pool, not from Jacobi sweeps; results are the same unique
+  /// least fixed point either way).  `shard_by_domain = false` forces the
+  /// whole resident set into a single shard (the pre-shard behaviour; kept
+  /// for benchmarking the sharded path against it).
   explicit AnalysisEngine(net::Network network,
-                          core::HolisticOptions opts = {});
+                          core::HolisticOptions opts = {},
+                          bool shard_by_domain = true);
 
   // -- resident-set mutation (lazy: no analysis happens here) ---------------
 
   /// Validates and appends `flow` unconditionally (no admission test; use
   /// try_admit for gated admission).  Throws std::logic_error on malformed
-  /// flows.  Dirties only the flow's route links.
+  /// flows.  Dirties only the flow's locality domain.
   net::FlowId add_flow(gmf::Flow flow);
 
   /// Removes the resident flow at `index` (ids above shift down by one).
   /// Returns false when `index` is out of range, leaving all state
-  /// untouched.  Dirties only the removed flow's route links.
+  /// untouched.  Dirties only the removed flow's domain, splitting it when
+  /// the removal disconnected it.
   bool remove_flow(std::size_t index);
 
   // -- queries --------------------------------------------------------------
 
-  [[nodiscard]] std::size_t flow_count() const { return ctx_.flow_count(); }
-  [[nodiscard]] const gmf::Flow& flow(std::size_t index) const {
-    return ctx_.flow(net::FlowId(static_cast<std::int32_t>(index)));
+  [[nodiscard]] std::size_t flow_count() const { return locs_.size(); }
+  [[nodiscard]] const gmf::Flow& flow(std::size_t index) const;
+  [[nodiscard]] const net::Network& network() const {
+    return empty_ctx_->network();
   }
-  [[nodiscard]] const net::Network& network() const { return ctx_.network(); }
-  [[nodiscard]] const core::AnalysisContext& context() const { return ctx_; }
-  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] EngineStats stats() const;
+  /// Zeroes every counter (writer thread only).
+  void reset_stats();
+
+  /// Current number of locality domains (shards).
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Which shard (by position) the flow at `index` currently lives in.
+  /// Positions are not stable across mutations; use for introspection.
+  /// Throws std::out_of_range on a bad index.
+  [[nodiscard]] std::size_t shard_of(std::size_t index) const {
+    return locs_.at(index).shard;
+  }
 
   // -- analysis -------------------------------------------------------------
 
-  /// Holistic result for the resident set.  Incremental: only the dirty
-  /// component (if any) is re-analysed, warm-started from the cached fixed
-  /// point.  The returned reference stays valid until the next engine call.
+  /// Holistic result for the resident set.  Incremental: only dirty shards
+  /// are re-solved (fanned over a thread pool when several are dirty),
+  /// warm-started from their cached fixed points; the fresh snapshot is
+  /// published.  The returned reference stays valid until the next engine
+  /// call.
   const core::HolisticResult& evaluate();
 
   /// What-if: result of resident set + `candidate`, without committing
-  /// anything.  Throws std::logic_error on malformed candidates.
+  /// anything.  Runs against the published snapshot (evaluating first when
+  /// stale).  Throws std::logic_error on malformed candidates.
   WhatIfResult what_if(const gmf::Flow& candidate);
 
   /// Tests `candidate` against the resident set; on acceptance it joins the
-  /// set (and the converged state is kept — no re-analysis needed) and the
+  /// set (adopting the probe's converged state — no re-analysis) and the
   /// full result is returned, on rejection the set is unchanged and
   /// std::nullopt is returned.
   std::optional<core::HolisticResult> try_admit(gmf::Flow candidate);
 
   /// Independent what-if probes for every candidate against the *same*
-  /// resident set, fanned over a thread pool; candidates are not committed
-  /// and do not see each other.  out[i] corresponds to candidates[i].
-  /// Throws std::logic_error if any candidate is malformed (before any
-  /// analysis runs).
+  /// published snapshot, fanned over a thread pool; candidates are not
+  /// committed and do not see each other.  out[i] corresponds to
+  /// candidates[i].  Throws std::logic_error if any candidate is malformed
+  /// (before any analysis runs).
   std::vector<WhatIfResult> evaluate_batch(
       const std::vector<gmf::Flow>& candidates);
 
+  // -- snapshots ------------------------------------------------------------
+
+  /// Evaluates (if stale) and returns the freshly published snapshot
+  /// (writer thread only — it may solve dirty shards).
+  std::shared_ptr<const EngineSnapshot> snapshot();
+
+  /// The last published snapshot: safe to call from any thread, never
+  /// null.  May lag behind uncommitted add_flow/remove_flow calls until the
+  /// writer evaluates.  The read path takes no engine lock — publication is
+  /// an atomic shared_ptr swap.  (std::atomic_load over
+  /// std::atomic<shared_ptr>: identical semantics, but the free functions'
+  /// pthread-based implementation is ThreadSanitizer-transparent, while
+  /// libstdc++'s _Sp_atomic lock-bit protocol is not.)
+  [[nodiscard]] std::shared_ptr<const EngineSnapshot> published() const {
+    return std::atomic_load(&published_);
+  }
+
  private:
-  struct Cache {
-    /// True when `result.jitters` is a converged fixed point for the
-    /// resident set as of the last evaluation, and `result.flows` holds one
-    /// converged FlowResult per then-resident flow.
-    bool valid = false;
-    core::HolisticResult result;
+  struct AtomicStats {
+    std::atomic<std::size_t> evaluations{0};
+    std::atomic<std::size_t> full_runs{0};
+    std::atomic<std::size_t> incremental_runs{0};
+    std::atomic<std::size_t> flow_analyses{0};
+    std::atomic<std::size_t> flow_results_reused{0};
+    std::atomic<std::size_t> sweeps{0};
   };
 
-  struct RunStats {
-    std::size_t flow_analyses = 0;
-    std::size_t flow_results_reused = 0;
-    std::size_t sweeps = 0;
-  };
+  /// Shard indices (ascending, deduped) owning the given route links; all
+  /// shards in single-domain mode.
+  [[nodiscard]] std::vector<std::uint32_t> touched_shards(
+      const std::vector<net::LinkRef>& links) const;
 
-  /// Marks every flow sharing a link (transitively) with a seed flow.
-  /// Seeds: the flows passed in as already-dirty, flows touching
-  /// `dirty_links_`, and flows with id >= the cached result size (added
-  /// since the last evaluation, so they have no reusable FlowResult).
-  [[nodiscard]] std::vector<bool> dirty_closure(
-      const core::AnalysisContext& ctx, std::vector<bool> dirty) const;
+  /// Merges the given shards (ascending indices) into one, preserving each
+  /// part's local order; returns the merged shard's index.
+  std::uint32_t merge_shards(const std::vector<std::uint32_t>& parts);
 
-  /// Warm-start map for `ctx`: initial everywhere, then cached converged
-  /// entries adopted for every flow with a cache entry — except dirty flows
-  /// when `reset_dirty` (after removals their fixed point may shrink).
-  [[nodiscard]] core::JitterMap warm_start(const core::AnalysisContext& ctx,
-                                           const std::vector<bool>& dirty,
-                                           bool reset_dirty) const;
+  /// Splits shard `idx` into its link-sharing components if the last
+  /// removal disconnected it (rebuild-on-remove).  New parts are appended
+  /// at the end of shards_ (existing shard positions are untouched);
+  /// returns true when a split happened.
+  bool split_if_disconnected(std::uint32_t idx);
 
-  /// Gauss-Seidel sweeps over the dirty flows only, from `start`; clean
-  /// flows' results are adopted from the cache.  Bit-identical to a cold
-  /// full-set run (same least fixed point).
-  [[nodiscard]] core::HolisticResult run_incremental(
-      const core::AnalysisContext& ctx, const std::vector<bool>& dirty,
-      core::JitterMap start, RunStats& rs) const;
+  /// Points locs_ and link_shard_ at shard `sid`'s current contents
+  /// (O(shard), used after domain-local surgery).
+  void index_shard(std::uint32_t sid);
 
-  /// One what-if probe against a prepared view (resident set + candidate).
-  [[nodiscard]] WhatIfResult probe(const core::AnalysisContext& view,
-                                   RunStats& rs) const;
+  /// Fixes locs_/link_shard_ shard references after erasing the given
+  /// positions (ascending) from shards_ — a flat renumbering pass, no
+  /// per-flow route walks.  Entries pointing at erased shards are left for
+  /// a follow-up index_shard of whichever shard absorbed their flows.
+  void renumber_shards(const std::vector<std::uint32_t>& erased);
 
-  /// Folds one run's counters into stats_ (call before any cache install).
+  /// Assembles the global result from the shard caches and publishes a
+  /// fresh snapshot.
+  void assemble_and_publish();
+
+  /// Installs a successful probe as a committed merged shard (candidate
+  /// included) and publishes.
+  void commit_probe(EngineSnapshot::Probe probe);
+
+  /// Folds one run's counters into the stats (relaxed atomics).
   void record_run(const RunStats& rs);
 
-  void install(core::HolisticResult result);
+  void ensure_pool();
 
-  core::AnalysisContext ctx_;
+  std::shared_ptr<const core::AnalysisContext> empty_ctx_;
   core::HolisticOptions opts_;
-  Cache cache_;
-  std::set<net::LinkRef> dirty_links_;
-  bool removal_pending_ = false;
-  EngineStats stats_;
+  bool shard_by_domain_;
+  std::vector<Shard> shards_;
+  std::vector<FlowLoc> locs_;  ///< global flow id -> (shard, local)
+  std::map<net::LinkRef, std::uint32_t> link_shard_;
+  /// Assembled whole-set result of the last evaluation (null = stale).
+  std::shared_ptr<const core::HolisticResult> global_;
+  /// Accessed only via std::atomic_load / std::atomic_store.
+  std::shared_ptr<const EngineSnapshot> published_;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazy; batch + shard fan-out
+  AtomicStats stats_;
 };
 
 }  // namespace gmfnet::engine

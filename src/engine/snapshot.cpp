@@ -1,0 +1,191 @@
+#include "engine/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gmfnet::engine {
+
+const gmf::Flow& EngineSnapshot::flow(std::size_t index) const {
+  const FlowLoc& loc = locs_.at(index);
+  return shards_[loc.shard].ctx->flow(
+      net::FlowId(static_cast<std::int32_t>(loc.local)));
+}
+
+std::vector<gmf::Flow> EngineSnapshot::flows() const {
+  std::vector<gmf::Flow> out;
+  out.reserve(locs_.size());
+  for (std::size_t g = 0; g < locs_.size(); ++g) out.push_back(flow(g));
+  return out;
+}
+
+EngineSnapshot::Probe EngineSnapshot::run_probe(
+    const gmf::Flow& candidate) const {
+  // Surface malformed candidates before any assembly work.
+  candidate.validate(network());
+
+  Probe p;
+  p.rs.ran = true;
+
+  bool base_converged = true;
+  for (const ShardView& s : shards_) {
+    if (!s.result || !s.result->converged) {
+      base_converged = false;
+      break;
+    }
+  }
+  if (!base_converged) {
+    // Some component never converged: there is no fixed point to warm-start
+    // from, so run the whole set + candidate cold, in global order —
+    // bit-identical to the from-scratch analysis.  (Gauss-Seidel is forced:
+    // probes may run inside a thread-pool worker, and a Jacobi run would
+    // build a nested pool per probe.)
+    p.base_converged = false;
+    p.rs.full = true;
+    core::AnalysisContext full = core::AnalysisContext::empty_clone(*empty_ctx_);
+    for (std::size_t g = 0; g < locs_.size(); ++g) {
+      const FlowLoc& loc = locs_[g];
+      full.adopt_flow(*shards_[loc.shard].ctx,
+                      net::FlowId(static_cast<std::int32_t>(loc.local)));
+      p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(g)));
+    }
+    full.add_flow(candidate);
+    p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(locs_.size())));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      p.touched.push_back(static_cast<std::uint32_t>(s));
+    }
+    core::HolisticOptions cold = opts_;
+    cold.order = core::SweepOrder::kGaussSeidel;
+    cold.initial_jitters = nullptr;
+    p.local = core::analyze_holistic(full, cold);
+    p.rs.sweeps = static_cast<std::size_t>(p.local.sweeps);
+    p.dirty.assign(full.flow_count(), true);
+    p.ctx = std::move(full);
+    return p;
+  }
+
+  // The shards the candidate's route links already belong to; the probe
+  // world is exactly their union + the candidate.
+  if (!sharded_ && !shards_.empty()) {
+    p.touched.push_back(0);
+  } else {
+    for (const net::LinkRef l : candidate.route().links()) {
+      const auto it = link_shard_.find(l);
+      if (it != link_shard_.end()) p.touched.push_back(it->second);
+    }
+    std::sort(p.touched.begin(), p.touched.end());
+    p.touched.erase(std::unique(p.touched.begin(), p.touched.end()),
+                    p.touched.end());
+  }
+
+  // Assemble the probe context by adopting the touched shards' immutable
+  // derived state — O(touched flows), not O(residents).  Probe locals run
+  // in the canonical global-id order (see merge_order), so the
+  // Gauss-Seidel sweep order inside the probed component — and every
+  // per-link flow list, floating-point aggregate and envelope merge —
+  // matches the one-context engine exactly.
+  std::vector<MergeEnt> srcs;
+  core::AnalysisContext ctx = core::AnalysisContext::empty_clone(*empty_ctx_);
+  if (p.touched.size() == 1) {
+    // Single touched domain (the common case): one context copy, no
+    // per-flow adoption.
+    const ShardView& s = shards_[p.touched.front()];
+    ctx = *s.ctx;
+    p.to_global = s.to_global;
+    for (std::uint32_t l = 0; l < s.to_global.size(); ++l) {
+      srcs.push_back(MergeEnt{s.to_global[l], p.touched.front(), l});
+    }
+  } else if (!p.touched.empty()) {
+    srcs = merge_order(
+        p.touched,
+        [this](std::uint32_t part) -> const std::vector<net::FlowId>& {
+          return shards_[part].to_global;
+        });
+    for (const MergeEnt& e : srcs) {
+      ctx.adopt_flow(*shards_[e.shard].ctx,
+                     net::FlowId(static_cast<std::int32_t>(e.local)));
+      p.to_global.push_back(e.global);
+    }
+  }
+  const std::size_t residents = ctx.flow_count();
+  const net::FlowId cand_local = ctx.add_flow(candidate);
+  p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(locs_.size())));
+
+  // Warm start: every resident sits at its converged fixed point; only the
+  // candidate (and transitively its component) is dirty.
+  core::JitterMap start;
+  for (std::size_t pos = 0; pos < srcs.size(); ++pos) {
+    start.adopt_flow(shards_[srcs[pos].shard].result->jitters,
+                     net::FlowId(static_cast<std::int32_t>(srcs[pos].local)),
+                     net::FlowId(static_cast<std::int32_t>(pos)));
+  }
+  seed_source_jitters(ctx, cand_local, start);
+
+  p.dirty = dirty_closure(ctx, std::vector<bool>(ctx.flow_count(), false), {},
+                          residents);
+
+  core::IncrementalStats is;
+  p.local = core::analyze_holistic_dirty(ctx, p.dirty, std::move(start),
+                                         opts_, &is);
+  p.rs.flow_analyses = is.flow_analyses;
+  p.rs.sweeps = is.sweeps;
+
+  // Clean residents keep their converged results verbatim.
+  for (std::size_t pos = 0; pos < srcs.size(); ++pos) {
+    if (!p.dirty[pos]) {
+      p.local.flows[pos] =
+          shards_[srcs[pos].shard].result->flows[srcs[pos].local];
+      ++p.rs.flow_results_reused;
+    }
+  }
+  finalize_schedulable(p.local);
+  p.ctx = std::move(ctx);
+  return p;
+}
+
+WhatIfResult EngineSnapshot::assemble(const Probe& p) const {
+  WhatIfResult out;
+  if (!p.base_converged) {
+    // The cold whole-set run is already in global order.
+    out.result = p.local;
+    out.admissible = out.result.schedulable;
+    return out;
+  }
+
+  core::HolisticResult& r = out.result;
+  r.converged = p.local.converged;
+  r.sweeps = p.local.sweeps;
+  // Untouched shards are adopted wholesale from the published global
+  // result: one flows-vector copy plus one copy-on-write pointer per flow.
+  r.flows = global_->flows;
+  r.flows.resize(locs_.size() + 1);
+  r.jitters = global_->jitters;
+  // Probe flows: only the dirty component (and the candidate) can differ
+  // from the published state — clean probe flows share the very same
+  // per-flow jitter maps the global result adopted at publication.
+  for (std::size_t f = 0; f < p.to_global.size(); ++f) {
+    if (!p.dirty[f]) continue;
+    const auto g = static_cast<std::size_t>(p.to_global[f].v);
+    r.flows[g] = p.local.flows[f];
+    r.jitters.adopt_flow(p.local.jitters,
+                         net::FlowId(static_cast<std::int32_t>(f)),
+                         net::FlowId(static_cast<std::int32_t>(g)));
+  }
+
+  bool untouched_ok = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (std::find(p.touched.begin(), p.touched.end(),
+                  static_cast<std::uint32_t>(s)) != p.touched.end()) {
+      continue;
+    }
+    untouched_ok &= shards_[s].result->schedulable;
+  }
+  r.schedulable = r.converged && untouched_ok && p.local.schedulable;
+  out.admissible = r.schedulable;
+  return out;
+}
+
+WhatIfResult EngineSnapshot::what_if(const gmf::Flow& candidate) const {
+  return assemble(run_probe(candidate));
+}
+
+}  // namespace gmfnet::engine

@@ -1,0 +1,123 @@
+// EngineSnapshot: an immutable, published view of the engine's committed
+// world — every shard's context and converged fixed point, the global flow
+// index, and the assembled whole-set result.
+//
+// RCU-style concurrency: the writer thread publishes a new snapshot (one
+// atomic shared_ptr swap) after every committed mutation; reader threads
+// load the pointer and run what-if probes against the snapshot with no
+// locking whatsoever — every byte reachable from a snapshot is immutable,
+// all shared state is either const or copy-on-write (a probe's writes
+// clone before touching anything shared), so N operator threads issue
+// concurrent what-ifs while the writer keeps admitting.  A reader's view
+// is consistent-but-possibly-stale: it sees the resident set as of the
+// last publication, never a half-applied mutation.
+//
+// A probe touches only the shards the candidate's route links belong to:
+// it assembles a probe context from those shards (adopting their immutable
+// derived state, O(touched) not O(residents)), warm-starts from their
+// converged jitters, and solves just the candidate's dirty component.
+// Results are bit-identical to a from-scratch whole-set analysis
+// (tests/test_engine_shard.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/holistic.hpp"
+#include "engine/shard.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::engine {
+
+/// Outcome of one non-committing what-if admission probe.
+struct WhatIfResult {
+  /// Full holistic result of resident set + candidate (candidate is the
+  /// last flow id).
+  core::HolisticResult result;
+  /// True when the combined set is schedulable — the admission verdict.
+  bool admissible = false;
+};
+
+class AnalysisEngine;
+
+class EngineSnapshot {
+ public:
+  [[nodiscard]] std::size_t flow_count() const { return locs_.size(); }
+  [[nodiscard]] const gmf::Flow& flow(std::size_t index) const;
+  /// The resident flows in global order (copies; for verification code).
+  [[nodiscard]] std::vector<gmf::Flow> flows() const;
+  /// Assembled whole-set result as of publication.
+  [[nodiscard]] const core::HolisticResult& result() const { return *global_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Which shard (by position) the flow at `index` lives in.  Throws
+  /// std::out_of_range on a bad index.
+  [[nodiscard]] std::size_t shard_of(std::size_t index) const {
+    return locs_.at(index).shard;
+  }
+  [[nodiscard]] const net::Network& network() const {
+    return empty_ctx_->network();
+  }
+
+  /// Lock-free what-if probe: the result of resident set + `candidate`
+  /// (candidate is the last flow id), bit-identical to a from-scratch run,
+  /// computed against this snapshot without touching the engine.  Safe to
+  /// call from any number of threads concurrently.  Throws std::logic_error
+  /// on malformed candidates.
+  [[nodiscard]] WhatIfResult what_if(const gmf::Flow& candidate) const;
+
+ private:
+  friend class AnalysisEngine;
+
+  EngineSnapshot() = default;
+
+  /// One shard's committed state (shared with the engine's Shard).
+  struct ShardView {
+    std::shared_ptr<const core::AnalysisContext> ctx;
+    std::shared_ptr<const core::HolisticResult> result;
+    std::vector<net::FlowId> to_global;
+  };
+
+  /// Everything a probe computed, in probe-local flow ids — enough for the
+  /// engine to commit the probe as a merged shard without re-solving.
+  struct Probe {
+    /// Touched shards' flows (global-id order) + candidate last.  Optional
+    /// only so Probe is default-constructible; always engaged after
+    /// run_probe.
+    std::optional<core::AnalysisContext> ctx;
+    /// Complete result over `ctx` (clean flows adopted from shard caches).
+    core::HolisticResult local;
+    /// Probe-local id -> global id (candidate maps to flow_count()).
+    std::vector<net::FlowId> to_global;
+    /// Snapshot shard indices the candidate's route touched (ascending).
+    std::vector<std::uint32_t> touched;
+    /// Probe-local dirty closure (true for the candidate's component).
+    std::vector<bool> dirty;
+    /// False when some shard's base was not converged: `local` is then a
+    /// cold whole-set run in global order and `touched` covers every shard.
+    bool base_converged = true;
+    RunStats rs;
+  };
+
+  [[nodiscard]] Probe run_probe(const gmf::Flow& candidate) const;
+  /// Expands a probe into the full-set WhatIfResult (untouched shards
+  /// adopted from the published global result).
+  [[nodiscard]] WhatIfResult assemble(const Probe& probe) const;
+
+  /// Template context sharing the network + CIRC table (cheap empty clone).
+  std::shared_ptr<const core::AnalysisContext> empty_ctx_;
+  core::HolisticOptions opts_;
+  /// False = single-domain mode: probes always touch every shard.
+  bool sharded_ = true;
+  std::vector<ShardView> shards_;
+  std::vector<FlowLoc> locs_;
+  /// Directed link -> owning shard (links with at least one resident flow).
+  std::map<net::LinkRef, std::uint32_t> link_shard_;
+  std::shared_ptr<const core::HolisticResult> global_;
+};
+
+}  // namespace gmfnet::engine

@@ -78,17 +78,32 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t nthreads = std::max<std::size_t>(1, size());
   const std::size_t chunk = (n + nthreads - 1) / nthreads;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
   for (std::size_t t = 0; t < nthreads; ++t) {
     submit([&, chunk, n] {
       for (;;) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
         const std::size_t begin = next.fetch_add(chunk);
         if (begin >= n) return;
         const std::size_t end = std::min(begin + chunk, n);
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (cancelled.load(std::memory_order_relaxed)) return;
+          try {
+            body(i);
+          } catch (...) {
+            cancelled.store(true, std::memory_order_relaxed);
+            const std::lock_guard lk(error_mu);
+            if (!error) error = std::current_exception();
+            return;
+          }
+        }
       }
     });
   }
   wait_idle();
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,

@@ -39,6 +39,12 @@ class ThreadPool {
   /// a nested call from one of this pool's own workers (which could never
   /// finish — the caller occupies the very worker it would wait on) throws
   /// std::logic_error before enqueuing anything.
+  ///
+  /// Exception-safe: if a body call throws, remaining iterations are
+  /// cancelled (already-started chunks finish their current call), the pool
+  /// drains, and the first exception is rethrown in the caller — so a
+  /// throwing probe surfaces to the engine's caller instead of
+  /// std::terminate'ing a worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
