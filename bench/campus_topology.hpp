@@ -103,4 +103,35 @@ inline gmf::Flow hub_flow(const Campus& c, int cells, int n) {
                                   gmfnet::Time::ms(20), /*priority=*/5);
 }
 
+/// Audio/video variant of hub_flow (the warm-boot bench's solve-heavy hard
+/// case): every 4th flow of a cell is a 25 fps camera feed (16 kB I-frame +
+/// three 3 kB P-frames, priority above the calls), the rest are VoIP legs
+/// on a relaxed 80 ms regional budget.  ~80% utilization on each cell's
+/// hub uplink makes the cold fixed point genuinely expensive while staying
+/// schedulable — restoring this state is what a checkpoint is for.
+inline gmf::Flow av_hub_flow(const Campus& c, int cells, int n) {
+  const int cell = n % cells;
+  const auto dst =
+      static_cast<std::size_t>(1 + (n / cells) % (kHostsPerCell - 1));
+  net::Route route({c.hosts[static_cast<std::size_t>(cell)][0],
+                    c.switches[static_cast<std::size_t>(cell)],
+                    c.hosts[static_cast<std::size_t>(cell)][dst]});
+  if ((n / cells) % 4 == 0) {
+    std::vector<gmf::FrameSpec> frames;
+    for (int k = 0; k < 4; ++k) {
+      gmf::FrameSpec fs;
+      fs.min_separation = gmfnet::Time::ms(40);
+      fs.deadline = gmfnet::Time::ms(100);
+      fs.jitter = gmfnet::Time::ms(1);
+      fs.payload_bits = (k == 0 ? 16000 : 3000) * 8;
+      frames.push_back(fs);
+    }
+    return gmf::Flow("cam" + std::to_string(n), std::move(route),
+                     std::move(frames), /*priority=*/6);
+  }
+  return workload::make_voip_flow("call" + std::to_string(n),
+                                  std::move(route), gmfnet::Time::ms(80),
+                                  /*priority=*/5);
+}
+
 }  // namespace gmfnet::benchtopo

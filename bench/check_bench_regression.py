@@ -34,6 +34,15 @@ CHECKS = {
         "filter": {"section": "hop_analysis"},
         "metrics": {"speedup": "higher"},
     },
+    "warm_boot": {
+        "file": "BENCH_warm_boot.json",
+        "key": ["section", "residents"],
+        # The campus rows are informational (context rebuild dominates both
+        # restart paths there); only the solve-heavy four_domain_av section
+        # is a stable machine-portable ratio worth gating.
+        "filter": {"section": "four_domain_av"},
+        "metrics": {"speedup": "higher"},
+    },
     # concurrent_whatif is intentionally absent: its scaling curve measures
     # the runner's core count, not the code; the bench gates itself on
     # machines with >= 8 hardware threads.

@@ -137,6 +137,30 @@ bool JitterMap::operator==(const JitterMap& other) const {
   return true;
 }
 
+bool JitterMap::has_entries(FlowId flow) const {
+  const auto f = static_cast<std::size_t>(flow.v);
+  return f < per_flow_.size() && per_flow_[f] != nullptr;
+}
+
+JitterMap::StageEntries JitterMap::stage_entries(FlowId flow) const {
+  StageEntries out;
+  const StageMap& m = flow_map(static_cast<std::size_t>(flow.v));
+  out.reserve(m.size());
+  for (const auto& [stage, sj] : m) out.emplace_back(stage, sj.frames);
+  return out;
+}
+
+void JitterMap::resize_slots(std::size_t n) { per_flow_.resize(n); }
+
+void JitterMap::set_stage_frames(FlowId flow, const StageKey& stage,
+                                 std::vector<gmfnet::Time> frames) {
+  StageJitter sj;
+  sj.max = gmfnet::Time::zero();
+  for (const gmfnet::Time t : frames) sj.max = gmfnet::max(sj.max, t);
+  sj.frames = std::move(frames);
+  mutable_flow_map(static_cast<std::size_t>(flow.v))[stage] = std::move(sj);
+}
+
 AnalysisContext::AnalysisContext(net::Network network)
     : net_(std::make_shared<const net::Network>(std::move(network))) {
   net_->validate();
@@ -150,11 +174,10 @@ AnalysisContext::AnalysisContext(net::Network network)
 AnalysisContext::AnalysisContext(net::Network network,
                                  std::vector<gmf::Flow> flows)
     : AnalysisContext(std::move(network)) {
-  derived_.reserve(flows.size());
-  for (gmf::Flow& f : flows) add_flow(std::move(f));
+  add_flows(std::move(flows));
 }
 
-FlowId AnalysisContext::add_flow(gmf::Flow flow) {
+FlowId AnalysisContext::append_flow_deferred(gmf::Flow flow) {
   flow.validate(*net_);
   const FlowId id(static_cast<std::int32_t>(derived_.size()));
 
@@ -180,12 +203,38 @@ FlowId AnalysisContext::add_flow(gmf::Flow flow) {
   derived_.push_back(std::move(d));
 
   // Route-based incremental update: only this flow's links are touched.
+  for (const LinkRef l : derived_.back()->links) links_[l].flows.push_back(id);
+  return id;
+}
+
+FlowId AnalysisContext::add_flow(gmf::Flow flow) {
+  const FlowId id = append_flow_deferred(std::move(flow));
   for (const LinkRef l : derived_.back()->links) {
-    LinkState& state = links_[l];
-    state.flows.push_back(id);
-    recompute_link_aggregates(l, state);
+    recompute_link_aggregates(l, links_[l]);
   }
   return id;
+}
+
+void AnalysisContext::add_flows(std::vector<gmf::Flow> flows) {
+  // Validate the whole batch up front: a validation failure must leave the
+  // context untouched (matching add_flow's validate-before-mutate order),
+  // not mid-batch with links whose aggregates were never recomputed.
+  for (const gmf::Flow& f : flows) f.validate(*net_);
+  derived_.reserve(derived_.size() + flows.size());
+  std::vector<LinkRef> touched;
+  for (gmf::Flow& f : flows) {
+    const FlowId id = append_flow_deferred(std::move(f));
+    const auto& links = derived_[static_cast<std::size_t>(id.v)]->links;
+    touched.insert(touched.end(), links.begin(), links.end());
+  }
+  // One from-scratch aggregate pass per touched link, however many of the
+  // appended flows crossed it.  The recompute sums in flow-id order, so the
+  // final state matches the sequential add_flow path bit for bit.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const LinkRef l : touched) {
+    recompute_link_aggregates(l, links_[l]);
+  }
 }
 
 FlowId AnalysisContext::adopt_flow(const AnalysisContext& from, FlowId src) {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "gmf/demand.hpp"
@@ -134,6 +135,31 @@ class JitterMap {
 
   bool operator==(const JitterMap& other) const;
 
+  // -- serialization accessors (io/checkpoint) ------------------------------
+  // A JitterMap is value-equal to another iff the per-flow per-stage frame
+  // vectors match, so a checkpoint needs exactly: the slot count, which
+  // slots hold entries, and each slot's (stage -> frames) pairs in stage
+  // order.  The cached per-stage maximum is derived state and is rebuilt on
+  // restore.
+
+  /// Number of per-flow slots (>= every flow id ever written or adopted).
+  [[nodiscard]] std::size_t flow_slots() const { return per_flow_.size(); }
+  /// True when `flow` holds an entry state (false reads as all-zero).
+  [[nodiscard]] bool has_entries(FlowId flow) const;
+  /// One flow's complete entry state: (stage, per-frame jitters) pairs in
+  /// stage order.  Empty when the slot is absent.
+  using StageEntries =
+      std::vector<std::pair<StageKey, std::vector<gmfnet::Time>>>;
+  [[nodiscard]] StageEntries stage_entries(FlowId flow) const;
+  /// Pre-sizes the slot vector to exactly `n` absent slots (restore path;
+  /// slot count participates in operator==).
+  void resize_slots(std::size_t n);
+  /// Installs a complete per-frame vector for one stage of `flow`,
+  /// recomputing the cached maximum — the bulk restore counterpart of
+  /// set_jitter.
+  void set_stage_frames(FlowId flow, const StageKey& stage,
+                        std::vector<gmfnet::Time> frames);
+
  private:
   /// Per-frame jitters of one flow at one stage, with the frame maximum
   /// maintained incrementally — max_jitter (extra_j) is read k times per
@@ -178,6 +204,14 @@ class AnalysisContext {
   /// links are touched; every other flow's derived state is untouched and
   /// stays shared with any copies of the context.
   FlowId add_flow(gmf::Flow flow);
+
+  /// Appends every flow of `flows` in order, equivalent to (and
+  /// bit-identical with) repeated add_flow — but each touched link's
+  /// aggregates are recomputed once after all appends instead of once per
+  /// add, so bulk construction of an n-flow shared link costs O(n) aggregate
+  /// work, not O(n^2).  The checkpoint warm-boot path and the monolithic
+  /// constructor build contexts through this.
+  void add_flows(std::vector<gmf::Flow> flows);
 
   /// Removes the flow at `index` (flow ids above it shift down by one).
   /// Only the per-link aggregates of the removed flow's route links are
@@ -289,6 +323,10 @@ class AnalysisContext {
   /// Recomputes `state`'s aggregates from scratch, summing in flow-id order
   /// (bit-identical to a monolithic rebuild).
   void recompute_link_aggregates(LinkRef link, LinkState& state) const;
+  /// add_flow minus the aggregate recomputation: validates, derives and
+  /// appends `flow`, registering it on its route links.  The caller owns
+  /// recomputing the touched links' aggregates before any query runs.
+  FlowId append_flow_deferred(gmf::Flow flow);
 
   std::shared_ptr<const net::Network> net_;
   /// CIRC by node id (zero for non-switches); network-static, shared.

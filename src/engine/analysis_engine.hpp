@@ -50,6 +50,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -154,6 +155,32 @@ class AnalysisEngine {
   std::vector<WhatIfResult> evaluate_batch(
       const std::vector<gmf::Flow>& candidates);
 
+  // -- persistence (io/checkpoint.{hpp,cpp}) --------------------------------
+
+  /// Writes a versioned binary checkpoint of the complete engine state —
+  /// network, resident flows (global-id order), the shard partition, and
+  /// every shard's converged fixed point — to `os`.  Evaluates first, so the
+  /// checkpoint always holds a fully solved world.  Writer thread only.
+  /// Throws std::runtime_error on stream write failure.
+  void save(std::ostream& os);
+
+  /// Rebuilds an engine from a checkpoint written by save(): shards, flow
+  /// locations and the link index are reconstructed directly from the
+  /// stream, the cached fixed points are installed verbatim, and a fresh
+  /// EngineSnapshot is published — WITHOUT running the solver.  The restored
+  /// engine answers published()->what_if(...) probes immediately and
+  /// bit-identically to the pre-save engine, and stats().evaluations stays 0
+  /// until the first post-restore mutation is evaluated.
+  ///
+  /// `opts` must agree with the saving engine's options on every field the
+  /// cached fixed points depend on (hop.horizon, hop.charge_self_circ,
+  /// max_sweeps — all fingerprinted in the stream); a mismatch is rejected,
+  /// since the persisted state would silently misanswer under different
+  /// analysis semantics.  Throws io::CheckpointError on truncated,
+  /// corrupted, forward-incompatible or semantically invalid streams.
+  static AnalysisEngine restore(std::istream& is,
+                                core::HolisticOptions opts = {});
+
   // -- snapshots ------------------------------------------------------------
 
   /// Evaluates (if stale) and returns the freshly published snapshot
@@ -172,6 +199,24 @@ class AnalysisEngine {
   }
 
  private:
+  /// Parsed checkpoint payload (filled by io/checkpoint.cpp).  The
+  /// restoring constructor below rebuilds shard contexts / locs_ /
+  /// link_shard_ from it and publishes, without ever invoking the solver.
+  struct RestoredShard {
+    std::vector<net::FlowId> to_global;  ///< ascending global ids
+    core::HolisticResult cache;          ///< the shard's persisted result
+  };
+  struct RestoredState {
+    net::Network network;
+    bool shard_by_domain = true;
+    std::vector<gmf::Flow> flows;  ///< resident set, global-id order
+    std::vector<RestoredShard> shards;
+  };
+  /// Restore path: validates the partition (every flow in exactly one
+  /// shard, no link owned by two shards, caches parallel to contexts) and
+  /// throws std::logic_error on violations.  Defined in io/checkpoint.cpp.
+  AnalysisEngine(RestoredState&& st, core::HolisticOptions opts);
+
   struct AtomicStats {
     std::atomic<std::size_t> evaluations{0};
     std::atomic<std::size_t> full_runs{0};

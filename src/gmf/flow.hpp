@@ -28,6 +28,9 @@ struct FrameSpec {
   gmfnet::Time deadline;                  ///< D_i^k (end-to-end, relative)
   gmfnet::Time jitter = gmfnet::Time::zero();  ///< GJ_i^k at the source
   ethernet::Bits payload_bits = 0;        ///< S_i^k
+
+  /// Field-wise value equality (checkpoint round-trip verification).
+  bool operator==(const FrameSpec&) const = default;
 };
 
 /// A GMF flow with its route and static priority.
@@ -82,6 +85,12 @@ class Flow {
 
   void set_priority(std::int64_t p) { priority_ = p; }
   void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Field-wise value equality — two flows are equal iff every serialized
+  /// attribute (name, route, frames, priority, rtp) matches.  The
+  /// checkpoint round-trip tests lean on this to prove a restored resident
+  /// set is the saved one, bit for bit.
+  bool operator==(const Flow&) const = default;
 
  private:
   std::string name_;

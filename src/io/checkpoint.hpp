@@ -1,0 +1,63 @@
+// Versioned binary checkpoint of a converged AnalysisEngine.
+//
+// A production admission controller serving a long-lived resident set
+// cannot afford a cold holistic re-solve on every process restart; the
+// converged per-shard fixed points are exactly the state worth keeping.
+// AnalysisEngine::save writes them to a single self-describing stream and
+// AnalysisEngine::restore (both declared in engine/analysis_engine.hpp,
+// implemented here) rebuilds a fully warm engine from it without running
+// the solver — the warm-boot analogue of replaying persisted switch state
+// instead of reprogramming the ASIC from scratch.
+//
+// Container layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "GMFNCKPT"
+//   8       4     format version (u32); readers reject versions they do
+//                 not know (forward-incompatible by design)
+//   12      8     payload length in bytes (u64)
+//   20      8     FNV-1a 64 checksum of the payload bytes (u64)
+//   28      ...   payload: a sequence of length-prefixed sections
+//
+// Each section is `u32 section id, u64 body length, body`; the reader
+// verifies ids, lengths and overall framing, so truncated or bit-flipped
+// streams are rejected with a CheckpointError instead of being
+// misinterpreted.  Sections (in order): engine header (mode, counts, the
+// analysis-option fingerprint), network (nodes + links), flows (global-id
+// order), shards (per shard: ascending global ids + the persisted
+// HolisticResult, including its fixed-point JitterMap).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gmfnet::io {
+
+/// Thrown by AnalysisEngine::restore on malformed checkpoint streams:
+/// truncated input, checksum mismatch, bad magic, a forward-incompatible
+/// format version, an analysis-option mismatch, or data that fails
+/// semantic validation.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& message)
+      : std::runtime_error("checkpoint: " + message) {}
+};
+
+namespace ckpt {
+
+/// Container constants, shared with tests that forge malformed streams.
+inline constexpr char kMagic[8] = {'G', 'M', 'F', 'N', 'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kVersionOffset = 8;
+inline constexpr std::size_t kPayloadLenOffset = 12;
+inline constexpr std::size_t kChecksumOffset = 20;
+inline constexpr std::size_t kHeaderSize = 28;
+
+/// FNV-1a 64-bit over `data` — the payload checksum.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+
+}  // namespace ckpt
+
+}  // namespace gmfnet::io

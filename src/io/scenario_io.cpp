@@ -1,7 +1,9 @@
 #include "io/scenario_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -22,7 +24,25 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
-/// key=value option bag with typed accessors and line context.
+/// Strict integer parse shared by positional fields and Options::i64: the
+/// whole token must be digits (no silent "100mbps" -> 100 truncation).
+std::int64_t strict_i64(std::size_t line, const std::string& what,
+                        const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw ParseError(line, what + ": bad integer '" + v + "'");
+  }
+}
+
+/// key=value option bag with typed accessors and line context.  Strict:
+/// duplicate keys are rejected at construction, and reject_unconsumed()
+/// (called after each directive is fully parsed) errors on any key no
+/// accessor asked for — so typos like `pirority=5` or `gj_s=1` fail loudly
+/// instead of silently vanishing into a `*_or` fallback.
 class Options {
  public:
   Options(std::size_t line, const std::vector<std::string>& tokens,
@@ -31,33 +51,40 @@ class Options {
     for (std::size_t i = first; i < tokens.size(); ++i) {
       const std::string& t = tokens[i];
       const auto eq = t.find('=');
-      if (eq == std::string::npos) {
-        kv_[t] = "";  // bare flag, e.g. "rtp"
-      } else {
-        kv_[t.substr(0, eq)] = t.substr(eq + 1);
+      const std::string key = eq == std::string::npos ? t : t.substr(0, eq);
+      const std::string val =
+          eq == std::string::npos ? "" : t.substr(eq + 1);  // "" = bare flag
+      if (!kv_.emplace(key, Entry{val, false}).second) {
+        throw ParseError(line_, "duplicate option " + key);
       }
     }
   }
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return kv_.contains(key);
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return false;
+    it->second.consumed = true;
+    return true;
   }
 
   [[nodiscard]] std::string str(const std::string& key) const {
     const auto it = kv_.find(key);
     if (it == kv_.end()) throw ParseError(line_, "missing option " + key);
-    return it->second;
+    it->second.consumed = true;
+    return it->second.value;
   }
 
   [[nodiscard]] std::int64_t i64(const std::string& key) const {
-    const std::string v = str(key);
-    try {
-      std::size_t pos = 0;
-      const std::int64_t out = std::stoll(v, &pos);
-      if (pos != v.size()) throw std::invalid_argument(v);
-      return out;
-    } catch (const std::exception&) {
-      throw ParseError(line_, "option " + key + ": bad integer '" + v + "'");
+    return strict_i64(line_, "option " + key, str(key));
+  }
+
+  /// Throws on any option no accessor consumed — unknown or mistyped keys,
+  /// and redundant ones (e.g. payload_bits together with payload_bytes).
+  void reject_unconsumed() const {
+    for (const auto& [key, entry] : kv_) {
+      if (!entry.consumed) {
+        throw ParseError(line_, "unknown or unused option '" + key + "'");
+      }
     }
   }
 
@@ -86,8 +113,15 @@ class Options {
   }
 
  private:
+  struct Entry {
+    std::string value;
+    /// Set by has()/str() even on const bags: consumption tracking is
+    /// bookkeeping about the *parse*, not part of the option values.
+    mutable bool consumed = false;
+  };
+
   std::size_t line_;
-  std::map<std::string, std::string> kv_;
+  std::map<std::string, Entry> kv_;
 };
 
 struct PendingFlow {
@@ -131,6 +165,12 @@ workload::Scenario parse_scenario(const std::string& text) {
 
     if (cmd == "endhost" || cmd == "router") {
       if (tok.size() < 2) throw ParseError(lineno, cmd + ": missing name");
+      if (tok.size() > 2) {
+        // Same strictness as the option-bearing directives: trailing
+        // tokens ("endhost h1 h2") must not vanish silently.
+        throw ParseError(lineno, cmd + ": unexpected token '" + tok[2] +
+                                     "' after name");
+      }
       define_node(lineno, tok[1],
                   cmd == "endhost" ? scenario.network.add_endhost(tok[1])
                                    : scenario.network.add_router(tok[1]));
@@ -142,6 +182,7 @@ workload::Scenario parse_scenario(const std::string& text) {
       p.csend = opts.duration_or("csend", p.csend);
       p.processors =
           static_cast<int>(opts.i64_or("processors", p.processors));
+      opts.reject_unconsumed();
       define_node(lineno, tok[1], scenario.network.add_switch(tok[1], p));
     } else if (cmd == "link" || cmd == "duplex") {
       if (tok.size() < 4) {
@@ -150,13 +191,10 @@ workload::Scenario parse_scenario(const std::string& text) {
       const Options opts(lineno, tok, 4);
       const net::NodeId a = node_of(lineno, tok[1]);
       const net::NodeId b = node_of(lineno, tok[2]);
-      std::int64_t speed = 0;
-      try {
-        speed = std::stoll(tok[3]);
-      } catch (const std::exception&) {
-        throw ParseError(lineno, cmd + ": bad speed '" + tok[3] + "'");
-      }
+      // Strict: `duplex a b 100mbps` must error, not parse as 100 bps.
+      const std::int64_t speed = strict_i64(lineno, cmd + ": speed", tok[3]);
       const gmfnet::Time prop = opts.duration_or("prop", gmfnet::Time::zero());
+      opts.reject_unconsumed();
       try {
         if (cmd == "link") {
           scenario.network.add_link(a, b, speed, prop);
@@ -182,6 +220,7 @@ workload::Scenario parse_scenario(const std::string& text) {
       if (f.route_names.size() < 2) {
         throw ParseError(lineno, "flow: route needs >= 2 nodes");
       }
+      opts.reject_unconsumed();
       flows.push_back(std::move(f));
     } else if (cmd == "frame") {
       if (flows.empty()) {
@@ -197,6 +236,7 @@ workload::Scenario parse_scenario(const std::string& text) {
       } else {
         spec.payload_bits = opts.i64("payload_bytes") * 8;
       }
+      opts.reject_unconsumed();
       flows.back().frames.push_back(spec);
     } else {
       throw ParseError(lineno, "unknown directive '" + cmd + "'");
@@ -230,10 +270,52 @@ workload::Scenario load_scenario(const std::string& path) {
   return parse_scenario(ss.str());
 }
 
+namespace {
+
+/// A name the line-oriented format can round-trip: non-empty, and free of
+/// whitespace (the tokenizer would split it), '#' (the rest of the line
+/// would be stripped as a comment) and ',' (route lists are comma-joined).
+void require_formattable_name(const char* what, const std::string& name) {
+  const auto bad = [&](const std::string& why) {
+    throw std::invalid_argument("format_scenario: " + std::string(what) +
+                                " name '" + name + "' " + why +
+                                " and would not round-trip through the "
+                                "scenario format");
+  };
+  if (name.empty()) bad("is empty");
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 ||
+        static_cast<unsigned char>(c) < 0x20) {
+      bad("contains whitespace");
+    }
+    if (c == '#') bad("contains '#'");
+    if (c == ',') bad("contains ','");
+  }
+}
+
+}  // namespace
+
 std::string format_scenario(const workload::Scenario& scenario) {
   std::ostringstream os;
   os << "# gmfnet scenario v1\n";
   const net::Network& net = scenario.network;
+  // The emitted file must parse back: reject names the parser cannot read,
+  // and node names the parser would refuse as duplicate definitions.
+  std::set<std::string> node_names;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const std::string& name =
+        net.node(net::NodeId(static_cast<std::int32_t>(i))).name;
+    require_formattable_name("node", name);
+    if (!node_names.insert(name).second) {
+      throw std::invalid_argument("format_scenario: duplicate node name '" +
+                                  name +
+                                  "' would not round-trip through the "
+                                  "scenario format");
+    }
+  }
+  for (const gmf::Flow& f : scenario.flows) {
+    require_formattable_name("flow", f.name());
+  }
   for (std::size_t i = 0; i < net.node_count(); ++i) {
     const net::NodeId id(static_cast<std::int32_t>(i));
     const net::Node& n = net.node(id);

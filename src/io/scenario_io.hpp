@@ -18,6 +18,12 @@
 // suffixed keys t_ps/t_ns/t_us/t_ms (same for d_, gj_); payload accepts
 // payload_bits or payload_bytes.  Lines starting with '#' and blank lines
 // are ignored.
+//
+// The parser is strict: integers must be pure digits (`duplex a b 100mbps`
+// is an error, not 100 bps), a duplicate key on one line is an error, and
+// any key a directive does not recognize (a typo like `pirority=5`, a
+// misspelled unit like `gj_s=1`, or a redundant second payload key) is
+// rejected instead of silently ignored.
 #pragma once
 
 #include <stdexcept>
@@ -45,10 +51,14 @@ class ParseError : public std::runtime_error {
 [[nodiscard]] workload::Scenario load_scenario(const std::string& path);
 
 /// Renders a scenario in the same format (round-trips through
-/// parse_scenario).
+/// parse_scenario).  Throws std::invalid_argument when a node or flow name
+/// cannot survive the round trip (empty, contains whitespace / '#' / ',',
+/// or a duplicate node name) — emitting it would produce a file the parser
+/// corrupts or rejects.
 [[nodiscard]] std::string format_scenario(const workload::Scenario& scenario);
 
-/// Writes to a file; returns false on I/O failure.
+/// Writes to a file; returns false on I/O failure.  Throws like
+/// format_scenario on names that cannot round-trip.
 bool save_scenario(const workload::Scenario& scenario,
                    const std::string& path);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 namespace gmfnet {
 
@@ -35,6 +36,13 @@ BenchJsonWriter::BenchJsonWriter(std::string bench_name)
 
 void BenchJsonWriter::begin_row() { rows_.emplace_back(); }
 
+void BenchJsonWriter::field(const std::string& key, std::string rendered) {
+  if (rows_.empty()) {
+    throw std::logic_error("BenchJsonWriter::add called before begin_row()");
+  }
+  rows_.back().emplace_back(key, std::move(rendered));
+}
+
 void BenchJsonWriter::add(const std::string& key, double v) {
   char buf[64];
   // JSON has no NaN/Inf; encode them as null.
@@ -43,19 +51,19 @@ void BenchJsonWriter::add(const std::string& key, double v) {
   } else {
     std::snprintf(buf, sizeof buf, "null");
   }
-  rows_.back().emplace_back(key, buf);
+  field(key, buf);
 }
 
 void BenchJsonWriter::add(const std::string& key, std::int64_t v) {
-  rows_.back().emplace_back(key, std::to_string(v));
+  field(key, std::to_string(v));
 }
 
 void BenchJsonWriter::add(const std::string& key, const std::string& v) {
-  rows_.back().emplace_back(key, "\"" + escape(v) + "\"");
+  field(key, "\"" + escape(v) + "\"");
 }
 
 void BenchJsonWriter::add(const std::string& key, bool v) {
-  rows_.back().emplace_back(key, v ? "true" : "false");
+  field(key, v ? "true" : "false");
 }
 
 std::string BenchJsonWriter::to_string() const {

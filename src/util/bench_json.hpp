@@ -19,6 +19,7 @@ namespace gmfnet {
 
 /// Flat row-oriented JSON emitter; rows are buffered and `save` writes the
 /// whole artifact at once (a crashed bench leaves no half-written file).
+/// `add` before the first `begin_row` throws std::logic_error.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name);
@@ -41,6 +42,10 @@ class BenchJsonWriter {
   [[nodiscard]] std::string path() const { return "BENCH_" + name_ + ".json"; }
 
  private:
+  /// Appends one pre-rendered field to the current row; throws
+  /// std::logic_error when no row has been started.
+  void field(const std::string& key, std::string rendered);
+
   std::string name_;
   /// Rows of (key, pre-rendered JSON value) pairs, in insertion order.
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;

@@ -1,6 +1,7 @@
 #include "util/csv.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace gmfnet {
 
@@ -9,22 +10,30 @@ CsvWriter::CsvWriter(std::vector<std::string> header)
 
 void CsvWriter::begin_row() { rows_.emplace_back(); }
 
-void CsvWriter::add(const std::string& v) { rows_.back().push_back(v); }
-void CsvWriter::add(const char* v) { rows_.back().emplace_back(v); }
+void CsvWriter::cell(std::string v) {
+  if (rows_.empty()) {
+    throw std::logic_error("CsvWriter::add called before begin_row()");
+  }
+  if (rows_.back().size() >= header_.size()) {
+    throw std::logic_error("CsvWriter::add: row already has " +
+                           std::to_string(header_.size()) +
+                           " values (one per header column)");
+  }
+  rows_.back().push_back(std::move(v));
+}
+
+void CsvWriter::add(const std::string& v) { cell(v); }
+void CsvWriter::add(const char* v) { cell(v); }
 
 void CsvWriter::add(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.10g", v);
-  rows_.back().emplace_back(buf);
+  cell(buf);
 }
 
-void CsvWriter::add(std::int64_t v) {
-  rows_.back().push_back(std::to_string(v));
-}
+void CsvWriter::add(std::int64_t v) { cell(std::to_string(v)); }
 
-void CsvWriter::add(std::uint64_t v) {
-  rows_.back().push_back(std::to_string(v));
-}
+void CsvWriter::add(std::uint64_t v) { cell(std::to_string(v)); }
 
 std::string CsvWriter::escape(const std::string& v) {
   if (v.find_first_of(",\"\n") == std::string::npos) return v;
@@ -38,6 +47,16 @@ std::string CsvWriter::escape(const std::string& v) {
 }
 
 std::string CsvWriter::to_string() const {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].size() != header_.size()) {
+      // A short row would silently shift every later column under the
+      // wrong header — a corrupt artifact, not a rendering choice.
+      throw std::logic_error(
+          "CsvWriter: row " + std::to_string(r) + " has " +
+          std::to_string(rows_[r].size()) + " values but the header has " +
+          std::to_string(header_.size()) + " columns");
+    }
+  }
   std::ostringstream os;
   for (std::size_t i = 0; i < header_.size(); ++i) {
     if (i) os << ',';

@@ -11,6 +11,11 @@ namespace gmfnet {
 /// Writes RFC-4180-ish CSV (quotes fields containing separators/quotes).
 /// Rows are buffered; `save` writes the whole file at once so a crashed
 /// bench never leaves a half-written artifact behind.
+///
+/// Shape-strict: `add` before the first `begin_row`, more values per row
+/// than header columns, or rendering a row with fewer values than columns
+/// all throw std::logic_error — a malformed series is a bench bug, never a
+/// silently corrupt artifact.
 class CsvWriter {
  public:
   explicit CsvWriter(std::vector<std::string> header);
@@ -25,13 +30,18 @@ class CsvWriter {
   void add(int v) { add(static_cast<std::int64_t>(v)); }
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  /// Renders the artifact; throws std::logic_error when any row is not
+  /// exactly as wide as the header.
   [[nodiscard]] std::string to_string() const;
 
   /// Writes to `path`; returns false (and leaves no file guarantees) on I/O
-  /// failure.
+  /// failure.  Throws like to_string on malformed rows.
   bool save(const std::string& path) const;
 
  private:
+  /// Appends one value to the current row, enforcing the shape contract.
+  void cell(std::string v);
+
   static std::string escape(const std::string& v);
 
   std::vector<std::string> header_;

@@ -172,6 +172,32 @@ TEST(Context, IncrementalAddMatchesMonolithic) {
   }
 }
 
+TEST(Context, BulkAddMatchesSequentialAndFailsAtomically) {
+  auto s = scenario();
+  const AnalysisContext mono(s.network, s.flows);  // ctor = add_flows
+  AnalysisContext seq(s.network);
+  for (const gmf::Flow& f : s.flows) seq.add_flow(f);
+  const LinkRef l63(NodeId(6), NodeId(3));
+  EXPECT_EQ(mono.flows_on_link(l63), seq.flows_on_link(l63));
+  EXPECT_DOUBLE_EQ(mono.link_utilization(l63), seq.link_utilization(l63));
+  EXPECT_DOUBLE_EQ(mono.ingress_utilization(l63),
+                   seq.ingress_utilization(l63));
+
+  // A batch with an invalid member throws before any mutation: the context
+  // keeps serving consistent aggregates for its existing flows.
+  AnalysisContext inc(s.network);
+  inc.add_flows({s.flows[0]});
+  gmf::Flow bad = s.flows[1];
+  bad = gmf::Flow(bad.name(), net::Route({NodeId(0), NodeId(3)}),
+                  std::vector<gmf::FrameSpec>(bad.frames()), bad.priority());
+  EXPECT_THROW(inc.add_flows({s.flows[1], bad}), std::logic_error);
+  EXPECT_EQ(inc.flow_count(), 1u);
+  const AnalysisContext only0(s.network, {s.flows[0]});
+  for (const LinkRef l : inc.route_links(FlowId(0))) {
+    EXPECT_DOUBLE_EQ(inc.link_utilization(l), only0.link_utilization(l));
+  }
+}
+
 TEST(Context, RemoveFlowShiftsIdsAndRecomputesAggregates) {
   auto s = scenario();
   AnalysisContext ctx(s.network, s.flows);

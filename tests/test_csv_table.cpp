@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
+#include "util/bench_json.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -52,6 +54,52 @@ TEST(Csv, SaveRoundTrip) {
 TEST(Csv, SaveToBadPathFails) {
   CsvWriter w({"x"});
   EXPECT_FALSE(w.save("/nonexistent_dir_zzz/file.csv"));
+}
+
+TEST(Csv, AddBeforeBeginRowThrows) {
+  // Regression: this used to hit rows_.back() on an empty vector (UB).
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.add("x"), std::logic_error);
+  EXPECT_THROW(w.add(1.0), std::logic_error);
+  EXPECT_THROW(w.add(std::int64_t{1}), std::logic_error);
+}
+
+TEST(Csv, ShortRowRejectedAtRender) {
+  // Regression: a row narrower than the header used to render silently,
+  // shifting later columns under the wrong header.
+  CsvWriter w({"a", "b"});
+  w.begin_row();
+  w.add("only");
+  EXPECT_THROW((void)w.to_string(), std::logic_error);
+  EXPECT_THROW((void)w.save(testing::TempDir() + "/gmfnet_short.csv"),
+               std::logic_error);
+}
+
+TEST(Csv, OverfullRowRejectedAtAdd) {
+  CsvWriter w({"a"});
+  w.begin_row();
+  w.add("x");
+  EXPECT_THROW(w.add("y"), std::logic_error);
+}
+
+TEST(BenchJson, AddBeforeBeginRowThrows) {
+  // Regression: same empty-vector UB as CsvWriter::add.
+  BenchJsonWriter w("t");
+  EXPECT_THROW(w.add("k", 1.0), std::logic_error);
+  EXPECT_THROW(w.add("k", std::int64_t{1}), std::logic_error);
+  EXPECT_THROW(w.add("k", std::string("v")), std::logic_error);
+  EXPECT_THROW(w.add("k", true), std::logic_error);
+}
+
+TEST(BenchJson, RendersRows) {
+  BenchJsonWriter w("demo");
+  w.begin_row();
+  w.add("n", 1);
+  w.add("ok", true);
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"bench\": \"demo\""), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
 }
 
 TEST(Table, RendersAlignedGrid) {

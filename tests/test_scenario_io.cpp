@@ -116,6 +116,148 @@ TEST(ScenarioIo, RejectsCommonMistakes) {
                ParseError);  // unknown route node
 }
 
+TEST(ScenarioIo, LinkSpeedParsedStrictly) {
+  // Regression: `100mbps` used to silently parse as 100 bps via bare
+  // std::stoll; the whole token must now be an integer.
+  EXPECT_THROW(
+      parse_scenario("endhost a\nendhost b\nduplex a b 100mbps\n"),
+      ParseError);
+  EXPECT_THROW(parse_scenario("endhost a\nendhost b\nlink a b 1e9\n"),
+               ParseError);
+  try {
+    (void)parse_scenario("endhost a\nendhost b\nduplex a b 100mbps\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("100mbps"), std::string::npos);
+  }
+}
+
+TEST(ScenarioIo, UnknownOrMistypedOptionsRejected) {
+  const char* kPreamble =
+      "endhost a\nendhost b\nswitch s\nduplex a s 1000000\n"
+      "duplex s b 1000000\n";
+  // Typo'd keys used to vanish silently into *_or fallbacks.
+  EXPECT_THROW(parse_scenario(std::string(kPreamble) +
+                              "flow f pirority=5 route=a,s,b\n"
+                              "frame t_ms=1 d_ms=10 payload_bits=8\n"),
+               ParseError);
+  EXPECT_THROW(parse_scenario(std::string(kPreamble) +
+                              "flow f route=a,s,b\n"
+                              "frame t_ms=1 d_ms=10 gj_s=1 payload_bits=8\n"),
+               ParseError);
+  EXPECT_THROW(parse_scenario("endhost a\nendhost b\n"
+                              "switch s croute_ns=1 bogus=2\n"),
+               ParseError);
+  EXPECT_THROW(parse_scenario("endhost a\nendhost b\n"
+                              "duplex a b 1000000 stray\n"),
+               ParseError);
+  // Bare-name directives are just as strict about trailing tokens.
+  EXPECT_THROW(parse_scenario("endhost a b\n"), ParseError);
+  EXPECT_THROW(parse_scenario("router r croute_ms=5\n"), ParseError);
+  try {
+    (void)parse_scenario(std::string(kPreamble) +
+                         "flow f pirority=5 route=a,s,b\n"
+                         "frame t_ms=1 d_ms=10 payload_bits=8\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("pirority"), std::string::npos);
+  }
+}
+
+TEST(ScenarioIo, DuplicateOptionsRejected) {
+  const char* kPreamble =
+      "endhost a\nendhost b\nswitch s\nduplex a s 1000000\n"
+      "duplex s b 1000000\n";
+  // A duplicate key used to silently overwrite the earlier value.
+  EXPECT_THROW(parse_scenario(std::string(kPreamble) +
+                              "flow f prio=1 prio=2 route=a,s,b\n"
+                              "frame t_ms=1 d_ms=10 payload_bits=8\n"),
+               ParseError);
+  EXPECT_THROW(parse_scenario(std::string(kPreamble) +
+                              "flow f route=a,s,b\n"
+                              "frame t_ms=1 t_ms=2 d_ms=10 payload_bits=8\n"),
+               ParseError);
+  // Redundant payload keys are ambiguous, not first-wins.
+  EXPECT_THROW(
+      parse_scenario(std::string(kPreamble) +
+                     "flow f route=a,s,b\n"
+                     "frame t_ms=1 d_ms=10 payload_bits=8 payload_bytes=1\n"),
+      ParseError);
+}
+
+TEST(ScenarioIo, FormatRejectsNamesThatCannotRoundTrip) {
+  const auto scenario_with_flow_name = [](const std::string& name) {
+    auto s = parse_scenario(kSample);
+    s.flows[0].set_name(name);
+    return s;
+  };
+  for (const std::string bad :
+       {"two words", "tab\tname", "has#hash", "a,b", ""}) {
+    EXPECT_THROW((void)format_scenario(scenario_with_flow_name(bad)),
+                 std::invalid_argument)
+        << "flow name '" << bad << "'";
+  }
+  // Node names get the same treatment...
+  workload::Scenario s;
+  s.network.add_endhost("bad name");
+  EXPECT_THROW((void)format_scenario(s), std::invalid_argument);
+  // ...including duplicates, which the parser would refuse to re-define.
+  workload::Scenario dup;
+  dup.network.add_endhost("x");
+  dup.network.add_endhost("x");
+  EXPECT_THROW((void)format_scenario(dup), std::invalid_argument);
+}
+
+TEST(ScenarioIo, FuzzedNamesEitherRejectOrRoundTrip) {
+  // Property over randomized names drawn from a charset that includes the
+  // format's metacharacters: format_scenario either refuses the name or
+  // its output parses back to the identical name set.  No silent
+  // corruption in between.
+  const std::string clean = "abz_9-";
+  const std::string dirty = "ab#, \tz_9-";
+  Rng rng(0xf00d);
+  int rejected = 0;
+  int round_tripped = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    // Half the iterations draw from a metacharacter-free charset so both
+    // outcomes (clean round trip, up-front rejection) actually occur.
+    const std::string& charset = iter % 2 == 0 ? clean : dirty;
+    const auto name_of = [&](const std::string& prefix) {
+      std::string n = prefix;
+      const std::size_t len = 1 + rng.next_below(6);
+      for (std::size_t i = 0; i < len; ++i) {
+        n += charset[static_cast<std::size_t>(rng.next_below(charset.size()))];
+      }
+      return n;
+    };
+    workload::Scenario s;
+    const net::NodeId a = s.network.add_endhost(name_of("a"));
+    const net::NodeId sw = s.network.add_switch(name_of("s"));
+    const net::NodeId b = s.network.add_endhost(name_of("b"));
+    s.network.add_duplex_link(a, sw, 1'000'000);
+    s.network.add_duplex_link(sw, b, 1'000'000);
+    s.flows.push_back(workload::make_voip_flow(name_of("f"),
+                                               net::Route({a, sw, b})));
+    try {
+      const std::string text = format_scenario(s);
+      const auto back = parse_scenario(text);
+      ASSERT_EQ(back.network.node_count(), 3u);
+      for (std::int32_t n = 0; n < 3; ++n) {
+        EXPECT_EQ(back.network.node(net::NodeId(n)).name,
+                  s.network.node(net::NodeId(n)).name);
+      }
+      ASSERT_EQ(back.flows.size(), 1u);
+      EXPECT_EQ(back.flows[0].name(), s.flows[0].name());
+      ++round_tripped;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // refused up front — the acceptable outcome for bad names
+    }
+  }
+  // The charset makes both outcomes overwhelmingly likely across 200 draws.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(round_tripped, 0);
+}
+
 TEST(ScenarioIo, FlowWithoutFramesRejected) {
   EXPECT_THROW(parse_scenario(
                    "endhost a\nendhost b\nswitch s\nduplex a s 100\n"
