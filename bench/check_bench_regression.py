@@ -46,6 +46,9 @@ CHECKS = {
     # concurrent_whatif is intentionally absent: its scaling curve measures
     # the runner's core count, not the code; the bench gates itself on
     # machines with >= 8 hardware threads.
+    # rpc_whatif is intentionally absent too: loopback qps measures the
+    # socket stack and scheduler, not this codebase; the bench fails itself
+    # on any remote-vs-in-process verdict mismatch instead.
 }
 
 
@@ -100,6 +103,14 @@ def main():
                 continue
             for metric, direction in cfg["metrics"].items():
                 if metric not in row:
+                    continue
+                if metric not in cur:
+                    # A baselined metric that vanished from the fresh run
+                    # (renamed/dropped bench field) must fail the gate, not
+                    # silently evade it: a data point nobody emits anymore
+                    # can never regress.
+                    failures.append(f"[{bench}] {key} metric '{metric}' in "
+                                    f"baseline but missing from current run")
                     continue
                 base_v, cur_v = float(row[metric]), float(cur[metric])
                 checked += 1

@@ -181,6 +181,13 @@ class AnalysisEngine {
   static AnalysisEngine restore(std::istream& is,
                                 core::HolisticOptions opts = {});
 
+  /// restore() for callers that need the engine on the heap (the engine is
+  /// neither copyable nor movable — atomic counters — so a prvalue cannot
+  /// be re-seated after construction).  The RPC server's RESTORE handler
+  /// swaps engines behind an atomic shared_ptr; this is its entry point.
+  static std::unique_ptr<AnalysisEngine> restore_unique(
+      std::istream& is, core::HolisticOptions opts = {});
+
   // -- snapshots ------------------------------------------------------------
 
   /// Evaluates (if stale) and returns the freshly published snapshot
@@ -216,6 +223,10 @@ class AnalysisEngine {
   /// shard, no link owned by two shards, caches parallel to contexts) and
   /// throws std::logic_error on violations.  Defined in io/checkpoint.cpp.
   AnalysisEngine(RestoredState&& st, core::HolisticOptions opts);
+  /// Strict checkpoint-stream parse shared by restore / restore_unique
+  /// (defined in io/checkpoint.cpp); throws io::CheckpointError.
+  static RestoredState parse_checkpoint(std::istream& is,
+                                        const core::HolisticOptions& opts);
 
   struct AtomicStats {
     std::atomic<std::size_t> evaluations{0};

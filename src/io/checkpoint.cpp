@@ -1,12 +1,14 @@
 // Checkpoint container (see checkpoint.hpp for the layout) and the
 // AnalysisEngine::save / AnalysisEngine::restore entry points declared in
 // engine/analysis_engine.hpp.  The engine members are defined here so the
-// whole persisted-state format — byte primitives, section framing, and the
-// engine field walk — lives in one translation unit.
+// whole persisted-state walk lives in one translation unit; the byte
+// primitives live in io/wire.hpp and the field codecs in io/codec.hpp,
+// shared with the operator RPC protocol (rpc/protocol).
 #include "io/checkpoint.hpp"
 
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <sstream>
 #include <ostream>
 #include <utility>
@@ -16,19 +18,10 @@
 #include "core/holistic.hpp"
 #include "engine/analysis_engine.hpp"
 #include "gmf/flow.hpp"
+#include "io/codec.hpp"
 #include "net/network.hpp"
 
 namespace gmfnet::io {
-
-std::uint64_t ckpt::fnv1a(std::string_view data) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
 namespace {
 
 // Section ids, in stream order.
@@ -36,115 +29,6 @@ constexpr std::uint32_t kSecEngine = 1;
 constexpr std::uint32_t kSecNetwork = 2;
 constexpr std::uint32_t kSecFlows = 3;
 constexpr std::uint32_t kSecShards = 4;
-
-// ---------------------------------------------------------------- writer --
-
-/// Append-only little-endian byte buffer.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void time(gmfnet::Time t) { i64(t.ps()); }
-  void str(const std::string& s) {
-    u64(s.size());
-    buf_.append(s);
-  }
-  void raw(const std::string& s) { buf_.append(s); }
-
-  [[nodiscard]] const std::string& bytes() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-// ---------------------------------------------------------------- reader --
-
-/// Bounds-checked cursor over a byte range; every primitive read throws
-/// CheckpointError instead of walking past the end, so truncated or
-/// length-corrupted streams can never be misinterpreted as data.
-class ByteReader {
- public:
-  ByteReader(const char* data, std::size_t size, const char* what)
-      : data_(data), size_(size), what_(what) {}
-
-  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
-  [[nodiscard]] bool done() const { return pos_ == size_; }
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  gmfnet::Time time() { return gmfnet::Time(i64()); }
-  std::string str() {
-    const std::uint64_t len = u64();
-    need(len);
-    std::string out(data_ + pos_, static_cast<std::size_t>(len));
-    pos_ += static_cast<std::size_t>(len);
-    return out;
-  }
-  /// A count of items that each occupy >= `min_item_bytes` in this reader:
-  /// rejects counts the remaining bytes cannot possibly hold, so corrupted
-  /// counts fail fast instead of driving giant allocations.
-  std::size_t count(std::size_t min_item_bytes) {
-    const std::uint64_t n = u64();
-    if (min_item_bytes != 0 && n > remaining() / min_item_bytes) {
-      throw CheckpointError(std::string(what_) +
-                            ": item count exceeds stream size");
-    }
-    return static_cast<std::size_t>(n);
-  }
-
-  /// Sub-reader over the next `len` bytes (section body).
-  ByteReader sub(std::size_t len, const char* what) {
-    need(len);
-    ByteReader r(data_ + pos_, len, what);
-    pos_ += len;
-    return r;
-  }
-
- private:
-  void need(std::uint64_t n) const {
-    if (n > size_ - pos_) {
-      throw CheckpointError(std::string("truncated stream (") + what_ + ")");
-    }
-  }
-
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-  const char* what_;
-};
 
 void write_section(ByteWriter& payload, std::uint32_t id,
                    const ByteWriter& body) {
@@ -166,221 +50,6 @@ ByteReader read_section(ByteReader& payload, std::uint32_t expect,
                           what + ")");
   }
   return payload.sub(static_cast<std::size_t>(len), what);
-}
-
-// -------------------------------------------------- field-level encoding --
-
-void encode_network(ByteWriter& w, const net::Network& net) {
-  w.u64(net.node_count());
-  for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const net::Node& n = net.node(net::NodeId(static_cast<std::int32_t>(i)));
-    w.u8(static_cast<std::uint8_t>(n.kind));
-    w.str(n.name);
-    w.time(n.sw.croute);
-    w.time(n.sw.csend);
-    w.i32(n.sw.processors);
-  }
-  w.u64(net.links().size());
-  for (const net::Link& l : net.links()) {
-    w.i32(l.src.v);
-    w.i32(l.dst.v);
-    w.i64(l.speed_bps);
-    w.time(l.prop);
-  }
-}
-
-net::Network decode_network(ByteReader& r) {
-  net::Network net;
-  const std::size_t nodes = r.count(1 + 8 + 8 + 8 + 4);
-  for (std::size_t i = 0; i < nodes; ++i) {
-    const std::uint8_t kind = r.u8();
-    std::string name = r.str();
-    net::SwitchParams sw;
-    sw.croute = r.time();
-    sw.csend = r.time();
-    sw.processors = r.i32();
-    switch (kind) {
-      case static_cast<std::uint8_t>(net::NodeKind::kEndHost):
-        net.add_endhost(std::move(name));
-        break;
-      case static_cast<std::uint8_t>(net::NodeKind::kSwitch):
-        net.add_switch(std::move(name), sw);
-        break;
-      case static_cast<std::uint8_t>(net::NodeKind::kRouter):
-        net.add_router(std::move(name));
-        break;
-      default:
-        throw CheckpointError("unknown node kind");
-    }
-  }
-  const std::size_t links = r.count(4 + 4 + 8 + 8);
-  for (std::size_t i = 0; i < links; ++i) {
-    const net::NodeId src(r.i32());
-    const net::NodeId dst(r.i32());
-    const std::int64_t speed = r.i64();
-    const gmfnet::Time prop = r.time();
-    net.add_link(src, dst, speed, prop);  // throws on invalid link data
-  }
-  return net;
-}
-
-void encode_flow(ByteWriter& w, const gmf::Flow& f) {
-  w.str(f.name());
-  w.u64(f.route().node_count());
-  for (const net::NodeId n : f.route().nodes()) w.i32(n.v);
-  w.i64(f.priority());
-  w.u8(f.rtp() ? 1 : 0);
-  w.u64(f.frame_count());
-  for (const gmf::FrameSpec& fr : f.frames()) {
-    w.time(fr.min_separation);
-    w.time(fr.deadline);
-    w.time(fr.jitter);
-    w.i64(fr.payload_bits);
-  }
-}
-
-gmf::Flow decode_flow(ByteReader& r) {
-  std::string name = r.str();
-  const std::size_t hops = r.count(4);
-  std::vector<net::NodeId> nodes;
-  nodes.reserve(hops);
-  for (std::size_t i = 0; i < hops; ++i) nodes.emplace_back(r.i32());
-  const std::int64_t priority = r.i64();
-  const bool rtp = r.u8() != 0;
-  const std::size_t nframes = r.count(8 * 4);
-  std::vector<gmf::FrameSpec> frames;
-  frames.reserve(nframes);
-  for (std::size_t k = 0; k < nframes; ++k) {
-    gmf::FrameSpec fs;
-    fs.min_separation = r.time();
-    fs.deadline = r.time();
-    fs.jitter = r.time();
-    fs.payload_bits = r.i64();
-    frames.push_back(fs);
-  }
-  return gmf::Flow(std::move(name), net::Route(std::move(nodes)),
-                   std::move(frames), priority, rtp);
-}
-
-void encode_stage_key(ByteWriter& w, const core::StageKey& k) {
-  w.u8(static_cast<std::uint8_t>(k.kind));
-  w.i32(k.a.v);
-  w.i32(k.b.v);
-}
-
-core::StageKey decode_stage_key(ByteReader& r) {
-  const std::uint8_t kind = r.u8();
-  core::StageKey k;
-  switch (kind) {
-    case static_cast<std::uint8_t>(core::StageKey::Kind::kLink):
-      k.kind = core::StageKey::Kind::kLink;
-      break;
-    case static_cast<std::uint8_t>(core::StageKey::Kind::kIngress):
-      k.kind = core::StageKey::Kind::kIngress;
-      break;
-    default:
-      throw CheckpointError("unknown stage kind");
-  }
-  k.a = net::NodeId(r.i32());
-  k.b = net::NodeId(r.i32());
-  return k;
-}
-
-void encode_jitter_map(ByteWriter& w, const core::JitterMap& m) {
-  w.u64(m.flow_slots());
-  for (std::size_t f = 0; f < m.flow_slots(); ++f) {
-    const net::FlowId id(static_cast<std::int32_t>(f));
-    if (!m.has_entries(id)) {
-      w.u8(0);
-      continue;
-    }
-    w.u8(1);
-    const core::JitterMap::StageEntries entries = m.stage_entries(id);
-    w.u64(entries.size());
-    for (const auto& [stage, frames] : entries) {
-      encode_stage_key(w, stage);
-      w.u64(frames.size());
-      for (const gmfnet::Time t : frames) w.time(t);
-    }
-  }
-}
-
-core::JitterMap decode_jitter_map(ByteReader& r) {
-  core::JitterMap m;
-  const std::size_t slots = r.count(1);
-  m.resize_slots(slots);
-  for (std::size_t f = 0; f < slots; ++f) {
-    if (r.u8() == 0) continue;
-    const net::FlowId id(static_cast<std::int32_t>(f));
-    const std::size_t stages = r.count(1 + 4 + 4 + 8);
-    for (std::size_t s = 0; s < stages; ++s) {
-      const core::StageKey key = decode_stage_key(r);
-      const std::size_t nframes = r.count(8);
-      std::vector<gmfnet::Time> frames;
-      frames.reserve(nframes);
-      for (std::size_t k = 0; k < nframes; ++k) frames.push_back(r.time());
-      m.set_stage_frames(id, key, std::move(frames));
-    }
-  }
-  return m;
-}
-
-void encode_holistic_result(ByteWriter& w, const core::HolisticResult& res) {
-  w.u8(res.converged ? 1 : 0);
-  w.u8(res.schedulable ? 1 : 0);
-  w.i32(res.sweeps);
-  w.u64(res.flows.size());
-  for (const core::FlowResult& fr : res.flows) {
-    w.u64(fr.frames.size());
-    for (const core::FrameResult& frame : fr.frames) {
-      w.time(frame.response);
-      w.u8(frame.converged ? 1 : 0);
-      w.u8(frame.meets_deadline ? 1 : 0);
-      w.u64(frame.stages.size());
-      for (const core::StageResponse& st : frame.stages) {
-        encode_stage_key(w, st.stage);
-        w.time(st.hop.response);
-        w.u8(st.hop.converged ? 1 : 0);
-        w.time(st.hop.busy_period);
-        w.i64(st.hop.instances);
-        w.i64(st.hop.iterations);
-      }
-    }
-  }
-  encode_jitter_map(w, res.jitters);
-}
-
-core::HolisticResult decode_holistic_result(ByteReader& r) {
-  core::HolisticResult res;
-  res.converged = r.u8() != 0;
-  res.schedulable = r.u8() != 0;
-  res.sweeps = r.i32();
-  const std::size_t nflows = r.count(8);
-  for (std::size_t f = 0; f < nflows; ++f) {
-    core::FlowResult fr;
-    const std::size_t nframes = r.count(8 + 1 + 1 + 8);
-    for (std::size_t k = 0; k < nframes; ++k) {
-      core::FrameResult frame;
-      frame.response = r.time();
-      frame.converged = r.u8() != 0;
-      frame.meets_deadline = r.u8() != 0;
-      const std::size_t nstages = r.count(1 + 4 + 4 + 8 + 1 + 8 + 8 + 8);
-      for (std::size_t s = 0; s < nstages; ++s) {
-        core::StageResponse st;
-        st.stage = decode_stage_key(r);
-        st.hop.response = r.time();
-        st.hop.converged = r.u8() != 0;
-        st.hop.busy_period = r.time();
-        st.hop.instances = r.i64();
-        st.hop.iterations = r.i64();
-        frame.stages.push_back(std::move(st));
-      }
-      fr.frames.push_back(std::move(frame));
-    }
-    res.flows.push_back(std::move(fr));
-  }
-  res.jitters = decode_jitter_map(r);
-  return res;
 }
 
 }  // namespace
@@ -410,11 +79,11 @@ void AnalysisEngine::save(std::ostream& os) {
   engine_sec.i32(opts_.max_sweeps);
 
   io::ByteWriter network_sec;
-  io::encode_network(network_sec, network());
+  io::codec::encode_network(network_sec, network());
 
   io::ByteWriter flows_sec;
   for (std::size_t i = 0; i < locs_.size(); ++i) {
-    io::encode_flow(flows_sec, flow(i));
+    io::codec::encode_flow(flows_sec, flow(i));
   }
 
   io::ByteWriter shards_sec;
@@ -422,7 +91,7 @@ void AnalysisEngine::save(std::ostream& os) {
     shards_sec.u64(s.to_global.size());
     for (const net::FlowId g : s.to_global) shards_sec.i32(g.v);
     shards_sec.u8(s.cache ? 1 : 0);
-    if (s.cache) io::encode_holistic_result(shards_sec, *s.cache);
+    if (s.cache) io::codec::encode_holistic_result(shards_sec, *s.cache);
   }
 
   io::ByteWriter payload;
@@ -435,7 +104,7 @@ void AnalysisEngine::save(std::ostream& os) {
   header.raw(std::string(io::ckpt::kMagic, sizeof io::ckpt::kMagic));
   header.u32(io::ckpt::kVersion);
   header.u64(payload.bytes().size());
-  header.u64(io::ckpt::fnv1a(payload.bytes()));
+  header.u64(io::fnv1a(payload.bytes()));
 
   os.write(header.bytes().data(),
            static_cast<std::streamsize>(header.bytes().size()));
@@ -444,8 +113,8 @@ void AnalysisEngine::save(std::ostream& os) {
   if (!os) throw std::runtime_error("checkpoint: stream write failed");
 }
 
-AnalysisEngine AnalysisEngine::restore(std::istream& is,
-                                       core::HolisticOptions opts) {
+AnalysisEngine::RestoredState AnalysisEngine::parse_checkpoint(
+    std::istream& is, const core::HolisticOptions& opts) {
   // Block-copy the stream (istreambuf_iterator would walk it char by char —
   // measurably slow for warm boot, where the whole point is restart speed).
   std::string buf;
@@ -483,8 +152,7 @@ AnalysisEngine AnalysisEngine::restore(std::istream& is,
   // restart hot path.
   const char* payload_data = buf.data() + io::ckpt::kHeaderSize;
   const std::size_t payload_size = buf.size() - io::ckpt::kHeaderSize;
-  if (io::ckpt::fnv1a(std::string_view(payload_data, payload_size)) !=
-      checksum) {
+  if (io::fnv1a(std::string_view(payload_data, payload_size)) != checksum) {
     throw CheckpointError("corrupted stream (checksum mismatch)");
   }
 
@@ -514,7 +182,7 @@ AnalysisEngine AnalysisEngine::restore(std::istream& is,
 
     io::ByteReader network_sec =
         io::read_section(payload, io::kSecNetwork, "network section");
-    st.network = io::decode_network(network_sec);
+    st.network = io::codec::decode_network(network_sec);
     if (!network_sec.done()) {
       throw CheckpointError("network section has trailing bytes");
     }
@@ -522,7 +190,7 @@ AnalysisEngine AnalysisEngine::restore(std::istream& is,
     io::ByteReader flows_sec =
         io::read_section(payload, io::kSecFlows, "flows section");
     for (std::size_t i = 0; i < flow_count; ++i) {
-      st.flows.push_back(io::decode_flow(flows_sec));
+      st.flows.push_back(io::codec::decode_flow(flows_sec));
     }
     if (!flows_sec.done()) {
       throw CheckpointError("flows section has trailing bytes");
@@ -541,7 +209,7 @@ AnalysisEngine AnalysisEngine::restore(std::istream& is,
         throw CheckpointError("shard " + std::to_string(s) +
                               " carries no converged state");
       }
-      shard.cache = io::decode_holistic_result(shards_sec);
+      shard.cache = io::codec::decode_holistic_result(shards_sec);
       st.shards.push_back(std::move(shard));
     }
     if (!shards_sec.done()) {
@@ -553,13 +221,39 @@ AnalysisEngine AnalysisEngine::restore(std::istream& is,
   } catch (const CheckpointError&) {
     throw;
   } catch (const std::exception& e) {
-    // Structural/semantic validation failures from net/gmf/core builders.
+    // Truncation/enum failures from the shared codecs (WireError) and
+    // structural/semantic validation failures from net/gmf/core builders.
     throw CheckpointError(std::string("invalid checkpoint data: ") +
                           e.what());
   }
+  return st;
+}
 
+// The construct-and-rewrap block appears once per entry point because the
+// engine is neither copyable nor movable: each must construct its own
+// return object in place.  Keep the catch clauses identical so the two
+// error contracts cannot drift.
+AnalysisEngine AnalysisEngine::restore(std::istream& is,
+                                       core::HolisticOptions opts) {
+  RestoredState st = parse_checkpoint(is, opts);
   try {
     return AnalysisEngine(std::move(st), opts);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CheckpointError(std::string("checkpoint failed validation: ") +
+                          e.what());
+  }
+}
+
+std::unique_ptr<AnalysisEngine> AnalysisEngine::restore_unique(
+    std::istream& is, core::HolisticOptions opts) {
+  RestoredState st = parse_checkpoint(is, opts);
+  try {
+    return std::unique_ptr<AnalysisEngine>(
+        new AnalysisEngine(std::move(st), opts));
+  } catch (const CheckpointError&) {
+    throw;
   } catch (const std::exception& e) {
     throw CheckpointError(std::string("checkpoint failed validation: ") +
                           e.what());

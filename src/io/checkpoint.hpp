@@ -29,20 +29,22 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <string_view>
+
+#include "io/wire.hpp"
 
 namespace gmfnet::io {
 
 /// Thrown by AnalysisEngine::restore on malformed checkpoint streams:
 /// truncated input, checksum mismatch, bad magic, a forward-incompatible
 /// format version, an analysis-option mismatch, or data that fails
-/// semantic validation.
-class CheckpointError : public std::runtime_error {
+/// semantic validation.  Derives WireError: the shared byte primitives
+/// (io/wire.hpp) throw plain WireError, which the restore path rewraps.
+class CheckpointError : public WireError {
  public:
   explicit CheckpointError(const std::string& message)
-      : std::runtime_error("checkpoint: " + message) {}
+      : WireError("checkpoint: " + message) {}
 };
 
 namespace ckpt {
@@ -55,8 +57,11 @@ inline constexpr std::size_t kPayloadLenOffset = 12;
 inline constexpr std::size_t kChecksumOffset = 20;
 inline constexpr std::size_t kHeaderSize = 28;
 
-/// FNV-1a 64-bit over `data` — the payload checksum.
-[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+/// FNV-1a 64-bit over `data` — the payload checksum (the shared wire
+/// checksum; kept here for the tests that forge streams).
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view data) {
+  return io::fnv1a(data);
+}
 
 }  // namespace ckpt
 

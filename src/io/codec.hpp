@@ -1,0 +1,36 @@
+// Field-level binary codecs for the domain types that cross process
+// boundaries: networks, flows, jitter maps and holistic results.  The
+// checkpoint container (io/checkpoint) persists them to disk and the
+// operator RPC protocol (rpc/protocol) ships them over sockets — one
+// encoding, so a checkpoint section and an RPC message body are the same
+// bytes for the same value.
+//
+// Decoders throw io::WireError on malformed input (out-of-range enum
+// values, truncation surfaced by ByteReader); format entry points rewrap
+// with their own error type.
+#pragma once
+
+#include "io/wire.hpp"
+
+#include "core/holistic.hpp"
+#include "gmf/flow.hpp"
+#include "net/network.hpp"
+
+namespace gmfnet::io::codec {
+
+void encode_network(ByteWriter& w, const net::Network& net);
+[[nodiscard]] net::Network decode_network(ByteReader& r);
+
+void encode_flow(ByteWriter& w, const gmf::Flow& f);
+[[nodiscard]] gmf::Flow decode_flow(ByteReader& r);
+
+void encode_stage_key(ByteWriter& w, const core::StageKey& k);
+[[nodiscard]] core::StageKey decode_stage_key(ByteReader& r);
+
+void encode_jitter_map(ByteWriter& w, const core::JitterMap& m);
+[[nodiscard]] core::JitterMap decode_jitter_map(ByteReader& r);
+
+void encode_holistic_result(ByteWriter& w, const core::HolisticResult& res);
+[[nodiscard]] core::HolisticResult decode_holistic_result(ByteReader& r);
+
+}  // namespace gmfnet::io::codec

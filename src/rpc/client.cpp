@@ -1,0 +1,67 @@
+#include "rpc/client.hpp"
+
+#include <utility>
+
+namespace gmfnet::rpc {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(rpc::connect_unix(path));
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  return Client(rpc::connect_tcp(host, port));
+}
+
+template <typename Expected>
+Expected Client::call(const Request& req) {
+  send_frame(sock_, encode_request(req));
+  std::optional<std::string> frame = recv_frame(sock_);
+  if (!frame) {
+    throw TransportError("daemon closed the connection before responding");
+  }
+  Response resp = decode_response(*frame);
+  if (auto* err = std::get_if<ErrorResponse>(&resp)) {
+    throw RemoteError(err->message);
+  }
+  if (auto* ok = std::get_if<Expected>(&resp)) {
+    return std::move(*ok);
+  }
+  throw ProtocolError("unexpected response type for request");
+}
+
+std::optional<core::HolisticResult> Client::admit(const gmf::Flow& flow) {
+  return call<AdmitResponse>(AdmitRequest{flow}).result;
+}
+
+bool Client::remove(std::uint64_t index) {
+  return call<RemoveResponse>(RemoveRequest{index}).removed;
+}
+
+std::vector<engine::WhatIfResult> Client::what_if_batch(
+    const std::vector<gmf::Flow>& candidates) {
+  return call<WhatIfBatchResponse>(WhatIfBatchRequest{candidates}).results;
+}
+
+engine::WhatIfResult Client::what_if(const gmf::Flow& candidate) {
+  std::vector<engine::WhatIfResult> results = what_if_batch({candidate});
+  if (results.size() != 1) {
+    throw ProtocolError("WHAT_IF_BATCH response size mismatch");
+  }
+  return std::move(results.front());
+}
+
+StatsResponse Client::stats() { return call<StatsResponse>(StatsRequest{}); }
+
+std::string Client::save_checkpoint() {
+  return call<SaveCheckpointResponse>(SaveCheckpointRequest{}).checkpoint;
+}
+
+std::uint64_t Client::restore(const std::string& checkpoint) {
+  return call<RestoreResponse>(RestoreRequest{checkpoint}).flows;
+}
+
+void Client::shutdown() {
+  (void)call<ShutdownResponse>(ShutdownRequest{});
+}
+
+}  // namespace gmfnet::rpc

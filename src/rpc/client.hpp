@@ -1,0 +1,86 @@
+// Typed client for the gmfnetd wire protocol: one connected socket, one
+// synchronous request/response exchange per call, results decoded back
+// into the exact engine types — a remote call returns bit-identically
+// what the same call on an in-process AnalysisEngine returns.
+//
+// Error model:
+//  * RemoteError   — the daemon executed the request and reported a
+//    failure (malformed flow, invalid checkpoint, ...).  The connection
+//    stays usable.
+//  * ProtocolError — the byte stream violated the protocol (corruption,
+//    version skew, an unexpected response type).  Do not reuse the
+//    connection.
+//  * TransportError — the socket failed (daemon gone, mid-frame close).
+//
+// One Client per thread: calls on one connection are serialized by the
+// request/response protocol itself.  Open several clients for concurrent
+// traffic — the daemon serves each connection on its own thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/protocol.hpp"
+#include "rpc/transport.hpp"
+
+namespace gmfnet::rpc {
+
+/// The daemon reported a failure executing a well-formed request.
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(const std::string& message)
+      : std::runtime_error("rpc remote: " + message) {}
+};
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(const std::string& host,
+                                          std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// ADMIT: gated admission — engaged with the committed whole-set result
+  /// iff the daemon admitted the flow (AnalysisEngine::try_admit).
+  std::optional<core::HolisticResult> admit(const gmf::Flow& flow);
+
+  /// REMOVE: drops the resident flow at `index`; false when out of range.
+  bool remove(std::uint64_t index);
+
+  /// WHAT_IF_BATCH: independent non-committing probes against the
+  /// daemon's published snapshot; out[i] corresponds to candidates[i].
+  std::vector<engine::WhatIfResult> what_if_batch(
+      const std::vector<gmf::Flow>& candidates);
+  /// Single-candidate convenience over WHAT_IF_BATCH.
+  engine::WhatIfResult what_if(const gmf::Flow& candidate);
+
+  /// STATS: engine counters plus resident flow / shard counts.
+  StatsResponse stats();
+
+  /// SAVE_CHECKPOINT: the daemon's converged state as a PR 4 checkpoint
+  /// stream (feed to restore(), or persist for warm boot).
+  std::string save_checkpoint();
+
+  /// RESTORE: replaces the daemon's engine with the checkpointed world;
+  /// returns the restored resident flow count.
+  std::uint64_t restore(const std::string& checkpoint);
+
+  /// SHUTDOWN: asks the daemon to exit its serve loop (acknowledged
+  /// before the daemon winds down).
+  void shutdown();
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  /// One exchange; throws RemoteError on ErrorResponse and ProtocolError
+  /// when the response is not of type `Expected`.
+  template <typename Expected>
+  Expected call(const Request& req);
+
+  Socket sock_;
+};
+
+}  // namespace gmfnet::rpc

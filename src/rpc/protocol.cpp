@@ -1,0 +1,290 @@
+#include "rpc/protocol.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "io/codec.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+// ------------------------------------------------------- body encodings --
+
+void encode_engine_stats(io::ByteWriter& w, const engine::EngineStats& s) {
+  w.u64(s.evaluations);
+  w.u64(s.full_runs);
+  w.u64(s.incremental_runs);
+  w.u64(s.flow_analyses);
+  w.u64(s.flow_results_reused);
+  w.u64(s.sweeps);
+}
+
+engine::EngineStats decode_engine_stats(io::ByteReader& r) {
+  engine::EngineStats s;
+  s.evaluations = static_cast<std::size_t>(r.u64());
+  s.full_runs = static_cast<std::size_t>(r.u64());
+  s.incremental_runs = static_cast<std::size_t>(r.u64());
+  s.flow_analyses = static_cast<std::size_t>(r.u64());
+  s.flow_results_reused = static_cast<std::size_t>(r.u64());
+  s.sweeps = static_cast<std::size_t>(r.u64());
+  return s;
+}
+
+void encode_what_if(io::ByteWriter& w, const engine::WhatIfResult& wi) {
+  w.u8(wi.admissible ? 1 : 0);
+  io::codec::encode_holistic_result(w, wi.result);
+}
+
+engine::WhatIfResult decode_what_if(io::ByteReader& r) {
+  engine::WhatIfResult wi;
+  wi.admissible = r.u8() != 0;
+  wi.result = io::codec::decode_holistic_result(r);
+  return wi;
+}
+
+/// Bodiless messages still carry one reserved zero byte, so every valid
+/// frame has a non-empty body and a zero body length is always rejected as
+/// a framing violation (not a legal empty message).
+void encode_reserved(io::ByteWriter& w) { w.u8(0); }
+
+void decode_reserved(io::ByteReader& r, const char* what) {
+  if (r.u8() != 0) {
+    throw ProtocolError(std::string(what) + ": reserved byte must be zero");
+  }
+}
+
+struct BodyEncoder {
+  io::ByteWriter& w;
+
+  void operator()(const AdmitRequest& m) { io::codec::encode_flow(w, m.flow); }
+  void operator()(const RemoveRequest& m) { w.u64(m.index); }
+  void operator()(const WhatIfBatchRequest& m) {
+    w.u64(m.candidates.size());
+    for (const gmf::Flow& f : m.candidates) io::codec::encode_flow(w, f);
+  }
+  void operator()(const StatsRequest&) { encode_reserved(w); }
+  void operator()(const SaveCheckpointRequest&) { encode_reserved(w); }
+  void operator()(const RestoreRequest& m) { w.str(m.checkpoint); }
+  void operator()(const ShutdownRequest&) { encode_reserved(w); }
+
+  void operator()(const AdmitResponse& m) {
+    w.u8(m.result.has_value() ? 1 : 0);
+    if (m.result) io::codec::encode_holistic_result(w, *m.result);
+  }
+  void operator()(const RemoveResponse& m) { w.u8(m.removed ? 1 : 0); }
+  void operator()(const WhatIfBatchResponse& m) {
+    w.u64(m.results.size());
+    for (const engine::WhatIfResult& wi : m.results) encode_what_if(w, wi);
+  }
+  void operator()(const StatsResponse& m) {
+    encode_engine_stats(w, m.stats);
+    w.u64(m.flows);
+    w.u64(m.shards);
+  }
+  void operator()(const SaveCheckpointResponse& m) { w.str(m.checkpoint); }
+  void operator()(const RestoreResponse& m) { w.u64(m.flows); }
+  void operator()(const ShutdownResponse&) { encode_reserved(w); }
+  void operator()(const ErrorResponse& m) { w.str(m.message); }
+};
+
+Request decode_request_body(MsgType type, io::ByteReader& r) {
+  switch (type) {
+    case MsgType::kAdmitRequest:
+      return AdmitRequest{io::codec::decode_flow(r)};
+    case MsgType::kRemoveRequest:
+      return RemoveRequest{r.u64()};
+    case MsgType::kWhatIfBatchRequest: {
+      WhatIfBatchRequest m;
+      const std::size_t n = r.count(8 + 8 + 8 + 1 + 8);  // min encoded flow
+      m.candidates.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.candidates.push_back(io::codec::decode_flow(r));
+      }
+      return m;
+    }
+    case MsgType::kStatsRequest:
+      decode_reserved(r, "STATS");
+      return StatsRequest{};
+    case MsgType::kSaveCheckpointRequest:
+      decode_reserved(r, "SAVE_CHECKPOINT");
+      return SaveCheckpointRequest{};
+    case MsgType::kRestoreRequest:
+      return RestoreRequest{r.str()};
+    case MsgType::kShutdownRequest:
+      decode_reserved(r, "SHUTDOWN");
+      return ShutdownRequest{};
+    default:
+      throw ProtocolError("response-typed frame where a request was expected");
+  }
+}
+
+Response decode_response_body(MsgType type, io::ByteReader& r) {
+  switch (type) {
+    case MsgType::kAdmitResponse: {
+      AdmitResponse m;
+      if (r.u8() != 0) m.result = io::codec::decode_holistic_result(r);
+      return m;
+    }
+    case MsgType::kRemoveResponse:
+      return RemoveResponse{r.u8() != 0};
+    case MsgType::kWhatIfBatchResponse: {
+      WhatIfBatchResponse m;
+      const std::size_t n = r.count(1 + 1 + 1 + 4 + 8 + 8);  // min what-if
+      m.results.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.results.push_back(decode_what_if(r));
+      }
+      return m;
+    }
+    case MsgType::kStatsResponse: {
+      StatsResponse m;
+      m.stats = decode_engine_stats(r);
+      m.flows = r.u64();
+      m.shards = r.u64();
+      return m;
+    }
+    case MsgType::kSaveCheckpointResponse:
+      return SaveCheckpointResponse{r.str()};
+    case MsgType::kRestoreResponse:
+      return RestoreResponse{r.u64()};
+    case MsgType::kShutdownResponse:
+      decode_reserved(r, "SHUTDOWN response");
+      return ShutdownResponse{};
+    case MsgType::kErrorResponse:
+      return ErrorResponse{r.str()};
+    default:
+      throw ProtocolError("request-typed frame where a response was expected");
+  }
+}
+
+[[nodiscard]] bool known_type(std::uint32_t t) {
+  return (t >= static_cast<std::uint32_t>(MsgType::kAdmitRequest) &&
+          t <= static_cast<std::uint32_t>(MsgType::kShutdownRequest)) ||
+         (t >= static_cast<std::uint32_t>(MsgType::kAdmitResponse) &&
+          t <= static_cast<std::uint32_t>(MsgType::kShutdownResponse)) ||
+         t == static_cast<std::uint32_t>(MsgType::kErrorResponse);
+}
+
+template <typename Msg>
+std::string encode_frame(const Msg& msg, MsgType type) {
+  io::ByteWriter body;
+  std::visit(BodyEncoder{body}, msg);
+
+  io::ByteWriter frame;
+  frame.raw(std::string_view(kMagic, sizeof kMagic));
+  frame.u32(kVersion);
+  frame.u32(static_cast<std::uint32_t>(type));
+  frame.u64(body.bytes().size());
+  frame.u64(io::fnv1a(body.bytes()));
+  frame.raw(body.bytes());
+  return frame.take();
+}
+
+/// Splits a whole frame into validated (header, body) and dispatches to
+/// `decode_body`; shared by decode_request / decode_response.
+template <typename Msg, typename DecodeBody>
+Msg decode_frame(std::string_view frame, DecodeBody&& decode_body) {
+  if (frame.size() < kHeaderSize) {
+    throw ProtocolError("truncated frame (header)");
+  }
+  const FrameHeader h = decode_frame_header(frame.substr(0, kHeaderSize));
+  const std::string_view body = frame.substr(kHeaderSize);
+  if (body.size() != h.body_len) {
+    throw ProtocolError(body.size() < h.body_len
+                            ? "truncated frame (body shorter than declared)"
+                            : "trailing bytes after frame body");
+  }
+  verify_body(h, body);
+  try {
+    io::ByteReader r(body, "rpc body");
+    Msg msg = decode_body(h.type, r);
+    if (!r.done()) {
+      throw ProtocolError("trailing bytes inside frame body");
+    }
+    return msg;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // WireError truncation/enum failures from the shared codecs, plus
+    // structural validation from net/gmf builders.
+    throw ProtocolError(std::string("malformed message body: ") + e.what());
+  }
+}
+
+}  // namespace
+
+MsgType type_of(const Request& req) {
+  return static_cast<MsgType>(
+      static_cast<std::uint32_t>(MsgType::kAdmitRequest) +
+      static_cast<std::uint32_t>(req.index()));
+}
+
+MsgType type_of(const Response& resp) {
+  if (std::holds_alternative<ErrorResponse>(resp)) {
+    return MsgType::kErrorResponse;
+  }
+  return static_cast<MsgType>(
+      static_cast<std::uint32_t>(MsgType::kAdmitResponse) +
+      static_cast<std::uint32_t>(resp.index()));
+}
+
+std::string encode_request(const Request& req) {
+  return encode_frame(req, type_of(req));
+}
+
+std::string encode_response(const Response& resp) {
+  return encode_frame(resp, type_of(resp));
+}
+
+FrameHeader decode_frame_header(std::string_view header) {
+  if (header.size() < kHeaderSize) {
+    throw ProtocolError("truncated frame (header)");
+  }
+  if (std::memcmp(header.data(), kMagic, sizeof kMagic) != 0) {
+    throw ProtocolError("bad magic — not a gmfnet rpc frame");
+  }
+  io::ByteReader r(header.data() + sizeof kMagic,
+                   kHeaderSize - sizeof kMagic, "rpc header");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version) + " (this build speaks " +
+                        std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t type = r.u32();
+  if (!known_type(type)) {
+    throw ProtocolError("unknown message type " + std::to_string(type));
+  }
+  FrameHeader h;
+  h.type = static_cast<MsgType>(type);
+  h.body_len = r.u64();
+  if (h.body_len == 0) {
+    throw ProtocolError("zero-length frame body");
+  }
+  if (h.body_len > kMaxBodyLen) {
+    throw ProtocolError("oversized frame body (" +
+                        std::to_string(h.body_len) + " bytes, limit " +
+                        std::to_string(kMaxBodyLen) + ")");
+  }
+  h.checksum = r.u64();
+  return h;
+}
+
+void verify_body(const FrameHeader& header, std::string_view body) {
+  if (body.size() != header.body_len) {
+    throw ProtocolError("frame body length mismatch");
+  }
+  if (io::fnv1a(body) != header.checksum) {
+    throw ProtocolError("corrupted frame (checksum mismatch)");
+  }
+}
+
+Request decode_request(std::string_view frame) {
+  return decode_frame<Request>(frame, decode_request_body);
+}
+
+Response decode_response(std::string_view frame) {
+  return decode_frame<Response>(frame, decode_response_body);
+}
+
+}  // namespace gmfnet::rpc

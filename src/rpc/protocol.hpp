@@ -1,0 +1,185 @@
+// gmfnetd wire protocol: length-prefixed binary frames carrying typed
+// admission-control messages between an operator tool and the daemon.
+//
+// One message = one frame.  Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "GMFNRPC1"
+//   8       4     protocol version (u32); readers reject versions they do
+//                 not know (forward-incompatible by design)
+//   12      4     message type (u32); unknown types rejected
+//   16      8     body length in bytes (u64); zero and > kMaxBodyLen
+//                 rejected (every message body is non-empty by
+//                 construction — bodiless messages carry one reserved
+//                 zero byte — so a zero length is always a framing bug)
+//   24      8     FNV-1a 64 checksum of the body bytes (u64)
+//   32      ...   body (io/codec field encodings)
+//
+// The decode path is strict in the io/checkpoint tradition: truncation,
+// bit flips (checksummed body, validated header fields), unknown message
+// types, oversized or zero lengths, and trailing bytes are all rejected
+// with ProtocolError — never UB, never a silently wrong message.
+//
+// Message catalog (request -> response):
+//
+//   ADMIT            { flow }            -> { admitted?, HolisticResult }
+//   REMOVE           { index }           -> { removed }
+//   WHAT_IF_BATCH    { candidate flows } -> { WhatIfResult per candidate }
+//   STATS            {}                  -> { EngineStats, flows, shards }
+//   SAVE_CHECKPOINT  {}                  -> { checkpoint blob (PR 4 stream) }
+//   RESTORE          { checkpoint blob } -> { restored flow count }
+//   SHUTDOWN         {}                  -> {}
+//   (any request)                        -> ERROR { message } on failure
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "engine/analysis_engine.hpp"
+#include "engine/snapshot.hpp"
+#include "gmf/flow.hpp"
+#include "io/wire.hpp"
+
+namespace gmfnet::rpc {
+
+/// Thrown on malformed frames and protocol violations: truncated input,
+/// checksum mismatch, bad magic, a forward-incompatible protocol version,
+/// an unknown message type, oversized/zero body lengths, trailing bytes,
+/// or a body that fails strict decode.
+class ProtocolError : public io::WireError {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : io::WireError("rpc: " + message) {}
+};
+
+/// Frame constants, shared with tests that forge malformed frames.
+inline constexpr char kMagic[8] = {'G', 'M', 'F', 'N', 'R', 'P', 'C', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kVersionOffset = 8;
+inline constexpr std::size_t kTypeOffset = 12;
+inline constexpr std::size_t kBodyLenOffset = 16;
+inline constexpr std::size_t kChecksumOffset = 24;
+inline constexpr std::size_t kHeaderSize = 32;
+/// Body-length sanity bound: a frame larger than this is rejected before
+/// any allocation happens.  Checkpoint blobs ride inside RESTORE frames,
+/// so the bound is generous; anything beyond it is a corrupted length
+/// field, not a real message.
+inline constexpr std::uint64_t kMaxBodyLen = 1ull << 30;  // 1 GiB
+
+enum class MsgType : std::uint32_t {
+  kAdmitRequest = 1,
+  kRemoveRequest = 2,
+  kWhatIfBatchRequest = 3,
+  kStatsRequest = 4,
+  kSaveCheckpointRequest = 5,
+  kRestoreRequest = 6,
+  kShutdownRequest = 7,
+
+  kAdmitResponse = 101,
+  kRemoveResponse = 102,
+  kWhatIfBatchResponse = 103,
+  kStatsResponse = 104,
+  kSaveCheckpointResponse = 105,
+  kRestoreResponse = 106,
+  kShutdownResponse = 107,
+
+  kErrorResponse = 200,
+};
+
+// ------------------------------------------------------------- requests --
+
+struct AdmitRequest {
+  gmf::Flow flow;
+};
+struct RemoveRequest {
+  std::uint64_t index = 0;
+};
+struct WhatIfBatchRequest {
+  std::vector<gmf::Flow> candidates;
+};
+struct StatsRequest {};
+struct SaveCheckpointRequest {};
+struct RestoreRequest {
+  std::string checkpoint;  ///< a complete io/checkpoint stream
+};
+struct ShutdownRequest {};
+
+using Request =
+    std::variant<AdmitRequest, RemoveRequest, WhatIfBatchRequest,
+                 StatsRequest, SaveCheckpointRequest, RestoreRequest,
+                 ShutdownRequest>;
+
+// ------------------------------------------------------------ responses --
+
+struct AdmitResponse {
+  /// Engaged with the committed whole-set result iff the flow was admitted
+  /// (exactly AnalysisEngine::try_admit's contract over the wire).
+  std::optional<core::HolisticResult> result;
+};
+struct RemoveResponse {
+  bool removed = false;
+};
+struct WhatIfBatchResponse {
+  std::vector<engine::WhatIfResult> results;  ///< parallel to candidates
+};
+struct StatsResponse {
+  engine::EngineStats stats;
+  std::uint64_t flows = 0;
+  std::uint64_t shards = 0;
+};
+struct SaveCheckpointResponse {
+  std::string checkpoint;
+};
+struct RestoreResponse {
+  std::uint64_t flows = 0;
+};
+struct ShutdownResponse {};
+/// Server-side failure executing an otherwise well-framed request (e.g. a
+/// malformed flow, a checkpoint that fails validation).  The connection
+/// stays usable.
+struct ErrorResponse {
+  std::string message;
+};
+
+using Response =
+    std::variant<AdmitResponse, RemoveResponse, WhatIfBatchResponse,
+                 StatsResponse, SaveCheckpointResponse, RestoreResponse,
+                 ShutdownResponse, ErrorResponse>;
+
+// -------------------------------------------------------------- framing --
+
+[[nodiscard]] MsgType type_of(const Request& req);
+[[nodiscard]] MsgType type_of(const Response& resp);
+
+/// Encodes one message as a complete frame (header + body).
+[[nodiscard]] std::string encode_request(const Request& req);
+[[nodiscard]] std::string encode_response(const Response& resp);
+
+/// Strict whole-frame decode; the frame must contain exactly one message
+/// (trailing bytes rejected).  decode_request rejects response-typed
+/// frames and vice versa.  Throws ProtocolError on any violation.
+[[nodiscard]] Request decode_request(std::string_view frame);
+[[nodiscard]] Response decode_response(std::string_view frame);
+
+/// Validated frame header, for stream transports that read the header
+/// first and then exactly `body_len` more bytes.
+struct FrameHeader {
+  MsgType type;
+  std::uint64_t body_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Validates magic, version, message type and body-length bounds of a
+/// kHeaderSize-byte prefix.  Throws ProtocolError.
+[[nodiscard]] FrameHeader decode_frame_header(std::string_view header);
+
+/// Verifies `body` against a decoded header (length + checksum); throws
+/// ProtocolError on mismatch.
+void verify_body(const FrameHeader& header, std::string_view body);
+
+}  // namespace gmfnet::rpc

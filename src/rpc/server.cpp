@@ -1,0 +1,195 @@
+#include "rpc/server.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace gmfnet::rpc {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
+               ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(std::move(engine)),
+      readers_(cfg_.reader_threads) {
+  if (!engine_) throw std::logic_error("rpc server: null engine");
+  listener_ = cfg_.unix_path.empty()
+                  ? Listener::listen_tcp(cfg_.tcp_host, cfg_.tcp_port)
+                  : Listener::listen_unix(cfg_.unix_path);
+}
+
+Server::~Server() {
+  request_stop();
+  // serve() owns connection teardown; if it never ran (or already
+  // returned), there is nothing left to join here.
+  listener_.close();
+}
+
+void Server::request_stop() { stop_.store(true, std::memory_order_release); }
+
+void Server::serve() {
+  // Teardown (close + join every handler) must run no matter how the
+  // accept loop ends: joinable std::threads destroyed without a join
+  // would std::terminate the daemon.
+  int consecutive_failures = 0;
+  while (!stop_requested()) {
+    try {
+      Socket conn = listener_.accept(/*timeout_ms=*/50);
+      reap_connections(/*all=*/false);
+      if (!conn.valid()) continue;
+      auto sock = std::make_shared<Socket>(std::move(conn));
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::thread th(&Server::handle_connection, this, sock, done);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns_.push_back(Conn{std::move(th), sock, done});
+      consecutive_failures = 0;
+    } catch (const std::exception&) {
+      // Transient accept/thread-spawn failure (fd or thread exhaustion
+      // under a connection flood): drop that connection and keep serving
+      // the live ones.  A listener that fails persistently cannot recover
+      // — wind down instead of spinning on it.
+      if (++consecutive_failures >= 100) request_stop();
+    }
+  }
+  listener_.close();
+  reap_connections(/*all=*/true);
+}
+
+void Server::reap_connections(bool all) {
+  std::vector<Conn> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (all) {
+      // Wake handlers blocked in recv; they observe EOF and exit.
+      for (Conn& c : conns_) c.sock->shutdown_both();
+      finished = std::move(conns_);
+      conns_.clear();
+    } else {
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->done->load(std::memory_order_acquire)) {
+          finished.push_back(std::move(*it));
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (Conn& c : finished) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+}
+
+void Server::handle_connection(
+    const std::shared_ptr<Socket>& sock,
+    const std::shared_ptr<std::atomic<bool>>& done) {
+  try {
+    for (;;) {
+      std::optional<std::string> frame = recv_frame(*sock);
+      if (!frame) break;  // peer closed cleanly
+      Response resp = handle(decode_request(*frame));
+      const bool shutting_down = std::holds_alternative<ShutdownResponse>(resp);
+      send_frame(*sock, encode_response(resp));
+      if (shutting_down) break;
+    }
+  } catch (const std::exception&) {
+    // Malformed frame or broken socket: this connection's stream can no
+    // longer be trusted — drop it, leave the daemon and other connections
+    // untouched.  (Engine-level failures never reach here; handle() turns
+    // them into ErrorResponse.)
+  }
+  sock->shutdown_both();
+  done->store(true, std::memory_order_release);
+}
+
+Response Server::handle(Request&& req) {
+  try {
+    return std::visit(
+        Overloaded{
+            [&](AdmitRequest& m) -> Response {
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              return AdmitResponse{engine()->try_admit(std::move(m.flow))};
+            },
+            [&](RemoveRequest& m) -> Response {
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+              const bool removed =
+                  eng->remove_flow(static_cast<std::size_t>(m.index));
+              // Re-evaluate immediately: the daemon keeps the published
+              // snapshot fresh so reader probes never lag a mutation.
+              if (removed) (void)eng->evaluate();
+              return RemoveResponse{removed};
+            },
+            [&](WhatIfBatchRequest& m) -> Response {
+              // Lock-free read path: probes run against the published
+              // snapshot, fanned over the reader pool.
+              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+              const std::shared_ptr<const engine::EngineSnapshot> snap =
+                  eng->published();
+              WhatIfBatchResponse resp;
+              resp.results.resize(m.candidates.size());
+              // The first batch to arrive fans its candidates over the
+              // reader pool; batches landing while the pool is busy probe
+              // inline on their own connection thread instead of queueing
+              // behind it (no head-of-line blocking across connections —
+              // every probe is a lock-free snapshot read either way).
+              std::unique_lock<std::mutex> pool_turn(readers_mu_,
+                                                     std::try_to_lock);
+              if (m.candidates.size() > 1 && readers_.size() > 1 &&
+                  pool_turn.owns_lock()) {
+                readers_.parallel_for(
+                    m.candidates.size(), [&](std::size_t i) {
+                      resp.results[i] = snap->what_if(m.candidates[i]);
+                    });
+              } else {
+                for (std::size_t i = 0; i < m.candidates.size(); ++i) {
+                  resp.results[i] = snap->what_if(m.candidates[i]);
+                }
+              }
+              return resp;
+            },
+            [&](StatsRequest&) -> Response {
+              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+              const std::shared_ptr<const engine::EngineSnapshot> snap =
+                  eng->published();
+              return StatsResponse{eng->stats(), snap->flow_count(),
+                                   snap->shard_count()};
+            },
+            [&](SaveCheckpointRequest&) -> Response {
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              std::ostringstream os;
+              engine()->save(os);
+              return SaveCheckpointResponse{std::move(os).str()};
+            },
+            [&](RestoreRequest& m) -> Response {
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              std::istringstream is(std::move(m.checkpoint));
+              std::shared_ptr<engine::AnalysisEngine> fresh =
+                  engine::AnalysisEngine::restore_unique(is,
+                                                         cfg_.engine_opts);
+              std::atomic_store(&engine_, std::move(fresh));
+              return RestoreResponse{engine()->flow_count()};
+            },
+            [&](ShutdownRequest&) -> Response {
+              request_stop();
+              return ShutdownResponse{};
+            },
+        },
+        req);
+  } catch (const std::exception& e) {
+    // Engine/semantic failure executing a well-framed request: report it,
+    // keep the connection (and the resident set) intact.
+    return ErrorResponse{e.what()};
+  }
+}
+
+}  // namespace gmfnet::rpc

@@ -1,0 +1,120 @@
+// gmfnetd: the operator daemon serving one AnalysisEngine over the
+// rpc/protocol wire format (Unix-domain or loopback TCP socket).
+//
+// Concurrency model — the PR 3 engine contract, made observable from
+// outside the process:
+//
+//  * Mutating requests (ADMIT, REMOVE, SAVE_CHECKPOINT, RESTORE) serialize
+//    through one writer mutex; each handler thread becomes "the writer
+//    thread" for the duration of its mutation.  After every committed
+//    mutation the engine's published snapshot is fresh (ADMIT commits via
+//    try_admit, REMOVE re-evaluates immediately), so the daemon upholds
+//    the invariant that published() is never stale.
+//
+//  * WHAT_IF_BATCH takes no lock at all: it loads the engine's published
+//    EngineSnapshot and fans the candidates over a reader thread pool
+//    (EngineSnapshot::what_if — the RCU read path).  Concurrent batches
+//    from any number of connections never block a writer performing
+//    admissions, and vice versa.
+//
+//  * RESTORE swaps the whole engine behind an atomic shared_ptr: readers
+//    that loaded the old engine finish their probes against its (still
+//    immutable) snapshots, later requests see the restored world.
+//
+// One thread per connection; requests on one connection are answered in
+// order.  A malformed frame closes that connection (the stream can no
+// longer be trusted) without disturbing the daemon or other connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gmfnet::rpc {
+
+struct ServerConfig {
+  /// Non-empty: listen on this Unix-domain socket path.  Empty: listen on
+  /// tcp_host:tcp_port.
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;  ///< 0 = ephemeral (read back via tcp_port())
+  std::size_t reader_threads = 0;  ///< what-if pool size (0 = hardware)
+  /// Must equal the options the engine was built with; RESTORE rebuilds
+  /// the engine under these (the checkpoint's option fingerprint is
+  /// validated against them).
+  core::HolisticOptions engine_opts;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws TransportError on failure); serve() then
+  /// accepts connections.  The engine must have been constructed with
+  /// `cfg.engine_opts`.
+  Server(std::shared_ptr<engine::AnalysisEngine> engine, ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound TCP port (meaningful when listening on TCP).
+  [[nodiscard]] std::uint16_t tcp_port() const { return listener_.port(); }
+  [[nodiscard]] const std::string& unix_path() const {
+    return listener_.unix_path();
+  }
+
+  /// Accept-and-serve loop; returns after a SHUTDOWN request (or
+  /// request_stop()) once every connection handler has exited.
+  void serve();
+
+  /// Asks a running serve() to wind down (safe from any thread).
+  void request_stop();
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// The currently served engine (atomic shared_ptr load — safe from any
+  /// thread; RESTORE swaps it).
+  [[nodiscard]] std::shared_ptr<engine::AnalysisEngine> engine() const {
+    return std::atomic_load(&engine_);
+  }
+
+ private:
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<Socket> sock;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void handle_connection(const std::shared_ptr<Socket>& sock,
+                         const std::shared_ptr<std::atomic<bool>>& done);
+  [[nodiscard]] Response handle(Request&& req);
+  /// Joins finished handlers; with `all`, shuts every live socket down
+  /// first and joins them all (serve-exit path).
+  void reap_connections(bool all);
+
+  ServerConfig cfg_;
+  Listener listener_;
+  /// Accessed only via std::atomic_load / std::atomic_store (see
+  /// engine/analysis_engine.hpp on why the free functions, not
+  /// std::atomic<shared_ptr>).
+  std::shared_ptr<engine::AnalysisEngine> engine_;
+  std::mutex writer_mu_;  ///< serializes mutating requests
+  ThreadPool readers_;    ///< fans WHAT_IF_BATCH candidates
+  /// Try-held around parallel_for: a batch that finds the pool busy
+  /// probes inline on its connection thread instead of queueing.
+  std::mutex readers_mu_;
+  std::atomic<bool> stop_{false};
+  std::mutex conn_mu_;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace gmfnet::rpc

@@ -1,0 +1,252 @@
+#include "rpc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gmfnet::rpc {
+
+namespace {
+
+[[nodiscard]] std::string errno_suffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+/// Retries EINTR around a syscall returning -1 on error.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) {
+  for (;;) {
+    const auto r = fn();
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+}  // namespace
+
+TransportError::TransportError(const std::string& message)
+    : std::runtime_error("rpc transport: " + message) {}
+
+// ----------------------------------------------------------------- Socket --
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = retry_eintr([&] {
+      return ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    });
+    if (n <= 0) throw TransportError("send failed" + errno_suffix());
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r =
+        retry_eintr([&] { return ::recv(fd_, buf + off, n - off, 0); });
+    if (r < 0) throw TransportError("recv failed" + errno_suffix());
+    if (r == 0) {
+      if (off == 0) return false;  // clean EOF at a message boundary
+      throw TransportError("connection closed mid-frame");
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw TransportError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket failed" + errno_suffix());
+  Socket s(fd);
+  if (retry_eintr([&] {
+        return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr);
+      }) != 0) {
+    throw TransportError("connect to " + path + " failed" + errno_suffix());
+  }
+  return s;
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket failed" + errno_suffix());
+  Socket s(fd);
+  if (retry_eintr([&] {
+        return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr);
+      }) != 0) {
+    throw TransportError("connect to " + host + ":" + std::to_string(port) +
+                         " failed" + errno_suffix());
+  }
+  // One small frame per request/response: latency beats batching here.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+// --------------------------------------------------------------- Listener --
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Listener Listener::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw TransportError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Listener l;
+  l.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix());
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw TransportError("bind to " + path + " failed" + errno_suffix());
+  }
+  l.unix_path_ = path;
+  if (::listen(l.fd_, SOMAXCONN) != 0) {
+    throw TransportError("listen on " + path + " failed" + errno_suffix());
+  }
+  return l;
+}
+
+Listener Listener::listen_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("bad IPv4 address: " + host);
+  }
+  Listener l;
+  l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix());
+  const int one = 1;
+  ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw TransportError("bind to " + host + ":" + std::to_string(port) +
+                         " failed" + errno_suffix());
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw TransportError("getsockname failed" + errno_suffix());
+  }
+  l.port_ = ntohs(bound.sin_port);
+  if (::listen(l.fd_, SOMAXCONN) != 0) {
+    throw TransportError("listen failed" + errno_suffix());
+  }
+  return l;
+}
+
+Socket Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket{};
+  pollfd pfd{fd_, POLLIN, 0};
+  const int pr = retry_eintr([&] { return ::poll(&pfd, 1, timeout_ms); });
+  if (pr < 0) throw TransportError("poll failed" + errno_suffix());
+  if (pr == 0) return Socket{};  // timeout
+  const int cfd =
+      static_cast<int>(retry_eintr([&] { return ::accept(fd_, nullptr, nullptr); }));
+  if (cfd < 0) {
+    // The listener may have been closed out from under us during shutdown.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return Socket{};
+    }
+    throw TransportError("accept failed" + errno_suffix());
+  }
+  return Socket(cfd);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+// ----------------------------------------------------------------- frames --
+
+void send_frame(Socket& s, std::string_view frame) { s.send_all(frame); }
+
+std::optional<std::string> recv_frame(Socket& s) {
+  std::string frame(kHeaderSize, '\0');
+  if (!s.recv_exact(frame.data(), kHeaderSize)) return std::nullopt;
+  const FrameHeader h = decode_frame_header(frame);
+  frame.resize(kHeaderSize + static_cast<std::size_t>(h.body_len));
+  if (!s.recv_exact(frame.data() + kHeaderSize,
+                    static_cast<std::size_t>(h.body_len))) {
+    throw TransportError("connection closed mid-frame");
+  }
+  verify_body(h, std::string_view(frame).substr(kHeaderSize));
+  return frame;
+}
+
+}  // namespace gmfnet::rpc

@@ -1,0 +1,102 @@
+// Socket transport for the gmfnetd wire protocol: a thin RAII layer over
+// POSIX stream sockets (Unix-domain and loopback TCP) plus whole-frame
+// send/receive.  Framing is the rpc/protocol header — the receiver reads
+// the fixed-size header, validates it, then reads exactly the declared
+// body, so a slow or malicious peer can never make it over-read or
+// allocate unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rpc/protocol.hpp"
+
+namespace gmfnet::rpc {
+
+/// Thrown when a socket operation fails (connect/bind/accept/send/recv);
+/// carries errno context in what().
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& message);
+};
+
+/// One connected stream socket (RAII; movable, not copyable).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+  /// Half-closes both directions without releasing the fd — wakes a peer
+  /// (or our own thread) blocked in recv.  Safe on an already-closed fd.
+  void shutdown_both();
+
+  /// Writes all of `data` (throws TransportError on failure).
+  void send_all(std::string_view data);
+  /// Reads exactly `n` bytes.  Returns false on clean EOF before the first
+  /// byte; throws TransportError on errors or EOF mid-read.
+  bool recv_exact(char* buf, std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to a Unix-domain socket path.
+[[nodiscard]] Socket connect_unix(const std::string& path);
+/// Connects to a TCP endpoint (dotted-quad host, e.g. loopback).
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// A listening socket (Unix-domain or TCP).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds + listens on a Unix socket path (unlinks a stale file first).
+  [[nodiscard]] static Listener listen_unix(const std::string& path);
+  /// Binds + listens on TCP `host:port`; port 0 picks an ephemeral port
+  /// (readable via port()).
+  [[nodiscard]] static Listener listen_tcp(const std::string& host,
+                                           std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& unix_path() const { return unix_path_; }
+
+  /// Waits up to `timeout_ms` for a connection.  Returns an invalid Socket
+  /// on timeout or when the listener was closed concurrently; throws
+  /// TransportError on hard failures.
+  [[nodiscard]] Socket accept(int timeout_ms);
+
+  /// Closes the listening fd and removes a Unix socket file.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;
+};
+
+/// Sends one already-encoded protocol frame.
+void send_frame(Socket& s, std::string_view frame);
+
+/// Receives one complete frame (header + body), validating the header and
+/// the body checksum.  Returns std::nullopt on clean EOF at a frame
+/// boundary (peer closed); throws ProtocolError on malformed frames and
+/// TransportError on socket failures.
+[[nodiscard]] std::optional<std::string> recv_frame(Socket& s);
+
+}  // namespace gmfnet::rpc

@@ -1,0 +1,404 @@
+// gmfnetd server contracts:
+//
+//  * Round-trip fidelity: over randomized multi-domain scenarios, ADMIT /
+//    REMOVE / WHAT_IF_BATCH / STATS responses obtained through the client
+//    library are bit-identical to the same calls on an in-process
+//    AnalysisEngine driven through the same mutation sequence.
+//
+//  * Concurrency: many reader connections issuing WHAT_IF_BATCH probes
+//    (lock-free snapshot reads on the daemon's reader pool) make progress
+//    while a writer connection keeps admitting and removing — the soak the
+//    TSan CI job runs.
+//
+//  * Robustness: engine-level failures come back as RemoteError with the
+//    connection intact; a malformed frame drops only that connection; the
+//    wire save/restore pair is the identity on the daemon's world;
+//    SHUTDOWN winds the serve loop down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "engine/analysis_engine.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+void expect_bit_identical(const core::HolisticResult& a,
+                          const core::HolisticResult& b,
+                          const std::string& where) {
+  ASSERT_EQ(a.converged, b.converged) << where;
+  ASSERT_EQ(a.schedulable, b.schedulable) << where;
+  ASSERT_EQ(a.sweeps, b.sweeps) << where;
+  EXPECT_TRUE(a.jitters == b.jitters) << where << ": jitter maps differ";
+  ASSERT_EQ(a.flows.size(), b.flows.size()) << where;
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    ASSERT_EQ(a.flows[f].frames.size(), b.flows[f].frames.size()) << where;
+    for (std::size_t k = 0; k < a.flows[f].frames.size(); ++k) {
+      EXPECT_EQ(a.flows[f].frames[k].response, b.flows[f].frames[k].response)
+          << where << ": flow " << f << " frame " << k;
+      EXPECT_EQ(a.flows[f].frames[k].meets_deadline,
+                b.flows[f].frames[k].meets_deadline)
+          << where << ": flow " << f << " frame " << k;
+    }
+  }
+}
+
+/// A served engine on a fresh Unix socket, plus the serve thread.
+class TestDaemon {
+ public:
+  explicit TestDaemon(const net::Network& network,
+                      core::HolisticOptions opts = {})
+      : engine_(std::make_shared<engine::AnalysisEngine>(network, opts)) {
+    static std::atomic<int> counter{0};
+    ServerConfig cfg;
+    cfg.unix_path = "/tmp/gmfnet_rpc_test_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+    cfg.engine_opts = opts;
+    server_ = std::make_unique<Server>(engine_, cfg);
+    path_ = server_->unix_path();
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  ~TestDaemon() {
+    server_->request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] Client connect() const { return Client::connect_unix(path_); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::shared_ptr<engine::AnalysisEngine> engine_;
+  std::unique_ptr<Server> server_;
+  std::string path_;
+  std::thread thread_;
+};
+
+/// Multi-cell star campus (several locality domains by construction).
+struct Campus {
+  net::Network net;
+  std::vector<net::NodeId> hosts;  // cell-major
+  std::vector<net::NodeId> switches;
+};
+
+Campus make_campus(int cells, int hosts_per_cell) {
+  Campus c;
+  for (int cell = 0; cell < cells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    for (int h = 0; h < hosts_per_cell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.push_back(host);
+    }
+  }
+  return c;
+}
+
+// --------------------------------------------------- round-trip fidelity --
+
+class RpcRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RpcRoundTrip, MatchesInProcessEngineBitForBit) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(0x5e7f00d5ull + seed * 0x9E3779B9ull);
+
+  const int cells = 2 + static_cast<int>(seed % 3);
+  const Campus campus = make_campus(cells, 4);
+
+  workload::TasksetParams params;
+  params.num_flows = 5 + static_cast<int>(rng.next_below(6));
+  params.total_utilization = rng.uniform(0.2, 0.6);
+  params.deadline_factor_lo = 2.0;
+  params.deadline_factor_hi = 4.0;
+  auto ts = workload::generate_taskset(campus.net, campus.hosts, params, rng);
+  ASSERT_TRUE(ts.has_value());
+  core::assign_priorities(ts->flows, core::PriorityScheme::kDeadlineMonotonic);
+
+  TestDaemon daemon(campus.net);
+  Client client = daemon.connect();
+  engine::AnalysisEngine mirror(campus.net);  // the in-process reference
+
+  const std::string where = "seed " + std::to_string(seed);
+
+  // Gated admissions, remote vs in-process.
+  for (const gmf::Flow& f : ts->flows) {
+    const std::optional<core::HolisticResult> remote = client.admit(f);
+    const std::optional<core::HolisticResult> local = mirror.try_admit(f);
+    ASSERT_EQ(remote.has_value(), local.has_value()) << where;
+    if (remote) expect_bit_identical(*remote, *local, where + " admit");
+  }
+
+  // A couple of removals (ids shift, domains split) — identical outcomes.
+  const std::size_t removals = rng.next_below(3);
+  for (std::size_t r = 0; r < removals && mirror.flow_count() > 2; ++r) {
+    const auto idx =
+        static_cast<std::size_t>(rng.next_below(mirror.flow_count()));
+    EXPECT_EQ(client.remove(idx), mirror.remove_flow(idx)) << where;
+  }
+  EXPECT_FALSE(client.remove(1u << 20));  // out of range: false, not error
+
+  // Batch what-ifs answered from the daemon's published snapshot must
+  // match the same probes on the in-process engine.
+  std::vector<gmf::Flow> cands(ts->flows.begin(),
+                               ts->flows.begin() + 3);
+  const std::vector<engine::WhatIfResult> remote_probes =
+      client.what_if_batch(cands);
+  const std::vector<engine::WhatIfResult> local_probes =
+      mirror.evaluate_batch(cands);
+  ASSERT_EQ(remote_probes.size(), local_probes.size()) << where;
+  for (std::size_t i = 0; i < remote_probes.size(); ++i) {
+    EXPECT_EQ(remote_probes[i].admissible, local_probes[i].admissible)
+        << where;
+    expect_bit_identical(remote_probes[i].result, local_probes[i].result,
+                         where + " probe " + std::to_string(i));
+  }
+
+  // STATS mirrors the engine's introspection.
+  const StatsResponse stats = client.stats();
+  EXPECT_EQ(stats.flows, mirror.flow_count()) << where;
+  EXPECT_EQ(stats.shards, mirror.shard_count()) << where;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, RpcRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// ------------------------------------------------------- wire checkpoint --
+
+TEST(RpcServer, SaveRestoreOverWireIsIdentity) {
+  const auto star = net::make_star_network(8, kSpeed);
+  TestDaemon daemon(star.net);
+  Client client = daemon.connect();
+
+  for (int n = 0; n < 5; ++n) {
+    const auto a = static_cast<std::size_t>(n);
+    ASSERT_TRUE(client.admit(workload::make_voip_flow(
+        "c" + std::to_string(n),
+        net::Route({star.hosts[a], star.sw, star.hosts[a + 1]}))));
+  }
+
+  const std::string blob = client.save_checkpoint();
+  ASSERT_FALSE(blob.empty());
+
+  // The wire blob is a PR 4 checkpoint stream: an in-process restore sees
+  // the daemon's exact world.
+  {
+    std::istringstream is(blob);
+    engine::AnalysisEngine restored = engine::AnalysisEngine::restore(is);
+    EXPECT_EQ(restored.flow_count(), 5u);
+  }
+
+  // Mutate, then RESTORE the snapshot: the daemon is rolled back, and
+  // re-saving yields the identical byte stream.
+  ASSERT_TRUE(client.admit(workload::make_voip_flow(
+      "extra", net::Route({star.hosts[6], star.sw, star.hosts[7]}))));
+  EXPECT_EQ(client.stats().flows, 6u);
+  EXPECT_EQ(client.restore(blob), 5u);
+  EXPECT_EQ(client.stats().flows, 5u);
+  EXPECT_EQ(client.save_checkpoint(), blob);
+
+  // A corrupt blob is rejected server-side (RemoteError), world intact.
+  std::string bad = blob;
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x4D);
+  EXPECT_THROW((void)client.restore(bad), RemoteError);
+  EXPECT_EQ(client.stats().flows, 5u);
+}
+
+// ------------------------------------------------------------ error paths --
+
+TEST(RpcServer, EngineErrorsComeBackAsRemoteErrorAndConnectionSurvives) {
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net);
+  Client client = daemon.connect();
+
+  // A flow whose route names a node the daemon's network does not have.
+  const gmf::Flow bogus("bogus",
+                        net::Route({net::NodeId(100), net::NodeId(101)}),
+                        {{gmfnet::Time::ms(20), gmfnet::Time::ms(20),
+                          gmfnet::Time::zero(), 1280}});
+  EXPECT_THROW((void)client.admit(bogus), RemoteError);
+  EXPECT_THROW((void)client.what_if(bogus), RemoteError);
+
+  // Same connection keeps answering.
+  EXPECT_EQ(client.stats().flows, 0u);
+}
+
+TEST(RpcServer, MalformedFrameDropsOnlyThatConnection) {
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net);
+
+  {
+    Socket raw = rpc::connect_unix(daemon.path());
+    raw.send_all("definitely not a gmfnet rpc frame header............");
+    // The server rejects the stream and closes; we observe EOF (or a
+    // reset, depending on timing).
+    char byte = 0;
+    try {
+      EXPECT_FALSE(raw.recv_exact(&byte, 1));
+    } catch (const TransportError&) {
+      // ECONNRESET is an equally valid way to learn the connection died.
+    }
+  }
+
+  // The daemon is unharmed: fresh connections serve normally.
+  Client client = daemon.connect();
+  EXPECT_EQ(client.stats().flows, 0u);
+}
+
+// ------------------------------------------------------------- lifecycle --
+
+TEST(RpcServer, ShutdownStopsServeLoop) {
+  const auto star = net::make_star_network(4, kSpeed);
+  auto daemon = std::make_unique<TestDaemon>(star.net);
+  Client client = daemon->connect();
+  client.shutdown();
+  daemon.reset();  // joins the serve thread — hangs here if SHUTDOWN broke
+
+  // The socket file is gone; reconnecting fails.
+  EXPECT_THROW((void)Client::connect_unix("/tmp/gone.gmfnet.sock"),
+               TransportError);
+}
+
+TEST(RpcServer, ServesLoopbackTcpToo) {
+  const auto star = net::make_star_network(4, kSpeed);
+  auto eng = std::make_shared<engine::AnalysisEngine>(star.net);
+  ServerConfig cfg;  // loopback TCP, ephemeral port
+  Server server(eng, cfg);
+  ASSERT_NE(server.tcp_port(), 0);
+  std::thread serve([&server] { server.serve(); });
+
+  Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(client.admit(workload::make_voip_flow(
+      "c0", net::Route({star.hosts[0], star.sw, star.hosts[1]}))));
+  EXPECT_EQ(client.stats().flows, 1u);
+  client.shutdown();
+  serve.join();
+}
+
+// ---------------------------------------------------- concurrency (soak) --
+
+TEST(RpcServer, ConcurrentWhatIfReadersDontBlockTheWriter) {
+  const int cells = 4;
+  const Campus campus = make_campus(cells, 4);
+  TestDaemon daemon(campus.net);
+
+  // A warm resident world: one call per cell.
+  {
+    Client boot = daemon.connect();
+    for (int cell = 0; cell < cells; ++cell) {
+      const auto a = static_cast<std::size_t>(cell * 4);
+      ASSERT_TRUE(boot.admit(workload::make_voip_flow(
+          "resident" + std::to_string(cell),
+          net::Route({campus.hosts[a], campus.switches[
+                          static_cast<std::size_t>(cell)],
+                      campus.hosts[a + 1]}))));
+    }
+  }
+
+  // Probe candidates across all cells.
+  std::vector<gmf::Flow> cands;
+  for (int cell = 0; cell < cells; ++cell) {
+    const auto a = static_cast<std::size_t>(cell * 4 + 2);
+    cands.push_back(workload::make_voip_flow(
+        "cand" + std::to_string(cell),
+        net::Route({campus.hosts[a],
+                    campus.switches[static_cast<std::size_t>(cell)],
+                    campus.hosts[a + 1]})));
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kWriterOps = 24;
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::int64_t> probes{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      try {
+        Client c = daemon.connect();
+        while (!writer_done.load(std::memory_order_acquire)) {
+          const std::vector<engine::WhatIfResult> results =
+              c.what_if_batch(cands);
+          if (results.size() != cands.size()) {
+            failures.fetch_add(1);
+            return;
+          }
+          probes.fetch_add(static_cast<std::int64_t>(results.size()));
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+
+  // The writer keeps mutating the resident set while the readers probe.
+  {
+    Client writer = daemon.connect();
+    for (int op = 0; op < kWriterOps; ++op) {
+      const int cell = op % cells;
+      const auto a = static_cast<std::size_t>(cell * 4);
+      const std::optional<core::HolisticResult> admitted =
+          writer.admit(workload::make_voip_flow(
+              "churn" + std::to_string(op),
+              net::Route({campus.hosts[a],
+                          campus.switches[static_cast<std::size_t>(cell)],
+                          campus.hosts[a + 1]})));
+      ASSERT_TRUE(admitted.has_value()) << "op " << op;
+      // Remove what we just added (it landed at the end).
+      const StatsResponse s = writer.stats();
+      ASSERT_TRUE(writer.remove(s.flows - 1)) << "op " << op;
+    }
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(probes.load(), 0);
+
+  // Quiesced world: back to the residents, and probe answers match an
+  // in-process engine fed the same final state.
+  Client check = daemon.connect();
+  const StatsResponse s = check.stats();
+  EXPECT_EQ(s.flows, static_cast<std::uint64_t>(cells));
+
+  engine::AnalysisEngine mirror(campus.net);
+  for (int cell = 0; cell < cells; ++cell) {
+    const auto a = static_cast<std::size_t>(cell * 4);
+    ASSERT_TRUE(mirror.try_admit(workload::make_voip_flow(
+        "resident" + std::to_string(cell),
+        net::Route({campus.hosts[a],
+                    campus.switches[static_cast<std::size_t>(cell)],
+                    campus.hosts[a + 1]}))));
+  }
+  const std::vector<engine::WhatIfResult> remote = check.what_if_batch(cands);
+  const std::vector<engine::WhatIfResult> local = mirror.evaluate_batch(cands);
+  ASSERT_EQ(remote.size(), local.size());
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    EXPECT_EQ(remote[i].admissible, local[i].admissible);
+    expect_bit_identical(remote[i].result, local[i].result,
+                         "post-soak probe " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

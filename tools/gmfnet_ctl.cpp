@@ -1,0 +1,188 @@
+// gmfnet_ctl — operator CLI for a running gmfnetd.
+//
+//   gmfnet_ctl (--unix PATH | --tcp HOST:PORT) <command> [args]
+//
+//   admit <scenario>    admit every flow of the scenario file (gated:
+//                       AnalysisEngine::try_admit); exit 0 when all were
+//                       admitted, 3 when any was rejected
+//   what-if <scenario>  non-committing batch probe of the scenario's
+//                       flows; exit 0 when all are admissible, 3 otherwise
+//   remove <index>      drop the resident flow at <index> (as reported by
+//                       stats/admit ids); exit 3 when out of range
+//   stats               print engine counters + resident/shard counts
+//   save <file>         write the daemon's converged state as a
+//                       checkpoint file (warm-boot input for gmfnetd)
+//   restore <file>      replace the daemon's world with a checkpoint
+//   shutdown            stop the daemon
+//
+// Scenario files passed to admit/what-if must describe flows over the
+// network the daemon was booted with (routes are resolved by node id).
+// Exit codes: 0 ok, 1 connection/daemon error, 2 usage, 3 rejected.
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/scenario_io.hpp"
+#include "rpc/client.hpp"
+
+namespace {
+
+using namespace gmfnet;
+
+/// Strict decimal parse: pure digits, in [lo, hi] — `remove 3x` and a
+/// port of `80abc` are errors, not silently truncated values.
+bool parse_number(const std::string& s, long long lo, long long hi,
+                  long long& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc() && ptr == end && !s.empty() && out >= lo &&
+         out <= hi;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp HOST:PORT) <command> [args]\n"
+               "commands: admit <scenario> | what-if <scenario> | "
+               "remove <index> | stats | save <file> | restore <file> | "
+               "shutdown\n",
+               argv0);
+  return 2;
+}
+
+std::vector<gmf::Flow> load_flows(const std::string& path) {
+  workload::Scenario sc = io::load_scenario(path);
+  if (sc.flows.empty()) {
+    throw std::runtime_error(path + " contains no flows");
+  }
+  return std::move(sc.flows);
+}
+
+int cmd_admit(rpc::Client& client, const std::string& path) {
+  std::size_t rejected = 0;
+  for (const gmf::Flow& f : load_flows(path)) {
+    const std::optional<core::HolisticResult> res = client.admit(f);
+    if (res) {
+      std::printf("admitted  %-20s (schedulable=%s)\n", f.name().c_str(),
+                  res->schedulable ? "yes" : "no");
+    } else {
+      std::printf("rejected  %-20s\n", f.name().c_str());
+      ++rejected;
+    }
+  }
+  return rejected == 0 ? 0 : 3;
+}
+
+int cmd_what_if(rpc::Client& client, const std::string& path) {
+  const std::vector<gmf::Flow> flows = load_flows(path);
+  const std::vector<engine::WhatIfResult> results =
+      client.what_if_batch(flows);
+  std::size_t inadmissible = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    std::printf("%-12s  %-20s\n",
+                results[i].admissible ? "admissible" : "inadmissible",
+                flows[i].name().c_str());
+    if (!results[i].admissible) ++inadmissible;
+  }
+  return inadmissible == 0 ? 0 : 3;
+}
+
+int cmd_stats(rpc::Client& client) {
+  const rpc::StatsResponse s = client.stats();
+  std::printf("resident_flows      %llu\n",
+              static_cast<unsigned long long>(s.flows));
+  std::printf("locality_domains    %llu\n",
+              static_cast<unsigned long long>(s.shards));
+  std::printf("evaluations         %zu\n", s.stats.evaluations);
+  std::printf("full_runs           %zu\n", s.stats.full_runs);
+  std::printf("incremental_runs    %zu\n", s.stats.incremental_runs);
+  std::printf("flow_analyses       %zu\n", s.stats.flow_analyses);
+  std::printf("flow_results_reused %zu\n", s.stats.flow_results_reused);
+  std::printf("sweeps              %zu\n", s.stats.sweeps);
+  return 0;
+}
+
+int cmd_save(rpc::Client& client, const std::string& path) {
+  const std::string blob = client.save_checkpoint();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    std::fprintf(stderr, "gmfnet_ctl: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("saved %zu bytes to %s\n", blob.size(), path.c_str());
+  return 0;
+}
+
+int cmd_restore(rpc::Client& client, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "gmfnet_ctl: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::uint64_t flows = client.restore(std::move(ss).str());
+  std::printf("restored %llu resident flows\n",
+              static_cast<unsigned long long>(flows));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    // Minimum: <endpoint flag> <endpoint> <command>
+    return usage(argv[0]);
+  }
+  const std::string ep_flag = argv[1];
+  const std::string ep = argv[2];
+  const std::string command = argv[3];
+
+  try {
+    rpc::Client client = [&]() -> rpc::Client {
+      if (ep_flag == "--unix") return rpc::Client::connect_unix(ep);
+      if (ep_flag == "--tcp") {
+        const std::size_t colon = ep.rfind(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("--tcp wants HOST:PORT, got " + ep);
+        }
+        long long port = 0;
+        if (!parse_number(ep.substr(colon + 1), 1, 65535, port)) {
+          throw std::runtime_error("bad port in " + ep);
+        }
+        return rpc::Client::connect_tcp(
+            ep.substr(0, colon), static_cast<std::uint16_t>(port));
+      }
+      throw std::runtime_error("unknown endpoint flag " + ep_flag);
+    }();
+
+    const bool has_arg = argc >= 5;
+    if (command == "admit" && has_arg) return cmd_admit(client, argv[4]);
+    if (command == "what-if" && has_arg) return cmd_what_if(client, argv[4]);
+    if (command == "remove" && has_arg) {
+      long long index = 0;
+      if (!parse_number(argv[4], 0, (1ll << 62), index)) {
+        return usage(argv[0]);
+      }
+      const bool removed = client.remove(static_cast<std::uint64_t>(index));
+      std::printf("%s\n", removed ? "removed" : "no such flow");
+      return removed ? 0 : 3;
+    }
+    if (command == "stats" && !has_arg) return cmd_stats(client);
+    if (command == "save" && has_arg) return cmd_save(client, argv[4]);
+    if (command == "restore" && has_arg) return cmd_restore(client, argv[4]);
+    if (command == "shutdown" && !has_arg) {
+      client.shutdown();
+      std::printf("daemon shutting down\n");
+      return 0;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gmfnet_ctl: %s\n", e.what());
+    return 1;
+  }
+}

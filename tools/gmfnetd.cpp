@@ -1,0 +1,130 @@
+// gmfnetd — the gmfnet operator daemon.
+//
+// Owns one AnalysisEngine and serves the rpc/protocol message catalog
+// (ADMIT / REMOVE / WHAT_IF_BATCH / STATS / SAVE_CHECKPOINT / RESTORE /
+// SHUTDOWN) over a Unix-domain or loopback TCP socket until an operator
+// sends SHUTDOWN (gmfnet_ctl shutdown).
+//
+//   gmfnetd (--unix PATH | --tcp PORT) (--scenario FILE | --restore FILE)
+//           [--host ADDR] [--readers N]
+//
+//   --scenario FILE  boot from a gmfnet scenario file: the network plus
+//                    its flows as the initial resident set (evaluated
+//                    before serving, so the first probe hits a warm world)
+//   --restore FILE   warm-boot from a PR 4 checkpoint (zero solver runs)
+//   --readers N      what-if reader pool size (default: hardware threads)
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "engine/analysis_engine.hpp"
+#include "io/scenario_io.hpp"
+#include "rpc/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT) "
+               "(--scenario FILE | --restore FILE) [--host ADDR] "
+               "[--readers N]\n",
+               argv0);
+  return 2;
+}
+
+/// Strict decimal parse: pure digits, in [lo, hi] — `--tcp 80abc` and
+/// `--readers -1` are usage errors, not silently truncated/wrapped values.
+bool parse_number(const std::string& s, long long lo, long long hi,
+                  long long& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc() && ptr == end && !s.empty() && out >= lo &&
+         out <= hi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmfnet;
+
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  long long tcp_port = -1;
+  std::string scenario_path;
+  std::string restore_path;
+  long long readers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      unix_path = argv[++i];
+    } else if (arg == "--tcp" && has_value) {
+      if (!parse_number(argv[++i], 0, 65535, tcp_port)) return usage(argv[0]);
+    } else if (arg == "--host" && has_value) {
+      host = argv[++i];
+    } else if (arg == "--scenario" && has_value) {
+      scenario_path = argv[++i];
+    } else if (arg == "--restore" && has_value) {
+      restore_path = argv[++i];
+    } else if (arg == "--readers" && has_value) {
+      if (!parse_number(argv[++i], 0, 4096, readers)) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if ((unix_path.empty() && tcp_port < 0) ||
+      (!unix_path.empty() && tcp_port >= 0) ||
+      (scenario_path.empty() == restore_path.empty())) {
+    return usage(argv[0]);
+  }
+
+  try {
+    std::shared_ptr<engine::AnalysisEngine> eng;
+    if (!scenario_path.empty()) {
+      workload::Scenario sc = io::load_scenario(scenario_path);
+      eng = std::make_shared<engine::AnalysisEngine>(std::move(sc.network));
+      for (gmf::Flow& f : sc.flows) eng->add_flow(std::move(f));
+      (void)eng->evaluate();
+      std::printf("gmfnetd: booted %zu resident flows in %zu domains from %s\n",
+                  eng->flow_count(), eng->shard_count(),
+                  scenario_path.c_str());
+    } else {
+      std::ifstream in(restore_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "gmfnetd: cannot read %s\n",
+                     restore_path.c_str());
+        return 1;
+      }
+      eng = engine::AnalysisEngine::restore_unique(in);
+      std::printf(
+          "gmfnetd: warm-booted %zu resident flows in %zu domains from %s "
+          "(no solver runs)\n",
+          eng->flow_count(), eng->shard_count(), restore_path.c_str());
+    }
+
+    rpc::ServerConfig cfg;
+    cfg.unix_path = unix_path;
+    cfg.tcp_host = host;
+    cfg.tcp_port = static_cast<std::uint16_t>(tcp_port < 0 ? 0 : tcp_port);
+    cfg.reader_threads = static_cast<std::size_t>(readers);
+    rpc::Server server(std::move(eng), std::move(cfg));
+    if (!unix_path.empty()) {
+      std::printf("gmfnetd: serving on unix:%s\n", unix_path.c_str());
+    } else {
+      std::printf("gmfnetd: serving on tcp:%s:%u\n", host.c_str(),
+                  static_cast<unsigned>(server.tcp_port()));
+    }
+    std::fflush(stdout);
+    server.serve();
+    std::printf("gmfnetd: shutdown complete\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gmfnetd: %s\n", e.what());
+    return 1;
+  }
+}
