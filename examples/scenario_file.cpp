@@ -143,8 +143,8 @@ int main(int argc, char** argv) {
         core::FlowId(static_cast<std::int32_t>(scenario.flows.size()));
     w.add_row({candidates[i].name(),
                probes[i].admissible ? "would fit" : "would NOT fit",
-               probes[i].result.converged
-                   ? probes[i].result.worst_response(cand_id).str()
+               probes[i].converged()
+                   ? probes[i].worst_response(cand_id).str()
                    : "diverges"});
   }
   std::printf("\n");

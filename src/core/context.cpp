@@ -254,6 +254,22 @@ FlowId AnalysisContext::adopt_flow(const AnalysisContext& from, FlowId src) {
   return id;
 }
 
+FlowId AnalysisContext::adopt_flow_deferred(const AnalysisContext& from,
+                                            FlowId src) {
+  const auto s = static_cast<std::size_t>(src.v);
+  if (src.v < 0 || s >= from.derived_.size()) {
+    throw std::out_of_range("adopt_flow: no such flow in source context");
+  }
+  const FlowId id(static_cast<std::int32_t>(derived_.size()));
+  derived_.push_back(from.derived_[s]);
+  for (const LinkRef l : derived_.back()->links) links_[l].flows.push_back(id);
+  return id;
+}
+
+void AnalysisContext::recompute_all_aggregates() {
+  for (auto& [link, state] : links_) recompute_link_aggregates(link, state);
+}
+
 AnalysisContext AnalysisContext::empty_clone(const AnalysisContext& like) {
   AnalysisContext out;
   out.net_ = like.net_;

@@ -227,6 +227,19 @@ class AnalysisContext {
   /// add_flow(from.flow(src)) but O(curves) cheaper, bit-identically.
   FlowId adopt_flow(const AnalysisContext& from, FlowId src);
 
+  /// adopt_flow minus the aggregate recomputation: shares the derived state
+  /// and registers the flow on its route links; the caller owns calling
+  /// recompute_all_aggregates() (or recomputing the touched links) before
+  /// any query runs.  Bulk assembly of an n-flow shared link through this +
+  /// one recompute costs O(n) aggregate work instead of O(n^2), with a
+  /// final state bit-identical to repeated adopt_flow (the recompute sums
+  /// from scratch in flow-id order either way).
+  FlowId adopt_flow_deferred(const AnalysisContext& from, FlowId src);
+
+  /// Recomputes every link's aggregates from scratch — the bulk closing
+  /// bracket of a adopt_flow_deferred sequence.
+  void recompute_all_aggregates();
+
   /// An empty context sharing `like`'s network and CIRC table: skips
   /// network re-validation and CIRC recomputation, so building a per-domain
   /// context costs only the per-flow adoption.

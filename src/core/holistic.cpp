@@ -209,11 +209,13 @@ HolisticResult analyze_holistic_dirty(const AnalysisContext& ctx,
   };
 
   bool diverged = false;
+  // A sweep writes only the analysed (dirty) flows' own entries, so the
+  // convergence snapshot/compare stays proportional to the flows actually
+  // analysed instead of the whole map.  One snapshot map serves every
+  // sweep: adopt_flow overwrites the slot, so carrying the map across
+  // sweeps saves the per-sweep slot-vector allocation on probe hot paths.
+  JitterMap before;
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-    // A sweep writes only the analysed (dirty) flows' own entries, so the
-    // convergence snapshot/compare stays proportional to the flows actually
-    // analysed instead of the whole map.
-    JitterMap before;
     for (const FlowId id : dirty_ids) {
       if (sweep > 0 && !inputs_dirty(id)) {
         changed[static_cast<std::size_t>(id.v)] = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 namespace gmfnet::engine {
@@ -25,38 +26,39 @@ const gmf::Flow& AnalysisEngine::flow(std::size_t index) const {
 
 EngineStats AnalysisEngine::stats() const {
   EngineStats out;
-  out.evaluations = stats_.evaluations.load(std::memory_order_relaxed);
-  out.full_runs = stats_.full_runs.load(std::memory_order_relaxed);
+  out.evaluations = stats_.evaluations.v.load(std::memory_order_relaxed);
+  out.full_runs = stats_.full_runs.v.load(std::memory_order_relaxed);
   out.incremental_runs =
-      stats_.incremental_runs.load(std::memory_order_relaxed);
-  out.flow_analyses = stats_.flow_analyses.load(std::memory_order_relaxed);
+      stats_.incremental_runs.v.load(std::memory_order_relaxed);
+  out.flow_analyses = stats_.flow_analyses.v.load(std::memory_order_relaxed);
   out.flow_results_reused =
-      stats_.flow_results_reused.load(std::memory_order_relaxed);
-  out.sweeps = stats_.sweeps.load(std::memory_order_relaxed);
+      stats_.flow_results_reused.v.load(std::memory_order_relaxed);
+  out.sweeps = stats_.sweeps.v.load(std::memory_order_relaxed);
   return out;
 }
 
 void AnalysisEngine::reset_stats() {
-  stats_.evaluations.store(0, std::memory_order_relaxed);
-  stats_.full_runs.store(0, std::memory_order_relaxed);
-  stats_.incremental_runs.store(0, std::memory_order_relaxed);
-  stats_.flow_analyses.store(0, std::memory_order_relaxed);
-  stats_.flow_results_reused.store(0, std::memory_order_relaxed);
-  stats_.sweeps.store(0, std::memory_order_relaxed);
+  stats_.evaluations.v.store(0, std::memory_order_relaxed);
+  stats_.full_runs.v.store(0, std::memory_order_relaxed);
+  stats_.incremental_runs.v.store(0, std::memory_order_relaxed);
+  stats_.flow_analyses.v.store(0, std::memory_order_relaxed);
+  stats_.flow_results_reused.v.store(0, std::memory_order_relaxed);
+  stats_.sweeps.v.store(0, std::memory_order_relaxed);
 }
 
 void AnalysisEngine::record_run(const RunStats& rs) {
   if (!rs.ran) return;
-  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  stats_.evaluations.v.fetch_add(1, std::memory_order_relaxed);
   if (rs.full) {
-    stats_.full_runs.fetch_add(1, std::memory_order_relaxed);
+    stats_.full_runs.v.fetch_add(1, std::memory_order_relaxed);
   } else {
-    stats_.incremental_runs.fetch_add(1, std::memory_order_relaxed);
+    stats_.incremental_runs.v.fetch_add(1, std::memory_order_relaxed);
   }
-  stats_.flow_analyses.fetch_add(rs.flow_analyses, std::memory_order_relaxed);
-  stats_.flow_results_reused.fetch_add(rs.flow_results_reused,
-                                       std::memory_order_relaxed);
-  stats_.sweeps.fetch_add(rs.sweeps, std::memory_order_relaxed);
+  stats_.flow_analyses.v.fetch_add(rs.flow_analyses,
+                                   std::memory_order_relaxed);
+  stats_.flow_results_reused.v.fetch_add(rs.flow_results_reused,
+                                         std::memory_order_relaxed);
+  stats_.sweeps.v.fetch_add(rs.sweeps, std::memory_order_relaxed);
 }
 
 std::vector<std::uint32_t> AnalysisEngine::touched_shards(
@@ -114,7 +116,8 @@ std::uint32_t AnalysisEngine::merge_shards(
   for (std::size_t pos = 0; pos < ents.size(); ++pos) {
     const MergeEnt& e = ents[pos];
     const Shard& part = shards_[e.shard];
-    ctx.adopt_flow(*part.ctx, net::FlowId(static_cast<std::int32_t>(e.local)));
+    ctx.adopt_flow_deferred(*part.ctx,
+                            net::FlowId(static_cast<std::int32_t>(e.local)));
     merged.to_global.push_back(e.global);
     if (part.cache_valid() && e.local < part.cache->flows.size()) {
       cache.flows.push_back(part.cache->flows[e.local]);
@@ -126,6 +129,9 @@ std::uint32_t AnalysisEngine::merge_shards(
       uncovered.push_back(pos);
     }
   }
+  // All parts registered: one aggregate pass per link (see
+  // adopt_flow_deferred), bit-identical to per-adopt recomputation.
+  ctx.recompute_all_aggregates();
   // With no covered flow at all there is no warm state to keep: leave the
   // cache null so the run goes (and is counted) cold.
   const bool any_covered = uncovered.size() < ents.size();
@@ -221,9 +227,10 @@ bool AnalysisEngine::split_if_disconnected(std::uint32_t idx) {
     Shard part;
     core::AnalysisContext pctx = core::AnalysisContext::empty_clone(*empty_ctx_);
     for (const std::uint32_t f : m) {
-      pctx.adopt_flow(ctx, net::FlowId(static_cast<std::int32_t>(f)));
+      pctx.adopt_flow_deferred(ctx, net::FlowId(static_cast<std::int32_t>(f)));
       part.to_global.push_back(s.to_global[f]);
     }
+    pctx.recompute_all_aggregates();
     if (cache_full) {
       // The parent fixed point restricted to a disconnected component is
       // exactly that component's fixed point.
@@ -383,8 +390,19 @@ bool AnalysisEngine::remove_flow(std::size_t index) {
   return true;
 }
 
+std::size_t AnalysisEngine::effective_threads() const {
+  return opts_.threads != 0
+             ? opts_.threads
+             : std::max(1u, std::thread::hardware_concurrency());
+}
+
 void AnalysisEngine::ensure_pool() {
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    // One probe workspace per parallel_for_slotted slot (workers + the
+    // calling thread's inline slot).
+    batch_scratch_ = std::vector<ProbeScratch>(pool_->size() + 1);
+  }
 }
 
 void AnalysisEngine::assemble_and_publish() {
@@ -434,15 +452,19 @@ const core::HolisticResult& AnalysisEngine::evaluate() {
   if (dirty.empty() && global_ != nullptr) return *global_;
 
   std::vector<RunStats> rs(dirty.size());
-  if (dirty.size() > 1) {
+  if (dirty.size() > 1 && effective_threads() > 1) {
     // Independent domains: fan the dirty shards over the pool.  Shard runs
     // are Gauss-Seidel (no nested pools) and touch disjoint state.
     ensure_pool();
     pool_->parallel_for(dirty.size(), [&](std::size_t k) {
       rs[k] = shards_[dirty[k]].run(opts_);
     });
-  } else if (dirty.size() == 1) {
-    rs[0] = shards_[dirty.front()].run(opts_);
+  } else {
+    // One dirty shard — or one effective worker: the pool round trip buys
+    // nothing, solve inline on the writer thread.
+    for (std::size_t k = 0; k < dirty.size(); ++k) {
+      rs[k] = shards_[dirty[k]].run(opts_);
+    }
   }
   for (const RunStats& r : rs) record_run(r);
 
@@ -450,8 +472,8 @@ const core::HolisticResult& AnalysisEngine::evaluate() {
     // Flows of untouched shards are adopted verbatim at assembly.
     std::size_t run_flows = 0;
     for (const std::size_t i : dirty) run_flows += shards_[i].flow_count();
-    stats_.flow_results_reused.fetch_add(locs_.size() - run_flows,
-                                         std::memory_order_relaxed);
+    stats_.flow_results_reused.v.fetch_add(locs_.size() - run_flows,
+                                           std::memory_order_relaxed);
   }
 
   assemble_and_publish();
@@ -466,23 +488,26 @@ std::shared_ptr<const EngineSnapshot> AnalysisEngine::snapshot() {
 WhatIfResult AnalysisEngine::what_if(const gmf::Flow& candidate) {
   (void)evaluate();
   const std::shared_ptr<const EngineSnapshot> snap = published();
-  EngineSnapshot::Probe probe = snap->run_probe(candidate);
+  EngineSnapshot::Probe probe =
+      snap->run_probe(candidate, writer_scratch_, /*retain_ctx=*/false);
   // Untouched shards' flows enter the full result verbatim: count them as
   // reused alongside the clean flows of the probed component.
   probe.rs.flow_results_reused += flow_count() + 1 - probe.to_global.size();
   record_run(probe.rs);
-  return snap->assemble(probe);
+  return snap->finish_probe(std::move(probe));
 }
 
 std::optional<core::HolisticResult> AnalysisEngine::try_admit(
     gmf::Flow candidate) {
   (void)evaluate();
   const std::shared_ptr<const EngineSnapshot> snap = published();
-  EngineSnapshot::Probe probe = snap->run_probe(candidate);
+  // retain_ctx: an accepted probe is committed wholesale, so its context
+  // (candidate included) and complete local result must leave the scratch.
+  EngineSnapshot::Probe probe =
+      snap->run_probe(candidate, writer_scratch_, /*retain_ctx=*/true);
   probe.rs.flow_results_reused += flow_count() + 1 - probe.to_global.size();
   record_run(probe.rs);
-  const WhatIfResult out = snap->assemble(probe);
-  if (!out.admissible) return std::nullopt;
+  if (!snap->probe_admissible(probe)) return std::nullopt;
 
   // Commit: adopt the probe's context and converged state wholesale; the
   // next arrival warm-starts from here.
@@ -522,13 +547,19 @@ std::vector<WhatIfResult> AnalysisEngine::evaluate_batch(
 
   const std::shared_ptr<const EngineSnapshot> snap = published();
   ensure_pool();
-  pool_->parallel_for(candidates.size(), [&](std::size_t i) {
-    EngineSnapshot::Probe probe = snap->run_probe(candidates[i]);
-    probe.rs.flow_results_reused +=
-        snap->flow_count() + 1 - probe.to_global.size();
-    record_run(probe.rs);
-    out[i] = snap->assemble(probe);
-  });
+  // Each slot owns one ProbeScratch (batch_scratch_ has pool size + 1
+  // entries; slot size() is the single-worker inline path), so repeated
+  // candidates against the same shards reuse a warm probe base.
+  pool_->parallel_for_slotted(
+      candidates.size(), [&](std::size_t slot, std::size_t i) {
+        EngineSnapshot::Probe probe =
+            snap->run_probe(candidates[i], batch_scratch_[slot],
+                            /*retain_ctx=*/false);
+        probe.rs.flow_results_reused +=
+            snap->flow_count() + 1 - probe.to_global.size();
+        record_run(probe.rs);
+        out[i] = snap->finish_probe(std::move(probe));
+      });
   return out;
 }
 

@@ -228,13 +228,20 @@ class AnalysisEngine {
   static RestoredState parse_checkpoint(std::istream& is,
                                         const core::HolisticOptions& opts);
 
+  /// One counter per cache line: batch probes on different pool workers
+  /// fold RunStats concurrently, and unpadded adjacent atomics would
+  /// false-share — every fetch_add bouncing the whole stats block between
+  /// cores.
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::size_t> v{0};
+  };
   struct AtomicStats {
-    std::atomic<std::size_t> evaluations{0};
-    std::atomic<std::size_t> full_runs{0};
-    std::atomic<std::size_t> incremental_runs{0};
-    std::atomic<std::size_t> flow_analyses{0};
-    std::atomic<std::size_t> flow_results_reused{0};
-    std::atomic<std::size_t> sweeps{0};
+    PaddedCounter evaluations;
+    PaddedCounter full_runs;
+    PaddedCounter incremental_runs;
+    PaddedCounter flow_analyses;
+    PaddedCounter flow_results_reused;
+    PaddedCounter sweeps;
   };
 
   /// Shard indices (ascending, deduped) owning the given route links; all
@@ -273,6 +280,9 @@ class AnalysisEngine {
   /// Folds one run's counters into the stats (relaxed atomics).
   void record_run(const RunStats& rs);
 
+  /// Worker count a pool for this engine would have (without creating one).
+  [[nodiscard]] std::size_t effective_threads() const;
+
   void ensure_pool();
 
   std::shared_ptr<const core::AnalysisContext> empty_ctx_;
@@ -286,6 +296,11 @@ class AnalysisEngine {
   /// Accessed only via std::atomic_load / std::atomic_store.
   std::shared_ptr<const EngineSnapshot> published_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazy; batch + shard fan-out
+  /// Reusable probe workspace for the writer thread's what_if/try_admit.
+  ProbeScratch writer_scratch_;
+  /// Per-slot probe workspaces for evaluate_batch's pool fan-out (sized
+  /// pool size + 1 by ensure_pool; slot indexing per parallel_for_slotted).
+  std::vector<ProbeScratch> batch_scratch_;
   AtomicStats stats_;
 };
 

@@ -18,8 +18,162 @@ std::vector<gmf::Flow> EngineSnapshot::flows() const {
   return out;
 }
 
-EngineSnapshot::Probe EngineSnapshot::run_probe(
-    const gmf::Flow& candidate) const {
+// --------------------------------------------------------- WhatIfResult --
+
+const core::FlowResult& WhatIfResult::flow_result(net::FlowId global) const {
+  if (full_) return full_->flows.at(static_cast<std::size_t>(global.v));
+  if (!base_) return result().flows.at(static_cast<std::size_t>(global.v));
+  const auto it =
+      std::lower_bound(to_global_.begin(), to_global_.end(), global,
+                       [](net::FlowId a, net::FlowId b) { return a.v < b.v; });
+  if (it != to_global_.end() && it->v == global.v) {
+    const auto f = static_cast<std::size_t>(it - to_global_.begin());
+    // Clean probe flows are identical to the published entries; only the
+    // dirty component carries probe-fresh results.
+    if (dirty_[f]) return local_.flows[f];
+  }
+  return base_->flows.at(static_cast<std::size_t>(global.v));
+}
+
+const core::HolisticResult& WhatIfResult::result() const {
+  if (full_) return *full_;
+  if (!base_) {
+    // Default-constructed value (or a cold probe that stored the complete
+    // global-order result in local_).
+    full_ = std::make_shared<const core::HolisticResult>(local_);
+    return *full_;
+  }
+  core::HolisticResult r;
+  r.converged = converged_;
+  r.sweeps = sweeps_;
+  // Untouched flows are adopted wholesale from the published global result:
+  // one flows-vector copy plus one copy-on-write pointer per flow — paid
+  // only here, never on the probe hot path.
+  r.flows = base_->flows;
+  r.flows.resize(total_flows_);
+  r.jitters = base_->jitters;
+  for (std::size_t f = 0; f < to_global_.size(); ++f) {
+    if (!dirty_[f]) continue;
+    const auto g = static_cast<std::size_t>(to_global_[f].v);
+    r.flows[g] = local_.flows[f];
+    r.jitters.adopt_flow(local_.jitters,
+                         net::FlowId(static_cast<std::int32_t>(f)),
+                         net::FlowId(static_cast<std::int32_t>(g)));
+  }
+  r.schedulable = admissible;
+  full_ = std::make_shared<const core::HolisticResult>(std::move(r));
+  return *full_;
+}
+
+WhatIfResult WhatIfResult::from_full(bool admissible,
+                                     core::HolisticResult full) {
+  WhatIfResult out;
+  out.admissible = admissible;
+  out.converged_ = full.converged;
+  out.sweeps_ = full.sweeps;
+  out.total_flows_ = full.flows.size();
+  out.full_ = std::make_shared<const core::HolisticResult>(std::move(full));
+  return out;
+}
+
+// ------------------------------------------------------- scratch entries --
+
+ProbeScratch::Entry* EngineSnapshot::find_entry(
+    ProbeScratch& scratch, const std::vector<std::uint32_t>& touched) const {
+  for (ProbeScratch::Entry& e : scratch.entries_) {
+    if (e.ctxs.size() != touched.size()) continue;
+    bool match = true;
+    for (std::size_t k = 0; k < touched.size(); ++k) {
+      const ShardView& s = shards_[touched[k]];
+      if (e.ctxs[k].get() != s.ctx.get() ||
+          e.results[k].get() != s.result.get()) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &e;
+  }
+  return nullptr;
+}
+
+ProbeScratch::Entry& EngineSnapshot::build_entry(
+    ProbeScratch& scratch, const std::vector<std::uint32_t>& touched) const {
+  ProbeScratch::Entry e;
+  e.ctxs.reserve(touched.size());
+  e.results.reserve(touched.size());
+  for (const std::uint32_t s : touched) {
+    e.ctxs.push_back(shards_[s].ctx);
+    e.results.push_back(shards_[s].result);
+  }
+
+  // Assemble the residents-only base in the canonical global-id order (see
+  // merge_order): the Gauss-Seidel sweep order inside the probed component
+  // — and every per-link flow list, floating-point aggregate and envelope
+  // merge — matches the one-context engine exactly.
+  if (touched.size() == 1) {
+    // Single touched domain (the common case): one context copy — paid
+    // once per (scratch, shard state), amortized over every probe hit.
+    const ShardView& s = shards_[touched.front()];
+    e.base = *s.ctx;
+    e.srcs.reserve(s.to_global.size());
+    for (std::uint32_t l = 0; l < s.to_global.size(); ++l) {
+      e.srcs.push_back(MergeEnt{s.to_global[l], 0, l});
+    }
+  } else {
+    e.srcs = merge_order(
+        touched,
+        [this](std::uint32_t part) -> const std::vector<net::FlowId>& {
+          return shards_[part].to_global;
+        });
+    // Re-key each entry to its position among the touched parts — the
+    // index into the pinned ctxs/results, stable across republishes.
+    for (MergeEnt& m : e.srcs) {
+      m.shard = static_cast<std::uint32_t>(
+          std::lower_bound(touched.begin(), touched.end(), m.shard) -
+          touched.begin());
+    }
+    core::AnalysisContext base =
+        core::AnalysisContext::empty_clone(*empty_ctx_);
+    // Bulk adoption: register every flow, then recompute each link's
+    // aggregates once — O(flows) aggregate work instead of the per-adopt
+    // quadratic, bit-identical (the recompute sums from scratch in flow-id
+    // order, exactly like add_flows).
+    for (const MergeEnt& m : e.srcs) {
+      base.adopt_flow_deferred(*e.ctxs[m.shard],
+                               net::FlowId(static_cast<std::int32_t>(m.local)));
+    }
+    base.recompute_all_aggregates();
+    e.base = std::move(base);
+  }
+
+  // Converged warm start over the base: every resident sits at its shard's
+  // published fixed point.
+  for (std::size_t pos = 0; pos < e.srcs.size(); ++pos) {
+    const MergeEnt& m = e.srcs[pos];
+    e.base_start.adopt_flow(e.results[m.shard]->jitters,
+                            net::FlowId(static_cast<std::int32_t>(m.local)),
+                            net::FlowId(static_cast<std::int32_t>(pos)));
+  }
+
+  if (scratch.entries_.size() >= ProbeScratch::kMaxEntries) {
+    // Evict the least recently used base (and the shard state it pins) —
+    // bounds scratch memory across republishes and engine swaps.
+    auto victim = scratch.entries_.begin();
+    for (auto it = scratch.entries_.begin(); it != scratch.entries_.end();
+         ++it) {
+      if (it->stamp < victim->stamp) victim = it;
+    }
+    scratch.entries_.erase(victim);
+  }
+  scratch.entries_.push_back(std::move(e));
+  return scratch.entries_.back();
+}
+
+// ---------------------------------------------------------------- probes --
+
+EngineSnapshot::Probe EngineSnapshot::run_probe(const gmf::Flow& candidate,
+                                                ProbeScratch& scratch,
+                                                bool retain_ctx) const {
   // Surface malformed candidates before any assembly work.
   candidate.validate(network());
 
@@ -41,13 +195,15 @@ EngineSnapshot::Probe EngineSnapshot::run_probe(
     // build a nested pool per probe.)
     p.base_converged = false;
     p.rs.full = true;
-    core::AnalysisContext full = core::AnalysisContext::empty_clone(*empty_ctx_);
+    core::AnalysisContext full =
+        core::AnalysisContext::empty_clone(*empty_ctx_);
     for (std::size_t g = 0; g < locs_.size(); ++g) {
       const FlowLoc& loc = locs_[g];
-      full.adopt_flow(*shards_[loc.shard].ctx,
-                      net::FlowId(static_cast<std::int32_t>(loc.local)));
+      full.adopt_flow_deferred(*shards_[loc.shard].ctx,
+                               net::FlowId(static_cast<std::int32_t>(loc.local)));
       p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(g)));
     }
+    full.recompute_all_aggregates();
     full.add_flow(candidate);
     p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(locs_.size())));
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -77,115 +233,158 @@ EngineSnapshot::Probe EngineSnapshot::run_probe(
                     p.touched.end());
   }
 
-  // Assemble the probe context by adopting the touched shards' immutable
-  // derived state — O(touched flows), not O(residents).  Probe locals run
-  // in the canonical global-id order (see merge_order), so the
-  // Gauss-Seidel sweep order inside the probed component — and every
-  // per-link flow list, floating-point aggregate and envelope merge —
-  // matches the one-context engine exactly.
-  std::vector<MergeEnt> srcs;
-  core::AnalysisContext ctx = core::AnalysisContext::empty_clone(*empty_ctx_);
-  if (p.touched.size() == 1) {
-    // Single touched domain (the common case): one context copy, no
-    // per-flow adoption.
-    const ShardView& s = shards_[p.touched.front()];
-    ctx = *s.ctx;
-    p.to_global = s.to_global;
-    for (std::uint32_t l = 0; l < s.to_global.size(); ++l) {
-      srcs.push_back(MergeEnt{s.to_global[l], p.touched.front(), l});
+  ProbeScratch::Entry* entry = find_entry(scratch, p.touched);
+  if (entry == nullptr) entry = &build_entry(scratch, p.touched);
+  entry->stamp = ++scratch.clock_;
+
+  // Current global ids of the base's flows.  The entry pins the touched
+  // shards' states, and global-id shifts while a shard is unchanged are
+  // order-preserving (removals elsewhere shift uniformly down, additions
+  // append larger ids), so the merge order cached at build time is still
+  // canonical.  Guard it anyway: a non-ascending sequence rebuilds the
+  // entry against the live snapshot.
+  const auto fill_to_global = [&](const ProbeScratch::Entry& en) {
+    p.to_global.clear();
+    p.to_global.reserve(en.srcs.size() + 1);
+    for (const MergeEnt& m : en.srcs) {
+      p.to_global.push_back(shards_[p.touched[m.shard]].to_global[m.local]);
     }
-  } else if (!p.touched.empty()) {
-    srcs = merge_order(
-        p.touched,
-        [this](std::uint32_t part) -> const std::vector<net::FlowId>& {
-          return shards_[part].to_global;
-        });
-    for (const MergeEnt& e : srcs) {
-      ctx.adopt_flow(*shards_[e.shard].ctx,
-                     net::FlowId(static_cast<std::int32_t>(e.local)));
-      p.to_global.push_back(e.global);
+  };
+  const auto strictly_ascending = [](const std::vector<net::FlowId>& v) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i - 1].v >= v[i].v) return false;
     }
+    return true;
+  };
+  fill_to_global(*entry);
+  if (!strictly_ascending(p.to_global)) {
+    scratch.entries_.erase(scratch.entries_.begin() +
+                           (entry - scratch.entries_.data()));
+    entry = &build_entry(scratch, p.touched);
+    entry->stamp = ++scratch.clock_;
+    fill_to_global(*entry);
   }
-  const std::size_t residents = ctx.flow_count();
-  const net::FlowId cand_local = ctx.add_flow(candidate);
-  p.to_global.push_back(net::FlowId(static_cast<std::int32_t>(locs_.size())));
 
-  // Warm start: every resident sits at its converged fixed point; only the
-  // candidate (and transitively its component) is dirty.
-  core::JitterMap start;
-  for (std::size_t pos = 0; pos < srcs.size(); ++pos) {
-    start.adopt_flow(shards_[srcs[pos].shard].result->jitters,
-                     net::FlowId(static_cast<std::int32_t>(srcs[pos].local)),
-                     net::FlowId(static_cast<std::int32_t>(pos)));
-  }
-  seed_source_jitters(ctx, cand_local, start);
+  // The probe mutates the cached base in place: add the candidate, solve
+  // the dirty component, then restore the residents-only world (or hand the
+  // candidate-bearing context to the commit path).  Any failure mid-probe
+  // drops the entry — a half-mutated base must never be reused.
+  const std::size_t entry_idx =
+      static_cast<std::size_t>(entry - scratch.entries_.data());
+  core::AnalysisContext& ctx = *entry->base;
+  try {
+    const std::size_t residents = ctx.flow_count();
+    const net::FlowId cand_local = ctx.add_flow(candidate);
+    p.to_global.push_back(
+        net::FlowId(static_cast<std::int32_t>(locs_.size())));
 
-  p.dirty = dirty_closure(ctx, std::vector<bool>(ctx.flow_count(), false), {},
-                          residents);
+    // Warm start: every resident sits at its converged fixed point; only
+    // the candidate (and transitively its component) is dirty.  Copying the
+    // cached map costs one shared pointer per resident.
+    core::JitterMap start = entry->base_start;
+    seed_source_jitters(ctx, cand_local, start);
 
-  core::IncrementalStats is;
-  p.local = core::analyze_holistic_dirty(ctx, p.dirty, std::move(start),
-                                         opts_, &is);
-  p.rs.flow_analyses = is.flow_analyses;
-  p.rs.sweeps = is.sweeps;
+    p.dirty = dirty_closure(ctx, std::vector<bool>(ctx.flow_count(), false),
+                            {}, residents);
 
-  // Clean residents keep their converged results verbatim.
-  for (std::size_t pos = 0; pos < srcs.size(); ++pos) {
-    if (!p.dirty[pos]) {
-      p.local.flows[pos] =
-          shards_[srcs[pos].shard].result->flows[srcs[pos].local];
-      ++p.rs.flow_results_reused;
+    core::IncrementalStats is;
+    p.local = core::analyze_holistic_dirty(ctx, p.dirty, std::move(start),
+                                           opts_, &is);
+    p.rs.flow_analyses = is.flow_analyses;
+    p.rs.sweeps = is.sweeps;
+    for (std::size_t pos = 0; pos < residents; ++pos) {
+      if (!p.dirty[pos]) ++p.rs.flow_results_reused;
     }
+
+    if (retain_ctx) {
+      // The commit path installs the probe as a merged shard, so its local
+      // result must be complete: adopt the clean residents' converged
+      // FlowResults verbatim and finalize the verdict.
+      for (std::size_t pos = 0; pos < entry->srcs.size(); ++pos) {
+        if (p.dirty[pos]) continue;
+        const MergeEnt& m = entry->srcs[pos];
+        p.local.flows[pos] = entry->results[m.shard]->flows[m.local];
+      }
+      finalize_schedulable(p.local);
+    } else {
+      // Restore the base to the residents-only world for the next probe:
+      // removing the (last-id) candidate erases its derived entry, drops it
+      // from its route links (erasing links it alone introduced) and
+      // recomputes exactly the touched aggregates from scratch —
+      // bit-identical to the pre-add state.
+      ctx.remove_flow(static_cast<std::size_t>(cand_local.v));
+    }
+  } catch (...) {
+    scratch.entries_.erase(scratch.entries_.begin() +
+                           static_cast<std::ptrdiff_t>(entry_idx));
+    throw;
   }
-  finalize_schedulable(p.local);
-  p.ctx = std::move(ctx);
+  if (retain_ctx) {
+    p.ctx = std::move(*entry->base);
+    scratch.entries_.erase(scratch.entries_.begin() +
+                           static_cast<std::ptrdiff_t>(entry_idx));
+  }
   return p;
 }
 
-WhatIfResult EngineSnapshot::assemble(const Probe& p) const {
-  WhatIfResult out;
-  if (!p.base_converged) {
-    // The cold whole-set run is already in global order.
-    out.result = p.local;
-    out.admissible = out.result.schedulable;
-    return out;
-  }
-
-  core::HolisticResult& r = out.result;
-  r.converged = p.local.converged;
-  r.sweeps = p.local.sweeps;
-  // Untouched shards are adopted wholesale from the published global
-  // result: one flows-vector copy plus one copy-on-write pointer per flow.
-  r.flows = global_->flows;
-  r.flows.resize(locs_.size() + 1);
-  r.jitters = global_->jitters;
-  // Probe flows: only the dirty component (and the candidate) can differ
-  // from the published state — clean probe flows share the very same
-  // per-flow jitter maps the global result adopted at publication.
-  for (std::size_t f = 0; f < p.to_global.size(); ++f) {
-    if (!p.dirty[f]) continue;
-    const auto g = static_cast<std::size_t>(p.to_global[f].v);
-    r.flows[g] = p.local.flows[f];
-    r.jitters.adopt_flow(p.local.jitters,
-                         net::FlowId(static_cast<std::int32_t>(f)),
-                         net::FlowId(static_cast<std::int32_t>(g)));
-  }
-
-  bool untouched_ok = true;
+bool EngineSnapshot::probe_admissible(const Probe& p) const {
+  if (!p.base_converged) return p.local.schedulable;
+  if (!p.local.converged) return false;
+  // Untouched shards keep their published verdicts; p.touched is ascending,
+  // so one two-pointer sweep covers all shards.
+  std::size_t t = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (std::find(p.touched.begin(), p.touched.end(),
-                  static_cast<std::uint32_t>(s)) != p.touched.end()) {
+    if (t < p.touched.size() &&
+        p.touched[t] == static_cast<std::uint32_t>(s)) {
+      ++t;
       continue;
     }
-    untouched_ok &= shards_[s].result->schedulable;
+    if (!shards_[s].result->schedulable) return false;
   }
-  r.schedulable = r.converged && untouched_ok && p.local.schedulable;
-  out.admissible = r.schedulable;
+  // The probed component: dirty flows from the probe's solve, clean flows
+  // from their shard's committed result — flag reads only, no copies.  The
+  // candidate (last, always dirty) takes the first branch.
+  for (std::size_t f = 0; f < p.to_global.size(); ++f) {
+    if (p.dirty[f]) {
+      if (!p.local.flows[f].schedulable()) return false;
+    } else {
+      const FlowLoc& loc = locs_[static_cast<std::size_t>(p.to_global[f].v)];
+      if (!shards_[loc.shard].result->flows[loc.local].schedulable()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+WhatIfResult EngineSnapshot::finish_probe(Probe&& p) const {
+  const bool admissible = probe_admissible(p);
+  if (!p.base_converged) {
+    // The cold whole-set run is already the full result in global order.
+    return WhatIfResult::from_full(admissible, std::move(p.local));
+  }
+  WhatIfResult out;
+  out.admissible = admissible;
+  out.base_ = global_;
+  out.converged_ = p.local.converged;
+  out.sweeps_ = p.local.sweeps;
+  out.local_ = std::move(p.local);
+  out.to_global_ = std::move(p.to_global);
+  out.dirty_ = std::move(p.dirty);
+  out.total_flows_ = locs_.size() + 1;
   return out;
 }
 
 WhatIfResult EngineSnapshot::what_if(const gmf::Flow& candidate) const {
-  return assemble(run_probe(candidate));
+  // One-shot probe: a throwaway scratch keeps the semantics; callers on hot
+  // paths should hold a per-thread ProbeScratch and use the overload below.
+  ProbeScratch scratch;
+  return what_if(candidate, scratch);
+}
+
+WhatIfResult EngineSnapshot::what_if(const gmf::Flow& candidate,
+                                     ProbeScratch& scratch) const {
+  return finish_probe(run_probe(candidate, scratch, /*retain_ctx=*/false));
 }
 
 }  // namespace gmfnet::engine

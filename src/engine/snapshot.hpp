@@ -18,11 +18,20 @@
 // converged jitters, and solves just the candidate's dirty component.
 // Results are bit-identical to a from-scratch whole-set analysis
 // (tests/test_engine_shard.cpp).
+//
+// Probe cost amortization: a ProbeScratch keeps the assembled probe base
+// (context + warm-start map) alive between probes, keyed on the pinned
+// identity of the touched shards' committed state.  A scratch hit turns a
+// probe's setup into one add_flow/remove_flow pair on the cached base —
+// the per-probe O(touched flows) context copy and jitter adoption are paid
+// once per (reader, shard-state) instead of once per probe.  One scratch
+// per reader thread, never shared (see ProbeScratch).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -34,16 +43,173 @@
 
 namespace gmfnet::engine {
 
-/// Outcome of one non-committing what-if admission probe.
-struct WhatIfResult {
-  /// Full holistic result of resident set + candidate (candidate is the
-  /// last flow id).
-  core::HolisticResult result;
-  /// True when the combined set is schedulable — the admission verdict.
-  bool admissible = false;
+class AnalysisEngine;
+class EngineSnapshot;
+
+/// Reusable per-reader probe workspace: caches assembled probe bases
+/// (context + converged warm-start map) keyed on the pinned identity of
+/// the touched shards' committed state, so repeated probes against the
+/// same world skip the per-probe context assembly entirely.
+///
+/// Contract: one scratch per thread, NEVER shared between concurrent
+/// probes — the scratch is mutated in place (the cached base temporarily
+/// holds the candidate mid-probe).  A scratch may be reused freely across
+/// candidates, snapshots and even engines: entries are validated against
+/// the probed snapshot's shard-state pointers (held alive by the entry, so
+/// pointer identity is ABA-safe) and rebuilt on mismatch.  Results are
+/// bit-identical with and without scratch reuse
+/// (tests/test_probe_scratch.cpp).
+class ProbeScratch {
+ public:
+  ProbeScratch() = default;
+  ProbeScratch(ProbeScratch&&) noexcept = default;
+  ProbeScratch& operator=(ProbeScratch&&) noexcept = default;
+  ProbeScratch(const ProbeScratch&) = delete;
+  ProbeScratch& operator=(const ProbeScratch&) = delete;
+
+  /// Drops every cached base (and the shard state it pins).
+  void clear() { entries_.clear(); }
+
+ private:
+  friend class EngineSnapshot;
+
+  /// One cached probe base: the residents-only context and warm-start map
+  /// assembled from a specific set of committed shard states.  The pinned
+  /// ctx/result pointers are both the cache key and the lifetime guard —
+  /// while the entry holds them, their addresses cannot be reused, so raw
+  /// pointer equality against a snapshot's shards is a sound identity test.
+  struct Entry {
+    std::vector<std::shared_ptr<const core::AnalysisContext>> ctxs;
+    std::vector<std::shared_ptr<const core::HolisticResult>> results;
+    /// Residents of the touched shards in canonical merge order (optional
+    /// only for default-constructibility; always engaged once cached).
+    std::optional<core::AnalysisContext> base;
+    /// Converged warm start over `base` (never mutated; copied per probe).
+    core::JitterMap base_start;
+    /// Merge order; `shard` indexes ctxs/results, not snapshot shards.
+    std::vector<MergeEnt> srcs;
+    std::uint64_t stamp = 0;  ///< LRU clock value of the last use
+  };
+
+  static constexpr std::size_t kMaxEntries = 8;
+
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
 };
 
-class AnalysisEngine;
+/// A mutex-guarded free list of ProbeScratch objects for callers whose
+/// probing threads are not long-lived (e.g. one RPC connection thread per
+/// client): acquire() hands out a warm scratch (or a fresh one when none
+/// is free) and the RAII Lease returns it on destruction.
+class ProbeScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(std::move(scratch_));
+    }
+
+    [[nodiscard]] ProbeScratch& get() const { return *scratch_; }
+
+   private:
+    friend class ProbeScratchPool;
+    Lease(ProbeScratchPool* pool, std::unique_ptr<ProbeScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+
+    ProbeScratchPool* pool_;
+    std::unique_ptr<ProbeScratch> scratch_;
+  };
+
+  [[nodiscard]] Lease acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return Lease(this, std::make_unique<ProbeScratch>());
+    std::unique_ptr<ProbeScratch> s = std::move(free_.back());
+    free_.pop_back();
+    return Lease(this, std::move(s));
+  }
+
+ private:
+  void release(std::unique_ptr<ProbeScratch> s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ProbeScratch>> free_;
+};
+
+/// Outcome of one non-committing what-if admission probe.
+///
+/// Copy-free by construction: instead of materializing the full-set
+/// HolisticResult per probe (a deep copy of every resident's FlowResult
+/// plus the jitter map), the probe returns the verdict, its component-local
+/// solve, and a COW handle to the published global result.  Cheap accessors
+/// (worst_response, converged, sweeps) answer directly from those pieces;
+/// result() assembles — and caches — the full HolisticResult only when a
+/// caller actually wants all of it.
+///
+/// Thread safety: a WhatIfResult value is NOT safe to share between
+/// threads without synchronization (result() caches lazily); the underlying
+/// published state it references is immutable and safely shared.
+class WhatIfResult {
+ public:
+  WhatIfResult() = default;
+
+  /// True when the combined set is schedulable — the admission verdict.
+  bool admissible = false;
+
+  /// True when the probe's fixed point converged.
+  [[nodiscard]] bool converged() const { return converged_; }
+  /// Sweeps the probe's solve executed.
+  [[nodiscard]] int sweeps() const { return sweeps_; }
+  /// Flows in the probed world (residents + candidate; the candidate is
+  /// the last flow id).
+  [[nodiscard]] std::size_t flow_count() const { return total_flows_; }
+
+  /// Per-flow result by global flow id, without materializing the full
+  /// result: flows in the probe's dirty component come from the probe's
+  /// solve, everything else from the shared published state.
+  [[nodiscard]] const core::FlowResult& flow_result(net::FlowId global) const;
+  /// Worst end-to-end bound of a flow (Time::max() if it diverged).
+  [[nodiscard]] gmfnet::Time worst_response(net::FlowId global) const {
+    return flow_result(global).worst_response();
+  }
+
+  /// Full holistic result of resident set + candidate, bit-identical to a
+  /// from-scratch run.  Materialized on first call and cached; prefer the
+  /// accessors above on hot paths.
+  [[nodiscard]] const core::HolisticResult& result() const;
+
+  /// Wraps an already-complete result (RPC decode, cold whole-set runs).
+  [[nodiscard]] static WhatIfResult from_full(bool admissible,
+                                              core::HolisticResult full);
+
+ private:
+  friend class EngineSnapshot;
+
+  /// Published global result the untouched flows are shared from (null for
+  /// default-constructed and from_full values).
+  std::shared_ptr<const core::HolisticResult> base_;
+  /// The probe's component-local solve (probe-local flow ids).
+  core::HolisticResult local_;
+  /// Probe-local id -> global id, ascending (candidate last).
+  std::vector<net::FlowId> to_global_;
+  /// Probe-local dirty flags (true for the candidate's component).
+  std::vector<bool> dirty_;
+  std::size_t total_flows_ = 0;
+  bool converged_ = false;
+  int sweeps_ = 0;
+  /// Lazily materialized full result (result() cache; set eagerly by
+  /// from_full).
+  mutable std::shared_ptr<const core::HolisticResult> full_;
+};
 
 class EngineSnapshot {
  public:
@@ -63,12 +229,19 @@ class EngineSnapshot {
     return empty_ctx_->network();
   }
 
-  /// Lock-free what-if probe: the result of resident set + `candidate`
+  /// Lock-free what-if probe: the verdict for resident set + `candidate`
   /// (candidate is the last flow id), bit-identical to a from-scratch run,
   /// computed against this snapshot without touching the engine.  Safe to
   /// call from any number of threads concurrently.  Throws std::logic_error
   /// on malformed candidates.
   [[nodiscard]] WhatIfResult what_if(const gmf::Flow& candidate) const;
+
+  /// what_if reusing the caller's per-thread `scratch` — the hot path for
+  /// readers issuing many probes (see ProbeScratch for the contract).
+  /// Identical results, one candidate add/remove instead of a full probe
+  /// assembly on scratch hits.
+  [[nodiscard]] WhatIfResult what_if(const gmf::Flow& candidate,
+                                     ProbeScratch& scratch) const;
 
  private:
   friend class AnalysisEngine;
@@ -85,11 +258,13 @@ class EngineSnapshot {
   /// Everything a probe computed, in probe-local flow ids — enough for the
   /// engine to commit the probe as a merged shard without re-solving.
   struct Probe {
-    /// Touched shards' flows (global-id order) + candidate last.  Optional
-    /// only so Probe is default-constructible; always engaged after
-    /// run_probe.
+    /// Touched shards' flows (global-id order) + candidate last.  Engaged
+    /// only on the cold path or when run_probe ran with retain_ctx (the
+    /// commit path); plain what-ifs leave the context in the scratch.
     std::optional<core::AnalysisContext> ctx;
-    /// Complete result over `ctx` (clean flows adopted from shard caches).
+    /// The probe's solve.  Complete (clean flows adopted) only when ctx is
+    /// engaged; otherwise clean entries stay default-constructed — the
+    /// schedulable verdict already accounts for them.
     core::HolisticResult local;
     /// Probe-local id -> global id (candidate maps to flow_count()).
     std::vector<net::FlowId> to_global;
@@ -103,10 +278,28 @@ class EngineSnapshot {
     RunStats rs;
   };
 
-  [[nodiscard]] Probe run_probe(const gmf::Flow& candidate) const;
-  /// Expands a probe into the full-set WhatIfResult (untouched shards
-  /// adopted from the published global result).
-  [[nodiscard]] WhatIfResult assemble(const Probe& probe) const;
+  /// Runs the probe against `scratch` (building/reusing a cached base).
+  /// With `retain_ctx`, the candidate-bearing context and the complete
+  /// local result are moved into the returned Probe (evicting the scratch
+  /// entry) — required by the commit path; without it, the scratch base is
+  /// restored to the residents-only world for the next probe.
+  [[nodiscard]] Probe run_probe(const gmf::Flow& candidate,
+                                ProbeScratch& scratch, bool retain_ctx) const;
+  /// The admission verdict of a finished probe (converged, every untouched
+  /// shard schedulable, probed component schedulable).
+  [[nodiscard]] bool probe_admissible(const Probe& p) const;
+  /// Wraps a finished probe into the copy-free WhatIfResult.
+  [[nodiscard]] WhatIfResult finish_probe(Probe&& probe) const;
+
+  /// Scratch entry lookup/build for a probe over `touched` (ascending
+  /// snapshot shard indices).  find_entry returns null on miss;
+  /// build_entry assembles the base (bulk adoption in canonical merge
+  /// order) and inserts it, evicting the least-recently-used entry when
+  /// the scratch is full.
+  [[nodiscard]] ProbeScratch::Entry* find_entry(
+      ProbeScratch& scratch, const std::vector<std::uint32_t>& touched) const;
+  ProbeScratch::Entry& build_entry(
+      ProbeScratch& scratch, const std::vector<std::uint32_t>& touched) const;
 
   /// Template context sharing the network + CIRC table (cheap empty clone).
   std::shared_ptr<const core::AnalysisContext> empty_ctx_;

@@ -32,14 +32,17 @@ engine::EngineStats decode_engine_stats(io::ByteReader& r) {
 
 void encode_what_if(io::ByteWriter& w, const engine::WhatIfResult& wi) {
   w.u8(wi.admissible ? 1 : 0);
-  io::codec::encode_holistic_result(w, wi.result);
+  // The wire carries the full result; materializing it here (server side,
+  // once per encoded probe) keeps the probe hot path itself copy-free.
+  io::codec::encode_holistic_result(w, wi.result());
 }
 
 engine::WhatIfResult decode_what_if(io::ByteReader& r) {
-  engine::WhatIfResult wi;
-  wi.admissible = r.u8() != 0;
-  wi.result = io::codec::decode_holistic_result(r);
-  return wi;
+  // Sequence the reads explicitly: C++ leaves function-argument evaluation
+  // order unspecified, and both read from the same stream.
+  const bool admissible = r.u8() != 0;
+  return engine::WhatIfResult::from_full(
+      admissible, io::codec::decode_holistic_result(r));
 }
 
 /// Bodiless messages still carry one reserved zero byte, so every valid

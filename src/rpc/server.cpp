@@ -20,7 +20,8 @@ Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
                ServerConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(std::move(engine)),
-      readers_(cfg_.reader_threads) {
+      readers_(cfg_.reader_threads),
+      reader_scratch_(readers_.size() + 1) {
   if (!engine_) throw std::logic_error("rpc server: null engine");
   listener_ = cfg_.unix_path.empty()
                   ? Listener::listen_tcp(cfg_.tcp_host, cfg_.tcp_port)
@@ -146,13 +147,18 @@ Response Server::handle(Request&& req) {
                                                      std::try_to_lock);
               if (m.candidates.size() > 1 && readers_.size() > 1 &&
                   pool_turn.owns_lock()) {
-                readers_.parallel_for(
-                    m.candidates.size(), [&](std::size_t i) {
-                      resp.results[i] = snap->what_if(m.candidates[i]);
+                // Each pool slot reuses its own warm ProbeScratch across
+                // batches (guarded by readers_mu_, held here).
+                readers_.parallel_for_slotted(
+                    m.candidates.size(), [&](std::size_t slot, std::size_t i) {
+                      resp.results[i] =
+                          snap->what_if(m.candidates[i], reader_scratch_[slot]);
                     });
               } else {
+                const engine::ProbeScratchPool::Lease lease =
+                    conn_scratch_.acquire();
                 for (std::size_t i = 0; i < m.candidates.size(); ++i) {
-                  resp.results[i] = snap->what_if(m.candidates[i]);
+                  resp.results[i] = snap->what_if(m.candidates[i], lease.get());
                 }
               }
               return resp;

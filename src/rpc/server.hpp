@@ -112,6 +112,13 @@ class Server {
   /// Try-held around parallel_for: a batch that finds the pool busy
   /// probes inline on its connection thread instead of queueing.
   std::mutex readers_mu_;
+  /// One ProbeScratch per reader-pool slot (readers_.size() + 1 entries;
+  /// the extra slot is the single-worker inline path).  Only the
+  /// readers_mu_ holder fans over the pool, so slots are never contended.
+  std::vector<engine::ProbeScratch> reader_scratch_;
+  /// Warm scratches for batches probing inline on their connection thread
+  /// (the readers_mu_ try-lock miss path).
+  engine::ProbeScratchPool conn_scratch_;
   std::atomic<bool> stop_{false};
   std::mutex conn_mu_;
   std::vector<Conn> conns_;

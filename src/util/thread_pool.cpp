@@ -6,13 +6,21 @@
 
 namespace gmfnet {
 
+namespace {
+/// Slot of the pool worker running on this thread (meaningless outside a
+/// worker).  A thread belongs to at most one pool, so one thread-local
+/// suffices; parallel_for_slotted reads it to hand each body call its
+/// executing worker's slot.
+thread_local std::size_t t_pool_slot = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -39,7 +47,8 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  t_pool_slot = slot;
   for (;;) {
     std::function<void()> task;
     {
@@ -68,6 +77,12 @@ bool ThreadPool::called_from_worker() const {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_slotted(n,
+                       [&body](std::size_t, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (called_from_worker()) {
     throw std::logic_error(
         "ThreadPool::parallel_for: nested call from a worker of the same "
@@ -76,6 +91,14 @@ void ThreadPool::parallel_for(std::size_t n,
   std::lock_guard pf_lock(parallel_for_mu_);
   if (n == 0) return;
   const std::size_t nthreads = std::max<std::size_t>(1, size());
+  if (nthreads <= 1) {
+    // A one-worker pool adds no parallelism: run inline on the caller (its
+    // slot is size()) and skip the queue/condvar round trip entirely.  An
+    // exception propagates directly, matching the pooled path's
+    // first-exception-cancels semantics.
+    for (std::size_t i = 0; i < n; ++i) body(size(), i);
+    return;
+  }
   const std::size_t chunk = (n + nthreads - 1) / nthreads;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
@@ -91,7 +114,7 @@ void ThreadPool::parallel_for(std::size_t n,
         for (std::size_t i = begin; i < end; ++i) {
           if (cancelled.load(std::memory_order_relaxed)) return;
           try {
-            body(i);
+            body(t_pool_slot, i);
           } catch (...) {
             cancelled.store(true, std::memory_order_relaxed);
             const std::lock_guard lk(error_mu);

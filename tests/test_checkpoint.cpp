@@ -161,11 +161,11 @@ TEST_P(CheckpointRoundTrip, RandomMultiDomainScenarios) {
   const WhatIfResult live_probe = eng.published()->what_if(cand);
   const WhatIfResult restored_probe = restored.published()->what_if(cand);
   EXPECT_EQ(restored_probe.admissible, live_probe.admissible) << where;
-  expect_bit_identical(restored_probe.result, live_probe.result,
+  expect_bit_identical(restored_probe.result(), live_probe.result(),
                        where + " probe vs live");
   std::vector<gmf::Flow> with = mirror;
   with.push_back(cand);
-  expect_bit_identical(restored_probe.result, from_scratch(campus.net, with),
+  expect_bit_identical(restored_probe.result(), from_scratch(campus.net, with),
                        where + " probe vs cold truth");
   EXPECT_EQ(restored.stats().evaluations, 0u);
 

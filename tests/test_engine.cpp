@@ -120,7 +120,7 @@ TEST(Engine, WhatIfDoesNotCommit) {
   eng.add_flow(voip_between(star, 0, 1, "a"));
   const WhatIfResult w = eng.what_if(voip_between(star, 2, 3, "probe"));
   EXPECT_TRUE(w.admissible);
-  EXPECT_EQ(w.result.flows.size(), 2u);  // resident + candidate
+  EXPECT_EQ(w.result().flows.size(), 2u);  // resident + candidate
   EXPECT_EQ(eng.flow_count(), 1u);       // nothing committed
 }
 
@@ -156,9 +156,9 @@ TEST(Engine, EvaluateBatchMatchesIndividualProbes) {
   for (std::size_t i = 0; i < cands.size(); ++i) {
     const WhatIfResult solo = eng.what_if(cands[i]);
     EXPECT_EQ(batch[i].admissible, solo.admissible) << "candidate " << i;
-    EXPECT_EQ(batch[i].result.schedulable, solo.result.schedulable);
-    if (solo.result.converged) {
-      EXPECT_TRUE(batch[i].result.jitters == solo.result.jitters)
+    EXPECT_EQ(batch[i].result().schedulable, solo.result().schedulable);
+    if (solo.result().converged) {
+      EXPECT_TRUE(batch[i].result().jitters == solo.result().jitters)
           << "candidate " << i;
     }
   }

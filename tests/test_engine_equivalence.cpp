@@ -154,10 +154,10 @@ TEST_P(EngineEquivalence, IncrementalMatchesFromScratch) {
   for (std::size_t i = 0; i < cands.size(); ++i) {
     std::vector<gmf::Flow> with = mirror;
     with.push_back(cands[i]);
-    expect_bit_identical(batch[i].result, from_scratch(net, with),
+    expect_bit_identical(batch[i].result(), from_scratch(net, with),
                          "seed " + std::to_string(seed) + " batch candidate " +
                              std::to_string(i));
-    expect_bit_identical(batch[i].result, from_scratch_naive(net, with),
+    expect_bit_identical(batch[i].result(), from_scratch_naive(net, with),
                          "seed " + std::to_string(seed) +
                              " batch candidate (naive parity) " +
                              std::to_string(i));

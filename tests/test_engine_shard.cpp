@@ -275,10 +275,10 @@ TEST_P(EngineShardEquivalence, RandomMultiDomainScenarios) {
     const WhatIfResult probe = snap->what_if(cands[i]);
     std::vector<gmf::Flow> with = mirror;
     with.push_back(cands[i]);
-    expect_bit_identical(probe.result, from_scratch(campus.net, with),
+    expect_bit_identical(probe.result(), from_scratch(campus.net, with),
                          "seed " + std::to_string(seed) +
                              " snapshot candidate " + std::to_string(i));
-    EXPECT_EQ(probe.admissible, probe.result.schedulable);
+    EXPECT_EQ(probe.admissible, probe.result().schedulable);
   }
   EXPECT_EQ(eng.flow_count(), mirror.size());  // probes committed nothing
 }
@@ -328,10 +328,10 @@ TEST(EngineShard, SnapshotStressReadersVsWriter) {
         with.push_back(cand);
         const core::HolisticResult cold = from_scratch(campus.net, with);
         const bool ok =
-            w.result.converged == cold.converged &&
-            w.result.schedulable == cold.schedulable &&
-            w.result.flows.size() == cold.flows.size() &&
-            (!cold.converged || w.result.jitters == cold.jitters);
+            w.converged() == cold.converged &&
+            w.admissible == cold.schedulable &&
+            w.flow_count() == cold.flows.size() &&
+            (!cold.converged || w.result().jitters == cold.jitters);
         (ok ? probes_ok : probes_bad).fetch_add(1,
                                                 std::memory_order_relaxed);
         ++i;

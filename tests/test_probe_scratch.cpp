@@ -1,0 +1,330 @@
+// ProbeScratch contracts (engine/snapshot.hpp):
+//
+//  * Bit-identity: what_if with a reused scratch returns exactly what the
+//    scratch-free probe and a from-scratch whole-set run return — same
+//    verdict, same fixed-point jitters, same per-flow bounds — including
+//    repeated candidates (cache hits), candidates bridging shards (multi-
+//    entry bases), and more distinct shard subsets than the scratch holds
+//    (LRU eviction and rebuild).
+//
+//  * Republish safety: a scratch outlives snapshots.  After the writer
+//    mutates and republishes, stale entries are detected by pinned-pointer
+//    identity and rebuilt; probes against the new snapshot stay correct.
+//
+//  * Lean results: WhatIfResult's cheap accessors (converged, sweeps,
+//    flow_count, flow_result, worst_response) agree with the lazily
+//    materialized full result().
+//
+//  * Concurrent reuse: one scratch per reader thread across hundreds of
+//    probes interleaved with writer mutations/republishes stays correct
+//    (and TSan-clean — this binary runs under the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::engine {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+core::HolisticResult from_scratch(const net::Network& net,
+                                  const std::vector<gmf::Flow>& flows) {
+  const core::AnalysisContext ctx(net, flows);
+  return core::analyze_holistic(ctx);
+}
+
+void expect_bit_identical(const core::HolisticResult& inc,
+                          const core::HolisticResult& cold,
+                          const std::string& where) {
+  ASSERT_EQ(inc.converged, cold.converged) << where;
+  ASSERT_EQ(inc.schedulable, cold.schedulable) << where;
+  if (!inc.converged) return;
+  EXPECT_TRUE(inc.jitters == cold.jitters)
+      << where << ": jitter fixed points differ";
+  ASSERT_EQ(inc.flows.size(), cold.flows.size()) << where;
+  for (std::size_t f = 0; f < inc.flows.size(); ++f) {
+    const core::FlowId id(static_cast<std::int32_t>(f));
+    EXPECT_EQ(inc.worst_response(id), cold.worst_response(id))
+        << where << ": flow " << f;
+  }
+}
+
+/// `cells` independent stars -> several locality domains by construction.
+struct Campus {
+  net::Network net;
+  std::vector<net::NodeId> hosts;  // cell-major
+  std::vector<net::NodeId> switches;
+};
+
+Campus make_campus(int cells, int hosts_per_cell) {
+  Campus c;
+  for (int cell = 0; cell < cells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    for (int h = 0; h < hosts_per_cell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.push_back(host);
+    }
+  }
+  return c;
+}
+
+gmf::Flow voip(const Campus& campus, int cell, std::size_t a, std::size_t b,
+               const std::string& name) {
+  const std::size_t base = static_cast<std::size_t>(cell) * 6;
+  return workload::make_voip_flow(
+      name,
+      net::Route({campus.hosts[base + a],
+                  campus.switches[static_cast<std::size_t>(cell)],
+                  campus.hosts[base + b]}));
+}
+
+/// Compares a scratch probe against the scratch-free probe AND cold truth.
+void expect_probe_matches(const EngineSnapshot& snap, const gmf::Flow& cand,
+                          ProbeScratch& scratch, const net::Network& net,
+                          const std::string& where) {
+  const WhatIfResult with = snap.what_if(cand, scratch);
+  const WhatIfResult without = snap.what_if(cand);
+  EXPECT_EQ(with.admissible, without.admissible) << where;
+  EXPECT_EQ(with.converged(), without.converged()) << where;
+  EXPECT_EQ(with.flow_count(), without.flow_count()) << where;
+  expect_bit_identical(with.result(), without.result(),
+                       where + " scratch vs scratch-free");
+
+  std::vector<gmf::Flow> all = snap.flows();
+  all.push_back(cand);
+  expect_bit_identical(with.result(), from_scratch(net, all),
+                       where + " scratch vs cold truth");
+}
+
+TEST(ProbeScratch, ReuseBitIdenticalAcrossCandidatesAndHits) {
+  // 2 cells x 6 hosts; three disjoint resident pairs per cell -> 6 shards.
+  const Campus campus = make_campus(2, 6);
+  AnalysisEngine eng(campus.net);
+  for (int cell = 0; cell < 2; ++cell) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      eng.add_flow(voip(campus, cell, 2 * p, 2 * p + 1,
+                        "r" + std::to_string(cell) + std::to_string(p)));
+    }
+  }
+  const auto snap = eng.snapshot();
+  ASSERT_EQ(snap->shard_count(), 6u);
+
+  ProbeScratch scratch;
+  int n = 0;
+  // Single-shard candidates (same host pair as a resident), candidates
+  // bridging two shards of a cell, and repeats of each (scratch hits).
+  for (int round = 0; round < 2; ++round) {
+    for (int cell = 0; cell < 2; ++cell) {
+      expect_probe_matches(*snap, voip(campus, cell, 0, 1, "solo"), scratch,
+                           campus.net, "solo #" + std::to_string(n++));
+      expect_probe_matches(*snap, voip(campus, cell, 1, 2, "bridge"), scratch,
+                           campus.net, "bridge #" + std::to_string(n++));
+      expect_probe_matches(*snap, voip(campus, cell, 0, 5, "span"), scratch,
+                           campus.net, "span #" + std::to_string(n++));
+    }
+  }
+  // More distinct touched-shard subsets than kMaxEntries: pairs (a, a+1)
+  // for a in 0..4 per cell gives 10 bridge combinations -> LRU eviction.
+  for (int cell = 0; cell < 2; ++cell) {
+    for (std::size_t a = 0; a + 1 < 6; ++a) {
+      expect_probe_matches(*snap, voip(campus, cell, a, a + 1, "evict"),
+                           scratch, campus.net,
+                           "evict #" + std::to_string(n++));
+    }
+  }
+  EXPECT_EQ(eng.flow_count(), 6u);  // probes committed nothing
+}
+
+TEST(ProbeScratch, SurvivesRepublishAndEngineChurn) {
+  const Campus campus = make_campus(2, 6);
+  AnalysisEngine eng(campus.net);
+  eng.add_flow(voip(campus, 0, 0, 1, "a"));
+  eng.add_flow(voip(campus, 1, 0, 1, "b"));
+
+  ProbeScratch scratch;
+  const gmf::Flow cand = voip(campus, 0, 2, 3, "cand");
+  {
+    const auto snap = eng.snapshot();
+    expect_probe_matches(*snap, cand, scratch, campus.net, "before churn");
+  }
+
+  // Mutate + republish: entries keyed on the old shard state must be
+  // detected stale (pointer identity) and rebuilt, not reused.
+  eng.add_flow(voip(campus, 0, 0, 1, "a2"));
+  ASSERT_TRUE(eng.remove_flow(1));  // drop "b"
+  {
+    const auto snap = eng.snapshot();
+    expect_probe_matches(*snap, cand, scratch, campus.net, "after churn");
+  }
+
+  // The same scratch also serves a completely different engine.
+  AnalysisEngine other(campus.net);
+  other.add_flow(voip(campus, 0, 2, 3, "x"));
+  {
+    const auto snap = other.snapshot();
+    expect_probe_matches(*snap, voip(campus, 0, 3, 4, "y"), scratch,
+                         campus.net, "other engine");
+  }
+}
+
+TEST(ProbeScratch, TryAdmitWithWarmScratchMatchesMirror) {
+  // try_admit reuses the engine's writer scratch across admissions; every
+  // accepted state must stay bit-identical to a mirror engine and to cold
+  // truth (the commit path moves the cached base out of the scratch).
+  const Campus campus = make_campus(2, 6);
+  AnalysisEngine eng(campus.net);
+  AnalysisEngine mirror(campus.net);
+  std::vector<gmf::Flow> accepted;
+
+  std::vector<gmf::Flow> arrivals;
+  for (int cell = 0; cell < 2; ++cell) {
+    for (std::size_t a = 0; a + 1 < 6; ++a) {
+      arrivals.push_back(voip(campus, cell, a, a + 1,
+                              "f" + std::to_string(cell) +
+                                  std::to_string(a)));
+    }
+  }
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto got = eng.try_admit(arrivals[i]);
+    if (got.has_value()) {
+      mirror.add_flow(arrivals[i]);
+      accepted.push_back(arrivals[i]);
+      expect_bit_identical(*got, mirror.evaluate(),
+                           "admit " + std::to_string(i) + " vs mirror");
+      expect_bit_identical(*got, from_scratch(campus.net, accepted),
+                           "admit " + std::to_string(i) + " vs cold");
+    } else {
+      EXPECT_FALSE(from_scratch(campus.net, [&] {
+                     std::vector<gmf::Flow> with = accepted;
+                     with.push_back(arrivals[i]);
+                     return with;
+                   }()).schedulable)
+          << "rejection " << i << " disagrees with cold truth";
+    }
+  }
+  EXPECT_EQ(eng.flow_count(), accepted.size());
+}
+
+TEST(ProbeScratch, CheapAccessorsMatchMaterializedResult) {
+  const Campus campus = make_campus(2, 6);
+  AnalysisEngine eng(campus.net);
+  for (int cell = 0; cell < 2; ++cell) {
+    eng.add_flow(voip(campus, cell, 0, 1, "r" + std::to_string(cell)));
+  }
+  const auto snap = eng.snapshot();
+
+  ProbeScratch scratch;
+  const WhatIfResult w =
+      snap->what_if(voip(campus, 0, 2, 3, "cand"), scratch);
+  const core::HolisticResult& full = w.result();
+  EXPECT_EQ(w.converged(), full.converged);
+  EXPECT_EQ(w.sweeps(), full.sweeps);
+  EXPECT_EQ(w.admissible, full.schedulable);
+  ASSERT_EQ(w.flow_count(), full.flows.size());
+  for (std::size_t f = 0; f < full.flows.size(); ++f) {
+    const core::FlowId id(static_cast<std::int32_t>(f));
+    // Both dirty (candidate component) and clean (shared published) flows.
+    EXPECT_EQ(w.worst_response(id), full.worst_response(id)) << "flow " << f;
+    EXPECT_EQ(w.flow_result(id).worst_response(),
+              full.flows[f].worst_response())
+        << "flow " << f;
+  }
+}
+
+TEST(ProbeScratch, ConcurrentReadersReuseScratchUnderWriterChurn) {
+  // Each reader thread reuses ONE scratch across hundreds of probes while
+  // the writer admits/removes and republishes.  Every probe is checked
+  // against the scratch-free probe on the same snapshot; a sample is also
+  // checked against a cold from-scratch solve of the snapshot's own flow
+  // list.  Run under TSan in CI.
+  const Campus campus = make_campus(3, 6);
+  const auto flow_for = [&](int n, const std::string& prefix) {
+    const int cell = n % 3;
+    const std::size_t a = static_cast<std::size_t>(n % 5);
+    return voip(campus, cell, a, a + 1, prefix + std::to_string(n));
+  };
+
+  AnalysisEngine eng(campus.net);
+  for (int n = 0; n < 6; ++n) eng.add_flow(flow_for(n, "seed"));
+  (void)eng.evaluate();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> probes_ok{0};
+  std::atomic<int> probes_bad{0};
+
+  constexpr int kReaders = 4;
+  constexpr int kMinProbesPerReader = 150;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ProbeScratch scratch;  // reused across every probe of this reader
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = eng.published();
+        const gmf::Flow cand = flow_for(100 + (r * 7 + i) % 13, "probe");
+        const WhatIfResult w = snap->what_if(cand, scratch);
+        bool ok = true;
+        if (i % 4 == 0) {
+          // Cold truth for the very flow set this snapshot holds.
+          std::vector<gmf::Flow> with = snap->flows();
+          with.push_back(cand);
+          const core::HolisticResult cold = from_scratch(campus.net, with);
+          ok = w.converged() == cold.converged &&
+               w.admissible == cold.schedulable &&
+               w.flow_count() == cold.flows.size() &&
+               (!cold.converged || w.result().jitters == cold.jitters);
+        } else {
+          const WhatIfResult ref = snap->what_if(cand);
+          ok = w.admissible == ref.admissible &&
+               w.converged() == ref.converged() &&
+               w.flow_count() == ref.flow_count() &&
+               (!w.converged() ||
+                w.result().jitters == ref.result().jitters);
+        }
+        (ok ? probes_ok : probes_bad).fetch_add(1,
+                                                std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Writer: churn admissions/removals across the domains, republishing
+  // after each, then keep the readers alive until each has landed enough
+  // probes to have cycled its scratch through many republishes.
+  for (int round = 0; round < 30; ++round) {
+    if (round % 3 == 2 && eng.flow_count() > 3) {
+      (void)eng.remove_flow(eng.flow_count() - 1);
+      (void)eng.evaluate();
+    } else {
+      (void)eng.try_admit(flow_for(200 + round, "writer"));
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (probes_ok.load() + probes_bad.load() <
+             kReaders * kMinProbesPerReader &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(probes_bad.load(), 0);
+  EXPECT_GE(probes_ok.load(), kReaders * kMinProbesPerReader);
+}
+
+}  // namespace
+}  // namespace gmfnet::engine

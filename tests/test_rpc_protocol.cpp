@@ -66,9 +66,7 @@ std::vector<std::string> representative_request_frames() {
 
 std::vector<std::string> representative_response_frames() {
   World& w = world();
-  engine::WhatIfResult wi;
-  wi.result = w.result;
-  wi.admissible = true;
+  engine::WhatIfResult wi = engine::WhatIfResult::from_full(true, w.result);
   engine::EngineStats stats;
   stats.evaluations = 7;
   stats.incremental_runs = 5;

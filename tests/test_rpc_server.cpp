@@ -168,7 +168,7 @@ TEST_P(RpcRoundTrip, MatchesInProcessEngineBitForBit) {
   for (std::size_t i = 0; i < remote_probes.size(); ++i) {
     EXPECT_EQ(remote_probes[i].admissible, local_probes[i].admissible)
         << where;
-    expect_bit_identical(remote_probes[i].result, local_probes[i].result,
+    expect_bit_identical(remote_probes[i].result(), local_probes[i].result(),
                          where + " probe " + std::to_string(i));
   }
 
@@ -395,7 +395,7 @@ TEST(RpcServer, ConcurrentWhatIfReadersDontBlockTheWriter) {
   ASSERT_EQ(remote.size(), local.size());
   for (std::size_t i = 0; i < remote.size(); ++i) {
     EXPECT_EQ(remote[i].admissible, local[i].admissible);
-    expect_bit_identical(remote[i].result, local[i].result,
+    expect_bit_identical(remote[i].result(), local[i].result(),
                          "post-soak probe " + std::to_string(i));
   }
 }
