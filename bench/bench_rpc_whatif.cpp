@@ -10,14 +10,23 @@
 //   loopback_single  client.what_if(c) — one frame round trip per probe
 //   loopback_batch16 client.what_if_batch(16) — amortized framing, probes
 //                    fanned over the daemon's reader pool
+//   loopback_batch16_stalled
+//                    the same batches while a slow-loris peer sits on
+//                    another connection stalled mid-frame — the daemon's
+//                    deadline I/O must isolate it (thread-per-connection +
+//                    io timeout), so healthy-connection qps must stay
+//                    within 10% of the no-stall section
 //
 //   $ ./bench_rpc_whatif [ms_per_point]
 //
 // Emits BENCH_rpc_whatif.json ({section, qps, vs_in_process}).  The
-// numbers are informational (absolute qps measures the loopback stack and
-// the runner's scheduler, not this codebase) — the bench only fails when
-// a remote verdict disagrees with the in-process reference, which would
-// be a protocol bug, not a perf regression.
+// absolute numbers are informational (loopback qps measures the socket
+// stack and the runner's scheduler, not this codebase).  The bench fails
+// when a remote verdict disagrees with the in-process reference (a
+// protocol bug), when the stalled-peer section drops below 90% of the
+// no-stall baseline (an isolation bug), or when the stalled peer is not
+// disconnected within the io deadline (a hardening bug).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -71,7 +80,9 @@ int main(int argc, char** argv) {
     expect.push_back(snap->what_if(cands.back()).admissible);
   }
 
-  rpc::Server server(eng, rpc::ServerConfig{});  // loopback, ephemeral port
+  rpc::ServerConfig scfg;  // loopback, ephemeral port
+  scfg.io_timeout_ms = 2'000;  // the stalled-peer section needs a deadline
+  rpc::Server server(eng, scfg);
   std::thread daemon([&server] { server.serve(); });
   rpc::Client client = rpc::Client::connect_tcp("127.0.0.1",
                                                 server.tcp_port());
@@ -98,6 +109,7 @@ int main(int argc, char** argv) {
     json.add("section", std::string(section));
     json.add("qps", qps);
     json.add("vs_in_process", rel);
+    return qps;
   };
 
   run_section("in_process", [&](std::size_t i) {
@@ -112,14 +124,59 @@ int main(int argc, char** argv) {
   });
   std::vector<gmf::Flow> batch(cands.begin(),
                                cands.begin() + static_cast<long>(kBatch));
-  run_section("loopback_batch16", [&](std::size_t) {
+  const auto batch16 = [&](std::size_t) {
     const std::vector<engine::WhatIfResult> results =
         client.what_if_batch(batch);
     for (std::size_t k = 0; k < results.size(); ++k) {
       if (results[k].admissible != expect[k]) ++bad;
     }
     return static_cast<int>(kBatch);
-  });
+  };
+  const double no_stall_qps = run_section("loopback_batch16", batch16);
+
+  // Same batches while a peer on another connection stalls mid-frame
+  // (best of 3 samples — loopback qps is noisy on shared runners).
+  double stalled_qps = 0.0;
+  bool peer_disconnected = false;
+  {
+    rpc::Socket stalled =
+        rpc::connect_tcp("127.0.0.1", server.tcp_port());
+    stalled.send_all(std::string_view(rpc::kMagic, sizeof rpc::kMagic));
+    const auto stall_t0 = std::chrono::steady_clock::now();
+
+    for (int sample = 0; sample < 3; ++sample) {
+      std::int64_t done = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      while (secs_since(t0) * 1000.0 < ms_per_point / 2) {
+        done += batch16(static_cast<std::size_t>(done));
+      }
+      stalled_qps =
+          std::max(stalled_qps, static_cast<double>(done) / secs_since(t0));
+    }
+    t.add_row({"loopback_batch16_stalled", Table::fixed(stalled_qps, 0),
+               Table::fixed(stalled_qps / in_process_qps, 2) + "x"});
+    json.begin_row();
+    json.add("section", std::string("loopback_batch16_stalled"));
+    json.add("qps", stalled_qps);
+    json.add("vs_in_process", stalled_qps / in_process_qps);
+    json.add("vs_no_stall", stalled_qps / no_stall_qps);
+
+    // The daemon must shed the stalled peer once its io deadline expires.
+    stalled.set_recv_timeout_ms(6'000);
+    char byte = 0;
+    try {
+      while (stalled.recv_exact(&byte, 1)) {
+      }
+      peer_disconnected = true;
+    } catch (const rpc::TimeoutError&) {
+      peer_disconnected = false;  // still connected after deadline + slack
+    } catch (const rpc::TransportError&) {
+      peer_disconnected = true;  // reset: equally disconnected
+    }
+    std::printf("stalled peer disconnected after %.1f s (io timeout %.1f "
+                "s)\n\n",
+                secs_since(stall_t0), scfg.io_timeout_ms / 1000.0);
+  }
 
   client.shutdown();
   daemon.join();
@@ -136,7 +193,18 @@ int main(int argc, char** argv) {
                 "reference\n", bad);
     return 1;
   }
-  std::printf("PASS: every remote verdict matched the in-process "
-              "reference\n");
+  if (!peer_disconnected) {
+    std::printf("FAIL: stalled peer still connected past the io deadline\n");
+    return 1;
+  }
+  if (stalled_qps < 0.9 * no_stall_qps) {
+    std::printf("FAIL: stalled peer cost %.0f%% of healthy-connection qps "
+                "(max allowed 10%%)\n",
+                100.0 * (1.0 - stalled_qps / no_stall_qps));
+    return 1;
+  }
+  std::printf("PASS: every remote verdict matched the in-process reference; "
+              "stalled peer isolated (%.0f%% of no-stall qps)\n",
+              100.0 * stalled_qps / no_stall_qps);
   return 0;
 }

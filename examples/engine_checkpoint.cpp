@@ -12,6 +12,7 @@
 #include <string>
 
 #include "engine/analysis_engine.hpp"
+#include "io/atomic_file.hpp"
 #include "io/checkpoint.hpp"
 #include "net/network.hpp"
 #include "workload/scenario.hpp"
@@ -65,10 +66,12 @@ int main(int argc, char** argv) {
                 "locality domains\n",
                 admitted, eng.flow_count(), eng.shard_count());
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // Atomic replace (temp + fsync + rename): a crash mid-save never
+    // leaves a truncated checkpoint where a good one used to be.
+    io::AtomicFileWriter out(path);
     const auto t0 = std::chrono::steady_clock::now();
-    eng.save(out);
-    out.close();
+    eng.save(out.stream());
+    out.commit();
     std::printf("checkpoint written to %s in %.0f us\n", path.c_str(),
                 wall_us(t0));
   }  // engine destroyed — the "process" dies here

@@ -1,0 +1,151 @@
+#include "io/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <utility>
+
+namespace gmfnet::io {
+
+namespace {
+
+FileFaultHook g_fault_hook;
+
+/// True when the test hook wants this stage to fail.  A throwing hook
+/// (simulated crash) propagates from here — exactly as if the process
+/// died at this boundary, minus the temp-file litter a real crash leaves.
+bool injected_failure(std::string_view stage, const std::string& path) {
+  return g_fault_hook && g_fault_hook(stage, path);
+}
+
+[[nodiscard]] std::string errno_suffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+[[nodiscard]] std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    throw AtomicFileError("cannot open directory " + dir + errno_suffix());
+  }
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) {
+    throw AtomicFileError("fsync of directory " + dir + " failed" +
+                          errno_suffix());
+  }
+}
+
+}  // namespace
+
+void set_file_fault_hook(FileFaultHook hook) {
+  g_fault_hook = std::move(hook);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string target, bool keep_previous)
+    : target_(std::move(target)), keep_previous_(keep_previous) {
+  if (target_.empty()) throw AtomicFileError("empty target path");
+  static std::atomic<unsigned> counter{0};
+  temp_ = target_ + ".tmp." + std::to_string(::getpid()) + "." +
+          std::to_string(counter.fetch_add(1));
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) abort();
+}
+
+void AtomicFileWriter::abort() noexcept { ::unlink(temp_.c_str()); }
+
+void AtomicFileWriter::commit() {
+  if (committed_) throw AtomicFileError("commit() called twice");
+  const std::string data = buf_.str();
+
+  // 1. Write the complete new content to a temp file in the same
+  //    directory (rename is only atomic within one filesystem).
+  const int fd =
+      ::open(temp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw AtomicFileError("cannot create " + temp_ + errno_suffix());
+  }
+  std::size_t off = 0;
+  bool write_failed = injected_failure("write", temp_);
+  while (!write_failed && off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed = true;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (write_failed) {
+    ::close(fd);
+    abort();
+    throw AtomicFileError("write to " + temp_ + " failed" + errno_suffix());
+  }
+
+  // 2. fsync the temp file: the bytes must be durable *before* the rename
+  //    makes them visible, or a crash could leave a visible-but-empty
+  //    target — the exact corruption this class exists to rule out.
+  if (injected_failure("fsync", temp_) || ::fsync(fd) != 0) {
+    ::close(fd);
+    abort();
+    throw AtomicFileError("fsync of " + temp_ + " failed" + errno_suffix());
+  }
+  ::close(fd);
+
+  // 3. Optionally rotate the current target to .prev — from here until
+  //    stage 4 completes the target path is absent, but .prev holds the
+  //    last good content (the boot-recovery fallback).
+  if (keep_previous_) {
+    const std::string prev = previous_path(target_);
+    if (injected_failure("rename-previous", prev)) {
+      abort();
+      throw AtomicFileError("rename of " + target_ + " to " + prev +
+                            " failed" + errno_suffix());
+    }
+    if (::rename(target_.c_str(), prev.c_str()) != 0 && errno != ENOENT) {
+      abort();
+      throw AtomicFileError("rename of " + target_ + " to " + prev +
+                            " failed" + errno_suffix());
+    }
+  }
+
+  // 4. Atomically install the new content.
+  if (injected_failure("rename", target_) ||
+      ::rename(temp_.c_str(), target_.c_str()) != 0) {
+    abort();
+    throw AtomicFileError(
+        "rename of " + temp_ + " to " + target_ + " failed" + errno_suffix() +
+        (keep_previous_ ? "; last good content at " + previous_path(target_)
+                        : std::string()));
+  }
+
+  // 5. fsync the directory so the rename itself survives a crash.
+  const std::string dir = dir_of(target_);
+  if (injected_failure("fsync-dir", dir)) {
+    throw AtomicFileError("fsync of directory " + dir + " failed" +
+                          errno_suffix());
+  }
+  fsync_dir(dir);
+  committed_ = true;
+}
+
+void atomic_write_file(const std::string& target, std::string_view data,
+                       bool keep_previous) {
+  AtomicFileWriter w(target, keep_previous);
+  w.stream().write(data.data(), static_cast<std::streamsize>(data.size()));
+  w.commit();
+}
+
+}  // namespace gmfnet::io

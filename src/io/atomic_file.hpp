@@ -1,0 +1,88 @@
+// Crash-safe file replacement: write a temp file in the target's
+// directory, fsync it, rename it over the target, fsync the directory.
+// At every instant the target path either holds the complete old content
+// or the complete new content — a crash (power loss, kill -9, a thrown
+// exception) mid-save can cost the save in progress, never the last good
+// file.  This is the only way checkpoint bytes reach disk anywhere in the
+// tree (gmfnetd auto/final checkpoints, gmfnet_ctl save, examples).
+//
+// With `keep_previous`, commit first rotates the existing target to
+// `<target>.prev` before renaming the new file in.  The crash window
+// between the two renames leaves the target path briefly absent, but
+// `.prev` then holds the last good content — so a reader that tries
+// `<target>` first and falls back to `<target>.prev` (gmfnetd boot
+// recovery) always finds the newest valid checkpoint.
+//
+// Every stage consults a test-only fault hook (set_file_fault_hook) so
+// the checkpoint crash-safety tests can fail fsync/rename or simulate a
+// kill at exact stage boundaries without mocking the filesystem.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gmfnet::io {
+
+/// Thrown when an atomic replacement cannot be completed; the target file
+/// is untouched unless what() says otherwise (rotation succeeded but the
+/// final rename failed: the last good content is at previous_path()).
+class AtomicFileError : public std::runtime_error {
+ public:
+  explicit AtomicFileError(const std::string& message)
+      : std::runtime_error("atomic file: " + message) {}
+};
+
+/// Test hook, consulted before each commit stage with the stage name
+/// ("write", "fsync", "rename-previous", "rename", "fsync-dir") and the
+/// path involved.  Return true to make that stage fail as if the
+/// underlying syscall errored; throw to simulate a crash at that exact
+/// point.  An empty hook (the default) injects nothing.
+using FileFaultHook =
+    std::function<bool(std::string_view stage, const std::string& path)>;
+void set_file_fault_hook(FileFaultHook hook);
+
+class AtomicFileWriter {
+ public:
+  /// Prepares a replacement of `target`.  Nothing touches the filesystem
+  /// until commit().
+  explicit AtomicFileWriter(std::string target, bool keep_previous = false);
+  /// Aborts (removes the temp file) when commit() was never reached.
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Buffer the new content here (e.g. AnalysisEngine::save(stream())).
+  [[nodiscard]] std::ostream& stream() { return buf_; }
+
+  /// Durably replaces the target: temp write + fsync + rename(s) + dir
+  /// fsync.  Throws AtomicFileError on any failure (temp file cleaned up;
+  /// target untouched except as documented for keep_previous).
+  void commit();
+
+  /// Best-effort cleanup of the temp file; target untouched.
+  void abort() noexcept;
+
+  [[nodiscard]] const std::string& target_path() const { return target_; }
+  [[nodiscard]] const std::string& temp_path() const { return temp_; }
+
+  /// Where the pre-replacement content lives after a keep_previous commit.
+  [[nodiscard]] static std::string previous_path(const std::string& target) {
+    return target + ".prev";
+  }
+
+ private:
+  std::string target_;
+  std::string temp_;
+  bool keep_previous_;
+  bool committed_ = false;
+  std::ostringstream buf_;
+};
+
+/// One-shot convenience over AtomicFileWriter.
+void atomic_write_file(const std::string& target, std::string_view data,
+                       bool keep_previous = false);
+
+}  // namespace gmfnet::io

@@ -1,20 +1,80 @@
 #include "rpc/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace gmfnet::rpc {
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(rpc::connect_unix(path));
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t clock_seed() {
+  return static_cast<std::uint64_t>(
+      Clock::now().time_since_epoch().count());
 }
 
-Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
-  return Client(rpc::connect_tcp(host, port));
+}  // namespace
+
+Client::Client(Socket sock, Endpoint endpoint, ClientConfig cfg)
+    : sock_(std::move(sock)),
+      endpoint_(std::move(endpoint)),
+      cfg_(cfg),
+      jitter_(cfg.backoff_seed != 0 ? cfg.backoff_seed : clock_seed()) {}
+
+Client Client::connect_unix(const std::string& path, ClientConfig cfg) {
+  return Client(rpc::connect_unix(path, cfg.connect_timeout_ms),
+                Endpoint{path, {}, 0}, cfg);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port,
+                           ClientConfig cfg) {
+  return Client(rpc::connect_tcp(host, port, cfg.connect_timeout_ms),
+                Endpoint{{}, host, port}, cfg);
+}
+
+void Client::ensure_connected() {
+  if (sock_.valid()) return;
+  sock_ = endpoint_.unix_path.empty()
+              ? rpc::connect_tcp(endpoint_.host, endpoint_.port,
+                                 cfg_.connect_timeout_ms)
+              : rpc::connect_unix(endpoint_.unix_path,
+                                  cfg_.connect_timeout_ms);
+}
+
+void Client::backoff_sleep(int attempt) {
+  const int shift = std::min(attempt, 20);  // 2^20 x initial >> any cap
+  const std::int64_t uncapped =
+      static_cast<std::int64_t>(cfg_.backoff_initial_ms) << shift;
+  const std::int64_t capped = std::min<std::int64_t>(
+      uncapped, std::max(cfg_.backoff_max_ms, cfg_.backoff_initial_ms));
+  // Jitter in [capped/2, capped]: spreads the reconnect stampede when many
+  // clients lose the same daemon at the same instant.
+  const std::int64_t jittered =
+      capped / 2 + jitter_.uniform_i64(0, std::max<std::int64_t>(
+                                              capped - capped / 2, 0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
 }
 
 template <typename Expected>
-Expected Client::call(const Request& req) {
+Expected Client::call_once(const Request& req) {
+  // The request deadline spans the whole exchange: the send and the
+  // response receive share one budget, so a daemon that accepts the
+  // request but never answers cannot double the wait.
+  const Clock::time_point started = Clock::now();
+  const auto remaining = [&]() -> int {
+    if (cfg_.request_timeout_ms < 0) return kNoTimeout;
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - started)
+                           .count();
+    return std::max<int>(
+        0, cfg_.request_timeout_ms - static_cast<int>(spent));
+  };
+  sock_.set_send_timeout_ms(remaining());
   send_frame(sock_, encode_request(req));
+  sock_.set_recv_timeout_ms(remaining());
   std::optional<std::string> frame = recv_frame(sock_);
   if (!frame) {
     throw TransportError("daemon closed the connection before responding");
@@ -29,6 +89,22 @@ Expected Client::call(const Request& req) {
   throw ProtocolError("unexpected response type for request");
 }
 
+template <typename Expected>
+Expected Client::call(const Request& req, bool idempotent) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      return call_once<Expected>(req);
+    } catch (const TransportError&) {
+      // The socket is in an unknown mid-exchange state either way.
+      sock_.close();
+      if (!idempotent || attempt >= cfg_.max_retries) throw;
+      ++retries_;
+      backoff_sleep(attempt);
+    }
+  }
+}
+
 std::optional<core::HolisticResult> Client::admit(const gmf::Flow& flow) {
   return call<AdmitResponse>(AdmitRequest{flow}).result;
 }
@@ -39,7 +115,9 @@ bool Client::remove(std::uint64_t index) {
 
 std::vector<engine::WhatIfResult> Client::what_if_batch(
     const std::vector<gmf::Flow>& candidates) {
-  return call<WhatIfBatchResponse>(WhatIfBatchRequest{candidates}).results;
+  return call<WhatIfBatchResponse>(WhatIfBatchRequest{candidates},
+                                   /*idempotent=*/true)
+      .results;
 }
 
 engine::WhatIfResult Client::what_if(const gmf::Flow& candidate) {
@@ -50,7 +128,9 @@ engine::WhatIfResult Client::what_if(const gmf::Flow& candidate) {
   return std::move(results.front());
 }
 
-StatsResponse Client::stats() { return call<StatsResponse>(StatsRequest{}); }
+StatsResponse Client::stats() {
+  return call<StatsResponse>(StatsRequest{}, /*idempotent=*/true);
+}
 
 std::string Client::save_checkpoint() {
   return call<SaveCheckpointResponse>(SaveCheckpointRequest{}).checkpoint;

@@ -11,6 +11,17 @@
 //    version skew, an unexpected response type).  Do not reuse the
 //    connection.
 //  * TransportError — the socket failed (daemon gone, mid-frame close).
+//    TimeoutError (a subclass) when a configured deadline expired first.
+//
+// Resilience (ClientConfig): connects and requests carry deadlines, and
+// transport failures on *idempotent* requests — WHAT_IF_BATCH and STATS,
+// which commit nothing — are retried up to max_retries times over a fresh
+// connection with capped exponential backoff plus jitter.  Mutating
+// requests (ADMIT, REMOVE, RESTORE, SHUTDOWN) are NEVER retried blindly:
+// a transport error mid-exchange leaves it unknown whether the daemon
+// committed the mutation, and replaying it could double-admit.  Such
+// failures surface as TransportError; the operator (who can consult
+// STATS) decides.
 //
 // One Client per thread: calls on one connection are serialized by the
 // request/response protocol itself.  Open several clients for concurrent
@@ -24,6 +35,7 @@
 
 #include "rpc/protocol.hpp"
 #include "rpc/transport.hpp"
+#include "util/rng.hpp"
 
 namespace gmfnet::rpc {
 
@@ -34,11 +46,30 @@ class RemoteError : public std::runtime_error {
       : std::runtime_error("rpc remote: " + message) {}
 };
 
+struct ClientConfig {
+  /// Deadline for establishing (or re-establishing) the connection.
+  int connect_timeout_ms = 10'000;
+  /// Whole-request deadline (send + receive); kNoTimeout = wait forever.
+  int request_timeout_ms = kNoTimeout;
+  /// Transparent retries for idempotent requests after a transport
+  /// failure (0 = fail on the first error, like any mutating request).
+  int max_retries = 0;
+  /// Capped exponential backoff between retries: attempt k sleeps a
+  /// jittered duration in [d/2, d] for d = min(initial << k, max).
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 2'000;
+  /// Jitter seed; 0 derives one from the clock (jitter exists to spread
+  /// reconnect stampedes, determinism is for tests).
+  std::uint64_t backoff_seed = 0;
+};
+
 class Client {
  public:
-  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_unix(const std::string& path,
+                                           ClientConfig cfg = {});
   [[nodiscard]] static Client connect_tcp(const std::string& host,
-                                          std::uint16_t port);
+                                          std::uint16_t port,
+                                          ClientConfig cfg = {});
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -52,12 +83,14 @@ class Client {
 
   /// WHAT_IF_BATCH: independent non-committing probes against the
   /// daemon's published snapshot; out[i] corresponds to candidates[i].
+  /// Idempotent: retried per ClientConfig.
   std::vector<engine::WhatIfResult> what_if_batch(
       const std::vector<gmf::Flow>& candidates);
   /// Single-candidate convenience over WHAT_IF_BATCH.
   engine::WhatIfResult what_if(const gmf::Flow& candidate);
 
   /// STATS: engine counters plus resident flow / shard counts.
+  /// Idempotent: retried per ClientConfig.
   StatsResponse stats();
 
   /// SAVE_CHECKPOINT: the daemon's converged state as a PR 4 checkpoint
@@ -72,15 +105,34 @@ class Client {
   /// before the daemon winds down).
   void shutdown();
 
+  /// Transport-level retries performed so far (observability for tests
+  /// and the chaos soak).
+  [[nodiscard]] std::uint64_t retries_performed() const { return retries_; }
+
  private:
-  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+  struct Endpoint {
+    std::string unix_path;  ///< non-empty: Unix-domain
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  Client(Socket sock, Endpoint endpoint, ClientConfig cfg);
 
   /// One exchange; throws RemoteError on ErrorResponse and ProtocolError
-  /// when the response is not of type `Expected`.
+  /// when the response is not of type `Expected`.  With `idempotent`,
+  /// transport failures reconnect and retry under the backoff policy.
   template <typename Expected>
-  Expected call(const Request& req);
+  Expected call(const Request& req, bool idempotent = false);
+  template <typename Expected>
+  Expected call_once(const Request& req);
+  void ensure_connected();
+  void backoff_sleep(int attempt);
 
   Socket sock_;
+  Endpoint endpoint_;
+  ClientConfig cfg_;
+  Rng jitter_;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace gmfnet::rpc

@@ -1,0 +1,77 @@
+#include "rpc/fault_injection.hpp"
+
+namespace gmfnet::rpc {
+
+namespace {
+
+thread_local FaultInjector* t_injector = nullptr;
+
+/// SplitMix64 step over an atomic state: each caller gets an independent
+/// draw from one deterministic stream regardless of thread interleaving
+/// (the *set* of decisions is fixed by the seed; their assignment to
+/// threads is scheduling-dependent, which is exactly what a chaos soak
+/// wants).
+std::uint64_t next_u64(std::atomic<std::uint64_t>& state) {
+  std::uint64_t z = state.fetch_add(0x9E3779B97F4A7C15ull,
+                                    std::memory_order_relaxed) +
+                    0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double unit(std::uint64_t v) {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+/// A run of EINTRs longer than this would turn a retry loop into a
+/// livelock; real kernels do not deliver unbounded signal storms either.
+constexpr int kMaxEintrBurst = 16;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultProfile profile)
+    : profile_(profile), state_(profile.seed) {}
+
+FaultInjector::Decision FaultInjector::next() {
+  ios_.fetch_add(1, std::memory_order_relaxed);
+  Decision d;
+  if (profile_.delay > 0 && unit(next_u64(state_)) < profile_.delay) {
+    d.delay_us = static_cast<int>(
+        next_u64(state_) %
+        static_cast<std::uint64_t>(profile_.max_delay_us > 0
+                                       ? profile_.max_delay_us
+                                       : 1));
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (profile_.reset > 0 && unit(next_u64(state_)) < profile_.reset) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    d.io = Io::kReset;
+    return d;
+  }
+  if (profile_.eintr > 0 && unit(next_u64(state_)) < profile_.eintr) {
+    if (eintr_burst_.fetch_add(1, std::memory_order_relaxed) <
+        kMaxEintrBurst) {
+      eintrs_.fetch_add(1, std::memory_order_relaxed);
+      d.io = Io::kEintr;
+      return d;
+    }
+  }
+  eintr_burst_.store(0, std::memory_order_relaxed);
+  if (profile_.short_io > 0 && unit(next_u64(state_)) < profile_.short_io) {
+    shorts_.fetch_add(1, std::memory_order_relaxed);
+    d.io = Io::kShort;
+  }
+  return d;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector& injector)
+    : previous_(t_injector) {
+  t_injector = &injector;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() { t_injector = previous_; }
+
+FaultInjector* current_fault_injector() { return t_injector; }
+
+}  // namespace gmfnet::rpc

@@ -1,0 +1,84 @@
+// Fault injection for the RPC transport: a deterministic, seedable shim
+// hooked into the transport's syscall wrappers (rpc/transport.cpp routes
+// every recv/send through it when one is installed on the calling thread).
+//
+// The injector perturbs I/O the way a hostile network and a loaded kernel
+// do — short reads/writes (the kernel is always allowed to transfer fewer
+// bytes than asked), EINTR storms, scheduling delays, and mid-frame
+// connection resets — without ever corrupting bytes that are delivered.
+// Under it, the chaos soak (tests/test_rpc_chaos.cpp) proves the invariant
+// the whole robustness layer exists for: every *delivered* verdict is
+// bit-identical to an in-process mirror engine, no matter what the wire
+// did in between.
+//
+// Installation is thread-local (ScopedFaultInjection): a test installs the
+// injector on its client threads only, so the faults model a misbehaving
+// peer/network as seen from one side while the daemon's own syscalls stay
+// honest — exactly the deployment failure mode.  The injector itself is
+// thread-safe (one instance may be shared across threads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gmfnet::rpc {
+
+/// Probabilities of each perturbation, checked independently per syscall.
+/// All default to zero: an injector with a default profile is a no-op.
+struct FaultProfile {
+  std::uint64_t seed = 1;    ///< deterministic decision stream
+  double short_io = 0.0;     ///< clamp a recv/send to a 1-byte transfer
+  double eintr = 0.0;        ///< fail with EINTR (bursts capped, see .cpp)
+  double delay = 0.0;        ///< sleep up to max_delay_us before the io
+  int max_delay_us = 500;
+  double reset = 0.0;        ///< kill the connection mid-io (both ways)
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile);
+
+  enum class Io { kPass, kShort, kEintr, kReset };
+
+  /// One decision per attempted recv/send, with the delay (if any) to
+  /// sleep first.  Thread-safe.
+  struct Decision {
+    Io io = Io::kPass;
+    int delay_us = 0;
+  };
+  [[nodiscard]] Decision next();
+
+  // Injection counters, for soak-coverage assertions ("the run actually
+  // exercised every fault kind").
+  [[nodiscard]] std::uint64_t ios() const { return ios_.load(); }
+  [[nodiscard]] std::uint64_t shorts() const { return shorts_.load(); }
+  [[nodiscard]] std::uint64_t eintrs() const { return eintrs_.load(); }
+  [[nodiscard]] std::uint64_t delays() const { return delays_.load(); }
+  [[nodiscard]] std::uint64_t resets() const { return resets_.load(); }
+
+ private:
+  FaultProfile profile_;
+  std::atomic<std::uint64_t> state_;       // SplitMix64 walk — lock-free
+  std::atomic<int> eintr_burst_{0};        // cap consecutive EINTRs
+  std::atomic<std::uint64_t> ios_{0}, shorts_{0}, eintrs_{0}, delays_{0},
+      resets_{0};
+};
+
+/// Installs `injector` on the current thread for the lifetime of the
+/// object; transport syscalls on this thread consult it.  Nesting restores
+/// the previous injector on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector& injector);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The injector installed on the current thread, or nullptr.
+[[nodiscard]] FaultInjector* current_fault_injector();
+
+}  // namespace gmfnet::rpc

@@ -1,7 +1,13 @@
 #include "rpc/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
+
+#include "io/atomic_file.hpp"
+#include "util/log.hpp"
 
 namespace gmfnet::rpc {
 
@@ -13,6 +19,29 @@ struct Overloaded : Ts... {
 };
 template <class... Ts>
 Overloaded(Ts...) -> Overloaded<Ts...>;
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Tries to tell the peer why it is being disconnected (deadline blown,
+/// malformed frame) before the close.  Strictly best-effort: the peer may
+/// be the very thing that is broken, so failures are swallowed and the
+/// send gets a short deadline of its own.
+void best_effort_error(Socket& sock, const std::string& message) {
+  try {
+    sock.set_send_timeout_ms(1000);
+    send_frame(sock, encode_response(ErrorResponse{message}));
+  } catch (const std::exception&) {
+  }
+}
+
+/// Idle-wait slice: how often a blocked handler re-checks stop/drain.
+constexpr int kWaitSliceMs = 100;
 
 }  // namespace
 
@@ -37,32 +66,112 @@ Server::~Server() {
 
 void Server::request_stop() { stop_.store(true, std::memory_order_release); }
 
+void Server::request_drain() { drain_.store(true, std::memory_order_release); }
+
 void Server::serve() {
   // Teardown (close + join every handler) must run no matter how the
   // accept loop ends: joinable std::threads destroyed without a join
   // would std::terminate the daemon.
   int consecutive_failures = 0;
-  while (!stop_requested()) {
+  int backoff_ms = 0;
+  while (!stop_requested() && !drain_requested()) {
     try {
       Socket conn = listener_.accept(/*timeout_ms=*/50);
       reap_connections(/*all=*/false);
       if (!conn.valid()) continue;
+      if (cfg_.max_connections > 0 &&
+          live_connections() >= cfg_.max_connections) {
+        shed_oldest_idle();
+      }
       auto sock = std::make_shared<Socket>(std::move(conn));
       auto done = std::make_shared<std::atomic<bool>>(false);
-      std::thread th(&Server::handle_connection, this, sock, done);
+      auto last_active =
+          std::make_shared<std::atomic<std::int64_t>>(now_ms());
+      std::thread th(&Server::handle_connection, this, sock, done,
+                     last_active);
       std::lock_guard<std::mutex> lock(conn_mu_);
-      conns_.push_back(Conn{std::move(th), sock, done});
+      conns_.push_back(Conn{std::move(th), sock, done, last_active});
       consecutive_failures = 0;
+      backoff_ms = 0;
+    } catch (const TransportError& e) {
+      if (is_transient_accept_error(e.errno_value())) {
+        // fd exhaustion or a backlog abort: the listener is still good.
+        // Back off (capped exponential) so the loop does not spin while
+        // the condition clears, reap finished handlers to free fds, and
+        // keep serving.
+        backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 500);
+        GMFNET_LOG_WARN("rpc server: transient accept failure (%s), "
+                        "backing off %dms",
+                        e.what(), backoff_ms);
+        reap_connections(/*all=*/false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        continue;
+      }
+      // A listener that fails persistently cannot recover — wind down
+      // instead of spinning on it.
+      if (++consecutive_failures >= 100) request_stop();
     } catch (const std::exception&) {
-      // Transient accept/thread-spawn failure (fd or thread exhaustion
-      // under a connection flood): drop that connection and keep serving
-      // the live ones.  A listener that fails persistently cannot recover
-      // — wind down instead of spinning on it.
+      // Thread-spawn failure under load: drop that connection and keep
+      // serving the live ones.
       if (++consecutive_failures >= 100) request_stop();
     }
   }
   listener_.close();
+  if (drain_requested() && !stop_requested()) {
+    // Grace period: in-flight requests finish on their own (handlers exit
+    // at the next request boundary once they observe the drain flag).
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           cfg_.drain_timeout_ms >= 0 ? cfg_.drain_timeout_ms
+                                                      : 0);
+    for (;;) {
+      reap_connections(/*all=*/false);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        if (conns_.empty()) break;
+      }
+      if (Clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   reap_connections(/*all=*/true);
+  if (!cfg_.checkpoint_path.empty()) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    try {
+      write_checkpoint_locked();
+    } catch (const std::exception& e) {
+      GMFNET_LOG_ERROR("rpc server: final checkpoint failed: %s", e.what());
+    }
+  }
+}
+
+std::size_t Server::live_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  std::size_t live = 0;
+  for (const Conn& c : conns_) {
+    if (!c.done->load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+void Server::shed_oldest_idle() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  Conn* oldest = nullptr;
+  std::int64_t oldest_ms = 0;
+  for (Conn& c : conns_) {
+    if (c.done->load(std::memory_order_acquire)) continue;
+    const std::int64_t at = c.last_active->load(std::memory_order_relaxed);
+    if (oldest == nullptr || at < oldest_ms) {
+      oldest = &c;
+      oldest_ms = at;
+    }
+  }
+  if (oldest != nullptr) {
+    // Wake its handler (blocked in recv) with EOF; it exits and is
+    // reaped on a later pass.
+    oldest->sock->shutdown_both();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Server::reap_connections(bool all) {
@@ -92,24 +201,90 @@ void Server::reap_connections(bool all) {
 
 void Server::handle_connection(
     const std::shared_ptr<Socket>& sock,
-    const std::shared_ptr<std::atomic<bool>>& done) {
+    const std::shared_ptr<std::atomic<bool>>& done,
+    const std::shared_ptr<std::atomic<std::int64_t>>& last_active) {
+  sock->set_recv_timeout_ms(cfg_.io_timeout_ms);
+  sock->set_send_timeout_ms(cfg_.io_timeout_ms);
+
+  // Waits for the next request in short slices so a stop/drain interrupts
+  // an idle connection promptly (the deadline knobs stay whole-operation:
+  // slicing only applies to the between-requests idle wait).
+  enum class Wait { kReady, kIdle, kWindDown };
+  const auto wait_for_request = [&]() -> Wait {
+    const Clock::time_point idle_start = Clock::now();
+    for (;;) {
+      if (stop_requested() || drain_requested()) return Wait::kWindDown;
+      int slice = kWaitSliceMs;
+      if (cfg_.idle_timeout_ms >= 0) {
+        const auto idle_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - idle_start)
+                .count();
+        if (idle_ms >= cfg_.idle_timeout_ms) return Wait::kIdle;
+        slice = std::min<int>(
+            slice, static_cast<int>(cfg_.idle_timeout_ms - idle_ms));
+      }
+      if (sock->wait_readable(slice)) return Wait::kReady;
+    }
+  };
+
   try {
     for (;;) {
+      const Wait w = wait_for_request();
+      if (w == Wait::kWindDown) break;
+      if (w == Wait::kIdle) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        best_effort_error(*sock, "idle timeout: closing connection");
+        break;
+      }
       std::optional<std::string> frame = recv_frame(*sock);
       if (!frame) break;  // peer closed cleanly
+      last_active->store(now_ms(), std::memory_order_relaxed);
       Response resp = handle(decode_request(*frame));
       const bool shutting_down = std::holds_alternative<ShutdownResponse>(resp);
       send_frame(*sock, encode_response(resp));
+      last_active->store(now_ms(), std::memory_order_relaxed);
       if (shutting_down) break;
     }
+  } catch (const TimeoutError&) {
+    // Stalled peer: mid-frame recv or an unread response blew the io
+    // deadline.  Tell it why (best effort) and drop the connection —
+    // never a hung thread.
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    best_effort_error(*sock, "request deadline exceeded: closing connection");
+  } catch (const ProtocolError& e) {
+    // Malformed frame: this connection's stream can no longer be trusted
+    // — report why (best effort) and drop it, leaving the daemon and
+    // other connections untouched.
+    best_effort_error(*sock, e.what());
   } catch (const std::exception&) {
-    // Malformed frame or broken socket: this connection's stream can no
-    // longer be trusted — drop it, leave the daemon and other connections
-    // untouched.  (Engine-level failures never reach here; handle() turns
-    // them into ErrorResponse.)
+    // Broken socket: nothing to report to, just drop it.  (Engine-level
+    // failures never reach here; handle() turns them into ErrorResponse.)
   }
   sock->shutdown_both();
   done->store(true, std::memory_order_release);
+}
+
+void Server::note_mutation_locked() {
+  const std::size_t n = mutations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_path.empty() &&
+      n % cfg_.checkpoint_every == 0) {
+    try {
+      write_checkpoint_locked();
+    } catch (const std::exception& e) {
+      // An auto-checkpoint failure must not fail the mutation that
+      // triggered it (the admission itself committed fine); the previous
+      // checkpoint generation is still on disk thanks to the atomic
+      // writer.
+      GMFNET_LOG_WARN("rpc server: auto-checkpoint failed: %s", e.what());
+    }
+  }
+}
+
+void Server::write_checkpoint_locked() {
+  io::AtomicFileWriter writer(cfg_.checkpoint_path, /*keep_previous=*/true);
+  engine()->save(writer.stream());
+  writer.commit();
 }
 
 Response Server::handle(Request&& req) {
@@ -118,7 +293,9 @@ Response Server::handle(Request&& req) {
         Overloaded{
             [&](AdmitRequest& m) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
-              return AdmitResponse{engine()->try_admit(std::move(m.flow))};
+              AdmitResponse resp{engine()->try_admit(std::move(m.flow))};
+              if (resp.result.has_value()) note_mutation_locked();
+              return resp;
             },
             [&](RemoveRequest& m) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
@@ -127,7 +304,10 @@ Response Server::handle(Request&& req) {
                   eng->remove_flow(static_cast<std::size_t>(m.index));
               // Re-evaluate immediately: the daemon keeps the published
               // snapshot fresh so reader probes never lag a mutation.
-              if (removed) (void)eng->evaluate();
+              if (removed) {
+                (void)eng->evaluate();
+                note_mutation_locked();
+              }
               return RemoveResponse{removed};
             },
             [&](WhatIfBatchRequest& m) -> Response {
@@ -183,6 +363,7 @@ Response Server::handle(Request&& req) {
                   engine::AnalysisEngine::restore_unique(is,
                                                          cfg_.engine_opts);
               std::atomic_store(&engine_, std::move(fresh));
+              note_mutation_locked();
               return RestoreResponse{engine()->flow_count()};
             },
             [&](ShutdownRequest&) -> Response {

@@ -24,6 +24,34 @@
 // One thread per connection; requests on one connection are answered in
 // order.  A malformed frame closes that connection (the stream can no
 // longer be trusted) without disturbing the daemon or other connections.
+//
+// Robustness contract — no peer can pin daemon resources indefinitely:
+//
+//  * Deadline I/O.  Every per-connection send/recv runs under
+//    io_timeout_ms; a peer that starts a frame and stalls (slow-loris) is
+//    sent a best-effort ERROR frame and disconnected when the deadline
+//    expires.  A peer idle between requests past idle_timeout_ms is
+//    likewise disconnected.
+//
+//  * Connection cap.  At most max_connections concurrent connections;
+//    when a new one arrives at the cap, the connection idle the longest
+//    is shed to make room (operator tooling reconnects; a leaked
+//    connection must not starve the daemon).
+//
+//  * Accept resilience.  Transient accept failures (EMFILE/ENFILE fd
+//    exhaustion, backlog aborts) back the accept loop off with a capped
+//    exponential delay instead of killing the listener.
+//
+//  * Graceful drain.  request_drain() (SIGTERM in gmfnetd) stops
+//    accepting, lets in-flight requests finish up to drain_timeout_ms,
+//    force-closes stragglers, then — like every serve() exit when
+//    checkpoint_path is set — writes a final crash-safe checkpoint.
+//
+//  * Crash-safe persistence.  Auto-checkpoints (every checkpoint_every
+//    committed mutations) and the final checkpoint go through
+//    io::AtomicFileWriter with rotation: the newest valid checkpoint is
+//    always recoverable at checkpoint_path or checkpoint_path + ".prev",
+//    no matter when the process dies.
 #pragma once
 
 #include <atomic>
@@ -52,6 +80,26 @@ struct ServerConfig {
   /// the engine under these (the checkpoint's option fingerprint is
   /// validated against them).
   core::HolisticOptions engine_opts;
+
+  /// Whole-operation deadline for each per-connection send/recv
+  /// (kNoTimeout = never): a peer stalled mid-frame is disconnected when
+  /// it expires.
+  int io_timeout_ms = 30'000;
+  /// Allowance for a connection sitting idle between requests
+  /// (kNoTimeout = keep idle connections forever).
+  int idle_timeout_ms = 120'000;
+  /// Max concurrent connections (0 = unlimited); at the cap the
+  /// oldest-idle connection is shed to admit the new one.
+  std::size_t max_connections = 1024;
+  /// How long request_drain() waits for in-flight requests before
+  /// force-closing their connections.
+  int drain_timeout_ms = 5'000;
+  /// Non-empty: serve() exits (and auto-checkpoints, see below) write the
+  /// engine state here via io::AtomicFileWriter with .prev rotation.
+  std::string checkpoint_path;
+  /// With checkpoint_path: also checkpoint after every N committed
+  /// mutations (0 = only the final checkpoint).
+  std::size_t checkpoint_every = 0;
 };
 
 class Server {
@@ -71,8 +119,9 @@ class Server {
     return listener_.unix_path();
   }
 
-  /// Accept-and-serve loop; returns after a SHUTDOWN request (or
-  /// request_stop()) once every connection handler has exited.
+  /// Accept-and-serve loop; returns after a SHUTDOWN request,
+  /// request_stop(), or request_drain() once every connection handler has
+  /// exited (drain gives in-flight requests cfg.drain_timeout_ms first).
   void serve();
 
   /// Asks a running serve() to wind down (safe from any thread).
@@ -81,10 +130,34 @@ class Server {
     return stop_.load(std::memory_order_acquire);
   }
 
+  /// Graceful wind-down (safe from any thread, e.g. a signal watcher):
+  /// stop accepting, drain in-flight requests up to cfg.drain_timeout_ms,
+  /// write the final checkpoint, return from serve().
+  void request_drain();
+  [[nodiscard]] bool drain_requested() const {
+    return drain_.load(std::memory_order_acquire);
+  }
+
   /// The currently served engine (atomic shared_ptr load — safe from any
   /// thread; RESTORE swaps it).
   [[nodiscard]] std::shared_ptr<engine::AnalysisEngine> engine() const {
     return std::atomic_load(&engine_);
+  }
+
+  // Observability for tests and operators.
+  [[nodiscard]] std::size_t live_connections() const;
+  /// Connections dropped to make room at the max_connections cap.
+  [[nodiscard]] std::size_t shed_connections() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for a blown io/idle deadline.
+  [[nodiscard]] std::size_t timed_out_connections() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Committed mutations (ADMIT that admitted, REMOVE that removed,
+  /// RESTORE) — the auto-checkpoint cadence counter.
+  [[nodiscard]] std::size_t committed_mutations() const {
+    return mutations_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -92,14 +165,26 @@ class Server {
     std::thread thread;
     std::shared_ptr<Socket> sock;
     std::shared_ptr<std::atomic<bool>> done;
+    /// Last request activity (steady-clock ms) — the shedding order key.
+    std::shared_ptr<std::atomic<std::int64_t>> last_active;
   };
 
-  void handle_connection(const std::shared_ptr<Socket>& sock,
-                         const std::shared_ptr<std::atomic<bool>>& done);
+  void handle_connection(
+      const std::shared_ptr<Socket>& sock,
+      const std::shared_ptr<std::atomic<bool>>& done,
+      const std::shared_ptr<std::atomic<std::int64_t>>& last_active);
   [[nodiscard]] Response handle(Request&& req);
   /// Joins finished handlers; with `all`, shuts every live socket down
   /// first and joins them all (serve-exit path).
   void reap_connections(bool all);
+  /// At the connection cap: shuts down the oldest-idle connection.
+  void shed_oldest_idle();
+  /// Counts a committed mutation and auto-checkpoints on cadence.
+  /// Caller holds writer_mu_.
+  void note_mutation_locked();
+  /// Atomic (temp + fsync + rename + dir fsync, with .prev rotation)
+  /// checkpoint to cfg_.checkpoint_path.  Caller holds writer_mu_.
+  void write_checkpoint_locked();
 
   ServerConfig cfg_;
   Listener listener_;
@@ -120,7 +205,11 @@ class Server {
   /// (the readers_mu_ try-lock miss path).
   engine::ProbeScratchPool conn_scratch_;
   std::atomic<bool> stop_{false};
-  std::mutex conn_mu_;
+  std::atomic<bool> drain_{false};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> timeouts_{0};
+  std::atomic<std::size_t> mutations_{0};
+  mutable std::mutex conn_mu_;
   std::vector<Conn> conns_;
 };
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,11 +11,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "rpc/fault_injection.hpp"
 
 namespace gmfnet::rpc {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] std::string errno_suffix() {
   return std::string(": ") + std::strerror(errno);
@@ -29,21 +36,168 @@ auto retry_eintr(Fn&& fn) {
   }
 }
 
+/// Absolute deadline for a whole operation; kNoTimeout = none.
+struct Deadline {
+  explicit Deadline(int timeout_ms)
+      : has_deadline(timeout_ms >= 0),
+        at(Clock::now() + std::chrono::milliseconds(
+                              timeout_ms >= 0 ? timeout_ms : 0)) {}
+
+  /// Remaining milliseconds for poll(): -1 when unbounded, >= 0 otherwise
+  /// (0 once expired).
+  [[nodiscard]] int remaining_ms() const {
+    if (!has_deadline) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - Clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+  [[nodiscard]] bool expired() const {
+    return has_deadline && Clock::now() >= at;
+  }
+
+  bool has_deadline;
+  Clock::time_point at;
+};
+
+/// Waits for `events` on `fd` until the deadline.  Returns true when
+/// ready, false on deadline expiry; throws TransportError on poll failure.
+bool wait_for(int fd, short events, const Deadline& deadline,
+              const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int pr = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (pr > 0) return true;  // ready (or error/hup — the io will report it)
+    if (pr == 0) return false;
+    if (errno != EINTR) {
+      throw TransportError(std::string(what) + " poll failed" +
+                               errno_suffix(),
+                           errno);
+    }
+    if (deadline.expired()) return false;
+  }
+}
+
+/// The transport's only raw data syscalls, routed through the
+/// thread-local fault injector (no-ops without one): short transfers,
+/// EINTR, injected scheduling delays, and mid-operation resets all enter
+/// here, exercising the very loops production traffic runs.
+ssize_t faulty_recv(int fd, char* buf, std::size_t n) {
+  if (FaultInjector* fi = current_fault_injector()) {
+    const FaultInjector::Decision d = fi->next();
+    if (d.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+    }
+    switch (d.io) {
+      case FaultInjector::Io::kEintr:
+        errno = EINTR;
+        return -1;
+      case FaultInjector::Io::kReset:
+        ::shutdown(fd, SHUT_RDWR);
+        break;  // fall through to the syscall: it observes the dead socket
+      case FaultInjector::Io::kShort:
+        n = 1;
+        break;
+      case FaultInjector::Io::kPass:
+        break;
+    }
+  }
+  return ::recv(fd, buf, n, 0);
+}
+
+ssize_t faulty_send(int fd, const char* buf, std::size_t n) {
+  if (FaultInjector* fi = current_fault_injector()) {
+    const FaultInjector::Decision d = fi->next();
+    if (d.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+    }
+    switch (d.io) {
+      case FaultInjector::Io::kEintr:
+        errno = EINTR;
+        return -1;
+      case FaultInjector::Io::kReset:
+        ::shutdown(fd, SHUT_RDWR);
+        break;
+      case FaultInjector::Io::kShort:
+        n = 1;
+        break;
+      case FaultInjector::Io::kPass:
+        break;
+    }
+  }
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw TransportError("fcntl failed" + errno_suffix(), errno);
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    throw TransportError("fcntl failed" + errno_suffix(), errno);
+  }
+}
+
+/// connect(2) with an optional deadline: non-blocking connect + poll +
+/// SO_ERROR, restored to blocking on success.
+void connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                          int timeout_ms, const std::string& where) {
+  if (timeout_ms < 0) {
+    if (retry_eintr([&] { return ::connect(fd, addr, len); }) != 0) {
+      throw TransportError("connect to " + where + " failed" + errno_suffix(),
+                           errno);
+    }
+    return;
+  }
+  set_nonblocking(fd, true);
+  if (::connect(fd, addr, len) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      throw TransportError("connect to " + where + " failed" + errno_suffix(),
+                           errno);
+    }
+    const Deadline deadline(timeout_ms);
+    if (!wait_for(fd, POLLOUT, deadline, "connect")) {
+      throw TimeoutError("connect to " + where + " timed out after " +
+                         std::to_string(timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      throw TransportError("getsockopt failed" + errno_suffix(), errno);
+    }
+    if (err != 0) {
+      errno = err;
+      throw TransportError("connect to " + where + " failed" + errno_suffix(),
+                           err);
+    }
+  }
+  set_nonblocking(fd, false);
+}
+
 }  // namespace
 
-TransportError::TransportError(const std::string& message)
-    : std::runtime_error("rpc transport: " + message) {}
+TransportError::TransportError(const std::string& message, int err)
+    : std::runtime_error("rpc transport: " + message), errno_value_(err) {}
+
+TimeoutError::TimeoutError(const std::string& message)
+    : TransportError(message, ETIMEDOUT) {}
 
 // ----------------------------------------------------------------- Socket --
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      recv_timeout_ms_(other.recv_timeout_ms_),
+      send_timeout_ms_(other.send_timeout_ms_) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    recv_timeout_ms_ = other.recv_timeout_ms_;
+    send_timeout_ms_ = other.send_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
@@ -61,22 +215,37 @@ void Socket::shutdown_both() {
 }
 
 void Socket::send_all(std::string_view data) {
+  const Deadline deadline(send_timeout_ms_);
   std::size_t off = 0;
   while (off < data.size()) {
+    if (deadline.has_deadline &&
+        !wait_for(fd_, POLLOUT, deadline, "send")) {
+      throw TimeoutError("send timed out after " +
+                         std::to_string(send_timeout_ms_) + "ms");
+    }
     const ssize_t n = retry_eintr([&] {
-      return ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      return faulty_send(fd_, data.data() + off, data.size() - off);
     });
-    if (n <= 0) throw TransportError("send failed" + errno_suffix());
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) throw TransportError("send failed" + errno_suffix(), errno);
     off += static_cast<std::size_t>(n);
   }
 }
 
 bool Socket::recv_exact(char* buf, std::size_t n) {
+  const Deadline deadline(recv_timeout_ms_);
   std::size_t off = 0;
   while (off < n) {
+    if (deadline.has_deadline &&
+        !wait_for(fd_, POLLIN, deadline, "recv")) {
+      throw TimeoutError("recv timed out after " +
+                         std::to_string(recv_timeout_ms_) + "ms" +
+                         (off == 0 ? "" : " (mid-frame)"));
+    }
     const ssize_t r =
-        retry_eintr([&] { return ::recv(fd_, buf + off, n - off, 0); });
-    if (r < 0) throw TransportError("recv failed" + errno_suffix());
+        retry_eintr([&] { return faulty_recv(fd_, buf + off, n - off); });
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (r < 0) throw TransportError("recv failed" + errno_suffix(), errno);
     if (r == 0) {
       if (off == 0) return false;  // clean EOF at a message boundary
       throw TransportError("connection closed mid-frame");
@@ -86,7 +255,12 @@ bool Socket::recv_exact(char* buf, std::size_t n) {
   return true;
 }
 
-Socket connect_unix(const std::string& path) {
+bool Socket::wait_readable(int timeout_ms) {
+  const Deadline deadline(timeout_ms);
+  return wait_for(fd_, POLLIN, deadline, "wait_readable");
+}
+
+Socket connect_unix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.empty() || path.size() >= sizeof addr.sun_path) {
@@ -94,18 +268,15 @@ Socket connect_unix(const std::string& path) {
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw TransportError("socket failed" + errno_suffix());
+  if (fd < 0) throw TransportError("socket failed" + errno_suffix(), errno);
   Socket s(fd);
-  if (retry_eintr([&] {
-        return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                         sizeof addr);
-      }) != 0) {
-    throw TransportError("connect to " + path + " failed" + errno_suffix());
-  }
+  connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr, timeout_ms, path);
   return s;
 }
 
-Socket connect_tcp(const std::string& host, std::uint16_t port) {
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -113,15 +284,11 @@ Socket connect_tcp(const std::string& host, std::uint16_t port) {
     throw TransportError("bad IPv4 address: " + host);
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw TransportError("socket failed" + errno_suffix());
+  if (fd < 0) throw TransportError("socket failed" + errno_suffix(), errno);
   Socket s(fd);
-  if (retry_eintr([&] {
-        return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                         sizeof addr);
-      }) != 0) {
-    throw TransportError("connect to " + host + ":" + std::to_string(port) +
-                         " failed" + errno_suffix());
-  }
+  connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr, timeout_ms,
+                       host + ":" + std::to_string(port));
   // One small frame per request/response: latency beats batching here.
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -161,15 +328,17 @@ Listener Listener::listen_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   Listener l;
   l.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix());
+  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix(), errno);
   ::unlink(path.c_str());  // a stale socket file from a dead daemon
   if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    throw TransportError("bind to " + path + " failed" + errno_suffix());
+    throw TransportError("bind to " + path + " failed" + errno_suffix(),
+                         errno);
   }
   l.unix_path_ = path;
   if (::listen(l.fd_, SOMAXCONN) != 0) {
-    throw TransportError("listen on " + path + " failed" + errno_suffix());
+    throw TransportError("listen on " + path + " failed" + errno_suffix(),
+                         errno);
   }
   return l;
 }
@@ -183,22 +352,23 @@ Listener Listener::listen_tcp(const std::string& host, std::uint16_t port) {
   }
   Listener l;
   l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix());
+  if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix(), errno);
   const int one = 1;
   ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     throw TransportError("bind to " + host + ":" + std::to_string(port) +
-                         " failed" + errno_suffix());
+                             " failed" + errno_suffix(),
+                         errno);
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
   if (::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    throw TransportError("getsockname failed" + errno_suffix());
+    throw TransportError("getsockname failed" + errno_suffix(), errno);
   }
   l.port_ = ntohs(bound.sin_port);
   if (::listen(l.fd_, SOMAXCONN) != 0) {
-    throw TransportError("listen failed" + errno_suffix());
+    throw TransportError("listen failed" + errno_suffix(), errno);
   }
   return l;
 }
@@ -207,16 +377,16 @@ Socket Listener::accept(int timeout_ms) {
   if (fd_ < 0) return Socket{};
   pollfd pfd{fd_, POLLIN, 0};
   const int pr = retry_eintr([&] { return ::poll(&pfd, 1, timeout_ms); });
-  if (pr < 0) throw TransportError("poll failed" + errno_suffix());
+  if (pr < 0) throw TransportError("poll failed" + errno_suffix(), errno);
   if (pr == 0) return Socket{};  // timeout
-  const int cfd =
-      static_cast<int>(retry_eintr([&] { return ::accept(fd_, nullptr, nullptr); }));
+  const int cfd = static_cast<int>(
+      retry_eintr([&] { return ::accept(fd_, nullptr, nullptr); }));
   if (cfd < 0) {
     // The listener may have been closed out from under us during shutdown.
     if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
       return Socket{};
     }
-    throw TransportError("accept failed" + errno_suffix());
+    throw TransportError("accept failed" + errno_suffix(), errno);
   }
   return Socket(cfd);
 }
@@ -230,6 +400,16 @@ void Listener::close() {
     ::unlink(unix_path_.c_str());
     unix_path_.clear();
   }
+}
+
+bool is_transient_accept_error(int err) {
+  // EMFILE/ENFILE: fd exhaustion — clears when connections close, provided
+  // the accept loop backs off instead of spinning.  ECONNABORTED: the peer
+  // gave up while queued in the backlog.  EAGAIN/EINTR for completeness
+  // (poll-gated accepts rarely see them).
+  return err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+         err == EAGAIN || err == EWOULDBLOCK || err == EINTR ||
+         err == ENOBUFS || err == ENOMEM;
 }
 
 // ----------------------------------------------------------------- frames --
@@ -247,6 +427,17 @@ std::optional<std::string> recv_frame(Socket& s) {
   }
   verify_body(h, std::string_view(frame).substr(kHeaderSize));
   return frame;
+}
+
+FrameStatus recv_frame_idle(Socket& s, std::string& frame,
+                            int idle_timeout_ms) {
+  if (idle_timeout_ms >= 0 && !s.wait_readable(idle_timeout_ms)) {
+    return FrameStatus::kIdle;
+  }
+  std::optional<std::string> f = recv_frame(s);
+  if (!f) return FrameStatus::kEof;
+  frame = std::move(*f);
+  return FrameStatus::kFrame;
 }
 
 }  // namespace gmfnet::rpc

@@ -4,6 +4,23 @@
 // the fixed-size header, validates it, then reads exactly the declared
 // body, so a slow or malicious peer can never make it over-read or
 // allocate unbounded memory.
+//
+// Deadline discipline (the robustness layer): every blocking operation
+// can carry a deadline.  Sockets have configurable recv/send timeouts
+// (poll-before-io — the fd stays blocking, readiness is awaited with a
+// bounded poll), connects accept a timeout, and frame receive
+// distinguishes "peer idle past the allowance" from "peer died" from
+// "peer stalled mid-frame".  A deadline expiry throws TimeoutError (a
+// TransportError subclass), so existing catch sites keep working while
+// callers that care — the server's stalled-peer close, the client's
+// retry policy, gmfnet_ctl's exit code — can tell a slow peer from a
+// dead one.
+//
+// All raw recv/send syscalls route through wrappers that consult the
+// thread-local rpc::FaultInjector (rpc/fault_injection.hpp), which is how
+// the chaos soak drives short reads/writes, EINTR storms, delays and
+// mid-frame resets through exactly the code paths production traffic
+// uses.  With no injector installed the wrappers are the bare syscalls.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +32,26 @@
 namespace gmfnet::rpc {
 
 /// Thrown when a socket operation fails (connect/bind/accept/send/recv);
-/// carries errno context in what().
+/// carries errno context in what() and the raw errno in errno_value()
+/// (0 when the failure has no errno, e.g. a protocol-level EOF mid-frame).
 class TransportError : public std::runtime_error {
  public:
-  explicit TransportError(const std::string& message);
+  explicit TransportError(const std::string& message, int err = 0);
+  [[nodiscard]] int errno_value() const { return errno_value_; }
+
+ private:
+  int errno_value_;
 };
+
+/// A deadline expired (connect, send, recv, or idle allowance).  The
+/// socket is in an indeterminate mid-operation state — close it.
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& message);
+};
+
+/// No deadline (block forever) — the default for every timeout knob.
+inline constexpr int kNoTimeout = -1;
 
 /// One connected stream socket (RAII; movable, not copyable).
 class Socket {
@@ -39,20 +71,41 @@ class Socket {
   /// (or our own thread) blocked in recv.  Safe on an already-closed fd.
   void shutdown_both();
 
-  /// Writes all of `data` (throws TransportError on failure).
+  /// Deadlines for subsequent whole-operation send_all / recv_exact calls
+  /// (milliseconds; kNoTimeout = block forever).  The deadline covers the
+  /// entire operation, not each syscall — a peer trickling one byte per
+  /// poll interval cannot stretch it.
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+  void set_send_timeout_ms(int ms) { send_timeout_ms_ = ms; }
+  [[nodiscard]] int recv_timeout_ms() const { return recv_timeout_ms_; }
+  [[nodiscard]] int send_timeout_ms() const { return send_timeout_ms_; }
+
+  /// Writes all of `data` (throws TransportError on failure, TimeoutError
+  /// when the send deadline expires first).
   void send_all(std::string_view data);
   /// Reads exactly `n` bytes.  Returns false on clean EOF before the first
-  /// byte; throws TransportError on errors or EOF mid-read.
+  /// byte; throws TransportError on errors or EOF mid-read, TimeoutError
+  /// when the recv deadline expires first.
   bool recv_exact(char* buf, std::size_t n);
+
+  /// Waits up to `timeout_ms` for the socket to become readable without
+  /// consuming anything.  Returns false on timeout; throws TransportError
+  /// on poll failure.
+  [[nodiscard]] bool wait_readable(int timeout_ms);
 
  private:
   int fd_ = -1;
+  int recv_timeout_ms_ = kNoTimeout;
+  int send_timeout_ms_ = kNoTimeout;
 };
 
-/// Connects to a Unix-domain socket path.
-[[nodiscard]] Socket connect_unix(const std::string& path);
+/// Connects to a Unix-domain socket path.  `timeout_ms` bounds the
+/// connect itself (kNoTimeout = block).
+[[nodiscard]] Socket connect_unix(const std::string& path,
+                                  int timeout_ms = kNoTimeout);
 /// Connects to a TCP endpoint (dotted-quad host, e.g. loopback).
-[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
+                                 int timeout_ms = kNoTimeout);
 
 /// A listening socket (Unix-domain or TCP).
 class Listener {
@@ -78,7 +131,9 @@ class Listener {
 
   /// Waits up to `timeout_ms` for a connection.  Returns an invalid Socket
   /// on timeout or when the listener was closed concurrently; throws
-  /// TransportError on hard failures.
+  /// TransportError on hard failures — with errno_value() set, so the
+  /// accept loop can tell fd exhaustion (EMFILE/ENFILE: back off, the
+  /// condition clears when connections close) from a dead listener.
   [[nodiscard]] Socket accept(int timeout_ms);
 
   /// Closes the listening fd and removes a Unix socket file.
@@ -90,13 +145,28 @@ class Listener {
   std::string unix_path_;
 };
 
+/// True for accept(2) failures that indicate a transient, recoverable
+/// condition (fd exhaustion, a connection that died in the backlog) —
+/// the listener itself is still good.
+[[nodiscard]] bool is_transient_accept_error(int err);
+
 /// Sends one already-encoded protocol frame.
 void send_frame(Socket& s, std::string_view frame);
 
 /// Receives one complete frame (header + body), validating the header and
 /// the body checksum.  Returns std::nullopt on clean EOF at a frame
-/// boundary (peer closed); throws ProtocolError on malformed frames and
-/// TransportError on socket failures.
+/// boundary (peer closed); throws ProtocolError on malformed frames,
+/// TimeoutError on recv-deadline expiry, and TransportError on socket
+/// failures.
 [[nodiscard]] std::optional<std::string> recv_frame(Socket& s);
+
+/// recv_frame with a separate idle allowance: waits up to
+/// `idle_timeout_ms` for the first byte of the next frame (kIdle when the
+/// peer stays silent), then reads the frame under the socket's recv
+/// deadline (a peer that starts a frame and stalls gets TimeoutError —
+/// mid-frame stall, not idleness).
+enum class FrameStatus { kFrame, kEof, kIdle };
+[[nodiscard]] FrameStatus recv_frame_idle(Socket& s, std::string& frame,
+                                          int idle_timeout_ms);
 
 }  // namespace gmfnet::rpc

@@ -1,0 +1,196 @@
+// io::AtomicFileWriter crash-safety contract: at every instant the target
+// path (or, with keep_previous, the target-or-.prev pair) holds one
+// complete good generation.  The fault hook fails or "crashes" commit at
+// each stage boundary and the tests assert what a reader — in particular
+// gmfnetd's boot recovery, which tries <target> then <target>.prev —
+// would find afterwards.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "engine/analysis_engine.hpp"
+#include "io/atomic_file.hpp"
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::io {
+namespace {
+
+/// Thrown by fault hooks to simulate the process dying at that stage.
+struct SimulatedCrash {};
+
+/// Every test must leave no hook behind — a leaked hook would fail every
+/// later checkpoint write in the binary.
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    target_ = "/tmp/gmfnet_atomic_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++) + ".dat";
+    cleanup();
+  }
+  void TearDown() override {
+    set_file_fault_hook({});
+    cleanup();
+  }
+
+  void cleanup() {
+    ::unlink(target_.c_str());
+    ::unlink(AtomicFileWriter::previous_path(target_).c_str());
+  }
+
+  static std::optional<std::string> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return std::move(ss).str();
+  }
+
+  /// gmfnetd's boot-recovery read order: target first, then .prev.
+  std::optional<std::string> recovered() const {
+    if (auto c = read_file(target_)) return c;
+    return read_file(AtomicFileWriter::previous_path(target_));
+  }
+
+  std::string target_;
+  static int counter_;
+};
+
+int AtomicFileTest::counter_ = 0;
+
+TEST_F(AtomicFileTest, CommitCreatesThenReplaces) {
+  atomic_write_file(target_, "generation 1");
+  EXPECT_EQ(read_file(target_), "generation 1");
+
+  AtomicFileWriter w(target_);
+  w.stream() << "generation 2";
+  w.commit();
+  EXPECT_EQ(read_file(target_), "generation 2");
+  EXPECT_FALSE(read_file(w.temp_path()).has_value());  // temp cleaned up
+}
+
+TEST_F(AtomicFileTest, AbortAndUncommittedDestructorTouchNothing) {
+  atomic_write_file(target_, "good");
+  {
+    AtomicFileWriter w(target_);
+    w.stream() << "never committed";
+    w.abort();
+  }
+  {
+    AtomicFileWriter w(target_);
+    w.stream() << "never committed either";
+  }  // destructor aborts
+  EXPECT_EQ(read_file(target_), "good");
+}
+
+TEST_F(AtomicFileTest, FailedWriteAndFsyncLeaveTargetUntouched) {
+  atomic_write_file(target_, "good");
+  for (const char* failing_stage : {"write", "fsync"}) {
+    set_file_fault_hook([failing_stage](std::string_view stage,
+                                        const std::string&) {
+      return stage == failing_stage;
+    });
+    AtomicFileWriter w(target_);
+    w.stream() << "torn";
+    EXPECT_THROW(w.commit(), AtomicFileError) << failing_stage;
+    EXPECT_EQ(read_file(target_), "good") << failing_stage;
+    EXPECT_FALSE(read_file(w.temp_path()).has_value()) << failing_stage;
+  }
+}
+
+TEST_F(AtomicFileTest, KeepPreviousRotatesTheOldGeneration) {
+  atomic_write_file(target_, "old", /*keep_previous=*/true);
+  atomic_write_file(target_, "new", /*keep_previous=*/true);
+  EXPECT_EQ(read_file(target_), "new");
+  EXPECT_EQ(read_file(AtomicFileWriter::previous_path(target_)), "old");
+}
+
+TEST_F(AtomicFileTest, CrashBeforeAnyRenameKeepsTargetByteIdentical) {
+  atomic_write_file(target_, "good generation", /*keep_previous=*/true);
+  // Die after the temp file is written+fsynced but before the rotation —
+  // the widest part of the "between temp write and rename" crash window.
+  set_file_fault_hook([](std::string_view stage, const std::string&) -> bool {
+    if (stage == "rename-previous") throw SimulatedCrash{};
+    return false;
+  });
+  AtomicFileWriter w(target_, /*keep_previous=*/true);
+  w.stream() << "lost generation";
+  EXPECT_THROW(w.commit(), SimulatedCrash);
+  set_file_fault_hook({});
+  EXPECT_EQ(read_file(target_), "good generation");
+  EXPECT_EQ(recovered(), "good generation");
+}
+
+TEST_F(AtomicFileTest, CrashBetweenRenamesLeavesPrevRecoverable) {
+  atomic_write_file(target_, "good generation", /*keep_previous=*/true);
+  // Die after the target rotated to .prev but before the new file renamed
+  // in: the only window where the target path itself is absent.
+  set_file_fault_hook([](std::string_view stage, const std::string&) -> bool {
+    if (stage == "rename") throw SimulatedCrash{};
+    return false;
+  });
+  AtomicFileWriter w(target_, /*keep_previous=*/true);
+  w.stream() << "lost generation";
+  EXPECT_THROW(w.commit(), SimulatedCrash);
+  set_file_fault_hook({});
+  EXPECT_FALSE(read_file(target_).has_value());
+  EXPECT_EQ(read_file(AtomicFileWriter::previous_path(target_)),
+            "good generation");
+  EXPECT_EQ(recovered(), "good generation");
+}
+
+// ------------------------------------------------ engine checkpoint crash --
+
+// A kill at any stage of a checkpoint save never costs the previous
+// checkpoint: recovery (target, then .prev) restores an engine whose
+// re-saved checkpoint is byte-identical to the last good generation.
+TEST_F(AtomicFileTest, EngineCheckpointSurvivesCrashAtEveryStage) {
+  const auto star = net::make_star_network(6, 100'000'000);
+  engine::AnalysisEngine eng(star.net);
+  for (int n = 0; n < 3; ++n) {
+    const auto a = static_cast<std::size_t>(n);
+    ASSERT_TRUE(eng.try_admit(workload::make_voip_flow(
+        "c" + std::to_string(n),
+        net::Route({star.hosts[a], star.sw, star.hosts[a + 1]}))));
+  }
+  std::ostringstream good;
+  eng.save(good);
+  const std::string good_bytes = std::move(good).str();
+  atomic_write_file(target_, good_bytes, /*keep_previous=*/true);
+
+  // A newer world whose save keeps dying.
+  ASSERT_TRUE(eng.try_admit(workload::make_voip_flow(
+      "extra", net::Route({star.hosts[4], star.sw, star.hosts[5]}))));
+
+  for (const char* crash_stage :
+       {"write", "fsync", "rename-previous", "rename"}) {
+    set_file_fault_hook(
+        [crash_stage](std::string_view stage, const std::string&) -> bool {
+          if (stage == crash_stage) throw SimulatedCrash{};
+          return false;
+        });
+    AtomicFileWriter w(target_, /*keep_previous=*/true);
+    eng.save(w.stream());
+    EXPECT_THROW(w.commit(), SimulatedCrash) << crash_stage;
+    set_file_fault_hook({});
+
+    const std::optional<std::string> bytes = recovered();
+    ASSERT_TRUE(bytes.has_value()) << crash_stage;
+    EXPECT_EQ(*bytes, good_bytes) << crash_stage;
+    std::istringstream is(*bytes);
+    engine::AnalysisEngine restored = engine::AnalysisEngine::restore(is);
+    EXPECT_EQ(restored.flow_count(), 3u) << crash_stage;
+
+    // Re-seed the on-disk state for the next crash stage: the "rename"
+    // crash leaves the good generation at .prev only.
+    atomic_write_file(target_, good_bytes, /*keep_previous=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace gmfnet::io

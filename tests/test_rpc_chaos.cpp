@@ -1,0 +1,230 @@
+// Randomized chaos soak: reader clients hammer a daemon with WHAT_IF_BATCH
+// probes while the thread-local fault injector perturbs every client-side
+// transport syscall — short reads/writes, EINTR storms, scheduling delays,
+// and mid-frame connection resets.  The daemon's own syscalls stay honest:
+// the faults model a hostile network / dying peers as seen from one side.
+//
+// The invariant the whole robustness layer exists for: no hang, no crash,
+// and every verdict that IS delivered is bit-identical to the same probe
+// on an in-process mirror engine.  Faults may cost availability (a request
+// can exhaust its retries), never correctness.
+//
+// Request count defaults to a tier-1-friendly 2500 and scales up via
+// GMFNET_CHAOS_REQUESTS (the CI chaos jobs run 10000 under ASan/TSan).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "rpc/client.hpp"
+#include "rpc/fault_injection.hpp"
+#include "rpc/server.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+struct Campus {
+  net::Network net;
+  std::vector<net::NodeId> hosts;  // cell-major
+  std::vector<net::NodeId> switches;
+};
+
+Campus make_campus(int cells, int hosts_per_cell) {
+  Campus c;
+  for (int cell = 0; cell < cells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    for (int h = 0; h < hosts_per_cell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.push_back(host);
+    }
+  }
+  return c;
+}
+
+int chaos_requests() {
+  if (const char* env = std::getenv("GMFNET_CHAOS_REQUESTS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 2'500;
+}
+
+bool bit_identical(const core::HolisticResult& a,
+                   const core::HolisticResult& b) {
+  if (a.converged != b.converged || a.schedulable != b.schedulable ||
+      a.sweeps != b.sweeps || !(a.jitters == b.jitters) ||
+      a.flows.size() != b.flows.size()) {
+    return false;
+  }
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    if (a.flows[f].frames.size() != b.flows[f].frames.size()) return false;
+    for (std::size_t k = 0; k < a.flows[f].frames.size(); ++k) {
+      if (a.flows[f].frames[k].response != b.flows[f].frames[k].response ||
+          a.flows[f].frames[k].meets_deadline !=
+              b.flows[f].frames[k].meets_deadline) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool verdicts_match(const engine::WhatIfResult& got,
+                    const engine::WhatIfResult& want) {
+  return got.admissible == want.admissible &&
+         bit_identical(got.result(), want.result());
+}
+
+TEST(RpcChaos, DeliveredVerdictsMatchTheMirrorUnderInjectedFaults) {
+  const int cells = 3;
+  const Campus campus = make_campus(cells, 4);
+
+  // A static resident world, mirrored in-process: the daemon only serves
+  // non-committing probes during the fault phase, so the mirror's batch
+  // answers are THE expected bytes for every delivered verdict.
+  auto engine = std::make_shared<engine::AnalysisEngine>(campus.net);
+  engine::AnalysisEngine mirror(campus.net);
+  for (int cell = 0; cell < cells; ++cell) {
+    const auto a = static_cast<std::size_t>(cell * 4);
+    const gmf::Flow resident = workload::make_voip_flow(
+        "resident" + std::to_string(cell),
+        net::Route({campus.hosts[a],
+                    campus.switches[static_cast<std::size_t>(cell)],
+                    campus.hosts[a + 1]}));
+    ASSERT_TRUE(engine->try_admit(resident).has_value());
+    ASSERT_TRUE(mirror.try_admit(resident).has_value());
+  }
+
+  std::vector<gmf::Flow> cands;
+  for (int cell = 0; cell < cells; ++cell) {
+    const auto a = static_cast<std::size_t>(cell * 4 + 2);
+    cands.push_back(workload::make_voip_flow(
+        "cand" + std::to_string(cell),
+        net::Route({campus.hosts[a],
+                    campus.switches[static_cast<std::size_t>(cell)],
+                    campus.hosts[a + 1]})));
+  }
+  const std::vector<engine::WhatIfResult> expected =
+      mirror.evaluate_batch(cands);
+  ASSERT_EQ(expected.size(), cands.size());
+
+  ServerConfig cfg;
+  cfg.unix_path = "/tmp/gmfnet_chaos_" + std::to_string(::getpid()) + ".sock";
+  cfg.io_timeout_ms = 2'000;
+  cfg.idle_timeout_ms = 10'000;
+  Server server(engine, cfg);
+  std::thread serve([&server] { server.serve(); });
+
+  // One shared (thread-safe) injector: the coverage counters below are
+  // aggregates over every client thread.
+  FaultProfile profile;
+  profile.seed = 0xC0FFEE;
+  profile.short_io = 0.20;
+  profile.eintr = 0.15;
+  profile.delay = 0.10;
+  profile.max_delay_us = 200;
+  profile.reset = 0.03;
+  FaultInjector injector(profile);
+
+  const int total = chaos_requests();
+  constexpr int kThreads = 4;
+  std::atomic<int> tickets{0};
+  std::atomic<int> delivered{0};
+  std::atomic<int> undeliverable{0};
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      ScopedFaultInjection scope(injector);
+      Rng rng(0xBADD1Eull + static_cast<std::uint64_t>(tid) * 7919);
+      ClientConfig ccfg;
+      ccfg.connect_timeout_ms = 2'000;
+      ccfg.request_timeout_ms = 2'000;
+      ccfg.max_retries = 10;
+      ccfg.backoff_initial_ms = 1;
+      ccfg.backoff_max_ms = 16;
+      ccfg.backoff_seed = static_cast<std::uint64_t>(tid) + 1;
+      std::optional<Client> client;
+      while (tickets.fetch_add(1, std::memory_order_relaxed) < total) {
+        if (!client) {
+          try {
+            client.emplace(Client::connect_unix(cfg.unix_path, ccfg));
+          } catch (const TransportError&) {
+            continue;  // daemon busy reaping — next ticket retries
+          }
+        }
+        const std::size_t lo = rng.next_below(cands.size());
+        const std::size_t n = 1 + rng.next_below(cands.size() - lo);
+        const std::vector<gmf::Flow> batch(
+            cands.begin() + static_cast<std::ptrdiff_t>(lo),
+            cands.begin() + static_cast<std::ptrdiff_t>(lo + n));
+        try {
+          const std::vector<engine::WhatIfResult> got =
+              client->what_if_batch(batch);
+          if (got.size() != n) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!verdicts_match(got[i], expected[lo + i])) {
+              mismatches.fetch_add(1);
+            }
+          }
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        } catch (const TransportError&) {
+          // Retries exhausted inside a fault storm: availability lost,
+          // never correctness.  Fresh connection for the next ticket.
+          undeliverable.fetch_add(1, std::memory_order_relaxed);
+          client.reset();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(delivered.load() + undeliverable.load(), total);
+  // The retry policy should deliver the vast majority despite the storm.
+  EXPECT_GT(delivered.load(), total / 2)
+      << "delivered " << delivered.load() << "/" << total;
+
+  // The soak only proves something if every fault kind actually fired.
+  EXPECT_GT(injector.ios(), 0u);
+  EXPECT_GT(injector.shorts(), 0u);
+  EXPECT_GT(injector.eintrs(), 0u);
+  EXPECT_GT(injector.delays(), 0u);
+  EXPECT_GT(injector.resets(), 0u);
+
+  // The daemon came through unharmed: a clean client (no injector on this
+  // thread) still gets mirror-identical answers for the full batch.
+  Client clean = Client::connect_unix(cfg.unix_path);
+  const std::vector<engine::WhatIfResult> after =
+      clean.what_if_batch(cands);
+  ASSERT_EQ(after.size(), expected.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_TRUE(verdicts_match(after[i], expected[i])) << "cand " << i;
+  }
+  EXPECT_EQ(clean.stats().flows, static_cast<std::uint64_t>(cells));
+  clean.shutdown();
+  serve.join();
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

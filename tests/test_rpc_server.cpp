@@ -14,19 +14,34 @@
 //    connection intact; a malformed frame drops only that connection; the
 //    wire save/restore pair is the identity on the daemon's world;
 //    SHUTDOWN winds the serve loop down.
+//
+//  * Hardening: a peer that dies mid-frame (clean close or RST) costs
+//    only its own connection; a peer that stalls mid-frame is
+//    disconnected within the io deadline while other connections keep
+//    serving; idle connections are closed after their allowance; at the
+//    connection cap the oldest-idle connection is shed; a truncated
+//    server response fails the client instead of hanging it; drain
+//    finishes in-flight work and leaves a restorable final checkpoint.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
 
 #include "core/priority.hpp"
 #include "engine/analysis_engine.hpp"
+#include "io/atomic_file.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 #include "net/topology.hpp"
@@ -63,10 +78,9 @@ void expect_bit_identical(const core::HolisticResult& a,
 class TestDaemon {
  public:
   explicit TestDaemon(const net::Network& network,
-                      core::HolisticOptions opts = {})
+                      core::HolisticOptions opts = {}, ServerConfig cfg = {})
       : engine_(std::make_shared<engine::AnalysisEngine>(network, opts)) {
     static std::atomic<int> counter{0};
-    ServerConfig cfg;
     cfg.unix_path = "/tmp/gmfnet_rpc_test_" + std::to_string(::getpid()) +
                     "_" + std::to_string(counter.fetch_add(1)) + ".sock";
     cfg.engine_opts = opts;
@@ -248,11 +262,14 @@ TEST(RpcServer, MalformedFrameDropsOnlyThatConnection) {
   {
     Socket raw = rpc::connect_unix(daemon.path());
     raw.send_all("definitely not a gmfnet rpc frame header............");
-    // The server rejects the stream and closes; we observe EOF (or a
-    // reset, depending on timing).
+    // The server rejects the stream: a best-effort ERROR frame saying
+    // why, then the close.  Drain until EOF (or a reset, depending on
+    // timing) with a deadline so a regression can't hang the test.
+    raw.set_recv_timeout_ms(5'000);
     char byte = 0;
     try {
-      EXPECT_FALSE(raw.recv_exact(&byte, 1));
+      while (raw.recv_exact(&byte, 1)) {
+      }
     } catch (const TransportError&) {
       // ECONNRESET is an equally valid way to learn the connection died.
     }
@@ -291,6 +308,244 @@ TEST(RpcServer, ServesLoopbackTcpToo) {
   EXPECT_EQ(client.stats().flows, 1u);
   client.shutdown();
   serve.join();
+}
+
+// -------------------------------------------------------------- hardening --
+
+TEST(RpcServer, TransientAcceptErrnosAreClassified) {
+  // The accept loop backs off (instead of dying) exactly on the errnos
+  // that clear by themselves: fd exhaustion and backlog casualties.
+  EXPECT_TRUE(is_transient_accept_error(EMFILE));
+  EXPECT_TRUE(is_transient_accept_error(ENFILE));
+  EXPECT_TRUE(is_transient_accept_error(ECONNABORTED));
+  EXPECT_TRUE(is_transient_accept_error(EINTR));
+  EXPECT_FALSE(is_transient_accept_error(EBADF));
+  EXPECT_FALSE(is_transient_accept_error(EINVAL));
+}
+
+TEST(RpcServer, MidFramePeerDeathCostsOnlyThatConnection) {
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net);
+  Client witness = daemon.connect();
+  EXPECT_EQ(witness.stats().flows, 0u);
+
+  // Peer dies after the header magic, before the rest of the header.
+  {
+    Socket raw = rpc::connect_unix(daemon.path());
+    raw.send_all(std::string_view(kMagic, sizeof kMagic));
+  }
+  // Peer dies mid-body: a well-formed header promising more bytes than
+  // ever arrive.
+  {
+    Socket raw = rpc::connect_unix(daemon.path());
+    const std::string frame =
+        encode_request(Request{RestoreRequest{std::string(256, 'x')}});
+    ASSERT_GT(frame.size(), kHeaderSize + 64);
+    raw.send_all(std::string_view(frame).substr(0, kHeaderSize + 64));
+  }
+  // The witness connection (and the daemon) never noticed.
+  EXPECT_EQ(witness.stats().flows, 0u);
+  Client fresh = daemon.connect();
+  EXPECT_EQ(fresh.stats().flows, 0u);
+}
+
+TEST(RpcServer, MidBodyResetOverTcpCostsOnlyThatConnection) {
+  const auto star = net::make_star_network(4, kSpeed);
+  auto eng = std::make_shared<engine::AnalysisEngine>(star.net);
+  Server server(eng, ServerConfig{});  // loopback TCP, ephemeral port
+  std::thread serve([&server] { server.serve(); });
+
+  Client witness = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_EQ(witness.stats().flows, 0u);
+  {
+    // SO_LINGER{on, 0} makes close() send a real RST, not a FIN — the
+    // "process killed mid-send" wire signature.
+    Socket raw = rpc::connect_tcp("127.0.0.1", server.tcp_port());
+    const std::string frame =
+        encode_request(Request{RestoreRequest{std::string(256, 'x')}});
+    raw.send_all(std::string_view(frame).substr(0, kHeaderSize + 64));
+    struct linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ASSERT_EQ(::setsockopt(raw.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg),
+              0);
+  }
+  EXPECT_EQ(witness.stats().flows, 0u);
+  witness.shutdown();
+  serve.join();
+}
+
+TEST(RpcServer, TruncatedServerResponseFailsTheClientInsteadOfHanging) {
+  // An impostor daemon that answers every request with a third of a
+  // header, then closes.  The client must surface TransportError promptly
+  // — not hang waiting for bytes that will never come.
+  const std::string path = "/tmp/gmfnet_rpc_impostor_" +
+                           std::to_string(::getpid()) + ".sock";
+  Listener fake = Listener::listen_unix(path);
+  std::thread impostor([&fake] {
+    Socket s = fake.accept(5'000);
+    if (!s.valid()) return;
+    s.set_recv_timeout_ms(2'000);
+    std::string header(kHeaderSize, '\0');
+    try {
+      if (!s.recv_exact(header.data(), header.size())) return;
+      s.send_all(std::string_view(kMagic, sizeof kMagic));
+    } catch (const TransportError&) {
+    }
+  });
+
+  ClientConfig cfg;
+  cfg.request_timeout_ms = 3'000;
+  Client client = Client::connect_unix(path, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.stats(), TransportError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 5'000);
+  impostor.join();
+}
+
+TEST(RpcServer, StalledPeerIsDisconnectedWithinDeadlineWhileOthersServe) {
+  ServerConfig cfg;
+  cfg.io_timeout_ms = 300;
+  cfg.idle_timeout_ms = 10'000;
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net, {}, cfg);
+
+  // A slow-loris peer: starts a frame, then stalls forever.
+  Socket stalled = rpc::connect_unix(daemon.path());
+  stalled.send_all(std::string_view(kMagic, sizeof kMagic));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Another connection keeps getting answers while the peer stalls.
+  Client other = daemon.connect();
+  EXPECT_EQ(other.stats().flows, 0u);
+
+  // The daemon closes the stalled connection once io_timeout_ms expires:
+  // drain the best-effort ERROR frame until EOF and check the clock.
+  stalled.set_recv_timeout_ms(5'000);
+  char byte = 0;
+  try {
+    while (stalled.recv_exact(&byte, 1)) {
+    }
+  } catch (const TransportError&) {
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 4'000);
+  EXPECT_GE(daemon.server().timed_out_connections(), 1u);
+  EXPECT_EQ(other.stats().flows, 0u);  // bystander still healthy
+}
+
+TEST(RpcServer, IdleConnectionIsClosedWithAnErrorFrame) {
+  ServerConfig cfg;
+  cfg.idle_timeout_ms = 200;
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net, {}, cfg);
+
+  Socket raw = rpc::connect_unix(daemon.path());
+  raw.set_recv_timeout_ms(5'000);
+  // Send nothing: after the idle allowance the server says why and closes.
+  const std::optional<std::string> frame = recv_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  Response resp = decode_response(*frame);
+  auto* err = std::get_if<ErrorResponse>(&resp);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->message.find("idle"), std::string::npos) << err->message;
+  EXPECT_FALSE(recv_frame(raw).has_value());  // then EOF
+  EXPECT_GE(daemon.server().timed_out_connections(), 1u);
+}
+
+TEST(RpcServer, ConnectionCapShedsTheOldestIdleConnection) {
+  ServerConfig cfg;
+  cfg.max_connections = 2;
+  const auto star = net::make_star_network(4, kSpeed);
+  TestDaemon daemon(star.net, {}, cfg);
+
+  Client oldest = daemon.connect();
+  EXPECT_EQ(oldest.stats().flows, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client middle = daemon.connect();
+  EXPECT_EQ(middle.stats().flows, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The third connection arrives at the cap: the longest-idle one goes.
+  Client newest = daemon.connect();
+  EXPECT_EQ(newest.stats().flows, 0u);
+  EXPECT_EQ(daemon.server().shed_connections(), 1u);
+
+  EXPECT_THROW((void)oldest.stats(), TransportError);
+  EXPECT_EQ(middle.stats().flows, 0u);
+  EXPECT_EQ(newest.stats().flows, 0u);
+}
+
+TEST(RpcServer, DrainFinishesAndWritesRestorableFinalCheckpoint) {
+  const std::string stamp = std::to_string(::getpid());
+  const std::string ckpt = "/tmp/gmfnet_drain_" + stamp + ".ckpt";
+  ::unlink(ckpt.c_str());
+  ::unlink(io::AtomicFileWriter::previous_path(ckpt).c_str());
+
+  const auto star = net::make_star_network(4, kSpeed);
+  auto eng = std::make_shared<engine::AnalysisEngine>(star.net);
+  ServerConfig cfg;
+  cfg.unix_path = "/tmp/gmfnet_drain_" + stamp + ".sock";
+  cfg.drain_timeout_ms = 1'500;
+  cfg.checkpoint_path = ckpt;
+  Server server(eng, cfg);
+  std::thread serve([&server] { server.serve(); });
+
+  Client client = Client::connect_unix(cfg.unix_path);
+  ASSERT_TRUE(client.admit(workload::make_voip_flow(
+      "resident", net::Route({star.hosts[0], star.sw, star.hosts[1]}))));
+  // An extra idle connection must not pin the drain past its deadline:
+  // its handler notices the wind-down within an idle-wait slice.
+  Socket idle_conn = rpc::connect_unix(cfg.unix_path);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.request_drain();
+  serve.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 10'000);
+  EXPECT_TRUE(server.drain_requested());
+
+  std::ifstream in(ckpt, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "no final checkpoint at " << ckpt;
+  engine::AnalysisEngine restored = engine::AnalysisEngine::restore(in);
+  EXPECT_EQ(restored.flow_count(), 1u);
+  ::unlink(ckpt.c_str());
+  ::unlink(io::AtomicFileWriter::previous_path(ckpt).c_str());
+}
+
+TEST(RpcServer, AutoCheckpointsOnTheMutationCadence) {
+  const std::string ckpt =
+      "/tmp/gmfnet_autockpt_" + std::to_string(::getpid()) + ".ckpt";
+  ::unlink(ckpt.c_str());
+  ::unlink(io::AtomicFileWriter::previous_path(ckpt).c_str());
+
+  ServerConfig cfg;
+  cfg.checkpoint_path = ckpt;
+  cfg.checkpoint_every = 2;
+  const auto star = net::make_star_network(6, kSpeed);
+  TestDaemon daemon(star.net, {}, cfg);
+  Client client = daemon.connect();
+
+  ASSERT_TRUE(client.admit(workload::make_voip_flow(
+      "c0", net::Route({star.hosts[0], star.sw, star.hosts[1]}))));
+  EXPECT_NE(::access(ckpt.c_str(), R_OK), 0) << "checkpointed too early";
+
+  ASSERT_TRUE(client.admit(workload::make_voip_flow(
+      "c1", net::Route({star.hosts[2], star.sw, star.hosts[3]}))));
+  EXPECT_EQ(daemon.server().committed_mutations(), 2u);
+  std::ifstream in(ckpt, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "no auto-checkpoint at " << ckpt;
+  engine::AnalysisEngine restored = engine::AnalysisEngine::restore(in);
+  EXPECT_EQ(restored.flow_count(), 2u);
+  ::unlink(ckpt.c_str());
+  ::unlink(io::AtomicFileWriter::previous_path(ckpt).c_str());
 }
 
 // ---------------------------------------------------- concurrency (soak) --

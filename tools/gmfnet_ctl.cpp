@@ -1,6 +1,7 @@
 // gmfnet_ctl — operator CLI for a running gmfnetd.
 //
-//   gmfnet_ctl (--unix PATH | --tcp HOST:PORT) <command> [args]
+//   gmfnet_ctl (--unix PATH | --tcp HOST:PORT) [--timeout MS] [--retries N]
+//              <command> [args]
 //
 //   admit <scenario>    admit every flow of the scenario file (gated:
 //                       AnalysisEngine::try_admit); exit 0 when all were
@@ -11,13 +12,25 @@
 //                       stats/admit ids); exit 3 when out of range
 //   stats               print engine counters + resident/shard counts
 //   save <file>         write the daemon's converged state as a
-//                       checkpoint file (warm-boot input for gmfnetd)
+//                       checkpoint file (warm-boot input for gmfnetd);
+//                       written atomically (temp + fsync + rename)
 //   restore <file>      replace the daemon's world with a checkpoint
 //   shutdown            stop the daemon
 //
+//   --timeout MS        connect + per-request deadline (default 30000;
+//                       0 = wait forever).  A daemon that is unreachable
+//                       or stops answering fails fast instead of hanging
+//                       the operator's shell.
+//   --retries N         transparent retries for the idempotent commands
+//                       (what-if, stats) after a transport failure
+//                       (default 0).  Mutating commands are never
+//                       retried: a mid-exchange failure leaves it unknown
+//                       whether the daemon committed.
+//
 // Scenario files passed to admit/what-if must describe flows over the
 // network the daemon was booted with (routes are resolved by node id).
-// Exit codes: 0 ok, 1 connection/daemon error, 2 usage, 3 rejected.
+// Exit codes: 0 ok, 1 daemon/local error, 2 usage, 3 rejected,
+// 4 unreachable or deadline exceeded.
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "io/scenario_io.hpp"
 #include "rpc/client.hpp"
 
@@ -45,7 +59,8 @@ bool parse_number(const std::string& s, long long lo, long long hi,
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--unix PATH | --tcp HOST:PORT) <command> [args]\n"
+               "usage: %s (--unix PATH | --tcp HOST:PORT) [--timeout MS] "
+               "[--retries N] <command> [args]\n"
                "commands: admit <scenario> | what-if <scenario> | "
                "remove <index> | stats | save <file> | restore <file> | "
                "shutdown\n",
@@ -107,12 +122,9 @@ int cmd_stats(rpc::Client& client) {
 
 int cmd_save(rpc::Client& client, const std::string& path) {
   const std::string blob = client.save_checkpoint();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!out) {
-    std::fprintf(stderr, "gmfnet_ctl: cannot write %s\n", path.c_str());
-    return 1;
-  }
+  // Atomic replace: a crash (or full disk) mid-save must not clobber an
+  // existing checkpoint with a truncated one.
+  io::atomic_write_file(path, blob);
   std::printf("saved %zu bytes to %s\n", blob.size(), path.c_str());
   return 0;
 }
@@ -134,18 +146,45 @@ int cmd_restore(rpc::Client& client, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    // Minimum: <endpoint flag> <endpoint> <command>
-    return usage(argv[0]);
+  std::string ep_flag;
+  std::string ep;
+  long long timeout_ms = 30'000;
+  long long retries = 0;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) break;  // first non-option = command
+    const bool has_value = i + 1 < argc;
+    if ((arg == "--unix" || arg == "--tcp") && has_value) {
+      ep_flag = arg;
+      ep = argv[++i];
+    } else if (arg == "--timeout" && has_value) {
+      if (!parse_number(argv[++i], 0, 86'400'000, timeout_ms)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--retries" && has_value) {
+      if (!parse_number(argv[++i], 0, 1000, retries)) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
   }
-  const std::string ep_flag = argv[1];
-  const std::string ep = argv[2];
-  const std::string command = argv[3];
+  if (ep_flag.empty() || i >= argc) return usage(argv[0]);
+  const std::string command = argv[i];
+  const bool has_arg = i + 1 < argc;
+  const std::string cmd_arg = has_arg ? argv[i + 1] : "";
+  if (i + 2 < argc) return usage(argv[0]);  // at most one command argument
+
+  rpc::ClientConfig cfg;
+  cfg.connect_timeout_ms =
+      timeout_ms == 0 ? rpc::kNoTimeout : static_cast<int>(timeout_ms);
+  cfg.request_timeout_ms = cfg.connect_timeout_ms;
+  cfg.max_retries = static_cast<int>(retries);
 
   try {
     rpc::Client client = [&]() -> rpc::Client {
-      if (ep_flag == "--unix") return rpc::Client::connect_unix(ep);
-      if (ep_flag == "--tcp") {
+      try {
+        if (ep_flag == "--unix") return rpc::Client::connect_unix(ep, cfg);
         const std::size_t colon = ep.rfind(':');
         if (colon == std::string::npos) {
           throw std::runtime_error("--tcp wants HOST:PORT, got " + ep);
@@ -155,17 +194,21 @@ int main(int argc, char** argv) {
           throw std::runtime_error("bad port in " + ep);
         }
         return rpc::Client::connect_tcp(
-            ep.substr(0, colon), static_cast<std::uint16_t>(port));
+            ep.substr(0, colon), static_cast<std::uint16_t>(port), cfg);
+      } catch (const rpc::TransportError& e) {
+        // Unreachable daemon: distinct exit code so scripts can tell
+        // "daemon down" from "daemon said no".
+        std::fprintf(stderr, "gmfnet_ctl: daemon unreachable: %s\n",
+                     e.what());
+        std::exit(4);
       }
-      throw std::runtime_error("unknown endpoint flag " + ep_flag);
     }();
 
-    const bool has_arg = argc >= 5;
-    if (command == "admit" && has_arg) return cmd_admit(client, argv[4]);
-    if (command == "what-if" && has_arg) return cmd_what_if(client, argv[4]);
+    if (command == "admit" && has_arg) return cmd_admit(client, cmd_arg);
+    if (command == "what-if" && has_arg) return cmd_what_if(client, cmd_arg);
     if (command == "remove" && has_arg) {
       long long index = 0;
-      if (!parse_number(argv[4], 0, (1ll << 62), index)) {
+      if (!parse_number(cmd_arg, 0, (1ll << 62), index)) {
         return usage(argv[0]);
       }
       const bool removed = client.remove(static_cast<std::uint64_t>(index));
@@ -173,14 +216,20 @@ int main(int argc, char** argv) {
       return removed ? 0 : 3;
     }
     if (command == "stats" && !has_arg) return cmd_stats(client);
-    if (command == "save" && has_arg) return cmd_save(client, argv[4]);
-    if (command == "restore" && has_arg) return cmd_restore(client, argv[4]);
+    if (command == "save" && has_arg) return cmd_save(client, cmd_arg);
+    if (command == "restore" && has_arg) return cmd_restore(client, cmd_arg);
     if (command == "shutdown" && !has_arg) {
       client.shutdown();
       std::printf("daemon shutting down\n");
       return 0;
     }
     return usage(argv[0]);
+  } catch (const rpc::TimeoutError& e) {
+    std::fprintf(stderr, "gmfnet_ctl: deadline exceeded: %s\n", e.what());
+    return 4;
+  } catch (const rpc::TransportError& e) {
+    std::fprintf(stderr, "gmfnet_ctl: transport failure: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gmfnet_ctl: %s\n", e.what());
     return 1;
