@@ -44,18 +44,23 @@ void Client::ensure_connected() {
                                   cfg_.connect_timeout_ms);
 }
 
-void Client::backoff_sleep(int attempt) {
+std::int64_t Client::backoff_delay_ms(const ClientConfig& cfg, int attempt,
+                                      Rng& jitter) {
   const int shift = std::min(attempt, 20);  // 2^20 x initial >> any cap
   const std::int64_t uncapped =
-      static_cast<std::int64_t>(cfg_.backoff_initial_ms) << shift;
+      static_cast<std::int64_t>(cfg.backoff_initial_ms) << shift;
   const std::int64_t capped = std::min<std::int64_t>(
-      uncapped, std::max(cfg_.backoff_max_ms, cfg_.backoff_initial_ms));
+      uncapped, std::max(cfg.backoff_max_ms, cfg.backoff_initial_ms));
   // Jitter in [capped/2, capped]: spreads the reconnect stampede when many
   // clients lose the same daemon at the same instant.
-  const std::int64_t jittered =
-      capped / 2 + jitter_.uniform_i64(0, std::max<std::int64_t>(
-                                              capped - capped / 2, 0));
-  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+  return capped / 2 +
+         jitter.uniform_i64(
+             0, std::max<std::int64_t>(capped - capped / 2, 0));
+}
+
+void Client::backoff_sleep(int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(backoff_delay_ms(cfg_, attempt, jitter_)));
 }
 
 template <typename Expected>
@@ -82,6 +87,9 @@ Expected Client::call_once(const Request& req) {
   Response resp = decode_response(*frame);
   if (auto* err = std::get_if<ErrorResponse>(&resp)) {
     throw RemoteError(err->message);
+  }
+  if (auto* np = std::get_if<NotPrimaryResponse>(&resp)) {
+    throw NotPrimaryError(std::move(np->primary_addr), np->epoch);
   }
   if (auto* ok = std::get_if<Expected>(&resp)) {
     return std::move(*ok);
@@ -142,6 +150,20 @@ std::uint64_t Client::restore(const std::string& checkpoint) {
 
 void Client::shutdown() {
   (void)call<ShutdownResponse>(ShutdownRequest{});
+}
+
+std::uint64_t Client::promote() {
+  // Not blindly retried: promote is a mutation of cluster topology — a
+  // transport failure leaves it unknown whether the epoch was bumped.
+  return call<PromoteResponse>(PromoteRequest{}).epoch;
+}
+
+RoleResponse Client::role() {
+  return call<RoleResponse>(RoleRequest{}, /*idempotent=*/true);
+}
+
+RoleResponse Client::repoint(const std::string& primary_addr) {
+  return call<RoleResponse>(RepointRequest{primary_addr});
 }
 
 }  // namespace gmfnet::rpc

@@ -46,6 +46,29 @@ class RemoteError : public std::runtime_error {
       : std::runtime_error("rpc remote: " + message) {}
 };
 
+/// A mutation was refused because the daemon is a replica (or a fenced
+/// ex-primary).  primary_addr() says where writes go — may be empty when
+/// the daemon does not know (a fenced primary).  The connection stays
+/// usable for reads.
+class NotPrimaryError : public RemoteError {
+ public:
+  NotPrimaryError(std::string primary_addr, std::uint64_t epoch)
+      : RemoteError("not the primary" +
+                    (primary_addr.empty()
+                         ? std::string()
+                         : " (primary: " + primary_addr + ")")),
+        primary_addr_(std::move(primary_addr)),
+        epoch_(epoch) {}
+  [[nodiscard]] const std::string& primary_addr() const {
+    return primary_addr_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::string primary_addr_;
+  std::uint64_t epoch_;
+};
+
 struct ClientConfig {
   /// Deadline for establishing (or re-establishing) the connection.
   int connect_timeout_ms = 10'000;
@@ -105,9 +128,29 @@ class Client {
   /// before the daemon winds down).
   void shutdown();
 
+  /// PROMOTE: makes the daemon the primary (epoch-fencing failover);
+  /// returns the freshly bumped epoch.  Idempotent on a live primary.
+  std::uint64_t promote();
+
+  /// ROLE: the daemon's replication role, position and sync health.
+  /// Idempotent: retried per ClientConfig.
+  RoleResponse role();
+
+  /// REPOINT: tells a replica to follow a different primary
+  /// ("unix:PATH" or "HOST:PORT"); returns the post-repoint role state.
+  RoleResponse repoint(const std::string& primary_addr);
+
   /// Transport-level retries performed so far (observability for tests
   /// and the chaos soak).
   [[nodiscard]] std::uint64_t retries_performed() const { return retries_; }
+
+  /// The backoff schedule, exposed for determinism tests: the jittered
+  /// sleep before retry `attempt` (0-based) under `cfg`, drawn from
+  /// `jitter`.  Always in [capped/2, capped] for
+  /// capped = min(initial << attempt, max(max, initial)).
+  [[nodiscard]] static std::int64_t backoff_delay_ms(const ClientConfig& cfg,
+                                                     int attempt,
+                                                     Rng& jitter);
 
  private:
   struct Endpoint {

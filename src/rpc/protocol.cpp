@@ -45,6 +45,24 @@ engine::WhatIfResult decode_what_if(io::ByteReader& r) {
       admissible, io::codec::decode_holistic_result(r));
 }
 
+Role decode_role(io::ByteReader& r) {
+  const std::uint8_t v = r.u8();
+  if (v != static_cast<std::uint8_t>(Role::kPrimary) &&
+      v != static_cast<std::uint8_t>(Role::kReplica)) {
+    throw ProtocolError("invalid role value " + std::to_string(v));
+  }
+  return static_cast<Role>(v);
+}
+
+DeltaKind decode_delta_kind(io::ByteReader& r) {
+  const std::uint8_t v = r.u8();
+  if (v < static_cast<std::uint8_t>(DeltaKind::kAdmit) ||
+      v > static_cast<std::uint8_t>(DeltaKind::kRestore)) {
+    throw ProtocolError("invalid delta kind " + std::to_string(v));
+  }
+  return static_cast<DeltaKind>(v);
+}
+
 /// Bodiless messages still carry one reserved zero byte, so every valid
 /// frame has a non-empty body and a zero body length is always rejected as
 /// a framing violation (not a legal empty message).
@@ -69,6 +87,14 @@ struct BodyEncoder {
   void operator()(const SaveCheckpointRequest&) { encode_reserved(w); }
   void operator()(const RestoreRequest& m) { w.str(m.checkpoint); }
   void operator()(const ShutdownRequest&) { encode_reserved(w); }
+  void operator()(const SubscribeRequest& m) {
+    w.u64(m.epoch);
+    w.u64(m.next_seq);
+    w.u64(m.history);
+  }
+  void operator()(const PromoteRequest&) { encode_reserved(w); }
+  void operator()(const RoleRequest&) { encode_reserved(w); }
+  void operator()(const RepointRequest& m) { w.str(m.primary_addr); }
 
   void operator()(const AdmitResponse& m) {
     w.u8(m.result.has_value() ? 1 : 0);
@@ -83,10 +109,60 @@ struct BodyEncoder {
     encode_engine_stats(w, m.stats);
     w.u64(m.flows);
     w.u64(m.shards);
+    w.u8(static_cast<std::uint8_t>(m.role));
+    w.u64(m.epoch);
+    w.u64(m.commit_seq);
+    w.u64(m.uptime_ms);
   }
   void operator()(const SaveCheckpointResponse& m) { w.str(m.checkpoint); }
   void operator()(const RestoreResponse& m) { w.u64(m.flows); }
   void operator()(const ShutdownResponse&) { encode_reserved(w); }
+  void operator()(const SubscribeResponse& m) {
+    w.u64(m.epoch);
+    w.u64(m.next_seq);
+  }
+  void operator()(const SyncFullResponse& m) {
+    w.u64(m.epoch);
+    w.u64(m.commit_seq);
+    w.u64(m.history);
+    w.str(m.checkpoint);
+  }
+  void operator()(const DeltaResponse& m) {
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u64(m.epoch);
+    w.u64(m.seq);
+    w.u64(m.flows_after);
+    // Only the active payload rides the wire (tagged union by `kind`).
+    switch (m.kind) {
+      case DeltaKind::kAdmit:
+        io::codec::encode_flow(w, m.flow);
+        break;
+      case DeltaKind::kRemove:
+        w.u64(m.index);
+        break;
+      case DeltaKind::kRestore:
+        w.str(m.checkpoint);
+        break;
+    }
+  }
+  void operator()(const PromoteResponse& m) { w.u64(m.epoch); }
+  void operator()(const RoleResponse& m) {
+    w.u8(static_cast<std::uint8_t>(m.role));
+    w.u8(m.fenced ? 1 : 0);
+    w.u64(m.epoch);
+    w.u64(m.commit_seq);
+    w.str(m.primary_addr);
+    w.u8(m.connected ? 1 : 0);
+    w.u64(m.full_syncs);
+    w.u64(m.deltas_applied);
+    w.u64(m.subscribers);
+    w.u64(m.journal_begin);
+    w.u64(m.journal_end);
+  }
+  void operator()(const NotPrimaryResponse& m) {
+    w.str(m.primary_addr);
+    w.u64(m.epoch);
+  }
   void operator()(const ErrorResponse& m) { w.str(m.message); }
 };
 
@@ -116,6 +192,21 @@ Request decode_request_body(MsgType type, io::ByteReader& r) {
     case MsgType::kShutdownRequest:
       decode_reserved(r, "SHUTDOWN");
       return ShutdownRequest{};
+    case MsgType::kSubscribeRequest: {
+      SubscribeRequest m;
+      m.epoch = r.u64();
+      m.next_seq = r.u64();
+      m.history = r.u64();
+      return m;
+    }
+    case MsgType::kPromoteRequest:
+      decode_reserved(r, "PROMOTE");
+      return PromoteRequest{};
+    case MsgType::kRoleRequest:
+      decode_reserved(r, "ROLE");
+      return RoleRequest{};
+    case MsgType::kRepointRequest:
+      return RepointRequest{r.str()};
     default:
       throw ProtocolError("response-typed frame where a request was expected");
   }
@@ -144,6 +235,10 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
       m.stats = decode_engine_stats(r);
       m.flows = r.u64();
       m.shards = r.u64();
+      m.role = decode_role(r);
+      m.epoch = r.u64();
+      m.commit_seq = r.u64();
+      m.uptime_ms = r.u64();
       return m;
     }
     case MsgType::kSaveCheckpointResponse:
@@ -153,6 +248,62 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
     case MsgType::kShutdownResponse:
       decode_reserved(r, "SHUTDOWN response");
       return ShutdownResponse{};
+    case MsgType::kSubscribeResponse: {
+      SubscribeResponse m;
+      m.epoch = r.u64();
+      m.next_seq = r.u64();
+      return m;
+    }
+    case MsgType::kSyncFullResponse: {
+      SyncFullResponse m;
+      m.epoch = r.u64();
+      m.commit_seq = r.u64();
+      m.history = r.u64();
+      m.checkpoint = r.str();
+      return m;
+    }
+    case MsgType::kDeltaResponse: {
+      DeltaResponse m;
+      m.kind = decode_delta_kind(r);
+      m.epoch = r.u64();
+      m.seq = r.u64();
+      m.flows_after = r.u64();
+      switch (m.kind) {
+        case DeltaKind::kAdmit:
+          m.flow = io::codec::decode_flow(r);
+          break;
+        case DeltaKind::kRemove:
+          m.index = r.u64();
+          break;
+        case DeltaKind::kRestore:
+          m.checkpoint = r.str();
+          break;
+      }
+      return m;
+    }
+    case MsgType::kPromoteResponse:
+      return PromoteResponse{r.u64()};
+    case MsgType::kRoleResponse: {
+      RoleResponse m;
+      m.role = decode_role(r);
+      m.fenced = r.u8() != 0;
+      m.epoch = r.u64();
+      m.commit_seq = r.u64();
+      m.primary_addr = r.str();
+      m.connected = r.u8() != 0;
+      m.full_syncs = r.u64();
+      m.deltas_applied = r.u64();
+      m.subscribers = r.u64();
+      m.journal_begin = r.u64();
+      m.journal_end = r.u64();
+      return m;
+    }
+    case MsgType::kNotPrimaryResponse: {
+      NotPrimaryResponse m;
+      m.primary_addr = r.str();
+      m.epoch = r.u64();
+      return m;
+    }
     case MsgType::kErrorResponse:
       return ErrorResponse{r.str()};
     default:
@@ -162,9 +313,9 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
 
 [[nodiscard]] bool known_type(std::uint32_t t) {
   return (t >= static_cast<std::uint32_t>(MsgType::kAdmitRequest) &&
-          t <= static_cast<std::uint32_t>(MsgType::kShutdownRequest)) ||
+          t <= static_cast<std::uint32_t>(MsgType::kRepointRequest)) ||
          (t >= static_cast<std::uint32_t>(MsgType::kAdmitResponse) &&
-          t <= static_cast<std::uint32_t>(MsgType::kShutdownResponse)) ||
+          t <= static_cast<std::uint32_t>(MsgType::kNotPrimaryResponse)) ||
          t == static_cast<std::uint32_t>(MsgType::kErrorResponse);
 }
 

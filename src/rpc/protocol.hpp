@@ -25,11 +25,29 @@
 //   ADMIT            { flow }            -> { admitted?, HolisticResult }
 //   REMOVE           { index }           -> { removed }
 //   WHAT_IF_BATCH    { candidate flows } -> { WhatIfResult per candidate }
-//   STATS            {}                  -> { EngineStats, flows, shards }
+//   STATS            {}                  -> { EngineStats, flows, shards,
+//                                            role, epoch, commit_seq, uptime }
 //   SAVE_CHECKPOINT  {}                  -> { checkpoint blob (PR 4 stream) }
 //   RESTORE          { checkpoint blob } -> { restored flow count }
 //   SHUTDOWN         {}                  -> {}
+//   SUBSCRIBE        { epoch, seq, hist }-> SUBSCRIBE_OK { epoch, next_seq }
+//                                           then a one-way DELTA stream, or
+//                                           SYNC_FULL { epoch, seq, hist,
+//                                                       checkpoint } then the
+//                                           DELTA stream (replication link)
+//   PROMOTE          {}                  -> { epoch } (replica -> primary,
+//                                            epoch bumped — the fence)
+//   ROLE             {}                  -> { role, epoch, seq, sync state }
+//   REPOINT          { primary addr }    -> { } (replica follows a new
+//                                            primary)
+//   (mutation on a replica or a fenced   -> NOT_PRIMARY { primary addr,
+//    ex-primary)                            epoch }
 //   (any request)                        -> ERROR { message } on failure
+//
+//   DELTA frames are pushed primary -> replica on a subscribed connection:
+//   one frame per committed mutation, carrying (epoch, commit_seq), the
+//   operation bytes (io/codec encodings — the same bytes a checkpoint
+//   section would hold) and the expected post-apply resident count.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +97,10 @@ enum class MsgType : std::uint32_t {
   kSaveCheckpointRequest = 5,
   kRestoreRequest = 6,
   kShutdownRequest = 7,
+  kSubscribeRequest = 8,
+  kPromoteRequest = 9,
+  kRoleRequest = 10,
+  kRepointRequest = 11,
 
   kAdmitResponse = 101,
   kRemoveResponse = 102,
@@ -87,8 +109,27 @@ enum class MsgType : std::uint32_t {
   kSaveCheckpointResponse = 105,
   kRestoreResponse = 106,
   kShutdownResponse = 107,
+  kSubscribeResponse = 108,
+  kSyncFullResponse = 109,
+  kDeltaResponse = 110,
+  kPromoteResponse = 111,
+  kRoleResponse = 112,
+  kNotPrimaryResponse = 113,
 
   kErrorResponse = 200,
+};
+
+/// Replication role of a daemon.  On the wire in STATS/ROLE responses.
+enum class Role : std::uint8_t {
+  kPrimary = 1,  ///< accepts mutations, journals + streams deltas
+  kReplica = 2,  ///< follows a primary, serves reads from its snapshots
+};
+
+/// The kind of committed mutation a DELTA frame carries.
+enum class DeltaKind : std::uint8_t {
+  kAdmit = 1,    ///< body: io/codec flow encoding (the admitted flow)
+  kRemove = 2,   ///< body: u64 resident index
+  kRestore = 3,  ///< body: a complete PR 4 checkpoint stream
 };
 
 // ------------------------------------------------------------- requests --
@@ -108,11 +149,33 @@ struct RestoreRequest {
   std::string checkpoint;  ///< a complete io/checkpoint stream
 };
 struct ShutdownRequest {};
+/// Replica -> primary: start (or resume) the delta stream.  `epoch`,
+/// `next_seq` and `history` describe the replica's current position; a
+/// primary that can serve the journal tail from exactly that position of
+/// the SAME history answers SubscribeResponse, otherwise SyncFullResponse.
+/// A brand-new replica sends (0, 0, 0) and always gets a full sync.
+struct SubscribeRequest {
+  std::uint64_t epoch = 0;
+  std::uint64_t next_seq = 0;  ///< first commit_seq the replica still needs
+  std::uint64_t history = 0;   ///< history token of the primary it followed
+};
+/// Operator -> replica: become the primary.  Bumps the epoch (the fence).
+struct PromoteRequest {};
+/// Operator -> any daemon: report role + replication position/health.
+struct RoleRequest {};
+/// Operator -> replica: follow a different primary ("unix:PATH" or
+/// "HOST:PORT").  The replica resubscribes there; epoch fencing decides
+/// whether its state survives (catch-up / full sync) or the new primary is
+/// rejected as stale.
+struct RepointRequest {
+  std::string primary_addr;
+};
 
 using Request =
     std::variant<AdmitRequest, RemoveRequest, WhatIfBatchRequest,
                  StatsRequest, SaveCheckpointRequest, RestoreRequest,
-                 ShutdownRequest>;
+                 ShutdownRequest, SubscribeRequest, PromoteRequest,
+                 RoleRequest, RepointRequest>;
 
 // ------------------------------------------------------------ responses --
 
@@ -131,6 +194,13 @@ struct StatsResponse {
   engine::EngineStats stats;
   std::uint64_t flows = 0;
   std::uint64_t shards = 0;
+  // Appended after the PR 5 fields (decode layout of the old fields is
+  // unchanged): replication position + daemon uptime, so failover tooling
+  // can watch a fleet with the one verb it already speaks.
+  Role role = Role::kPrimary;
+  std::uint64_t epoch = 0;
+  std::uint64_t commit_seq = 0;
+  std::uint64_t uptime_ms = 0;
 };
 struct SaveCheckpointResponse {
   std::string checkpoint;
@@ -139,6 +209,60 @@ struct RestoreResponse {
   std::uint64_t flows = 0;
 };
 struct ShutdownResponse {};
+/// Primary -> replica: the journal covers the replica's position; deltas
+/// follow starting at exactly `next_seq`.
+struct SubscribeResponse {
+  std::uint64_t epoch = 0;
+  std::uint64_t next_seq = 0;
+};
+/// Primary -> replica: the journal cannot cover the replica's position (or
+/// histories/epochs differ) — here is the whole world instead.  `commit_seq`
+/// is the position the checkpoint captures; deltas follow from
+/// `commit_seq + 1`.
+struct SyncFullResponse {
+  std::uint64_t epoch = 0;
+  std::uint64_t commit_seq = 0;
+  std::uint64_t history = 0;       ///< the primary's history token
+  std::string checkpoint;          ///< a complete io/checkpoint stream
+};
+/// One committed mutation, pushed primary -> replica on a subscribed
+/// connection.  `seq` values are contiguous per epoch; `flows_after` is the
+/// resident flow count after applying — a cheap divergence tripwire on top
+/// of the per-frame checksum.
+struct DeltaResponse {
+  DeltaKind kind = DeltaKind::kAdmit;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t flows_after = 0;
+  gmf::Flow flow;               ///< kAdmit payload
+  std::uint64_t index = 0;      ///< kRemove payload
+  std::string checkpoint;       ///< kRestore payload
+};
+struct PromoteResponse {
+  std::uint64_t epoch = 0;  ///< the freshly fenced epoch
+};
+/// Replication state of a daemon; serves both `gmfnet_ctl role` and
+/// `gmfnet_ctl sync`.  The journal/subscriber fields are primary-side, the
+/// connected/sync counters replica-side; the irrelevant half reads zero.
+struct RoleResponse {
+  Role role = Role::kPrimary;
+  bool fenced = false;           ///< ex-primary refusing mutations
+  std::uint64_t epoch = 0;
+  std::uint64_t commit_seq = 0;
+  std::string primary_addr;      ///< upstream (replica) / own ad (primary)
+  bool connected = false;        ///< replica: delta stream currently up
+  std::uint64_t full_syncs = 0;  ///< replica: bootstrap + gap recoveries
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t subscribers = 0;      ///< primary: live delta streams
+  std::uint64_t journal_begin = 0;    ///< primary: oldest journaled seq
+  std::uint64_t journal_end = 0;      ///< primary: newest journaled seq
+};
+/// Mutation refused: this daemon is a replica (or a fenced ex-primary).
+/// Carries where writes should go so operators/tools can follow.
+struct NotPrimaryResponse {
+  std::string primary_addr;  ///< may be empty if unknown (fenced primary)
+  std::uint64_t epoch = 0;
+};
 /// Server-side failure executing an otherwise well-framed request (e.g. a
 /// malformed flow, a checkpoint that fails validation).  The connection
 /// stays usable.
@@ -149,7 +273,9 @@ struct ErrorResponse {
 using Response =
     std::variant<AdmitResponse, RemoveResponse, WhatIfBatchResponse,
                  StatsResponse, SaveCheckpointResponse, RestoreResponse,
-                 ShutdownResponse, ErrorResponse>;
+                 ShutdownResponse, SubscribeResponse, SyncFullResponse,
+                 DeltaResponse, PromoteResponse, RoleResponse,
+                 NotPrimaryResponse, ErrorResponse>;
 
 // -------------------------------------------------------------- framing --
 

@@ -1,0 +1,350 @@
+#include "rpc/replication.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace gmfnet::rpc {
+
+// -------------------------------------------------------- primary address --
+
+PrimaryAddr parse_primary_addr(const std::string& addr) {
+  PrimaryAddr out;
+  constexpr std::string_view kUnixPrefix = "unix:";
+  if (addr.rfind(kUnixPrefix, 0) == 0) {
+    out.unix_path = addr.substr(kUnixPrefix.size());
+    if (out.unix_path.empty()) {
+      throw std::invalid_argument("primary address: empty unix socket path");
+    }
+    return out;
+  }
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == addr.size()) {
+    throw std::invalid_argument(
+        "primary address must be unix:PATH or HOST:PORT, got \"" + addr +
+        "\"");
+  }
+  out.host = addr.substr(0, colon);
+  const std::string port_str = addr.substr(colon + 1);
+  long port = 0;
+  for (const char c : port_str) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("primary address: bad port \"" + port_str +
+                                  "\"");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65'535) {
+      throw std::invalid_argument("primary address: port out of range");
+    }
+  }
+  if (port == 0) {
+    throw std::invalid_argument("primary address: port must be 1..65535");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+std::string format_primary_addr(const PrimaryAddr& addr) {
+  if (!addr.unix_path.empty()) return "unix:" + addr.unix_path;
+  return addr.host + ":" + std::to_string(addr.port);
+}
+
+// ---------------------------------------------------------- primary journal --
+
+ReplicationLog::ReplicationLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void ReplicationLog::append(std::uint64_t seq, std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seq != first_seq_ + frames_.size()) {
+      throw std::logic_error("replication journal: non-contiguous append");
+    }
+    frames_.push_back(std::move(frame));
+    while (frames_.size() > capacity_) {
+      frames_.pop_front();
+      ++first_seq_;
+    }
+  }
+  cv_.notify_all();
+}
+
+ReplicationLog::Fetch ReplicationLog::wait_fetch(std::uint64_t seq,
+                                                 std::string& frame,
+                                                 int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max(timeout_ms, 0));
+  for (;;) {
+    if (stopped_) return Fetch::kStopped;
+    if (seq < first_seq_) return Fetch::kGap;
+    if (seq < first_seq_ + frames_.size()) {
+      frame = frames_[seq - first_seq_];
+      return Fetch::kOk;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Fetch::kTimeout;
+    }
+  }
+}
+
+void ReplicationLog::reset(std::uint64_t next_seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.clear();
+    first_seq_ = next_seq;
+  }
+  // A waiter parked before the reset wakes up and re-evaluates: a seq now
+  // below first_seq_ surfaces as kGap → its replica full-syncs.
+  cv_.notify_all();
+}
+
+void ReplicationLog::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t ReplicationLog::first_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_seq_;
+}
+
+std::uint64_t ReplicationLog::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_seq_ + frames_.size();
+}
+
+// ----------------------------------------------------------- replica client --
+
+ReplicationClient::ReplicationClient(ReplicationClientConfig cfg,
+                                     ReplicationHooks hooks)
+    : cfg_(std::move(cfg)),
+      hooks_(std::move(hooks)),
+      jitter_(cfg_.backoff_seed != 0 ? cfg_.backoff_seed : 1),
+      primary_addr_(cfg_.primary_addr) {
+  // Fail fast on a malformed address — before a background thread exists
+  // to bury the error in.
+  (void)parse_primary_addr(primary_addr_);
+}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+void ReplicationClient::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&ReplicationClient::run, this);
+}
+
+void ReplicationClient::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplicationClient::pause() {
+  paused_.store(true, std::memory_order_release);
+  link_gen_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ReplicationClient::resume(const std::string& new_primary) {
+  if (!new_primary.empty()) {
+    (void)parse_primary_addr(new_primary);  // validate before adopting
+    std::lock_guard<std::mutex> lock(mu_);
+    primary_addr_ = new_primary;
+  }
+  link_gen_.fetch_add(1, std::memory_order_acq_rel);
+  paused_.store(false, std::memory_order_release);
+}
+
+std::string ReplicationClient::primary_addr() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_addr_;
+}
+
+std::string ReplicationClient::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void ReplicationClient::note_error(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_error_ = what;
+}
+
+bool ReplicationClient::winding_down() const {
+  return stop_.load(std::memory_order_acquire) ||
+         (hooks_.stopped && hooks_.stopped());
+}
+
+void ReplicationClient::backoff_sleep(int attempt) {
+  const int shift = std::min(attempt, 20);
+  const std::int64_t uncapped =
+      static_cast<std::int64_t>(cfg_.backoff_initial_ms) << shift;
+  const std::int64_t capped = std::min<std::int64_t>(
+      uncapped, std::max(cfg_.backoff_max_ms, cfg_.backoff_initial_ms));
+  std::int64_t remaining =
+      capped / 2 + jitter_.uniform_i64(
+                       0, std::max<std::int64_t>(capped - capped / 2, 0));
+  // Sliced so a stop/pause/repoint interrupts the wait promptly.
+  const std::uint64_t gen = link_gen_.load(std::memory_order_acquire);
+  while (remaining > 0 && !winding_down() &&
+         !paused_.load(std::memory_order_acquire) && !link_stale(gen)) {
+    const std::int64_t slice = std::min<std::int64_t>(remaining, 50);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    remaining -= slice;
+  }
+}
+
+void ReplicationClient::run() {
+  // The injector rides the replication thread itself, so the chaos suite
+  // can storm the replication link while operator links stay clean.
+  std::optional<ScopedFaultInjection> faults;
+  if (cfg_.fault != nullptr) faults.emplace(*cfg_.fault);
+
+  int attempt = 0;
+  while (!winding_down()) {
+    if (paused_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(cfg_.idle_slice_ms, 50)));
+      attempt = 0;
+      continue;
+    }
+    const std::uint64_t gen = link_gen_.load(std::memory_order_acquire);
+    bool streamed = false;
+    try {
+      streamed = session(gen);
+    } catch (const TransportError& e) {
+      // Includes TimeoutError: the link died or stalled.  The replica's
+      // position is intact (deltas apply one whole frame at a time), so
+      // the next session resumes right where this one stopped.
+      note_error(e.what());
+    } catch (const ProtocolError& e) {
+      // Corruption on the replication link (checksum mismatch, a frame
+      // that is not a delta): the stream can no longer be trusted, and
+      // neither can the position bookkeeping around it — resync from a
+      // fresh full checkpoint.
+      gaps_.fetch_add(1, std::memory_order_relaxed);
+      force_full_resync_.store(true, std::memory_order_release);
+      note_error(e.what());
+    } catch (const std::exception& e) {
+      // A full_sync hook rejecting an invalid checkpoint lands here too;
+      // retry from scratch.
+      force_full_resync_.store(true, std::memory_order_release);
+      note_error(e.what());
+    }
+    connected_.store(false, std::memory_order_release);
+    if (winding_down()) break;
+    if (link_stale(gen)) continue;  // repoint/pause: no backoff, no count
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    attempt = streamed ? 0 : attempt + 1;
+    backoff_sleep(attempt);
+  }
+  connected_.store(false, std::memory_order_release);
+}
+
+bool ReplicationClient::session(std::uint64_t gen) {
+  const PrimaryAddr addr = parse_primary_addr(primary_addr());
+  Socket sock = addr.unix_path.empty()
+                    ? connect_tcp(addr.host, addr.port,
+                                  cfg_.connect_timeout_ms)
+                    : connect_unix(addr.unix_path, cfg_.connect_timeout_ms);
+  sock.set_recv_timeout_ms(cfg_.io_timeout_ms);
+  sock.set_send_timeout_ms(cfg_.io_timeout_ms);
+
+  SubscribeRequest sub;  // (0,0,0): ask for the whole world
+  if (!force_full_resync_.load(std::memory_order_acquire)) {
+    const ReplicaPosition pos = hooks_.position();
+    sub.epoch = pos.epoch;
+    sub.next_seq = pos.next_seq;
+    sub.history = pos.history;
+  }
+  send_frame(sock, encode_request(Request{sub}));
+
+  std::optional<std::string> first = recv_frame(sock);
+  if (!first) {
+    throw TransportError("primary closed the connection during subscribe");
+  }
+  Response resp = decode_response(*first);
+  if (const auto* np = std::get_if<NotPrimaryResponse>(&resp)) {
+    // The upstream is itself a replica (or fenced).  Stay pointed at it —
+    // it may be promoted any moment; repointing is an operator decision.
+    note_error("subscribe refused: peer is not a primary" +
+               (np->primary_addr.empty() ? std::string()
+                                         : " (primary: " + np->primary_addr +
+                                               ")"));
+    return false;
+  }
+  if (const auto* err = std::get_if<ErrorResponse>(&resp)) {
+    note_error("subscribe refused: " + err->message);
+    return false;
+  }
+  if (const auto* full = std::get_if<SyncFullResponse>(&resp)) {
+    if (full->epoch < hooks_.position().epoch) {
+      // Epoch fence: an ex-primary from before our promotion/failover may
+      // not roll us back, no matter how complete its checkpoint looks.
+      stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+      note_error("rejected full sync from stale primary (epoch " +
+                 std::to_string(full->epoch) + " < ours)");
+      return false;
+    }
+    hooks_.full_sync(*full);  // throws on an invalid checkpoint
+    full_syncs_.fetch_add(1, std::memory_order_relaxed);
+    force_full_resync_.store(false, std::memory_order_release);
+  } else if (const auto* ok = std::get_if<SubscribeResponse>(&resp)) {
+    const ReplicaPosition pos = hooks_.position();
+    if (ok->epoch < pos.epoch) {
+      stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+      note_error("rejected journal catch-up from stale primary");
+      return false;
+    }
+    if (ok->epoch != pos.epoch || ok->next_seq != pos.next_seq) {
+      // The primary accepted catch-up but from a position that is not
+      // ours — bookkeeping mismatch; degrade safely to a full sync.
+      gaps_.fetch_add(1, std::memory_order_relaxed);
+      force_full_resync_.store(true, std::memory_order_release);
+      return false;
+    }
+  } else {
+    throw ProtocolError("unexpected response type to SUBSCRIBE");
+  }
+
+  connected_.store(true, std::memory_order_release);
+  std::string frame;
+  while (!winding_down() && !paused_.load(std::memory_order_acquire) &&
+         !link_stale(gen)) {
+    const FrameStatus st = recv_frame_idle(sock, frame, cfg_.idle_slice_ms);
+    if (st == FrameStatus::kIdle) continue;  // quiet primary — normal
+    if (st == FrameStatus::kEof) {
+      note_error("primary closed the delta stream");
+      return true;
+    }
+    Response msg = decode_response(frame);
+    const auto* delta = std::get_if<DeltaResponse>(&msg);
+    if (delta == nullptr) {
+      throw ProtocolError("non-delta frame on a subscribed stream");
+    }
+    switch (hooks_.apply(*delta)) {
+      case ApplyResult::kApplied:
+        deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ApplyResult::kGap:
+        gaps_.fetch_add(1, std::memory_order_relaxed);
+        force_full_resync_.store(true, std::memory_order_release);
+        note_error("delta sequence gap — resyncing from a full checkpoint");
+        return true;
+      case ApplyResult::kStale:
+        stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+        note_error("rejected delta from stale primary epoch");
+        return true;
+    }
+  }
+  return true;
+}
+
+}  // namespace gmfnet::rpc

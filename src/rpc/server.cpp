@@ -1,5 +1,7 @@
 #include "rpc/server.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <sstream>
@@ -43,6 +45,23 @@ void best_effort_error(Socket& sock, const std::string& message) {
 /// Idle-wait slice: how often a blocked handler re-checks stop/drain.
 constexpr int kWaitSliceMs = 100;
 
+/// Accept failures in a row after which the loop gives up on the listener.
+constexpr int kMaxConsecutiveAcceptFailures = 100;
+
+/// A per-process random history token (splitmix64 over clock/pid/address
+/// entropy).  Never zero: zero is a replica's "no history yet".
+std::uint64_t make_history_token(const void* self) {
+  std::uint64_t x = static_cast<std::uint64_t>(
+      Clock::now().time_since_epoch().count());
+  x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+  x ^= static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(self));
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x | 1;
+}
+
 }  // namespace
 
 Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
@@ -50,15 +69,56 @@ Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
     : cfg_(std::move(cfg)),
       engine_(std::move(engine)),
       readers_(cfg_.reader_threads),
-      reader_scratch_(readers_.size() + 1) {
+      reader_scratch_(readers_.size() + 1),
+      role_(static_cast<std::uint8_t>(
+          cfg_.replica_of.empty() ? Role::kPrimary : Role::kReplica)),
+      // A fresh primary starts history at epoch 1; a replica starts at
+      // epoch 0 ("before any history") and adopts its primary's epoch
+      // with the first sync.
+      epoch_(cfg_.replica_of.empty() ? 1 : 0),
+      history_token_(make_history_token(this)),
+      journal_(cfg_.journal_capacity),
+      started_(Clock::now()) {
   if (!engine_) throw std::logic_error("rpc server: null engine");
   listener_ = cfg_.unix_path.empty()
                   ? Listener::listen_tcp(cfg_.tcp_host, cfg_.tcp_port)
                   : Listener::listen_unix(cfg_.unix_path);
+  if (!cfg_.replica_of.empty()) {
+    ReplicationClientConfig rcfg;
+    rcfg.primary_addr = cfg_.replica_of;  // validated by the client ctor
+    rcfg.connect_timeout_ms = cfg_.repl_connect_timeout_ms;
+    rcfg.io_timeout_ms = cfg_.repl_io_timeout_ms;
+    rcfg.backoff_initial_ms = cfg_.repl_backoff_initial_ms;
+    rcfg.backoff_max_ms = cfg_.repl_backoff_max_ms;
+    rcfg.backoff_seed = cfg_.repl_backoff_seed != 0 ? cfg_.repl_backoff_seed
+                                                    : history_token_;
+    rcfg.fault = cfg_.repl_fault;
+    ReplicationHooks hooks;
+    hooks.full_sync = [this](const SyncFullResponse& f) {
+      replica_full_sync(f);
+    };
+    hooks.apply = [this](const DeltaResponse& d) { return replica_apply(d); };
+    hooks.position = [this] {
+      return ReplicaPosition{
+          epoch(), commit_seq() + 1,
+          upstream_history_.load(std::memory_order_acquire)};
+    };
+    hooks.stopped = [this] {
+      return stop_requested() || drain_requested();
+    };
+    repl_ = std::make_unique<ReplicationClient>(std::move(rcfg),
+                                                std::move(hooks));
+    repl_->start();
+  }
 }
 
 Server::~Server() {
   request_stop();
+  // Wind the replication thread down before members it calls into go
+  // away.  (By destruction time no handler threads are live — serve()
+  // joined them — so the unlocked repl_ access is single-threaded.)
+  if (repl_) repl_->stop();
+  journal_.request_stop();
   // serve() owns connection teardown; if it never ran (or already
   // returned), there is nothing left to join here.
   listener_.close();
@@ -74,6 +134,29 @@ void Server::serve() {
   // would std::terminate the daemon.
   int consecutive_failures = 0;
   int backoff_ms = 0;
+  // Ring of the most recent hard accept-failure reasons: when the loop
+  // gives up it must say WHY, loudly — a daemon that stops serving with
+  // an exit indistinguishable from a clean shutdown is undebuggable.
+  std::vector<std::string> accept_errors;
+  const auto note_accept_failure = [&](const std::string& what) {
+    constexpr std::size_t kKeepErrors = 8;
+    if (accept_errors.size() >= kKeepErrors) {
+      accept_errors.erase(accept_errors.begin());
+    }
+    accept_errors.push_back(what);
+    if (++consecutive_failures >= kMaxConsecutiveAcceptFailures) {
+      std::string history;
+      for (const std::string& e : accept_errors) {
+        history += "\n  recent failure: " + e;
+      }
+      GMFNET_LOG_ERROR(
+          "rpc server: accept loop giving up after %d consecutive hard "
+          "failures — winding down abnormally%s",
+          consecutive_failures, history.c_str());
+      abnormal_.store(true, std::memory_order_release);
+      request_stop();
+    }
+  };
   while (!stop_requested() && !drain_requested()) {
     try {
       Socket conn = listener_.accept(/*timeout_ms=*/50);
@@ -93,6 +176,7 @@ void Server::serve() {
       conns_.push_back(Conn{std::move(th), sock, done, last_active});
       consecutive_failures = 0;
       backoff_ms = 0;
+      accept_errors.clear();
     } catch (const TransportError& e) {
       if (is_transient_accept_error(e.errno_value())) {
         // fd exhaustion or a backlog abort: the listener is still good.
@@ -109,14 +193,17 @@ void Server::serve() {
       }
       // A listener that fails persistently cannot recover — wind down
       // instead of spinning on it.
-      if (++consecutive_failures >= 100) request_stop();
-    } catch (const std::exception&) {
+      note_accept_failure(e.what());
+    } catch (const std::exception& e) {
       // Thread-spawn failure under load: drop that connection and keep
       // serving the live ones.
-      if (++consecutive_failures >= 100) request_stop();
+      note_accept_failure(e.what());
     }
   }
   listener_.close();
+  // Wake subscriber streams parked on the journal; they exit within a
+  // wait slice and are joined with every other handler below.
+  journal_.request_stop();
   if (drain_requested() && !stop_requested()) {
     // Grace period: in-flight requests finish on their own (handlers exit
     // at the next request boundary once they observe the drain flag).
@@ -240,7 +327,14 @@ void Server::handle_connection(
       std::optional<std::string> frame = recv_frame(*sock);
       if (!frame) break;  // peer closed cleanly
       last_active->store(now_ms(), std::memory_order_relaxed);
-      Response resp = handle(decode_request(*frame));
+      Request req = decode_request(*frame);
+      if (const auto* sub = std::get_if<SubscribeRequest>(&req)) {
+        // The connection becomes a one-way delta stream; when it ends
+        // (gap, peer gone, wind-down) the connection is done.
+        serve_subscriber(*sock, *sub, last_active);
+        break;
+      }
+      Response resp = handle(std::move(req));
       const bool shutting_down = std::holds_alternative<ShutdownResponse>(resp);
       send_frame(*sock, encode_response(resp));
       last_active->store(now_ms(), std::memory_order_relaxed);
@@ -293,12 +387,26 @@ Response Server::handle(Request&& req) {
         Overloaded{
             [&](AdmitRequest& m) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
+              if (role() != Role::kPrimary || fenced()) {
+                return not_primary_locked();
+              }
+              // try_admit consumes the flow; the journal needs its bytes.
+              gmf::Flow journal_flow = m.flow;
               AdmitResponse resp{engine()->try_admit(std::move(m.flow))};
-              if (resp.result.has_value()) note_mutation_locked();
+              if (resp.result.has_value()) {
+                DeltaResponse delta;
+                delta.kind = DeltaKind::kAdmit;
+                delta.flow = std::move(journal_flow);
+                journal_commit_locked(std::move(delta));
+                note_mutation_locked();
+              }
               return resp;
             },
             [&](RemoveRequest& m) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
+              if (role() != Role::kPrimary || fenced()) {
+                return not_primary_locked();
+              }
               const std::shared_ptr<engine::AnalysisEngine> eng = engine();
               const bool removed =
                   eng->remove_flow(static_cast<std::size_t>(m.index));
@@ -306,6 +414,10 @@ Response Server::handle(Request&& req) {
               // snapshot fresh so reader probes never lag a mutation.
               if (removed) {
                 (void)eng->evaluate();
+                DeltaResponse delta;
+                delta.kind = DeltaKind::kRemove;
+                delta.index = m.index;
+                journal_commit_locked(std::move(delta));
                 note_mutation_locked();
               }
               return RemoveResponse{removed};
@@ -347,8 +459,18 @@ Response Server::handle(Request&& req) {
               const std::shared_ptr<engine::AnalysisEngine> eng = engine();
               const std::shared_ptr<const engine::EngineSnapshot> snap =
                   eng->published();
-              return StatsResponse{eng->stats(), snap->flow_count(),
-                                   snap->shard_count()};
+              StatsResponse resp;
+              resp.stats = eng->stats();
+              resp.flows = snap->flow_count();
+              resp.shards = snap->shard_count();
+              resp.role = role();
+              resp.epoch = epoch();
+              resp.commit_seq = commit_seq();
+              resp.uptime_ms = static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Clock::now() - started_)
+                      .count());
+              return resp;
             },
             [&](SaveCheckpointRequest&) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
@@ -358,11 +480,18 @@ Response Server::handle(Request&& req) {
             },
             [&](RestoreRequest& m) -> Response {
               std::lock_guard<std::mutex> lock(writer_mu_);
-              std::istringstream is(std::move(m.checkpoint));
+              if (role() != Role::kPrimary || fenced()) {
+                return not_primary_locked();
+              }
+              std::istringstream is(m.checkpoint);
               std::shared_ptr<engine::AnalysisEngine> fresh =
                   engine::AnalysisEngine::restore_unique(is,
                                                          cfg_.engine_opts);
               std::atomic_store(&engine_, std::move(fresh));
+              DeltaResponse delta;
+              delta.kind = DeltaKind::kRestore;
+              delta.checkpoint = std::move(m.checkpoint);
+              journal_commit_locked(std::move(delta));
               note_mutation_locked();
               return RestoreResponse{engine()->flow_count()};
             },
@@ -370,12 +499,267 @@ Response Server::handle(Request&& req) {
               request_stop();
               return ShutdownResponse{};
             },
+            [&](SubscribeRequest&) -> Response {
+              // Unreachable: handle_connection hands SUBSCRIBE straight
+              // to serve_subscriber.  Answer a pipelined misuse politely.
+              return ErrorResponse{
+                  "SUBSCRIBE must be the only request on its connection"};
+            },
+            [&](PromoteRequest&) -> Response {
+              return PromoteResponse{promote()};
+            },
+            [&](RoleRequest&) -> Response {
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              return role_response_locked();
+            },
+            [&](RepointRequest& m) -> Response {
+              // Throws invalid_argument on a malformed address → the
+              // catch below turns it into ErrorResponse, state untouched.
+              (void)parse_primary_addr(m.primary_addr);
+              std::lock_guard<std::mutex> lock(writer_mu_);
+              if (role() != Role::kReplica || repl_ == nullptr) {
+                return ErrorResponse{
+                    "repoint: this daemon is not a replica"};
+              }
+              repl_->pause();
+              repl_->resume(m.primary_addr);
+              return role_response_locked();
+            },
         },
         req);
   } catch (const std::exception& e) {
     // Engine/semantic failure executing a well-framed request: report it,
     // keep the connection (and the resident set) intact.
     return ErrorResponse{e.what()};
+  }
+}
+
+// --------------------------------------------------------------- replication
+
+void Server::journal_commit_locked(DeltaResponse&& delta) {
+  const std::uint64_t seq =
+      commit_seq_.load(std::memory_order_relaxed) + 1;
+  delta.epoch = epoch_.load(std::memory_order_relaxed);
+  delta.seq = seq;
+  delta.flows_after = engine()->flow_count();
+  // Encoded ONCE here; every subscriber streams the same frame bytes.
+  journal_.append(seq, encode_response(Response{std::move(delta)}));
+  commit_seq_.store(seq, std::memory_order_release);
+}
+
+NotPrimaryResponse Server::not_primary_locked() {
+  NotPrimaryResponse np;
+  np.epoch = epoch_.load(std::memory_order_relaxed);
+  if (repl_) np.primary_addr = repl_->primary_addr();
+  return np;
+}
+
+RoleResponse Server::role_response_locked() {
+  RoleResponse r;
+  r.role = role();
+  r.fenced = fenced();
+  r.epoch = epoch();
+  r.commit_seq = commit_seq();
+  if (repl_) {
+    r.primary_addr = repl_->primary_addr();
+    r.connected = repl_->connected();
+    r.full_syncs = repl_->full_syncs();
+    r.deltas_applied = repl_->deltas_applied();
+  }
+  r.subscribers = subscribers_.load(std::memory_order_relaxed);
+  r.journal_begin = journal_.first_seq();
+  r.journal_end = journal_.next_seq() - 1;  // begin - 1 when empty
+  return r;
+}
+
+std::uint64_t Server::promote() {
+  std::unique_ptr<ReplicationClient> old;
+  std::uint64_t fresh_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (role() == Role::kPrimary && !fenced()) {
+      // Idempotent: re-promoting the live primary must not fence anyone.
+      return epoch_.load(std::memory_order_acquire);
+    }
+    // Outrank every history this daemon has ever seen — its own and any
+    // peer that subscribed or synced to it.
+    fresh_epoch = std::max(epoch_.load(std::memory_order_relaxed),
+                           peer_epoch_.load(std::memory_order_relaxed)) +
+                  1;
+    epoch_.store(fresh_epoch, std::memory_order_release);
+    // History before the promotion is not streamable under the new
+    // epoch; every subscriber starts from here (or from a full sync).
+    journal_.reset(commit_seq_.load(std::memory_order_relaxed) + 1);
+    role_.store(static_cast<std::uint8_t>(Role::kPrimary),
+                std::memory_order_release);
+    fenced_.store(false, std::memory_order_release);
+    old = std::move(repl_);
+  }
+  // Stopping the subscription joins its thread, which may be blocked on
+  // writer_mu_ inside an apply hook — MUST happen outside the lock.  The
+  // hook re-checks the role under the lock and refuses (kStale) now.
+  if (old) old->stop();
+  GMFNET_LOG_WARN("rpc server: promoted to primary at epoch %llu",
+                  static_cast<unsigned long long>(fresh_epoch));
+  return fresh_epoch;
+}
+
+void Server::replica_full_sync(const SyncFullResponse& full) {
+  // Build the fresh engine outside the writer lock (checkpoint restore is
+  // the expensive part), swap under it.
+  std::istringstream is(full.checkpoint);
+  std::shared_ptr<engine::AnalysisEngine> fresh =
+      engine::AnalysisEngine::restore_unique(is, cfg_.engine_opts);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (role() != Role::kReplica) {
+    // Promoted while the sync was in flight — the new primary's state
+    // must not be overwritten by its old upstream.
+    throw std::runtime_error("full sync refused: no longer a replica");
+  }
+  std::atomic_store(&engine_, std::move(fresh));
+  epoch_.store(full.epoch, std::memory_order_release);
+  commit_seq_.store(full.commit_seq, std::memory_order_release);
+  upstream_history_.store(full.history, std::memory_order_release);
+  note_mutation_locked();
+}
+
+ApplyResult Server::replica_apply(const DeltaResponse& delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (role() != Role::kReplica) return ApplyResult::kStale;
+  const std::uint64_t our_epoch = epoch_.load(std::memory_order_relaxed);
+  if (delta.epoch < our_epoch) return ApplyResult::kStale;
+  if (delta.epoch > our_epoch ||
+      delta.seq != commit_seq_.load(std::memory_order_relaxed) + 1) {
+    return ApplyResult::kGap;
+  }
+  const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+  switch (delta.kind) {
+    case DeltaKind::kAdmit:
+      // The primary only journals flows try_admit COMMITTED, and the
+      // engine is deterministic: add_flow + evaluate reproduces the
+      // primary's post-admission world bit for bit (the equivalence
+      // guarantee the engine test suite holds it to).
+      (void)eng->add_flow(delta.flow);
+      (void)eng->evaluate();
+      break;
+    case DeltaKind::kRemove:
+      if (!eng->remove_flow(static_cast<std::size_t>(delta.index))) {
+        return ApplyResult::kGap;  // divergence — resync
+      }
+      (void)eng->evaluate();
+      break;
+    case DeltaKind::kRestore: {
+      std::istringstream is(delta.checkpoint);
+      std::shared_ptr<engine::AnalysisEngine> fresh =
+          engine::AnalysisEngine::restore_unique(is, cfg_.engine_opts);
+      std::atomic_store(&engine_, std::move(fresh));
+      break;
+    }
+  }
+  if (engine()->flow_count() != delta.flows_after) {
+    // Tripwire: local state disagrees with the primary's after-image.
+    // The state is already perturbed, but kGap forces a full resync that
+    // replaces it wholesale — divergence never survives.
+    return ApplyResult::kGap;
+  }
+  commit_seq_.store(delta.seq, std::memory_order_release);
+  note_mutation_locked();
+  return ApplyResult::kApplied;
+}
+
+void Server::serve_subscriber(
+    Socket& sock, const SubscribeRequest& sub,
+    const std::shared_ptr<std::atomic<std::int64_t>>& last_active) {
+  if (sub.epoch > epoch()) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    std::uint64_t cur = peer_epoch_.load(std::memory_order_relaxed);
+    while (sub.epoch > cur &&
+           !peer_epoch_.compare_exchange_weak(cur, sub.epoch,
+                                              std::memory_order_acq_rel)) {
+    }
+    if (role() == Role::kPrimary &&
+        sub.epoch > epoch_.load(std::memory_order_relaxed) && !fenced()) {
+      // The fence, passive direction: a subscriber living in a later
+      // epoch proves a newer primary was promoted somewhere.  This
+      // daemon must never commit again — split-brain ends here.
+      fenced_.store(true, std::memory_order_release);
+      GMFNET_LOG_ERROR(
+          "rpc server: fenced — subscriber at epoch %llu outranks our "
+          "epoch %llu; refusing mutations until promoted",
+          static_cast<unsigned long long>(sub.epoch),
+          static_cast<unsigned long long>(
+              epoch_.load(std::memory_order_relaxed)));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(writer_mu_);
+    if (role() != Role::kPrimary || fenced()) {
+      const NotPrimaryResponse np = not_primary_locked();
+      lock.unlock();
+      send_frame(sock, encode_response(Response{np}));
+      return;
+    }
+  }
+
+  subscribers_.fetch_add(1, std::memory_order_relaxed);
+  struct SubscriberCount {
+    std::atomic<std::uint64_t>& n;
+    ~SubscriberCount() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } count_guard{subscribers_};
+
+  // Journal catch-up needs the EXACT history: same token (not a restarted
+  // primary whose fresh sequence numbers merely collide), same epoch, and
+  // a position the bounded journal still covers.  Anything else gets the
+  // whole world — degrading to a full sync is always safe.
+  std::uint64_t next = 0;
+  const bool catch_up =
+      sub.history == history_token_ && sub.epoch == epoch() &&
+      sub.next_seq >= journal_.first_seq() &&
+      sub.next_seq <= journal_.next_seq();
+  if (catch_up) {
+    send_frame(sock,
+               encode_response(Response{SubscribeResponse{epoch(),
+                                                          sub.next_seq}}));
+    next = sub.next_seq;
+  } else {
+    SyncFullResponse full;
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      std::ostringstream os;
+      engine()->save(os);
+      full.checkpoint = std::move(os).str();
+      full.epoch = epoch_.load(std::memory_order_relaxed);
+      full.commit_seq = commit_seq_.load(std::memory_order_relaxed);
+      full.history = history_token_;
+    }
+    next = full.commit_seq + 1;
+    // The (possibly large) blob goes out OUTSIDE writer_mu_: a slow
+    // replica link must not stall the mutation path.
+    send_frame(sock, encode_response(Response{std::move(full)}));
+  }
+  last_active->store(now_ms(), std::memory_order_relaxed);
+
+  std::string frame;
+  while (!stop_requested() && !drain_requested()) {
+    switch (journal_.wait_fetch(next, frame, kWaitSliceMs)) {
+      case ReplicationLog::Fetch::kOk:
+        send_frame(sock, frame);
+        ++next;
+        last_active->store(now_ms(), std::memory_order_relaxed);
+        break;
+      case ReplicationLog::Fetch::kTimeout:
+        // Nothing committed this slice.  A subscriber never speaks after
+        // SUBSCRIBE, so readability means EOF (or junk) — either way the
+        // stream is over; the replica owns reconnecting.
+        if (sock.wait_readable(0)) return;
+        break;
+      case ReplicationLog::Fetch::kGap:
+        // The bounded journal moved past this replica (or a promote
+        // reset it).  Drop the stream; the reconnect gets a full sync.
+        return;
+      case ReplicationLog::Fetch::kStopped:
+        return;
+    }
   }
 }
 

@@ -52,9 +52,30 @@
 //    io::AtomicFileWriter with rotation: the newest valid checkpoint is
 //    always recoverable at checkpoint_path or checkpoint_path + ".prev",
 //    no matter when the process dies.
+//
+// Replication (rpc/replication.hpp has the full protocol story):
+//
+//  * A primary stamps every committed mutation with (epoch, commit_seq),
+//    journals it as a pre-encoded DELTA frame, and streams the journal to
+//    SUBSCRIBE connections (each on its ordinary connection thread).  A
+//    subscriber whose position the bounded journal cannot cover gets a
+//    full checkpoint (SYNC_FULL) first.
+//
+//  * A replica (cfg.replica_of set) runs a ReplicationClient that applies
+//    those frames under the same writer mutex as local mutations would
+//    use, keeping published() fresh after every applied delta — replicas
+//    serve WHAT_IF_BATCH / STATS exactly like a primary serves them.
+//    Mutations are refused with NOT_PRIMARY (carrying the upstream's
+//    address).
+//
+//  * PROMOTE turns a replica into a primary and bumps the epoch above
+//    any epoch it has ever seen; an ex-primary that observes a subscriber
+//    from a higher epoch fences itself (mutations refused) — two daemons
+//    can never both commit on the same epoch.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -64,6 +85,7 @@
 
 #include "engine/analysis_engine.hpp"
 #include "rpc/protocol.hpp"
+#include "rpc/replication.hpp"
 #include "rpc/transport.hpp"
 #include "util/thread_pool.hpp"
 
@@ -100,6 +122,24 @@ struct ServerConfig {
   /// With checkpoint_path: also checkpoint after every N committed
   /// mutations (0 = only the final checkpoint).
   std::size_t checkpoint_every = 0;
+
+  // ----------------------------------------------------------- replication --
+  /// Non-empty ("unix:PATH" or "HOST:PORT"): start as a replica of that
+  /// primary.  Empty: start as a primary.
+  std::string replica_of;
+  /// Primary: DELTA frames the in-memory journal retains.  A replica
+  /// that falls further behind recovers via full sync instead.
+  std::size_t journal_capacity = 1024;
+  /// Replication-link deadlines and reconnect backoff (replica side).
+  int repl_connect_timeout_ms = 5'000;
+  int repl_io_timeout_ms = 30'000;
+  int repl_backoff_initial_ms = 20;
+  int repl_backoff_max_ms = 2'000;
+  std::uint64_t repl_backoff_seed = 0;  ///< 0 = derive from the clock
+  /// Non-null: installed on the replication thread, so chaos tests can
+  /// storm the replication link while operator links stay clean.  Must
+  /// outlive the server.
+  FaultInjector* repl_fault = nullptr;
 };
 
 class Server {
@@ -159,6 +199,36 @@ class Server {
   [[nodiscard]] std::size_t committed_mutations() const {
     return mutations_.load(std::memory_order_relaxed);
   }
+  /// True when serve() wound down abnormally (persistent accept failure)
+  /// rather than via SHUTDOWN / request_stop / request_drain — gmfnetd
+  /// turns this into a distinct exit status.
+  [[nodiscard]] bool abnormal_stop() const {
+    return abnormal_.load(std::memory_order_acquire);
+  }
+
+  // Replication observability (all safe from any thread).
+  [[nodiscard]] Role role() const {
+    return static_cast<Role>(role_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool fenced() const {
+    return fenced_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t commit_seq() const {
+    return commit_seq_.load(std::memory_order_acquire);
+  }
+  /// The replica's subscription loop, for tests that pause/inspect it
+  /// (null on a primary).
+  [[nodiscard]] ReplicationClient* replication_client() {
+    return repl_.get();
+  }
+  /// Promotes this daemon to primary (idempotent on an unfenced primary):
+  /// bumps the epoch above every epoch it has ever seen, restarts the
+  /// journal at the current position, and stops the replication client.
+  /// Returns the new epoch.
+  std::uint64_t promote();
 
  private:
   struct Conn {
@@ -174,6 +244,24 @@ class Server {
       const std::shared_ptr<std::atomic<bool>>& done,
       const std::shared_ptr<std::atomic<std::int64_t>>& last_active);
   [[nodiscard]] Response handle(Request&& req);
+  /// Dedicates a connection to a replica's delta stream (SUBSCRIBE);
+  /// returns when the stream ends (gap, peer gone, stop/drain).
+  void serve_subscriber(
+      Socket& sock, const SubscribeRequest& sub,
+      const std::shared_ptr<std::atomic<std::int64_t>>& last_active);
+  /// Journals one committed mutation as a DELTA frame and advances
+  /// commit_seq_.  Caller holds writer_mu_ and has already applied the
+  /// mutation to the engine.
+  void journal_commit_locked(DeltaResponse&& delta);
+  /// The NOT_PRIMARY answer for a mutation refused on this daemon.
+  /// Caller holds writer_mu_ (it reads repl_).
+  [[nodiscard]] NotPrimaryResponse not_primary_locked();
+  /// Caller holds writer_mu_ (it reads repl_).
+  [[nodiscard]] RoleResponse role_response_locked();
+  /// Replica side: install a full checkpoint / apply one delta (the
+  /// ReplicationClient hooks; both take writer_mu_ themselves).
+  void replica_full_sync(const SyncFullResponse& full);
+  [[nodiscard]] ApplyResult replica_apply(const DeltaResponse& delta);
   /// Joins finished handlers; with `all`, shuts every live socket down
   /// first and joins them all (serve-exit path).
   void reap_connections(bool all);
@@ -206,11 +294,35 @@ class Server {
   engine::ProbeScratchPool conn_scratch_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_{false};
+  std::atomic<bool> abnormal_{false};
   std::atomic<std::size_t> shed_{0};
   std::atomic<std::size_t> timeouts_{0};
   std::atomic<std::size_t> mutations_{0};
   mutable std::mutex conn_mu_;
   std::vector<Conn> conns_;
+
+  // ----------------------------------------------------------- replication --
+  /// Stored as the underlying integer so handlers can read it lock-free;
+  /// transitions (promote, fence) happen under writer_mu_.
+  std::atomic<std::uint8_t> role_;
+  std::atomic<bool> fenced_{false};
+  std::atomic<std::uint64_t> epoch_;
+  std::atomic<std::uint64_t> commit_seq_{0};
+  /// Highest epoch ever seen on a peer (subscribers, upstream syncs) —
+  /// promote() must clear it, so a promoted daemon outranks everyone it
+  /// has ever talked to.
+  std::atomic<std::uint64_t> peer_epoch_{0};
+  /// This process's own history token (random per construction): journal
+  /// catch-up is only offered to replicas whose position carries it.
+  std::uint64_t history_token_;
+  /// Replica: the history token of the primary it last synced from.
+  std::atomic<std::uint64_t> upstream_history_{0};
+  ReplicationLog journal_;
+  /// Live SUBSCRIBE streams (observability).
+  std::atomic<std::uint64_t> subscribers_{0};
+  /// Guarded by writer_mu_ (created in the ctor, moved out by promote()).
+  std::unique_ptr<ReplicationClient> repl_;
+  std::chrono::steady_clock::time_point started_;
 };
 
 }  // namespace gmfnet::rpc

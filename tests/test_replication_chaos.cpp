@@ -1,0 +1,336 @@
+// Replication chaos soak — the invariant the whole tentpole exists for:
+//
+//   Every verdict a replica delivers is bit-identical to a single
+//   in-process mirror engine driven through the same committed ops, no
+//   matter what the replication link did in between — short writes,
+//   EINTR storms, delays, connection resets (the PR 7 injector, on the
+//   replication thread only) — and across kill-the-primary failovers.
+//
+// The harness runs a primary + replica pair under a seeded fault storm
+// on the replication link while a clean operator connection drives a
+// randomized admit/remove mix.  Every committed op is recorded in commit
+// order; between bursts the replica is polled to the primary's position
+// and probed — verdicts must match the mirror bit-for-bit.  Periodically
+// the primary is killed mid-load and the replica promoted; committed ops
+// beyond the replica's applied position are lost by design (asynchronous
+// replication), so the mirror is rebuilt from the op log truncated to
+// the promoted daemon's commit_seq — everything it acknowledged after
+// promotion must again match.  A deliberately tiny journal forces the
+// occasional sequence gap, proving gap recovery (full resync) under
+// fire.
+//
+// GMFNET_REPL_CHAOS_OPS scales the committed-op budget (default 45).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "net/topology.hpp"
+#include "rpc/client.hpp"
+#include "rpc/fault_injection.hpp"
+#include "rpc/replication.hpp"
+#include "rpc/server.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+struct Campus {
+  net::Network net;
+  std::vector<net::NodeId> hosts;  // cell-major
+  std::vector<net::NodeId> switches;
+};
+
+Campus make_campus(int cells, int hosts_per_cell) {
+  Campus c;
+  for (int cell = 0; cell < cells; ++cell) {
+    const net::NodeId sw = c.net.add_switch("sw" + std::to_string(cell));
+    c.switches.push_back(sw);
+    for (int h = 0; h < hosts_per_cell; ++h) {
+      const net::NodeId host = c.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      c.net.add_duplex_link(host, sw, kSpeed);
+      c.hosts.push_back(host);
+    }
+  }
+  return c;
+}
+
+int chaos_ops() {
+  if (const char* env = std::getenv("GMFNET_REPL_CHAOS_OPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 45;
+}
+
+std::string fresh_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/gmfnet_replchaos_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class TestDaemon {
+ public:
+  explicit TestDaemon(const net::Network& network, ServerConfig cfg = {})
+      : engine_(std::make_shared<engine::AnalysisEngine>(network)) {
+    cfg.unix_path = fresh_socket_path();
+    server_ = std::make_unique<Server>(engine_, cfg);
+    path_ = server_->unix_path();
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  ~TestDaemon() { stop(); }
+
+  void stop() {
+    if (server_) server_->request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] Client connect() const { return Client::connect_unix(path_); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::shared_ptr<engine::AnalysisEngine> engine_;
+  std::unique_ptr<Server> server_;
+  std::string path_;
+  std::thread thread_;
+};
+
+/// One committed mutation, re-playable into a fresh mirror engine.
+struct Op {
+  bool is_admit = true;
+  gmf::Flow flow;         // admit
+  std::size_t index = 0;  // remove
+};
+
+/// Replays ops[0..count) into a fresh engine.  Every op committed on a
+/// primary must commit identically here — engine determinism.
+std::unique_ptr<engine::AnalysisEngine> rebuild_mirror(
+    const net::Network& net, const std::vector<Op>& ops, std::size_t count) {
+  auto mirror = std::make_unique<engine::AnalysisEngine>(net);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ops[i].is_admit) {
+      EXPECT_TRUE(mirror->try_admit(ops[i].flow).has_value())
+          << "replayed admit " << i << " diverged";
+    } else {
+      EXPECT_TRUE(mirror->remove_flow(ops[i].index))
+          << "replayed remove " << i << " diverged";
+    }
+  }
+  return mirror;
+}
+
+bool await_caught_up(Server& replica, std::uint64_t epoch,
+                     std::uint64_t commit_seq, int timeout_ms = 30'000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (replica.epoch() == epoch && replica.commit_seq() == commit_seq) {
+      return true;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  return false;
+}
+
+void expect_verdicts_match(const std::vector<engine::WhatIfResult>& got,
+                           const std::vector<engine::WhatIfResult>& want,
+                           const std::string& where) {
+  ASSERT_EQ(got.size(), want.size()) << where;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].admissible, want[i].admissible)
+        << where << ": candidate " << i;
+    const core::HolisticResult& a = got[i].result();
+    const core::HolisticResult& b = want[i].result();
+    ASSERT_EQ(a.converged, b.converged) << where << ": candidate " << i;
+    ASSERT_EQ(a.schedulable, b.schedulable) << where << ": candidate " << i;
+    ASSERT_EQ(a.sweeps, b.sweeps) << where << ": candidate " << i;
+    ASSERT_TRUE(a.jitters == b.jitters)
+        << where << ": candidate " << i << ": jitter maps differ";
+  }
+}
+
+TEST(ReplicationChaos, ReplicaVerdictsSurviveFaultStormAndFailovers) {
+  const Campus campus = make_campus(3, 4);
+  Rng rng(0xC0FFEE);
+
+  // The storm hits ONLY the replication link (ServerConfig::repl_fault is
+  // installed on the replica's replication thread); the operator client
+  // and the primary's own syscalls stay honest.
+  FaultProfile profile;
+  profile.seed = 0x57A6E;
+  profile.short_io = 0.20;
+  profile.eintr = 0.15;
+  profile.delay = 0.10;
+  profile.max_delay_us = 200;
+  profile.reset = 0.05;
+  FaultInjector injector(profile);
+
+  const auto replica_cfg = [&](const std::string& primary_path) {
+    ServerConfig cfg;
+    cfg.replica_of = "unix:" + primary_path;
+    // Tiny journal: a replica knocked out by a reset long enough falls
+    // behind the window and must recover via full resync.
+    cfg.journal_capacity = 8;
+    cfg.repl_backoff_initial_ms = 2;
+    cfg.repl_backoff_max_ms = 30;
+    cfg.repl_backoff_seed = 0x5EED;
+    cfg.repl_fault = &injector;
+    return cfg;
+  };
+  const auto primary_cfg = [] {
+    ServerConfig cfg;
+    cfg.journal_capacity = 8;
+    return cfg;
+  };
+
+  auto primary = std::make_unique<TestDaemon>(campus.net, primary_cfg());
+  auto replica =
+      std::make_unique<TestDaemon>(campus.net, replica_cfg(primary->path()));
+
+  std::vector<Op> ops;  // ops[s-1] committed at seq s, current history
+  const int total_ops = chaos_ops();
+  const int ops_per_round = 5;
+  const int rounds_per_failover = 3;
+  std::uint64_t expected_epoch = 1;
+  int flow_serial = 0;
+  int failovers = 0;
+
+  auto client = std::make_unique<Client>(primary->connect());
+  auto mirror = rebuild_mirror(campus.net, ops, 0);
+
+  const auto make_candidate = [&](const char* tag) {
+    // Both ends in one cell: the campus stars have no inter-switch links.
+    const std::size_t per_cell = campus.hosts.size() / campus.switches.size();
+    const auto cell =
+        static_cast<std::size_t>(rng.next_below(campus.switches.size()));
+    const auto a = static_cast<std::size_t>(rng.next_below(per_cell));
+    std::size_t b = a;
+    while (b == a) b = static_cast<std::size_t>(rng.next_below(per_cell));
+    // Every fourth flow gets a hopeless deadline: rejected admissions
+    // must flow through the harness too (they commit nothing and must
+    // not be journaled).
+    const bool hopeless = rng.next_below(4) == 0;
+    return workload::make_voip_flow(
+        std::string(tag) + std::to_string(flow_serial++),
+        net::Route({campus.hosts[cell * per_cell + a], campus.switches[cell],
+                    campus.hosts[cell * per_cell + b]}),
+        hopeless ? gmfnet::Time::us(30) : gmfnet::Time::ms(20));
+  };
+
+  int round = 0;
+  while (static_cast<int>(ops.size()) < total_ops) {
+    // -- a burst of mixed traffic on the primary ---------------------------
+    for (int k = 0; k < ops_per_round; ++k) {
+      if (mirror->flow_count() > 2 && rng.next_below(4) == 0) {
+        const auto idx =
+            static_cast<std::size_t>(rng.next_below(mirror->flow_count()));
+        const bool removed = client->remove(idx);
+        ASSERT_EQ(removed, mirror->remove_flow(idx));
+        if (removed) ops.push_back(Op{false, gmf::Flow{}, idx});
+      } else {
+        const gmf::Flow cand = make_candidate("c");
+        const std::optional<core::HolisticResult> verdict =
+            client->admit(cand);
+        ASSERT_EQ(verdict.has_value(), mirror->try_admit(cand).has_value());
+        if (verdict) ops.push_back(Op{true, cand, 0});
+      }
+    }
+    ASSERT_EQ(primary->server().commit_seq(), ops.size())
+        << "journal must carry exactly the committed ops";
+
+    // -- replica catches up through the storm, then must answer exactly
+    //    like the mirror ---------------------------------------------------
+    ASSERT_TRUE(await_caught_up(replica->server(), expected_epoch,
+                                ops.size()))
+        << "replica never converged (round " << round << ")";
+    std::vector<gmf::Flow> probes;
+    for (int p = 0; p < 3; ++p) probes.push_back(make_candidate("p"));
+    Client reader = replica->connect();
+    expect_verdicts_match(reader.what_if_batch(probes),
+                          mirror->evaluate_batch(probes),
+                          "round " + std::to_string(round));
+
+    // -- periodic failover: kill the primary mid-flight, promote ----------
+    if (++round % rounds_per_failover == 0 &&
+        static_cast<int>(ops.size()) < total_ops) {
+      client.reset();
+      primary->stop();
+      primary.reset();
+
+      Client promoter = replica->connect();
+      const std::uint64_t new_epoch = promoter.promote();
+      ASSERT_EQ(new_epoch, ++expected_epoch);
+      ++failovers;
+
+      // Asynchronous replication: anything the dead primary committed
+      // past the replica's applied position is gone.  Truncate history
+      // to the promoted daemon's position and rebuild the mirror.
+      const std::uint64_t kept = replica->server().commit_seq();
+      ASSERT_LE(kept, ops.size());
+      ops.resize(kept);
+      mirror = rebuild_mirror(campus.net, ops, ops.size());
+
+      primary = std::move(replica);
+      replica = std::make_unique<TestDaemon>(campus.net,
+                                             replica_cfg(primary->path()));
+      client = std::make_unique<Client>(primary->connect());
+
+      // The promoted daemon must agree with the rebuilt mirror before
+      // the next burst piles on.
+      std::vector<gmf::Flow> post;
+      for (int p = 0; p < 2; ++p) post.push_back(make_candidate("f"));
+      expect_verdicts_match(client->what_if_batch(post),
+                            mirror->evaluate_batch(post),
+                            "post-failover " + std::to_string(failovers));
+    }
+  }
+
+  // Final convergence: replica equals mirror equals primary.
+  ASSERT_TRUE(await_caught_up(replica->server(), expected_epoch, ops.size()));
+  Client reader = replica->connect();
+  EXPECT_EQ(reader.stats().flows, mirror->flow_count());
+  std::vector<gmf::Flow> finals;
+  for (int p = 0; p < 4; ++p) finals.push_back(make_candidate("z"));
+  expect_verdicts_match(reader.what_if_batch(finals),
+                        mirror->evaluate_batch(finals), "final");
+
+  // The soak only counts if the storm actually hit the link.
+  const ReplicationClient* link = replica->server().replication_client();
+  ASSERT_NE(link, nullptr);
+  EXPECT_GT(injector.ios(), 0u);
+  EXPECT_GT(injector.shorts() + injector.eintrs() + injector.delays() +
+                injector.resets(),
+            0u)
+      << "fault storm never perturbed the replication link";
+  EXPECT_GE(failovers, 2) << "the soak must cross at least two failovers";
+
+  std::printf(
+      "repl-chaos: ops=%zu failovers=%d injected(ios=%llu short=%llu "
+      "eintr=%llu delay=%llu reset=%llu)\n",
+      ops.size(), failovers,
+      static_cast<unsigned long long>(injector.ios()),
+      static_cast<unsigned long long>(injector.shorts()),
+      static_cast<unsigned long long>(injector.eintrs()),
+      static_cast<unsigned long long>(injector.delays()),
+      static_cast<unsigned long long>(injector.resets()));
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

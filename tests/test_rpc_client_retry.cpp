@@ -1,0 +1,299 @@
+// Client retry-policy contracts (rpc::Client resilience):
+//
+//  * The backoff schedule is deterministic under a seeded jitter stream
+//    and every delay lies in [capped/2, capped] for
+//    capped = min(initial << attempt, max(max, initial)) — the cap holds
+//    for arbitrarily large attempt numbers (no shift overflow).
+//
+//  * Idempotent requests retry exactly max_retries times after transport
+//    failures and then surface the error: against a daemon that accepts
+//    and drops every connection, a call with max_retries = N costs
+//    exactly N + 1 connections.
+//
+//  * Mutations are NEVER replayed: a daemon that dies after reading an
+//    ADMIT/REMOVE sees that frame exactly once no matter how many
+//    retries the config allows, and the client surfaces TransportError.
+//
+//  * Under seeded fault injection (PR 7 injector) idempotent probes
+//    transparently survive connection resets and still return verdicts
+//    bit-identical to an in-process mirror.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "net/topology.hpp"
+#include "rpc/client.hpp"
+#include "rpc/fault_injection.hpp"
+#include "rpc/server.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+std::string fresh_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/gmfnet_retry_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// Star network with `hosts` end hosts on one switch.
+net::Network make_star(int hosts, std::vector<net::NodeId>& host_ids,
+                       net::NodeId& sw) {
+  net::Network net;
+  sw = net.add_switch("sw");
+  for (int h = 0; h < hosts; ++h) {
+    const net::NodeId id = net.add_endhost("h" + std::to_string(h));
+    net.add_duplex_link(id, sw, kSpeed);
+    host_ids.push_back(id);
+  }
+  return net;
+}
+
+// ------------------------------------------------------- backoff schedule --
+
+TEST(ClientBackoff, DelaysStayWithinCappedJitterBounds) {
+  ClientConfig cfg;
+  cfg.backoff_initial_ms = 20;
+  cfg.backoff_max_ms = 2'000;
+  Rng jitter(0x5EED);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::int64_t uncapped =
+        attempt >= 20 ? cfg.backoff_max_ms
+                      : std::min<std::int64_t>(
+                            static_cast<std::int64_t>(cfg.backoff_initial_ms)
+                                << attempt,
+                            cfg.backoff_max_ms);
+    const std::int64_t capped = std::min<std::int64_t>(
+        uncapped, std::max(cfg.backoff_max_ms, cfg.backoff_initial_ms));
+    const std::int64_t d = Client::backoff_delay_ms(cfg, attempt, jitter);
+    EXPECT_GE(d, capped / 2) << "attempt " << attempt;
+    EXPECT_LE(d, capped) << "attempt " << attempt;
+  }
+}
+
+TEST(ClientBackoff, ScheduleIsDeterministicUnderSeededJitter) {
+  ClientConfig cfg;
+  cfg.backoff_initial_ms = 10;
+  cfg.backoff_max_ms = 500;
+  Rng a(42), b(42), c(43);
+  bool any_difference = false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::int64_t da = Client::backoff_delay_ms(cfg, attempt, a);
+    EXPECT_EQ(da, Client::backoff_delay_ms(cfg, attempt, b))
+        << "attempt " << attempt;
+    if (da != Client::backoff_delay_ms(cfg, attempt, c)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different seeds must jitter differently";
+}
+
+TEST(ClientBackoff, DegenerateConfigsDoNotUnderflowOrOverflow) {
+  ClientConfig cfg;
+  cfg.backoff_initial_ms = 0;
+  cfg.backoff_max_ms = 0;
+  Rng jitter(1);
+  EXPECT_EQ(Client::backoff_delay_ms(cfg, 0, jitter), 0);
+  EXPECT_EQ(Client::backoff_delay_ms(cfg, 1000, jitter), 0);
+
+  // initial > max: the documented cap is max(max, initial).
+  cfg.backoff_initial_ms = 100;
+  cfg.backoff_max_ms = 10;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::int64_t d = Client::backoff_delay_ms(cfg, attempt, jitter);
+    EXPECT_GE(d, 50);
+    EXPECT_LE(d, 100);
+  }
+}
+
+// ----------------------------------------------------------- retry budget --
+
+/// A daemon stand-in that accepts every connection and immediately
+/// applies `on_connection` (close, read-then-close, ...), counting them.
+class MockDaemon {
+ public:
+  using Handler = std::function<void(Socket&)>;
+
+  explicit MockDaemon(Handler handler)
+      : listener_(Listener::listen_unix(fresh_socket_path())),
+        handler_(std::move(handler)),
+        thread_([this] { run(); }) {}
+
+  ~MockDaemon() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+  [[nodiscard]] const std::string& path() const {
+    return listener_.unix_path();
+  }
+  [[nodiscard]] int connections() const {
+    return connections_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      Socket peer = listener_.accept(50);
+      if (!peer.valid()) continue;
+      connections_.fetch_add(1, std::memory_order_acq_rel);
+      try {
+        handler_(peer);
+      } catch (const std::exception&) {
+        // A handler that loses its peer mid-frame is part of the script.
+      }
+    }
+  }
+
+  Listener listener_;
+  Handler handler_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> connections_{0};
+  std::thread thread_;
+};
+
+TEST(ClientRetry, IdempotentRequestsStopAtConfiguredAttemptCount) {
+  // Every connection is dropped without an answer: the client must spend
+  // exactly 1 + max_retries connections, then surface the failure.
+  MockDaemon daemon([](Socket& peer) {
+    std::optional<std::string> frame = recv_frame(peer);
+    (void)frame;  // read the request, answer nothing, close
+  });
+
+  ClientConfig cfg;
+  cfg.max_retries = 3;
+  cfg.backoff_initial_ms = 1;
+  cfg.backoff_max_ms = 5;
+  cfg.backoff_seed = 99;
+  Client client = Client::connect_unix(daemon.path(), cfg);
+  EXPECT_THROW((void)client.stats(), TransportError);
+  EXPECT_EQ(daemon.connections(), 1 + cfg.max_retries);
+  EXPECT_EQ(client.retries_performed(), 3u);
+
+  // A second call starts a fresh budget.
+  EXPECT_THROW((void)client.stats(), TransportError);
+  EXPECT_EQ(daemon.connections(), 2 * (1 + cfg.max_retries));
+}
+
+TEST(ClientRetry, ZeroRetriesFailsOnFirstTransportError) {
+  MockDaemon daemon([](Socket& peer) { (void)recv_frame(peer); });
+  ClientConfig cfg;  // max_retries = 0
+  Client client = Client::connect_unix(daemon.path(), cfg);
+  EXPECT_THROW((void)client.stats(), TransportError);
+  EXPECT_EQ(daemon.connections(), 1);
+  EXPECT_EQ(client.retries_performed(), 0u);
+}
+
+TEST(ClientRetry, MutationsAreNeverReplayed) {
+  // The daemon dies after *reading* each mutation — the most dangerous
+  // moment: the client cannot know whether the commit happened.  The
+  // frame must be sent exactly once even with a generous retry budget.
+  std::atomic<int> frames_read{0};
+  MockDaemon daemon([&](Socket& peer) {
+    if (recv_frame(peer).has_value()) {
+      frames_read.fetch_add(1, std::memory_order_acq_rel);
+    }
+  });
+
+  ClientConfig cfg;
+  cfg.max_retries = 5;
+  cfg.backoff_initial_ms = 1;
+  cfg.backoff_max_ms = 5;
+  Client client = Client::connect_unix(daemon.path(), cfg);
+
+  std::vector<net::NodeId> hosts;
+  net::NodeId sw{};
+  const net::Network net = make_star(2, hosts, sw);
+  const gmf::Flow flow = workload::make_voip_flow(
+      "call", net::Route({hosts[0], sw, hosts[1]}));
+
+  EXPECT_THROW((void)client.admit(flow), TransportError);
+  EXPECT_EQ(frames_read.load(), 1) << "ADMIT must not be replayed";
+  EXPECT_EQ(client.retries_performed(), 0u);
+
+  EXPECT_THROW((void)client.remove(0), TransportError);
+  EXPECT_EQ(frames_read.load(), 2) << "REMOVE must not be replayed";
+  EXPECT_EQ(client.retries_performed(), 0u);
+}
+
+// ------------------------------------------------- retries under injection --
+
+TEST(ClientRetry, SeededFaultsAreSurvivedByIdempotentProbes) {
+  std::vector<net::NodeId> hosts;
+  net::NodeId sw{};
+  const net::Network net = make_star(4, hosts, sw);
+  auto engine = std::make_shared<engine::AnalysisEngine>(net);
+  engine::AnalysisEngine mirror(net);
+
+  ServerConfig scfg;
+  scfg.unix_path = fresh_socket_path();
+  Server server(engine, scfg);
+  std::thread serve_thread([&] { server.serve(); });
+
+  // Seed the worlds over a clean wire first; only the probes run under
+  // injection (mutations are never retried, so a faulted admit would
+  // need out-of-band repair and muddy the assertion).
+  const gmf::Flow resident = workload::make_voip_flow(
+      "resident", net::Route({hosts[0], sw, hosts[1]}));
+  ASSERT_TRUE(mirror.try_admit(resident).has_value());
+  {
+    Client seeder = Client::connect_unix(server.unix_path());
+    ASSERT_TRUE(seeder.admit(resident).has_value());
+  }
+
+  FaultProfile profile;
+  profile.seed = 0xD15EA5E;
+  profile.reset = 0.10;
+  profile.short_io = 0.20;
+  profile.eintr = 0.10;
+  FaultInjector injector(profile);
+  {
+    // Injector on the client thread only: the daemon's syscalls stay
+    // honest, the client's wire is hostile.
+    ScopedFaultInjection scoped(injector);
+    ClientConfig cfg;
+    cfg.max_retries = 64;
+    cfg.backoff_initial_ms = 1;
+    cfg.backoff_max_ms = 10;
+    cfg.backoff_seed = 0xB0FF;
+    Client client = Client::connect_unix(server.unix_path(), cfg);
+
+    const gmf::Flow probe = workload::make_voip_flow(
+        "probe", net::Route({hosts[2], sw, hosts[3]}));
+    const std::vector<gmf::Flow> cands(8, probe);
+    const auto local = mirror.evaluate_batch(cands);
+    for (int round = 0; round < 25; ++round) {
+      const auto remote = client.what_if_batch(cands);
+      ASSERT_EQ(remote.size(), local.size());
+      for (std::size_t i = 0; i < remote.size(); ++i) {
+        ASSERT_EQ(remote[i].admissible, local[i].admissible)
+            << "round " << round << " candidate " << i;
+        ASSERT_TRUE(remote[i].result().jitters == local[i].result().jitters)
+            << "round " << round << " candidate " << i;
+      }
+    }
+    EXPECT_GT(client.retries_performed(), 0u)
+        << "the fault storm never tripped a retry — raise the rates";
+  }
+
+  server.request_stop();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

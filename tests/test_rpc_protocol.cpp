@@ -61,6 +61,11 @@ std::vector<std::string> representative_request_frames() {
       encode_request(SaveCheckpointRequest{}),
       encode_request(RestoreRequest{"pretend checkpoint bytes"}),
       encode_request(ShutdownRequest{}),
+      encode_request(SubscribeRequest{7, 1234, 0x5EEDBEEF}),
+      encode_request(SubscribeRequest{0, 0, 0}),  // brand-new replica
+      encode_request(PromoteRequest{}),
+      encode_request(RoleRequest{}),
+      encode_request(RepointRequest{"unix:/tmp/primary.sock"}),
   };
 }
 
@@ -71,16 +76,60 @@ std::vector<std::string> representative_response_frames() {
   stats.evaluations = 7;
   stats.incremental_runs = 5;
   stats.sweeps = 21;
+  StatsResponse sr;
+  sr.stats = stats;
+  sr.flows = 4;
+  sr.shards = 2;
+  sr.role = Role::kReplica;
+  sr.epoch = 3;
+  sr.commit_seq = 99;
+  sr.uptime_ms = 123'456;
+  DeltaResponse admit_delta;
+  admit_delta.kind = DeltaKind::kAdmit;
+  admit_delta.epoch = 2;
+  admit_delta.seq = 17;
+  admit_delta.flows_after = 5;
+  admit_delta.flow = w.flows[1];
+  DeltaResponse remove_delta;
+  remove_delta.kind = DeltaKind::kRemove;
+  remove_delta.epoch = 2;
+  remove_delta.seq = 18;
+  remove_delta.flows_after = 4;
+  remove_delta.index = 3;
+  DeltaResponse restore_delta;
+  restore_delta.kind = DeltaKind::kRestore;
+  restore_delta.epoch = 2;
+  restore_delta.seq = 19;
+  restore_delta.flows_after = 0;
+  restore_delta.checkpoint = std::string("ckpt \x00\x01 blob", 12);
+  RoleResponse role;
+  role.role = Role::kReplica;
+  role.fenced = false;
+  role.epoch = 2;
+  role.commit_seq = 19;
+  role.primary_addr = "127.0.0.1:7447";
+  role.connected = true;
+  role.full_syncs = 1;
+  role.deltas_applied = 18;
   return {
       encode_response(AdmitResponse{w.result}),
       encode_response(AdmitResponse{std::nullopt}),
       encode_response(RemoveResponse{true}),
       encode_response(WhatIfBatchResponse{{wi, wi}}),
-      encode_response(StatsResponse{stats, 4, 2}),
+      encode_response(sr),
       encode_response(
           SaveCheckpointResponse{std::string("blobby \x00\x01\x7f", 10)}),
       encode_response(RestoreResponse{42}),
       encode_response(ShutdownResponse{}),
+      encode_response(SubscribeResponse{5, 101}),
+      encode_response(SyncFullResponse{
+          5, 100, 0xFEEDF00D, std::string("full sync \x00 bytes", 16)}),
+      encode_response(admit_delta),
+      encode_response(remove_delta),
+      encode_response(restore_delta),
+      encode_response(PromoteResponse{6}),
+      encode_response(role),
+      encode_response(NotPrimaryResponse{"unix:/tmp/primary.sock", 5}),
       encode_response(ErrorResponse{"flow validation failed"}),
   };
 }
@@ -192,7 +241,10 @@ TEST(RpcProtocol, ZeroLengthBodyRejected) {
 }
 
 TEST(RpcProtocol, UnknownMessageTypeRejected) {
-  for (const std::uint32_t type : {0u, 8u, 100u, 108u, 199u, 201u, 0xDEADu}) {
+  // 12/114 are the first unassigned values after the replication messages
+  // (requests end at REPOINT=11, responses at NOT_PRIMARY=113).
+  for (const std::uint32_t type :
+       {0u, 12u, 100u, 114u, 199u, 201u, 0xDEADu}) {
     std::string bad = encode_request(StatsRequest{});
     for (int i = 0; i < 4; ++i) {
       bad[kTypeOffset + static_cast<std::size_t>(i)] =
@@ -206,6 +258,20 @@ TEST(RpcProtocol, UnknownMessageTypeRejected) {
                 std::string::npos);
     }
   }
+}
+
+TEST(RpcProtocol, InvalidEnumValuesInWellFramedBodiesRejected) {
+  // A frame can be perfectly checksummed and still carry nonsense enum
+  // values (a buggy or hostile peer); strict decode must reject them.
+  StatsResponse sr;
+  sr.role = static_cast<Role>(9);
+  EXPECT_THROW((void)decode_response(encode_response(sr)), ProtocolError);
+
+  DeltaResponse d;
+  d.kind = static_cast<DeltaKind>(0);
+  EXPECT_THROW((void)decode_response(encode_response(d)), ProtocolError);
+  d.kind = static_cast<DeltaKind>(77);
+  EXPECT_THROW((void)decode_response(encode_response(d)), ProtocolError);
 }
 
 TEST(RpcProtocol, ForwardIncompatibleVersionRejected) {

@@ -16,6 +16,14 @@
 //                       written atomically (temp + fsync + rename)
 //   restore <file>      replace the daemon's world with a checkpoint
 //   shutdown            stop the daemon
+//   promote             make the daemon the primary: bumps the epoch so a
+//                       fenced ex-primary's stale deltas are rejected
+//                       (see README "Replication & failover")
+//   role                print the daemon's replication role, epoch,
+//                       commit position and link health
+//   sync                alias of role for watching a replica catch up
+//   repoint <addr>      point a replica at a different primary
+//                       ("unix:PATH" or "HOST:PORT")
 //
 //   --timeout MS        connect + per-request deadline (default 30000;
 //                       0 = wait forever).  A daemon that is unreachable
@@ -30,7 +38,8 @@
 // Scenario files passed to admit/what-if must describe flows over the
 // network the daemon was booted with (routes are resolved by node id).
 // Exit codes: 0 ok, 1 daemon/local error, 2 usage, 3 rejected,
-// 4 unreachable or deadline exceeded.
+// 4 unreachable or deadline exceeded, 5 not the primary (the daemon is a
+// replica or a fenced ex-primary; stderr names the primary when known).
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -63,7 +72,7 @@ int usage(const char* argv0) {
                "[--retries N] <command> [args]\n"
                "commands: admit <scenario> | what-if <scenario> | "
                "remove <index> | stats | save <file> | restore <file> | "
-               "shutdown\n",
+               "shutdown | promote | role | sync | repoint <addr>\n",
                argv0);
   return 2;
 }
@@ -117,6 +126,40 @@ int cmd_stats(rpc::Client& client) {
   std::printf("flow_analyses       %zu\n", s.stats.flow_analyses);
   std::printf("flow_results_reused %zu\n", s.stats.flow_results_reused);
   std::printf("sweeps              %zu\n", s.stats.sweeps);
+  std::printf("role                %s\n",
+              s.role == rpc::Role::kPrimary ? "primary" : "replica");
+  std::printf("epoch               %llu\n",
+              static_cast<unsigned long long>(s.epoch));
+  std::printf("commit_seq          %llu\n",
+              static_cast<unsigned long long>(s.commit_seq));
+  std::printf("uptime_ms           %llu\n",
+              static_cast<unsigned long long>(s.uptime_ms));
+  return 0;
+}
+
+int print_role(const rpc::RoleResponse& r) {
+  const bool primary = r.role == rpc::Role::kPrimary;
+  std::printf("role                %s%s\n", primary ? "primary" : "replica",
+              r.fenced ? " (FENCED)" : "");
+  std::printf("epoch               %llu\n",
+              static_cast<unsigned long long>(r.epoch));
+  std::printf("commit_seq          %llu\n",
+              static_cast<unsigned long long>(r.commit_seq));
+  if (primary) {
+    std::printf("subscribers         %llu\n",
+                static_cast<unsigned long long>(r.subscribers));
+    std::printf("journal             [%llu, %llu]\n",
+                static_cast<unsigned long long>(r.journal_begin),
+                static_cast<unsigned long long>(r.journal_end));
+  } else {
+    std::printf("primary             %s\n", r.primary_addr.c_str());
+    std::printf("link                %s\n",
+                r.connected ? "connected" : "down");
+    std::printf("full_syncs          %llu\n",
+                static_cast<unsigned long long>(r.full_syncs));
+    std::printf("deltas_applied      %llu\n",
+                static_cast<unsigned long long>(r.deltas_applied));
+  }
   return 0;
 }
 
@@ -223,7 +266,24 @@ int main(int argc, char** argv) {
       std::printf("daemon shutting down\n");
       return 0;
     }
+    if (command == "promote" && !has_arg) {
+      const std::uint64_t epoch = client.promote();
+      std::printf("promoted to primary at epoch %llu\n",
+                  static_cast<unsigned long long>(epoch));
+      return 0;
+    }
+    if ((command == "role" || command == "sync") && !has_arg) {
+      return print_role(client.role());
+    }
+    if (command == "repoint" && has_arg) {
+      return print_role(client.repoint(cmd_arg));
+    }
     return usage(argv[0]);
+  } catch (const rpc::NotPrimaryError& e) {
+    // Distinct exit code: scripts following a failover can redirect the
+    // mutation to e.primary_addr() instead of treating it as a failure.
+    std::fprintf(stderr, "gmfnet_ctl: %s\n", e.what());
+    return 5;
   } catch (const rpc::TimeoutError& e) {
     std::fprintf(stderr, "gmfnet_ctl: deadline exceeded: %s\n", e.what());
     return 4;

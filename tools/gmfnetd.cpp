@@ -13,6 +13,20 @@
 //           [--checkpoint-path P] [--checkpoint-every N]
 //           [--io-timeout MS] [--idle-timeout MS] [--max-conns N]
 //           [--drain-timeout MS]
+//           [--replica-of ADDR] [--journal-cap N]
+//
+// Replication: with --replica-of the daemon boots as a replica of the
+// primary at ADDR ("unix:PATH" or "HOST:PORT").  A replica needs no
+// --scenario/--restore — it cold-boots empty and bootstraps from the
+// primary's full-sync checkpoint, then follows the delta stream.  It
+// serves WHAT_IF_BATCH/STATS from its own snapshots and answers
+// mutations with NOT_PRIMARY until `gmfnet_ctl promote` makes it the
+// primary (epoch-fenced — see README "Replication & failover").
+//
+// Exit status: 0 clean shutdown/drain, 1 runtime error, 2 usage,
+// 3 abnormal stop (the accept loop died persistently — the daemon was
+// NOT shut down by an operator; supervisors should treat this as a
+// crash and restart/alert).
 //
 //   --scenario FILE       boot from a gmfnet scenario file: the network
 //                         plus its flows as the initial resident set
@@ -38,6 +52,11 @@
 //                         connection is shed (default 1024; 0 = unlimited)
 //   --drain-timeout MS    how long SIGTERM waits for in-flight requests
 //                         (default 5000)
+//   --replica-of ADDR     boot as a replica following the primary at ADDR
+//                         ("unix:PATH" or "HOST:PORT")
+//   --journal-cap N       delta frames the primary retains for replica
+//                         catch-up; a replica further behind than N takes
+//                         a full resync instead (default 1024)
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -69,7 +88,10 @@ int usage(const char* argv0) {
       "          [--host ADDR] [--readers N]\n"
       "          [--checkpoint-path P] [--checkpoint-every N]\n"
       "          [--io-timeout MS] [--idle-timeout MS] [--max-conns N]\n"
-      "          [--drain-timeout MS]\n",
+      "          [--drain-timeout MS]\n"
+      "          [--replica-of ADDR] [--journal-cap N]\n"
+      "(a replica may omit --scenario/--restore: it bootstraps from its "
+      "primary)\n",
       argv0);
   return 2;
 }
@@ -134,6 +156,8 @@ int main(int argc, char** argv) {
   long long idle_timeout = 120'000;
   long long max_conns = 1024;
   long long drain_timeout = 5'000;
+  std::string replica_of;
+  long long journal_cap = 1024;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -172,13 +196,24 @@ int main(int argc, char** argv) {
       if (!parse_number(argv[++i], 0, 86'400'000, drain_timeout)) {
         return usage(argv[0]);
       }
+    } else if (arg == "--replica-of" && has_value) {
+      replica_of = argv[++i];
+    } else if (arg == "--journal-cap" && has_value) {
+      if (!parse_number(argv[++i], 1, 1'000'000'000, journal_cap)) {
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
   }
+  // A primary needs exactly one boot source; a replica bootstraps from
+  // its primary, so at most one (a warm --restore shortens the first
+  // sync, a --scenario is allowed but will be replaced by the sync).
+  const bool replica = !replica_of.empty();
   if ((unix_path.empty() && tcp_port < 0) ||
       (!unix_path.empty() && tcp_port >= 0) ||
-      (scenario_path.empty() == restore_path.empty()) ||
+      (!replica && scenario_path.empty() == restore_path.empty()) ||
+      (replica && !scenario_path.empty() && !restore_path.empty()) ||
       (checkpoint_every > 0 && checkpoint_path.empty())) {
     return usage(argv[0]);
   }
@@ -193,13 +228,19 @@ int main(int argc, char** argv) {
       std::printf("gmfnetd: booted %zu resident flows in %zu domains from %s\n",
                   eng->flow_count(), eng->shard_count(),
                   scenario_path.c_str());
-    } else {
+    } else if (!restore_path.empty()) {
       eng = restore_with_fallback(restore_path);
       if (!eng) {
         std::fprintf(stderr, "gmfnetd: no restorable checkpoint at %s\n",
                      restore_path.c_str());
         return 1;
       }
+    } else {
+      // Replica cold boot: an empty engine that the first SYNC_FULL from
+      // the primary will replace wholesale.
+      eng = std::make_shared<engine::AnalysisEngine>(net::Network{});
+      std::printf("gmfnetd: cold replica boot — awaiting full sync from %s\n",
+                  replica_of.c_str());
     }
 
     rpc::ServerConfig cfg;
@@ -215,7 +256,13 @@ int main(int argc, char** argv) {
     cfg.drain_timeout_ms = static_cast<int>(drain_timeout);
     cfg.checkpoint_path = checkpoint_path;
     cfg.checkpoint_every = static_cast<std::size_t>(checkpoint_every);
+    cfg.replica_of = replica_of;
+    cfg.journal_capacity = static_cast<std::size_t>(journal_cap);
     rpc::Server server(std::move(eng), std::move(cfg));
+    if (replica) {
+      std::printf("gmfnetd: replica of %s (epoch %llu)\n", replica_of.c_str(),
+                  static_cast<unsigned long long>(server.epoch()));
+    }
     if (!unix_path.empty()) {
       std::printf("gmfnetd: serving on unix:%s\n", unix_path.c_str());
     } else {
@@ -247,6 +294,12 @@ int main(int argc, char** argv) {
     watcher_stop.store(true, std::memory_order_release);
     watcher.join();
 
+    if (server.abnormal_stop()) {
+      std::fprintf(stderr,
+                   "gmfnetd: abnormal stop — the accept loop died "
+                   "persistently; see the error log above\n");
+      return 3;
+    }
     if (!checkpoint_path.empty()) {
       std::printf("gmfnetd: final checkpoint at %s\n",
                   checkpoint_path.c_str());
