@@ -323,6 +323,7 @@ net::FlowId AnalysisEngine::add_flow(gmf::Flow flow) {
   s.to_global.push_back(global);
   locs_.push_back(FlowLoc{target, static_cast<std::uint32_t>(local.v)});
   global_ = nullptr;
+  lean_stale_ = true;
   return global;
 }
 
@@ -387,6 +388,7 @@ bool AnalysisEngine::remove_flow(std::size_t index) {
     }
   }
   global_ = nullptr;
+  lean_stale_ = true;
   return true;
 }
 
@@ -444,12 +446,12 @@ void AnalysisEngine::assemble_and_publish() {
                     std::shared_ptr<const EngineSnapshot>(std::move(snap)));
 }
 
-const core::HolisticResult& AnalysisEngine::evaluate() {
+bool AnalysisEngine::solve_dirty() {
   std::vector<std::size_t> dirty;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].needs_run()) dirty.push_back(i);
   }
-  if (dirty.empty() && global_ != nullptr) return *global_;
+  if (dirty.empty()) return false;
 
   std::vector<RunStats> rs(dirty.size());
   if (dirty.size() > 1 && effective_threads() > 1) {
@@ -468,14 +470,21 @@ const core::HolisticResult& AnalysisEngine::evaluate() {
   }
   for (const RunStats& r : rs) record_run(r);
 
-  if (!dirty.empty()) {
-    // Flows of untouched shards are adopted verbatim at assembly.
-    std::size_t run_flows = 0;
-    for (const std::size_t i : dirty) run_flows += shards_[i].flow_count();
-    stats_.flow_results_reused.v.fetch_add(locs_.size() - run_flows,
-                                           std::memory_order_relaxed);
-  }
+  // Flows of untouched shards are adopted verbatim at assembly.
+  std::size_t run_flows = 0;
+  for (const std::size_t i : dirty) run_flows += shards_[i].flow_count();
+  stats_.flow_results_reused.v.fetch_add(locs_.size() - run_flows,
+                                         std::memory_order_relaxed);
 
+  // A run installs fresh shard caches: any lean snapshot's ShardViews now
+  // point at stale state.
+  lean_stale_ = true;
+  return true;
+}
+
+const core::HolisticResult& AnalysisEngine::evaluate() {
+  const bool ran = solve_dirty();
+  if (!ran && global_ != nullptr) return *global_;
   assemble_and_publish();
   return *global_;
 }
@@ -515,7 +524,7 @@ std::optional<core::HolisticResult> AnalysisEngine::try_admit(
   return *global_;
 }
 
-void AnalysisEngine::commit_probe(EngineSnapshot::Probe probe) {
+void AnalysisEngine::commit_probe(EngineSnapshot::Probe probe, bool publish) {
   assert(probe.base_converged);
   Shard merged;
   merged.to_global = std::move(probe.to_global);
@@ -533,7 +542,60 @@ void AnalysisEngine::commit_probe(EngineSnapshot::Probe probe) {
   locs_.push_back(FlowLoc{});
   shards_.push_back(std::move(merged));
   index_shard(static_cast<std::uint32_t>(shards_.size() - 1));
-  assemble_and_publish();
+  lean_stale_ = true;
+  if (publish) {
+    assemble_and_publish();
+  } else {
+    // Lean batch commit: the shard surgery is done but the global result
+    // and published snapshot stay stale until end_batch() assembles once.
+    global_ = nullptr;
+  }
+}
+
+void AnalysisEngine::begin_batch() {
+  // Lean probes must not run against a snapshot predating the batch.
+  lean_stale_ = true;
+}
+
+void AnalysisEngine::refresh_lean_snapshot() {
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->empty_ctx_ = empty_ctx_;
+  snap->opts_ = opts_;
+  snap->sharded_ = shard_by_domain_;
+  snap->shards_.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    snap->shards_.push_back(
+        EngineSnapshot::ShardView{s.ctx, s.cache, s.to_global});
+  }
+  snap->locs_ = locs_;
+  snap->link_shard_ = link_shard_;
+  // global_ stays null: lean snapshots only back run_probe /
+  // probe_admissible, which never read it — skipping the O(resident)
+  // assembly is the whole point of the batch.
+  lean_snap_ = std::move(snap);
+  lean_stale_ = false;
+}
+
+bool AnalysisEngine::try_admit_lean(gmf::Flow candidate) {
+  (void)solve_dirty();
+  if (lean_stale_ || !lean_snap_) refresh_lean_snapshot();
+  const std::shared_ptr<const EngineSnapshot> snap = lean_snap_;
+  // retain_ctx: an accepted probe is committed wholesale, as in try_admit.
+  EngineSnapshot::Probe probe =
+      snap->run_probe(candidate, writer_scratch_, /*retain_ctx=*/true);
+  probe.rs.flow_results_reused += flow_count() + 1 - probe.to_global.size();
+  record_run(probe.rs);
+  if (!snap->probe_admissible(probe)) return false;
+  commit_probe(std::move(probe), /*publish=*/false);
+  return true;
+}
+
+const core::HolisticResult& AnalysisEngine::end_batch() {
+  lean_snap_.reset();
+  lean_stale_ = true;
+  // Any lean commit nulled global_, so this assembles + publishes exactly
+  // once; a batch that committed nothing keeps the current publication.
+  return evaluate();
 }
 
 std::vector<WhatIfResult> AnalysisEngine::evaluate_batch(

@@ -147,6 +147,32 @@ class AnalysisEngine {
   /// std::nullopt is returned.
   std::optional<core::HolisticResult> try_admit(gmf::Flow candidate);
 
+  // -- coalesced mutation batches -------------------------------------------
+  //
+  // A batch amortizes the dominant per-mutation cost — the O(resident)
+  // global-result assembly + snapshot publication — over K queued
+  // mutations: begin_batch(); K × try_admit_lean()/remove_flow();
+  // end_batch() performs ONE assembly and ONE publication.  Verdicts are
+  // bit-identical to the sequential try_admit path: a lean probe runs
+  // against the exact same shard contexts and converged caches, it merely
+  // skips materializing the whole-set result between commits.  Readers keep
+  // seeing the last published snapshot until end_batch().
+
+  /// Opens a coalesced batch.  Only affects which internal snapshot lean
+  /// admissions probe against; readers are never blocked.
+  void begin_batch();
+
+  /// Gated admission without publishing: identical verdict to try_admit on
+  /// the same state, but a success only commits the probe's shard surgery —
+  /// the global result and published snapshot stay stale until end_batch().
+  /// Returns true when the candidate was admitted.  Throws std::logic_error
+  /// on malformed candidates.
+  bool try_admit_lean(gmf::Flow candidate);
+
+  /// Closes the batch: solves anything still dirty (e.g. lazy removals),
+  /// assembles the global result and publishes exactly one fresh snapshot.
+  const core::HolisticResult& end_batch();
+
   /// Independent what-if probes for every candidate against the *same*
   /// published snapshot, fanned over a thread pool; candidates are not
   /// committed and do not see each other.  out[i] corresponds to
@@ -269,13 +295,26 @@ class AnalysisEngine {
   /// a follow-up index_shard of whichever shard absorbed their flows.
   void renumber_shards(const std::vector<std::uint32_t>& erased);
 
+  /// Solves every dirty shard (fanned over the pool when several are
+  /// dirty), folding run stats; returns true when any shard ran.  Factored
+  /// out of evaluate() so lean batch admissions can converge the world
+  /// without assembling/publishing it.
+  bool solve_dirty();
+
   /// Assembles the global result from the shard caches and publishes a
   /// fresh snapshot.
   void assemble_and_publish();
 
+  /// Rebuilds the writer-private lean snapshot from the current shard
+  /// state.  Identical to the snapshot half of assemble_and_publish()
+  /// except the global result is left null (lean probes never read it) and
+  /// nothing is published.
+  void refresh_lean_snapshot();
+
   /// Installs a successful probe as a committed merged shard (candidate
-  /// included) and publishes.
-  void commit_probe(EngineSnapshot::Probe probe);
+  /// included); publishes unless `publish` is false (lean batch commits
+  /// defer the assembly + publication to end_batch()).
+  void commit_probe(EngineSnapshot::Probe probe, bool publish = true);
 
   /// Folds one run's counters into the stats (relaxed atomics).
   void record_run(const RunStats& rs);
@@ -293,6 +332,10 @@ class AnalysisEngine {
   std::map<net::LinkRef, std::uint32_t> link_shard_;
   /// Assembled whole-set result of the last evaluation (null = stale).
   std::shared_ptr<const core::HolisticResult> global_;
+  /// Writer-private snapshot backing lean batch probes; never published.
+  /// Rebuilt lazily whenever the shard structure changed underneath it.
+  std::shared_ptr<const EngineSnapshot> lean_snap_;
+  bool lean_stale_ = true;
   /// Accessed only via std::atomic_load / std::atomic_store.
   std::shared_ptr<const EngineSnapshot> published_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazy; batch + shard fan-out

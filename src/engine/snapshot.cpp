@@ -1,6 +1,7 @@
 #include "engine/snapshot.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace gmfnet::engine {
@@ -21,6 +22,10 @@ std::vector<gmf::Flow> EngineSnapshot::flows() const {
 // --------------------------------------------------------- WhatIfResult --
 
 const core::FlowResult& WhatIfResult::flow_result(net::FlowId global) const {
+  if (verdict_only_) {
+    throw std::logic_error(
+        "verdict-only what-if result carries no per-flow payload");
+  }
   if (full_) return full_->flows.at(static_cast<std::size_t>(global.v));
   if (!base_) return result().flows.at(static_cast<std::size_t>(global.v));
   const auto it =
@@ -36,6 +41,10 @@ const core::FlowResult& WhatIfResult::flow_result(net::FlowId global) const {
 }
 
 const core::HolisticResult& WhatIfResult::result() const {
+  if (verdict_only_) {
+    throw std::logic_error(
+        "verdict-only what-if result carries no per-flow payload");
+  }
   if (full_) return *full_;
   if (!base_) {
     // Default-constructed value (or a cold probe that stored the complete
@@ -73,6 +82,17 @@ WhatIfResult WhatIfResult::from_full(bool admissible,
   out.sweeps_ = full.sweeps;
   out.total_flows_ = full.flows.size();
   out.full_ = std::make_shared<const core::HolisticResult>(std::move(full));
+  return out;
+}
+
+WhatIfResult WhatIfResult::verdict_only(bool admissible, bool converged,
+                                        int sweeps, std::size_t flow_count) {
+  WhatIfResult out;
+  out.admissible = admissible;
+  out.converged_ = converged;
+  out.sweeps_ = sweeps;
+  out.total_flows_ = flow_count;
+  out.verdict_only_ = true;
   return out;
 }
 

@@ -191,6 +191,19 @@ class WhatIfResult {
   [[nodiscard]] static WhatIfResult from_full(bool admissible,
                                               core::HolisticResult full);
 
+  /// A verdict-only value: carries the admission verdict and the summary
+  /// accessors (converged, sweeps, flow_count) but no per-flow payload —
+  /// flow_result()/result() throw std::logic_error.  The wire form for
+  /// probes that asked for verdicts only (WhatIfBatchRequest.verdict_only):
+  /// encoding a full result is a deep copy of every resident's FlowResult,
+  /// O(world) per probe, which dwarfs the probe itself on large worlds.
+  [[nodiscard]] static WhatIfResult verdict_only(bool admissible,
+                                                bool converged, int sweeps,
+                                                std::size_t flow_count);
+
+  /// False for verdict-only values: per-flow accessors would throw.
+  [[nodiscard]] bool detailed() const { return !verdict_only_; }
+
  private:
   friend class EngineSnapshot;
 
@@ -209,6 +222,8 @@ class WhatIfResult {
   /// Lazily materialized full result (result() cache; set eagerly by
   /// from_full).
   mutable std::shared_ptr<const core::HolisticResult> full_;
+  /// True when this value carries no per-flow payload (see verdict_only()).
+  bool verdict_only_ = false;
 };
 
 class EngineSnapshot {

@@ -121,10 +121,65 @@ bool Client::remove(std::uint64_t index) {
   return call<RemoveResponse>(RemoveRequest{index}).removed;
 }
 
+AdmitBatchResponse Client::admit_batch(const std::vector<gmf::Flow>& flows) {
+  return call<AdmitBatchResponse>(AdmitBatchRequest{flows});
+}
+
+void Client::submit(const Request& req) {
+  try {
+    ensure_connected();
+    sock_.set_send_timeout_ms(cfg_.request_timeout_ms);
+    send_frame(sock_, encode_request(req));
+  } catch (const TransportError&) {
+    // The pipeline tail is gone with the socket; nothing is collectable.
+    sock_.close();
+    pending_ = 0;
+    throw;
+  }
+  ++pending_;
+}
+
+Response Client::collect() {
+  if (pending_ == 0) {
+    throw std::logic_error("collect: no pipelined request in flight");
+  }
+  std::optional<std::string> frame;
+  try {
+    sock_.set_recv_timeout_ms(cfg_.request_timeout_ms);
+    frame = recv_frame(sock_);
+  } catch (const TransportError&) {
+    sock_.close();
+    pending_ = 0;
+    throw;
+  }
+  if (!frame) {
+    sock_.close();
+    pending_ = 0;
+    throw TransportError("daemon closed the connection before responding");
+  }
+  --pending_;
+  Response resp = decode_response(*frame);
+  if (auto* err = std::get_if<ErrorResponse>(&resp)) {
+    throw RemoteError(err->message);
+  }
+  if (auto* np = std::get_if<NotPrimaryResponse>(&resp)) {
+    throw NotPrimaryError(std::move(np->primary_addr), np->epoch);
+  }
+  return resp;
+}
+
 std::vector<engine::WhatIfResult> Client::what_if_batch(
     const std::vector<gmf::Flow>& candidates) {
   return call<WhatIfBatchResponse>(WhatIfBatchRequest{candidates},
                                    /*idempotent=*/true)
+      .results;
+}
+
+std::vector<engine::WhatIfResult> Client::what_if_verdicts(
+    const std::vector<gmf::Flow>& candidates) {
+  return call<WhatIfBatchResponse>(
+             WhatIfBatchRequest{candidates, /*verdict_only=*/true},
+             /*idempotent=*/true)
       .results;
 }
 

@@ -104,10 +104,23 @@ class Client {
   /// REMOVE: drops the resident flow at `index`; false when out of range.
   bool remove(std::uint64_t index);
 
+  /// ADMIT_BATCH: gated admission of many flows in ONE exchange and one
+  /// coalesced engine commit.  admitted[i] says whether flows[i] made it
+  /// (the same verdict a sequence of admit() calls would have produced);
+  /// flows_after is the resident count after the single commit.  Not
+  /// retried (a mutation, like admit()).
+  AdmitBatchResponse admit_batch(const std::vector<gmf::Flow>& flows);
+
   /// WHAT_IF_BATCH: independent non-committing probes against the
   /// daemon's published snapshot; out[i] corresponds to candidates[i].
   /// Idempotent: retried per ClientConfig.
   std::vector<engine::WhatIfResult> what_if_batch(
+      const std::vector<gmf::Flow>& candidates);
+  /// WHAT_IF_BATCH with verdict_only set: results answer admissible /
+  /// converged() / sweeps() / flow_count() but carry no per-flow payload
+  /// (result() throws) — the response is O(1) per candidate instead of
+  /// O(world), the hot form for high-rate admission polling.
+  std::vector<engine::WhatIfResult> what_if_verdicts(
       const std::vector<gmf::Flow>& candidates);
   /// Single-candidate convenience over WHAT_IF_BATCH.
   engine::WhatIfResult what_if(const gmf::Flow& candidate);
@@ -139,6 +152,38 @@ class Client {
   /// REPOINT: tells a replica to follow a different primary
   /// ("unix:PATH" or "HOST:PORT"); returns the post-repoint role state.
   RoleResponse repoint(const std::string& primary_addr);
+
+  // ------------------------------------------------------- pipelining --
+  // The reactor daemon allows many request frames in flight on one
+  // connection and answers them strictly in request order.  submit()
+  // sends a frame without waiting; collect() receives the next response
+  // (for the oldest uncollected submit).  Pipelined exchanges are never
+  // retried — after a TransportError the in-flight tail is unknown and
+  // the connection is closed; reconnect and resubmit what is safe.
+  // Do not interleave submit/collect with the synchronous calls above
+  // while responses are pending.
+
+  /// Sends `req` immediately; the response is claimed by a later
+  /// collect().  Throws TransportError on a send failure.
+  void submit(const Request& req);
+
+  /// Receives the next pipelined response in request order.  Maps
+  /// ERROR / NOT_PRIMARY responses to RemoteError / NotPrimaryError like
+  /// the synchronous calls; otherwise returns the decoded Response.
+  /// Throws std::logic_error when nothing is pending.
+  Response collect();
+
+  /// Typed collect(): additionally throws ProtocolError when the
+  /// response is not of type `Expected`.
+  template <typename Expected>
+  Expected collect_as() {
+    Response resp = collect();
+    if (auto* ok = std::get_if<Expected>(&resp)) return std::move(*ok);
+    throw ProtocolError("unexpected response type for pipelined request");
+  }
+
+  /// Pipelined requests submitted but not yet collected.
+  [[nodiscard]] std::size_t pending() const { return pending_; }
 
   /// Transport-level retries performed so far (observability for tests
   /// and the chaos soak).
@@ -176,6 +221,7 @@ class Client {
   ClientConfig cfg_;
   Rng jitter_;
   std::uint64_t retries_ = 0;
+  std::size_t pending_ = 0;  ///< pipelined submits awaiting collect()
 };
 
 }  // namespace gmfnet::rpc

@@ -30,19 +30,41 @@ engine::EngineStats decode_engine_stats(io::ByteReader& r) {
   return s;
 }
 
+// What-if wire flags: bit 0 = admissible, bit 1 = detailed (a full
+// HolisticResult follows; otherwise the lean converged/sweeps/flow_count
+// triple does).
+constexpr std::uint8_t kWhatIfAdmissible = 1u << 0;
+constexpr std::uint8_t kWhatIfDetailed = 1u << 1;
+
 void encode_what_if(io::ByteWriter& w, const engine::WhatIfResult& wi) {
-  w.u8(wi.admissible ? 1 : 0);
-  // The wire carries the full result; materializing it here (server side,
-  // once per encoded probe) keeps the probe hot path itself copy-free.
-  io::codec::encode_holistic_result(w, wi.result());
+  std::uint8_t flags = wi.admissible ? kWhatIfAdmissible : 0;
+  if (wi.detailed()) flags |= kWhatIfDetailed;
+  w.u8(flags);
+  if (wi.detailed()) {
+    // The wire carries the full result; materializing it here (server side,
+    // once per encoded probe) keeps the probe hot path itself copy-free.
+    io::codec::encode_holistic_result(w, wi.result());
+  } else {
+    w.u8(wi.converged() ? 1 : 0);
+    w.u64(static_cast<std::uint64_t>(wi.sweeps()));
+    w.u64(wi.flow_count());
+  }
 }
 
 engine::WhatIfResult decode_what_if(io::ByteReader& r) {
   // Sequence the reads explicitly: C++ leaves function-argument evaluation
-  // order unspecified, and both read from the same stream.
-  const bool admissible = r.u8() != 0;
-  return engine::WhatIfResult::from_full(
-      admissible, io::codec::decode_holistic_result(r));
+  // order unspecified, and all read from the same stream.
+  const std::uint8_t flags = r.u8();
+  const bool admissible = (flags & kWhatIfAdmissible) != 0;
+  if ((flags & kWhatIfDetailed) != 0) {
+    return engine::WhatIfResult::from_full(
+        admissible, io::codec::decode_holistic_result(r));
+  }
+  const bool converged = r.u8() != 0;
+  const auto sweeps = static_cast<int>(r.u64());
+  const auto flows = static_cast<std::size_t>(r.u64());
+  return engine::WhatIfResult::verdict_only(admissible, converged, sweeps,
+                                            flows);
 }
 
 Role decode_role(io::ByteReader& r) {
@@ -57,7 +79,7 @@ Role decode_role(io::ByteReader& r) {
 DeltaKind decode_delta_kind(io::ByteReader& r) {
   const std::uint8_t v = r.u8();
   if (v < static_cast<std::uint8_t>(DeltaKind::kAdmit) ||
-      v > static_cast<std::uint8_t>(DeltaKind::kRestore)) {
+      v > static_cast<std::uint8_t>(DeltaKind::kBatch)) {
     throw ProtocolError("invalid delta kind " + std::to_string(v));
   }
   return static_cast<DeltaKind>(v);
@@ -80,6 +102,7 @@ struct BodyEncoder {
   void operator()(const AdmitRequest& m) { io::codec::encode_flow(w, m.flow); }
   void operator()(const RemoveRequest& m) { w.u64(m.index); }
   void operator()(const WhatIfBatchRequest& m) {
+    w.u8(m.verdict_only ? 1 : 0);
     w.u64(m.candidates.size());
     for (const gmf::Flow& f : m.candidates) io::codec::encode_flow(w, f);
   }
@@ -95,6 +118,10 @@ struct BodyEncoder {
   void operator()(const PromoteRequest&) { encode_reserved(w); }
   void operator()(const RoleRequest&) { encode_reserved(w); }
   void operator()(const RepointRequest& m) { w.str(m.primary_addr); }
+  void operator()(const AdmitBatchRequest& m) {
+    w.u64(m.flows.size());
+    for (const gmf::Flow& f : m.flows) io::codec::encode_flow(w, f);
+  }
 
   void operator()(const AdmitResponse& m) {
     w.u8(m.result.has_value() ? 1 : 0);
@@ -113,6 +140,10 @@ struct BodyEncoder {
     w.u64(m.epoch);
     w.u64(m.commit_seq);
     w.u64(m.uptime_ms);
+    w.u64(m.active_connections);
+    w.u64(m.frames_served);
+    w.u64(m.coalesced_commits);
+    w.u64(m.pipelined_hwm);
   }
   void operator()(const SaveCheckpointResponse& m) { w.str(m.checkpoint); }
   void operator()(const RestoreResponse& m) { w.u64(m.flows); }
@@ -143,6 +174,17 @@ struct BodyEncoder {
       case DeltaKind::kRestore:
         w.str(m.checkpoint);
         break;
+      case DeltaKind::kBatch:
+        w.u64(m.ops.size());
+        for (const DeltaOp& op : m.ops) {
+          w.u8(static_cast<std::uint8_t>(op.kind));
+          if (op.kind == DeltaKind::kAdmit) {
+            io::codec::encode_flow(w, op.flow);
+          } else {
+            w.u64(op.index);
+          }
+        }
+        break;
     }
   }
   void operator()(const PromoteResponse& m) { w.u64(m.epoch); }
@@ -163,6 +205,11 @@ struct BodyEncoder {
     w.str(m.primary_addr);
     w.u64(m.epoch);
   }
+  void operator()(const AdmitBatchResponse& m) {
+    w.u64(m.admitted.size());
+    for (const std::uint8_t v : m.admitted) w.u8(v != 0 ? 1 : 0);
+    w.u64(m.flows_after);
+  }
   void operator()(const ErrorResponse& m) { w.str(m.message); }
 };
 
@@ -174,6 +221,7 @@ Request decode_request_body(MsgType type, io::ByteReader& r) {
       return RemoveRequest{r.u64()};
     case MsgType::kWhatIfBatchRequest: {
       WhatIfBatchRequest m;
+      m.verdict_only = r.u8() != 0;
       const std::size_t n = r.count(8 + 8 + 8 + 1 + 8);  // min encoded flow
       m.candidates.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -207,6 +255,15 @@ Request decode_request_body(MsgType type, io::ByteReader& r) {
       return RoleRequest{};
     case MsgType::kRepointRequest:
       return RepointRequest{r.str()};
+    case MsgType::kAdmitBatchRequest: {
+      AdmitBatchRequest m;
+      const std::size_t n = r.count(8 + 8 + 8 + 1 + 8);  // min encoded flow
+      m.flows.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.flows.push_back(io::codec::decode_flow(r));
+      }
+      return m;
+    }
     default:
       throw ProtocolError("response-typed frame where a request was expected");
   }
@@ -223,7 +280,8 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
       return RemoveResponse{r.u8() != 0};
     case MsgType::kWhatIfBatchResponse: {
       WhatIfBatchResponse m;
-      const std::size_t n = r.count(1 + 1 + 1 + 4 + 8 + 8);  // min what-if
+      // Min encoded what-if: flags + lean converged/sweeps/flow_count.
+      const std::size_t n = r.count(1 + 1 + 8 + 8);
       m.results.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         m.results.push_back(decode_what_if(r));
@@ -239,6 +297,10 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
       m.epoch = r.u64();
       m.commit_seq = r.u64();
       m.uptime_ms = r.u64();
+      m.active_connections = r.u64();
+      m.frames_served = r.u64();
+      m.coalesced_commits = r.u64();
+      m.pipelined_hwm = r.u64();
       return m;
     }
     case MsgType::kSaveCheckpointResponse:
@@ -278,6 +340,23 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
         case DeltaKind::kRestore:
           m.checkpoint = r.str();
           break;
+        case DeltaKind::kBatch: {
+          const std::size_t n = r.count(1 + 8);  // min op: kind + index
+          m.ops.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            DeltaOp op;
+            op.kind = decode_delta_kind(r);
+            if (op.kind == DeltaKind::kAdmit) {
+              op.flow = io::codec::decode_flow(r);
+            } else if (op.kind == DeltaKind::kRemove) {
+              op.index = r.u64();
+            } else {
+              throw ProtocolError("invalid op kind inside batch delta");
+            }
+            m.ops.push_back(std::move(op));
+          }
+          break;
+        }
       }
       return m;
     }
@@ -304,6 +383,21 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
       m.epoch = r.u64();
       return m;
     }
+    case MsgType::kAdmitBatchResponse: {
+      AdmitBatchResponse m;
+      const std::size_t n = r.count(1);
+      m.admitted.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t v = r.u8();
+        if (v > 1) {
+          throw ProtocolError("invalid admit-batch verdict byte " +
+                              std::to_string(v));
+        }
+        m.admitted.push_back(v);
+      }
+      m.flows_after = r.u64();
+      return m;
+    }
     case MsgType::kErrorResponse:
       return ErrorResponse{r.str()};
     default:
@@ -313,9 +407,9 @@ Response decode_response_body(MsgType type, io::ByteReader& r) {
 
 [[nodiscard]] bool known_type(std::uint32_t t) {
   return (t >= static_cast<std::uint32_t>(MsgType::kAdmitRequest) &&
-          t <= static_cast<std::uint32_t>(MsgType::kRepointRequest)) ||
+          t <= static_cast<std::uint32_t>(MsgType::kAdmitBatchRequest)) ||
          (t >= static_cast<std::uint32_t>(MsgType::kAdmitResponse) &&
-          t <= static_cast<std::uint32_t>(MsgType::kNotPrimaryResponse)) ||
+          t <= static_cast<std::uint32_t>(MsgType::kAdmitBatchResponse)) ||
          t == static_cast<std::uint32_t>(MsgType::kErrorResponse);
 }
 

@@ -23,10 +23,18 @@
 // Message catalog (request -> response):
 //
 //   ADMIT            { flow }            -> { admitted?, HolisticResult }
+//   ADMIT_BATCH      { flows }           -> { per-flow verdicts, flows_after }
+//                                           (one gated admission pass over
+//                                            many flows: one engine commit,
+//                                            one snapshot publish, one
+//                                            replication DELTA batch)
 //   REMOVE           { index }           -> { removed }
-//   WHAT_IF_BATCH    { candidate flows } -> { WhatIfResult per candidate }
+//   WHAT_IF_BATCH    { candidates,       -> { WhatIfResult per candidate;
+//                      verdict_only? }      verdict_only requests elide the
+//                                           O(world) per-flow payload }
 //   STATS            {}                  -> { EngineStats, flows, shards,
-//                                            role, epoch, commit_seq, uptime }
+//                                            role, epoch, commit_seq, uptime,
+//                                            server counters }
 //   SAVE_CHECKPOINT  {}                  -> { checkpoint blob (PR 4 stream) }
 //   RESTORE          { checkpoint blob } -> { restored flow count }
 //   SHUTDOWN         {}                  -> {}
@@ -101,6 +109,7 @@ enum class MsgType : std::uint32_t {
   kPromoteRequest = 9,
   kRoleRequest = 10,
   kRepointRequest = 11,
+  kAdmitBatchRequest = 12,
 
   kAdmitResponse = 101,
   kRemoveResponse = 102,
@@ -115,6 +124,7 @@ enum class MsgType : std::uint32_t {
   kPromoteResponse = 111,
   kRoleResponse = 112,
   kNotPrimaryResponse = 113,
+  kAdmitBatchResponse = 114,
 
   kErrorResponse = 200,
 };
@@ -130,6 +140,9 @@ enum class DeltaKind : std::uint8_t {
   kAdmit = 1,    ///< body: io/codec flow encoding (the admitted flow)
   kRemove = 2,   ///< body: u64 resident index
   kRestore = 3,  ///< body: a complete PR 4 checkpoint stream
+  kBatch = 4,    ///< body: a coalesced sequence of admit/remove ops that
+                 ///< committed as ONE engine commit on the primary; replicas
+                 ///< apply the whole sequence before checking flows_after
 };
 
 // ------------------------------------------------------------- requests --
@@ -142,6 +155,12 @@ struct RemoveRequest {
 };
 struct WhatIfBatchRequest {
   std::vector<gmf::Flow> candidates;
+  /// When set, responses carry the admission verdict plus summary fields
+  /// (converged, sweeps, flow_count) but no per-flow payload — the full
+  /// HolisticResult is a deep copy of every resident's FlowResult, O(world)
+  /// to encode per probe, which dwarfs the probe itself on large worlds.
+  /// Decoded verdict-only results throw on result()/flow_result().
+  bool verdict_only = false;
 };
 struct StatsRequest {};
 struct SaveCheckpointRequest {};
@@ -170,12 +189,22 @@ struct RoleRequest {};
 struct RepointRequest {
   std::string primary_addr;
 };
+/// Gated admission of many flows in one request: the daemon runs the same
+/// per-flow admission test as ADMIT, in order, but commits all accepted
+/// flows as ONE engine commit + ONE snapshot publish + ONE replication
+/// DELTA batch.  Verdicts are bit-identical to sending the flows as
+/// sequential ADMITs.
+struct AdmitBatchRequest {
+  std::vector<gmf::Flow> flows;
+};
 
+// New request types append LAST: type_of() maps variant index -> MsgType
+// arithmetically from kAdmitRequest.
 using Request =
     std::variant<AdmitRequest, RemoveRequest, WhatIfBatchRequest,
                  StatsRequest, SaveCheckpointRequest, RestoreRequest,
                  ShutdownRequest, SubscribeRequest, PromoteRequest,
-                 RoleRequest, RepointRequest>;
+                 RoleRequest, RepointRequest, AdmitBatchRequest>;
 
 // ------------------------------------------------------------ responses --
 
@@ -201,6 +230,13 @@ struct StatsResponse {
   std::uint64_t epoch = 0;
   std::uint64_t commit_seq = 0;
   std::uint64_t uptime_ms = 0;
+  // Appended after the PR 8 fields: reactor-server observability counters
+  // (zero on daemons without a serving reactor).
+  std::uint64_t active_connections = 0;  ///< currently open operator conns
+  std::uint64_t frames_served = 0;       ///< total request frames answered
+  std::uint64_t coalesced_commits = 0;   ///< mutations folded into group
+                                         ///< commits beyond the group heads
+  std::uint64_t pipelined_hwm = 0;  ///< max frames in flight on one conn
 };
 struct SaveCheckpointResponse {
   std::string checkpoint;
@@ -229,6 +265,13 @@ struct SyncFullResponse {
 /// connection.  `seq` values are contiguous per epoch; `flows_after` is the
 /// resident flow count after applying — a cheap divergence tripwire on top
 /// of the per-frame checksum.
+/// One element of a kBatch delta: an admit (flow) or a remove (index) that
+/// was part of a coalesced commit group.
+struct DeltaOp {
+  DeltaKind kind = DeltaKind::kAdmit;  ///< kAdmit or kRemove only
+  gmf::Flow flow;                      ///< kAdmit payload
+  std::uint64_t index = 0;             ///< kRemove payload
+};
 struct DeltaResponse {
   DeltaKind kind = DeltaKind::kAdmit;
   std::uint64_t epoch = 0;
@@ -237,6 +280,7 @@ struct DeltaResponse {
   gmf::Flow flow;               ///< kAdmit payload
   std::uint64_t index = 0;      ///< kRemove payload
   std::string checkpoint;       ///< kRestore payload
+  std::vector<DeltaOp> ops;     ///< kBatch payload (in commit order)
 };
 struct PromoteResponse {
   std::uint64_t epoch = 0;  ///< the freshly fenced epoch
@@ -269,13 +313,23 @@ struct NotPrimaryResponse {
 struct ErrorResponse {
   std::string message;
 };
+/// Per-flow verdicts of an ADMIT_BATCH, parallel to the request's flows
+/// (1 = admitted).  `flows_after` is the resident count after the single
+/// coalesced commit.
+struct AdmitBatchResponse {
+  std::vector<std::uint8_t> admitted;
+  std::uint64_t flows_after = 0;
+};
 
+// New response types append immediately BEFORE ErrorResponse: type_of()
+// maps variant index -> MsgType arithmetically from kAdmitResponse, with
+// ErrorResponse special-cased to 200.
 using Response =
     std::variant<AdmitResponse, RemoveResponse, WhatIfBatchResponse,
                  StatsResponse, SaveCheckpointResponse, RestoreResponse,
                  ShutdownResponse, SubscribeResponse, SyncFullResponse,
                  DeltaResponse, PromoteResponse, RoleResponse,
-                 NotPrimaryResponse, ErrorResponse>;
+                 NotPrimaryResponse, AdmitBatchResponse, ErrorResponse>;
 
 // -------------------------------------------------------------- framing --
 

@@ -92,6 +92,18 @@ ReplicationLog::Fetch ReplicationLog::wait_fetch(std::uint64_t seq,
   }
 }
 
+ReplicationLog::Fetch ReplicationLog::try_fetch(std::uint64_t seq,
+                                                std::string& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Fetch::kStopped;
+  if (seq < first_seq_) return Fetch::kGap;
+  if (seq < first_seq_ + frames_.size()) {
+    frame = frames_[seq - first_seq_];
+    return Fetch::kOk;
+  }
+  return Fetch::kTimeout;
+}
+
 void ReplicationLog::reset(std::uint64_t next_seq) {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -95,6 +95,11 @@ class ReplicationLog {
   /// Blocks up to `timeout_ms` for the frame with sequence `seq`.
   Fetch wait_fetch(std::uint64_t seq, std::string& frame, int timeout_ms);
 
+  /// Non-blocking wait_fetch for the reactor's subscriber pump: kTimeout
+  /// means "nothing new yet" (the reactor re-pumps after the next commit
+  /// wakes it) — never parks the calling thread.
+  Fetch try_fetch(std::uint64_t seq, std::string& frame);
+
   /// Drops every frame and restarts the journal at `next_seq` (promote /
   /// restore: history before the event is no longer streamable).
   void reset(std::uint64_t next_seq);

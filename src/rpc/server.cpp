@@ -1,12 +1,18 @@
 #include "rpc/server.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <variant>
 
 #include "io/atomic_file.hpp"
 #include "util/log.hpp"
@@ -14,13 +20,6 @@
 namespace gmfnet::rpc {
 
 namespace {
-
-template <class... Ts>
-struct Overloaded : Ts... {
-  using Ts::operator()...;
-};
-template <class... Ts>
-Overloaded(Ts...) -> Overloaded<Ts...>;
 
 using Clock = std::chrono::steady_clock;
 
@@ -30,23 +29,25 @@ std::int64_t now_ms() {
       .count();
 }
 
-/// Tries to tell the peer why it is being disconnected (deadline blown,
-/// malformed frame) before the close.  Strictly best-effort: the peer may
-/// be the very thing that is broken, so failures are swallowed and the
-/// send gets a short deadline of its own.
-void best_effort_error(Socket& sock, const std::string& message) {
-  try {
-    sock.set_send_timeout_ms(1000);
-    send_frame(sock, encode_response(ErrorResponse{message}));
-  } catch (const std::exception&) {
-  }
-}
-
-/// Idle-wait slice: how often a blocked handler re-checks stop/drain.
+/// Reactor wait slice: the epoll wait never parks longer than this, so a
+/// stop/drain request is observed promptly even with no timers armed.
 constexpr int kWaitSliceMs = 100;
 
 /// Accept failures in a row after which the loop gives up on the listener.
 constexpr int kMaxConsecutiveAcceptFailures = 100;
+
+/// Grace allowance for flushing a best-effort ERROR frame to a peer that
+/// is being disconnected (deadline blown, malformed frame).
+constexpr int kErrorFlushGraceMs = 1000;
+
+/// A subscriber whose unflushed delta backlog exceeds this pauses its own
+/// journal pump until the socket drains — a slow replica never grows the
+/// daemon's memory unboundedly (it falls behind and full-syncs instead).
+constexpr std::size_t kSubscriberOutCap = 4u << 20;
+
+/// epoll identity values below the first connection id.
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
 
 /// A per-process random history token (splitmix64 over clock/pid/address
 /// entropy).  Never zero: zero is a replica's "no history yet".
@@ -62,6 +63,14 @@ std::uint64_t make_history_token(const void* self) {
   return x | 1;
 }
 
+/// ADMIT / REMOVE / ADMIT_BATCH coalesce into one commit group; anything
+/// else is a barrier that executes alone.
+bool coalescable(const Request& req) {
+  return std::holds_alternative<AdmitRequest>(req) ||
+         std::holds_alternative<RemoveRequest>(req) ||
+         std::holds_alternative<AdmitBatchRequest>(req);
+}
+
 }  // namespace
 
 Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
@@ -69,7 +78,6 @@ Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
     : cfg_(std::move(cfg)),
       engine_(std::move(engine)),
       readers_(cfg_.reader_threads),
-      reader_scratch_(readers_.size() + 1),
       role_(static_cast<std::uint8_t>(
           cfg_.replica_of.empty() ? Role::kPrimary : Role::kReplica)),
       // A fresh primary starts history at epoch 1; a replica starts at
@@ -80,9 +88,19 @@ Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
       journal_(cfg_.journal_capacity),
       started_(Clock::now()) {
   if (!engine_) throw std::logic_error("rpc server: null engine");
-  listener_ = cfg_.unix_path.empty()
-                  ? Listener::listen_tcp(cfg_.tcp_host, cfg_.tcp_port)
-                  : Listener::listen_unix(cfg_.unix_path);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    throw TransportError("rpc server: eventfd failed", errno);
+  }
+  try {
+    listener_ = cfg_.unix_path.empty()
+                    ? Listener::listen_tcp(cfg_.tcp_host, cfg_.tcp_port)
+                    : Listener::listen_unix(cfg_.unix_path);
+  } catch (...) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+    throw;
+  }
   if (!cfg_.replica_of.empty()) {
     ReplicationClientConfig rcfg;
     rcfg.primary_addr = cfg_.replica_of;  // validated by the client ctor
@@ -115,29 +133,179 @@ Server::Server(std::shared_ptr<engine::AnalysisEngine> engine,
 Server::~Server() {
   request_stop();
   // Wind the replication thread down before members it calls into go
-  // away.  (By destruction time no handler threads are live — serve()
-  // joined them — so the unlocked repl_ access is single-threaded.)
+  // away.  (By destruction time serve() has returned — no reactor, no
+  // mutation worker — so the unlocked repl_ access is single-threaded.)
   if (repl_) repl_->stop();
   journal_.request_stop();
-  // serve() owns connection teardown; if it never ran (or already
-  // returned), there is nothing left to join here.
   listener_.close();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
 }
 
-void Server::request_stop() { stop_.store(true, std::memory_order_release); }
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  wake_reactor();
+}
 
-void Server::request_drain() { drain_.store(true, std::memory_order_release); }
+void Server::request_drain() {
+  drain_.store(true, std::memory_order_release);
+  wake_reactor();
+}
+
+void Server::wake_reactor() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof one);
+}
+
+// ------------------------------------------------------------------ reactor --
 
 void Server::serve() {
-  // Teardown (close + join every handler) must run no matter how the
-  // accept loop ends: joinable std::threads destroyed without a join
-  // would std::terminate the daemon.
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw TransportError("rpc server: epoll_create1 failed", errno);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  if (listener_.valid() &&
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw TransportError("rpc server: epoll_ctl(listener) failed", err);
+  }
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw TransportError("rpc server: epoll_ctl(eventfd) failed", err);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mut_mu_);
+    mut_stop_ = false;
+  }
+  std::thread mut_thread(&Server::mutation_loop, this);
+
+  try {
+    reactor_loop();
+  } catch (const std::exception& e) {
+    GMFNET_LOG_ERROR("rpc server: reactor failed: %s — winding down "
+                     "abnormally",
+                     e.what());
+    abnormal_.store(true, std::memory_order_release);
+    request_stop();
+  }
+
+  // Teardown: stop the mutation worker, drop every connection, quiesce
+  // the reader pool, then write the final checkpoint.
+  {
+    std::lock_guard<std::mutex> lock(mut_mu_);
+    mut_stop_ = true;
+  }
+  mut_cv_.notify_all();
+  mut_thread.join();
+  journal_.request_stop();
+  {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, c] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) close_conn(id);
+    dead_.clear();
+  }
+  readers_.wait_idle();
+  {
+    // Worker completions posted after the last pump are unreachable now.
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    comp_queue_.clear();
+  }
+  listener_.close();
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  if (!cfg_.checkpoint_path.empty()) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    try {
+      write_checkpoint_locked();
+    } catch (const std::exception& e) {
+      GMFNET_LOG_ERROR("rpc server: final checkpoint failed: %s", e.what());
+    }
+  }
+}
+
+void Server::reactor_loop() {
   int consecutive_failures = 0;
   int backoff_ms = 0;
   // Ring of the most recent hard accept-failure reasons: when the loop
   // gives up it must say WHY, loudly — a daemon that stops serving with
   // an exit indistinguishable from a clean shutdown is undebuggable.
   std::vector<std::string> accept_errors;
+  std::array<epoll_event, 128> events{};
+  std::vector<std::uint64_t> expired;
+
+  while (!stop_requested()) {
+    if (drain_requested() && !draining_) begin_drain();
+    if (draining_) {
+      if (conns_.empty()) break;
+      if (Clock::now() >= drain_deadline_) break;
+    }
+    int timeout = kWaitSliceMs;
+    const int wheel_delay = wheel_.next_delay_ms(Clock::now());
+    if (wheel_delay >= 0) timeout = std::min(timeout, wheel_delay);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      GMFNET_LOG_ERROR("rpc server: epoll_wait failed (errno %d) — winding "
+                       "down abnormally",
+                       errno);
+      abnormal_.store(true, std::memory_order_release);
+      request_stop();
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      const std::uint32_t evs = events[i].events;
+      if (id == kListenerId) {
+        if (!draining_ && !stop_requested()) {
+          accept_ready(consecutive_failures, backoff_ms, accept_errors);
+        }
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t v = 0;
+        while (::read(wake_fd_, &v, sizeof v) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& c = *it->second;
+      if ((evs & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(id);
+        continue;
+      }
+      if ((evs & EPOLLIN) != 0) {
+        on_readable(c);
+        if (conns_.find(id) == conns_.end()) continue;
+      }
+      if ((evs & EPOLLOUT) != 0) flush_out(c);
+    }
+    pump_completions();
+    pump_subscribers();
+    expired.clear();
+    wheel_.expire(Clock::now(), expired);
+    for (const std::uint64_t id : expired) handle_expired(id);
+    dead_.clear();
+  }
+  dead_.clear();
+}
+
+void Server::accept_ready(int& consecutive_failures, int& backoff_ms,
+                          std::vector<std::string>& accept_errors) {
   const auto note_accept_failure = [&](const std::string& what) {
     constexpr std::size_t kKeepErrors = 8;
     if (accept_errors.size() >= kKeepErrors) {
@@ -157,23 +325,11 @@ void Server::serve() {
       request_stop();
     }
   };
-  while (!stop_requested() && !drain_requested()) {
+  for (;;) {
     try {
-      Socket conn = listener_.accept(/*timeout_ms=*/50);
-      reap_connections(/*all=*/false);
-      if (!conn.valid()) continue;
-      if (cfg_.max_connections > 0 &&
-          live_connections() >= cfg_.max_connections) {
-        shed_oldest_idle();
-      }
-      auto sock = std::make_shared<Socket>(std::move(conn));
-      auto done = std::make_shared<std::atomic<bool>>(false);
-      auto last_active =
-          std::make_shared<std::atomic<std::int64_t>>(now_ms());
-      std::thread th(&Server::handle_connection, this, sock, done,
-                     last_active);
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      conns_.push_back(Conn{std::move(th), sock, done, last_active});
+      Socket conn = listener_.accept(/*timeout_ms=*/0);
+      if (!conn.valid()) return;  // backlog drained
+      add_conn(std::move(conn));
       consecutive_failures = 0;
       backoff_ms = 0;
       accept_errors.clear();
@@ -181,182 +337,920 @@ void Server::serve() {
       if (is_transient_accept_error(e.errno_value())) {
         // fd exhaustion or a backlog abort: the listener is still good.
         // Back off (capped exponential) so the loop does not spin while
-        // the condition clears, reap finished handlers to free fds, and
-        // keep serving.
+        // the condition clears.
         backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 500);
         GMFNET_LOG_WARN("rpc server: transient accept failure (%s), "
                         "backing off %dms",
                         e.what(), backoff_ms);
-        reap_connections(/*all=*/false);
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        continue;
+        return;
       }
-      // A listener that fails persistently cannot recover — wind down
-      // instead of spinning on it.
       note_accept_failure(e.what());
+      return;
     } catch (const std::exception& e) {
-      // Thread-spawn failure under load: drop that connection and keep
-      // serving the live ones.
       note_accept_failure(e.what());
-    }
-  }
-  listener_.close();
-  // Wake subscriber streams parked on the journal; they exit within a
-  // wait slice and are joined with every other handler below.
-  journal_.request_stop();
-  if (drain_requested() && !stop_requested()) {
-    // Grace period: in-flight requests finish on their own (handlers exit
-    // at the next request boundary once they observe the drain flag).
-    const Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(
-                           cfg_.drain_timeout_ms >= 0 ? cfg_.drain_timeout_ms
-                                                      : 0);
-    for (;;) {
-      reap_connections(/*all=*/false);
-      {
-        std::lock_guard<std::mutex> lock(conn_mu_);
-        if (conns_.empty()) break;
-      }
-      if (Clock::now() >= deadline) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-  }
-  reap_connections(/*all=*/true);
-  if (!cfg_.checkpoint_path.empty()) {
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    try {
-      write_checkpoint_locked();
-    } catch (const std::exception& e) {
-      GMFNET_LOG_ERROR("rpc server: final checkpoint failed: %s", e.what());
+      return;
     }
   }
 }
 
-std::size_t Server::live_connections() const {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  std::size_t live = 0;
-  for (const Conn& c : conns_) {
-    if (!c.done->load(std::memory_order_acquire)) ++live;
+void Server::add_conn(Socket sock) {
+  if (cfg_.max_connections > 0 && conns_.size() >= cfg_.max_connections) {
+    shed_oldest_idle();
   }
-  return live;
+  auto c = std::make_unique<Conn>();
+  c->id = next_conn_id_++;
+  c->sock = std::move(sock);
+  set_nonblocking(c->sock.fd(), true);
+  if (cfg_.unix_path.empty()) {
+    // Pipelined small responses must not sit in Nagle's buffer.
+    const int one = 1;
+    (void)::setsockopt(c->sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
+  }
+  c->last_active_ms = now_ms();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = c->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c->sock.fd(), &ev) != 0) {
+    GMFNET_LOG_WARN("rpc server: epoll_ctl(add conn) failed (errno %d) — "
+                    "dropping the connection",
+                    errno);
+    return;
+  }
+  c->ep_events = EPOLLIN;
+  update_deadline(*c);  // arms the idle allowance
+  active_conns_.fetch_add(1, std::memory_order_release);
+  const std::uint64_t id = c->id;
+  conns_.emplace(id, std::move(c));
+}
+
+void Server::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  std::unique_ptr<Conn> c = std::move(it->second);
+  conns_.erase(it);
+  wheel_.cancel(id);
+  if (c->sock.valid()) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->sock.fd(), nullptr);
+  }
+  if (c->subscriber) subscribers_.fetch_sub(1, std::memory_order_relaxed);
+  active_conns_.fetch_sub(1, std::memory_order_release);
+  // Prompt FIN/EOF to the peer even though the fd is parked in dead_
+  // until the end of this loop iteration.
+  c->sock.shutdown_both();
+  dead_.push_back(std::move(c));
 }
 
 void Server::shed_oldest_idle() {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  Conn* oldest = nullptr;
-  std::int64_t oldest_ms = 0;
-  for (Conn& c : conns_) {
-    if (c.done->load(std::memory_order_acquire)) continue;
-    const std::int64_t at = c.last_active->load(std::memory_order_relaxed);
-    if (oldest == nullptr || at < oldest_ms) {
-      oldest = &c;
-      oldest_ms = at;
+  const Conn* oldest = nullptr;
+  for (const auto& [id, c] : conns_) {
+    if (oldest == nullptr || c->last_active_ms < oldest->last_active_ms) {
+      oldest = c.get();
     }
   }
   if (oldest != nullptr) {
-    // Wake its handler (blocked in recv) with EOF; it exits and is
-    // reaped on a later pass.
-    oldest->sock->shutdown_both();
     shed_.fetch_add(1, std::memory_order_relaxed);
+    close_conn(oldest->id);
   }
 }
 
-void Server::reap_connections(bool all) {
-  std::vector<Conn> finished;
+void Server::on_readable(Conn& c) {
+  if (c.subscriber || c.sub_pending) {
+    // A subscriber never speaks after SUBSCRIBE, so readability means EOF
+    // (or junk) — either way the stream is over; the replica owns
+    // reconnecting.
+    char probe[256];
+    try {
+      const ssize_t n = c.sock.recv_some(probe, sizeof probe);
+      if (n == -1) return;  // spurious wakeup
+    } catch (const std::exception&) {
+    }
+    close_conn(c.id);
+    return;
+  }
+  if (!c.reading || c.closing) return;
+  char buf[64 * 1024];
+  // Bounded rounds per event so one firehose connection cannot starve the
+  // rest; level-triggered epoll re-delivers whatever is left.
+  for (int round = 0; round < 16; ++round) {
+    ssize_t n = 0;
+    try {
+      n = c.sock.recv_some(buf, sizeof buf);
+    } catch (const std::exception&) {
+      // Broken socket (reset mid-stream): nothing to report to.
+      close_conn(c.id);
+      return;
+    }
+    if (n == -1) break;  // drained
+    if (n == 0) {
+      // Peer closed.  Mid-frame or with responses pending, the stream is
+      // equally over — drop the connection, daemon unharmed.
+      close_conn(c.id);
+      return;
+    }
+    c.in_buf.append(buf, static_cast<std::size_t>(n));
+    c.last_active_ms = now_ms();
+    parse_frames(c);
+    if (c.closing || !c.reading) break;
+    if (static_cast<std::size_t>(n) < sizeof buf) break;
+  }
+  // One flush for everything the parse loop delivered inline (it also
+  // re-arms the deadline for the pure-read case).
+  if (conns_.find(c.id) != conns_.end()) flush_out(c);
+}
+
+void Server::parse_frames(Conn& c) {
+  while (!c.closing && !c.sub_pending && !c.subscriber && !draining_ &&
+         c.reading) {
+    const std::size_t avail = c.in_buf.size() - c.in_off;
+    if (avail < kHeaderSize) break;
+    FrameHeader header;
+    try {
+      header = decode_frame_header(
+          std::string_view(c.in_buf.data() + c.in_off, kHeaderSize));
+    } catch (const ProtocolError& e) {
+      // Malformed header: the stream can no longer be trusted — report
+      // why (best effort) and drop this connection only.
+      error_close(c, e.what());
+      break;
+    }
+    const std::size_t frame_len =
+        kHeaderSize + static_cast<std::size_t>(header.body_len);
+    if (avail < frame_len) break;  // wait for the rest of the body
+    Request req;
+    try {
+      req = decode_request(
+          std::string_view(c.in_buf.data() + c.in_off, frame_len));
+    } catch (const ProtocolError& e) {
+      error_close(c, e.what());
+      break;
+    }
+    c.in_off += frame_len;
+    dispatch(c, std::move(req));
+  }
+  if (c.in_off == c.in_buf.size()) {
+    c.in_buf.clear();
+    c.in_off = 0;
+  } else if (c.in_off > (64u << 10)) {
+    c.in_buf.erase(0, c.in_off);
+    c.in_off = 0;
+  }
+}
+
+void Server::dispatch(Conn& c, Request&& req) {
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = c.next_seq++;
+  ++c.inflight;
+  const std::uint64_t depth = c.inflight;
+  std::uint64_t hwm = pipelined_hwm_.load(std::memory_order_relaxed);
+  while (depth > hwm && !pipelined_hwm_.compare_exchange_weak(
+                            hwm, depth, std::memory_order_relaxed)) {
+  }
+  if (cfg_.max_pipeline > 0 && c.inflight >= cfg_.max_pipeline) {
+    // Backpressure: stop reading until the pipeline drains.
+    c.reading = false;
+    update_epoll(c);
+  }
+  if (auto* what_if = std::get_if<WhatIfBatchRequest>(&req)) {
+    dispatch_what_if(c.id, seq, std::move(*what_if));
+    return;
+  }
+  if (std::holds_alternative<SubscribeRequest>(req)) {
+    // Stop decoding further frames; the mutation worker sets the stream
+    // up (it needs a consistent position under the writer mutex).
+    c.sub_pending = true;
+  }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (all) {
-      // Wake handlers blocked in recv; they observe EOF and exit.
-      for (Conn& c : conns_) c.sock->shutdown_both();
-      finished = std::move(conns_);
-      conns_.clear();
+    std::lock_guard<std::mutex> lock(mut_mu_);
+    mut_queue_.push_back(PendingOp{c.id, seq, std::move(req)});
+  }
+  mut_cv_.notify_one();
+}
+
+void Server::dispatch_what_if(std::uint64_t conn_id, std::uint64_t seq,
+                              WhatIfBatchRequest&& req) {
+  // Small batches (the dominant operator pattern: one candidate per frame)
+  // probe inline on the reactor thread: a domain probe against the
+  // published snapshot costs microseconds, far less than a pool hand-off
+  // plus an eventfd wakeup, and the response joins the current write batch
+  // instead of waking the reactor again.  Fat batches still fan out below.
+  if (req.candidates.size() <= 2) {
+    Response resp;
+    try {
+      const std::shared_ptr<const engine::EngineSnapshot> snap =
+          engine()->published();
+      const engine::ProbeScratchPool::Lease lease = conn_scratch_.acquire();
+      WhatIfBatchResponse out;
+      out.results.reserve(req.candidates.size());
+      for (const gmf::Flow& cand : req.candidates) {
+        engine::WhatIfResult wi = snap->what_if(cand, lease.get());
+        // Verdict-only probes strip the O(world) payload before encoding:
+        // serializing the full HolisticResult deep-copies every resident's
+        // FlowResult and dominates the probe itself on large worlds.
+        out.results.push_back(
+            req.verdict_only
+                ? engine::WhatIfResult::verdict_only(
+                      wi.admissible, wi.converged(), wi.sweeps(),
+                      wi.flow_count())
+                : std::move(wi));
+      }
+      resp = std::move(out);
+    } catch (const std::exception& e) {
+      resp = ErrorResponse{e.what()};
+    }
+    auto it = conns_.find(conn_id);
+    if (it != conns_.end()) {
+      deliver(*it->second, seq, encode_response(resp));
+    }
+    return;
+  }
+  struct Job {
+    std::vector<gmf::Flow> candidates;
+    std::vector<engine::WhatIfResult> results;
+    std::shared_ptr<const engine::EngineSnapshot> snap;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex err_mu;
+    std::string error;
+    bool failed = false;
+    bool verdict_only = false;
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+  };
+  auto job = std::make_shared<Job>();
+  job->candidates = std::move(req.candidates);
+  job->verdict_only = req.verdict_only;
+  job->results.resize(job->candidates.size());
+  job->snap = engine()->published();
+  job->conn_id = conn_id;
+  job->seq = seq;
+  // Fan the candidates over the reader pool in contiguous chunks: intra-
+  // batch parallelism for one fat batch, request-level parallelism across
+  // connections for many thin ones.
+  const std::size_t chunks = std::min<std::size_t>(
+      job->candidates.size(), std::max<std::size_t>(readers_.size(), 1));
+  job->remaining.store(chunks, std::memory_order_relaxed);
+  const std::size_t per = job->candidates.size() / chunks;
+  const std::size_t extra = job->candidates.size() % chunks;
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    const std::size_t len = per + (k < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    readers_.submit([this, job, begin, end] {
+      try {
+        const engine::ProbeScratchPool::Lease lease = conn_scratch_.acquire();
+        for (std::size_t i = begin; i < end; ++i) {
+          engine::WhatIfResult wi =
+              job->snap->what_if(job->candidates[i], lease.get());
+          // Strip the O(world) payload on the worker, not the reactor.
+          job->results[i] =
+              job->verdict_only
+                  ? engine::WhatIfResult::verdict_only(
+                        wi.admissible, wi.converged(), wi.sweeps(),
+                        wi.flow_count())
+                  : std::move(wi);
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(job->err_mu);
+        job->failed = true;
+        if (job->error.empty()) job->error = e.what();
+      }
+      if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Response resp =
+            job->failed
+                ? Response{ErrorResponse{job->error}}
+                : Response{WhatIfBatchResponse{std::move(job->results)}};
+        post_completion(
+            Completion{job->conn_id, job->seq, encode_response(resp)});
+        wake_reactor();
+      }
+    });
+    begin = end;
+  }
+}
+
+StatsResponse Server::build_stats() {
+  const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+  const std::shared_ptr<const engine::EngineSnapshot> snap =
+      eng->published();
+  StatsResponse resp;
+  resp.stats = eng->stats();
+  resp.flows = snap->flow_count();
+  resp.shards = snap->shard_count();
+  resp.role = role();
+  resp.epoch = epoch();
+  resp.commit_seq = commit_seq();
+  resp.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            started_)
+          .count());
+  resp.active_connections = active_conns_.load(std::memory_order_acquire);
+  resp.frames_served = frames_served_.load(std::memory_order_relaxed);
+  resp.coalesced_commits = coalesced_.load(std::memory_order_relaxed);
+  resp.pipelined_hwm = pipelined_hwm_.load(std::memory_order_relaxed);
+  return resp;
+}
+
+void Server::deliver(Conn& c, std::uint64_t seq, std::string frame) {
+  // Appends to out_buf only — the caller owes a flush_out once its whole
+  // delivery batch is buffered, so neighbouring responses share one send.
+  const auto appended_seq = [&](std::uint64_t appended) {
+    if (c.inflight > 0) --c.inflight;
+    if (appended == c.stop_seq) c.stop_when_flushed = true;
+    if (appended == c.close_seq) c.closing = true;
+    if (appended == c.sub_seq) {
+      c.subscriber = true;
+      c.sub_pending = false;
+      c.sub_next = c.pending_sub_next;
+      subscribers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (c.done.empty() && seq == c.flush_seq) {
+    // In-order completion (the common case): straight to out_buf, no map.
+    c.out_buf.append(frame);
+    appended_seq(c.flush_seq++);
+  } else {
+    c.done.emplace(seq, std::move(frame));
+    // Flush the contiguous completed prefix in request order — the
+    // pipelining contract: responses never reorder within a connection.
+    for (;;) {
+      auto it = c.done.find(c.flush_seq);
+      if (it == c.done.end()) break;
+      c.out_buf.append(it->second);
+      c.done.erase(it);
+      appended_seq(c.flush_seq++);
+    }
+  }
+  c.last_active_ms = now_ms();
+  if (!c.reading && !c.closing && !c.subscriber && !c.sub_pending &&
+      !draining_ &&
+      (cfg_.max_pipeline == 0 || c.inflight < cfg_.max_pipeline)) {
+    c.reading = true;  // backpressure released
+    update_epoll(c);
+  }
+}
+
+void Server::flush_out(Conn& c) {
+  if (pending_out(c)) {
+    try {
+      while (c.out_off < c.out_buf.size()) {
+        const ssize_t n = c.sock.send_some(c.out_buf.data() + c.out_off,
+                                           c.out_buf.size() - c.out_off);
+        if (n < 0) break;  // socket buffer full — EPOLLOUT resumes us
+        c.out_off += static_cast<std::size_t>(n);
+      }
+    } catch (const std::exception&) {
+      close_conn(c.id);
+      return;
+    }
+  }
+  if (!pending_out(c)) {
+    c.out_buf.clear();
+    c.out_off = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      update_epoll(c);
+    }
+    if (c.stop_when_flushed) {
+      // SHUTDOWN contract: the acknowledgement reached the kernel before
+      // the daemon winds down.
+      c.stop_when_flushed = false;
+      request_stop();
+    }
+    if (c.closing) {
+      close_conn(c.id);
+      return;
+    }
+    if (draining_ && c.inflight == 0 && c.done.empty()) {
+      close_conn(c.id);
+      return;
+    }
+  } else if (!c.want_write) {
+    c.want_write = true;
+    update_epoll(c);
+  }
+  update_deadline(c);
+}
+
+void Server::pump_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    batch.swap(comp_queue_);
+  }
+  std::vector<std::uint64_t> touched;
+  for (Completion& comp : batch) {
+    auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) continue;  // connection died while computing
+    Conn& c = *it->second;
+    if (comp.stop_after) c.stop_seq = comp.seq;
+    if (comp.close_after) c.close_seq = comp.seq;
+    if (comp.sub_start) {
+      c.sub_seq = comp.seq;
+      c.pending_sub_next = comp.sub_next;
+    }
+    deliver(c, comp.seq, std::move(comp.frame));
+    if (touched.empty() || touched.back() != comp.conn_id) {
+      touched.push_back(comp.conn_id);
+    }
+  }
+  // Flush each touched connection once: completions that landed together
+  // leave in one send.
+  for (const std::uint64_t id : touched) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) flush_out(*it->second);
+  }
+}
+
+void Server::pump_subscribers() {
+  static thread_local std::vector<std::uint64_t> ids;
+  ids.clear();
+  for (const auto& [id, c] : conns_) {
+    if (c->subscriber && !c->closing) ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& c = *it->second;
+    bool stream_over = false;
+    std::string frame;
+    while (c.out_buf.size() - c.out_off < kSubscriberOutCap) {
+      const ReplicationLog::Fetch f = journal_.try_fetch(c.sub_next, frame);
+      if (f == ReplicationLog::Fetch::kOk) {
+        c.out_buf.append(frame);
+        ++c.sub_next;
+        c.last_active_ms = now_ms();
+        continue;
+      }
+      if (f == ReplicationLog::Fetch::kTimeout) break;  // nothing new yet
+      // kGap (the bounded journal moved past this replica, or a promote
+      // reset it) or kStopped: drop the stream; the reconnect full-syncs.
+      stream_over = true;
+      break;
+    }
+    if (stream_over) c.closing = true;
+    flush_out(c);
+  }
+}
+
+void Server::error_close(Conn& c, const std::string& message) {
+  // Best effort: the peer may be the very thing that is broken, so the
+  // frame rides the normal buffered path under a short grace deadline and
+  // failures are swallowed.
+  try {
+    c.out_buf.append(encode_response(Response{ErrorResponse{message}}));
+  } catch (const std::exception&) {
+  }
+  c.closing = true;
+  c.reading = false;
+  update_epoll(c);
+  flush_out(c);
+  if (conns_.find(c.id) != conns_.end()) {
+    wheel_.schedule_in(c.id, kErrorFlushGraceMs, Clock::now());
+    c.dl = Conn::Deadline::kIo;
+  }
+}
+
+void Server::update_deadline(Conn& c) {
+  using D = Conn::Deadline;
+  if (c.closing) return;  // error_close manages the flush grace timer
+  D want = D::kNone;
+  if (c.subscriber || c.sub_pending) {
+    want = pending_out(c) ? D::kIo : D::kNone;
+  } else if (pending_out(c) || c.in_off < c.in_buf.size()) {
+    // Mid-frame inbound bytes or unread responses: the io deadline.
+    want = D::kIo;
+  } else if (c.inflight == 0 && c.done.empty()) {
+    want = D::kIdle;
+  }
+  // Whole-operation discipline: a deadline already in the wanted mode is
+  // left running — a peer trickling one byte per tick cannot extend it.
+  if (want == c.dl) return;
+  c.dl = want;
+  switch (want) {
+    case D::kNone:
+      wheel_.cancel(c.id);
+      break;
+    case D::kIdle:
+      if (cfg_.idle_timeout_ms >= 0) {
+        wheel_.schedule_in(c.id, cfg_.idle_timeout_ms, Clock::now());
+      } else {
+        wheel_.cancel(c.id);
+      }
+      break;
+    case D::kIo:
+      if (cfg_.io_timeout_ms >= 0) {
+        wheel_.schedule_in(c.id, cfg_.io_timeout_ms, Clock::now());
+      } else {
+        wheel_.cancel(c.id);
+      }
+      break;
+  }
+}
+
+void Server::update_epoll(Conn& c) {
+  const std::uint32_t want =
+      (c.reading && !c.closing ? EPOLLIN : 0u) |
+      (c.want_write ? EPOLLOUT : 0u);
+  if (want == c.ep_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = c.id;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.sock.fd(), &ev);
+  c.ep_events = want;
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  drain_deadline_ =
+      Clock::now() + std::chrono::milliseconds(
+                         cfg_.drain_timeout_ms >= 0 ? cfg_.drain_timeout_ms
+                                                    : 0);
+  listener_.close();
+  // Wake subscriber streams: their next pump observes kStopped and winds
+  // the stream down.
+  journal_.request_stop();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, c] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& c = *it->second;
+    c.reading = false;  // no new frames; dispatched work finishes
+    update_epoll(c);
+    if (!pending_out(c) && c.inflight == 0 && c.done.empty()) {
+      close_conn(id);
     } else {
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        if (it->done->load(std::memory_order_acquire)) {
-          finished.push_back(std::move(*it));
-          it = conns_.erase(it);
-        } else {
-          ++it;
+      flush_out(c);
+    }
+  }
+}
+
+void Server::handle_expired(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (c.closing) {
+    // The grace allowance for flushing the farewell ERROR frame blew too.
+    close_conn(id);
+    return;
+  }
+  switch (c.dl) {
+    case Conn::Deadline::kIdle:
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_close(c, "idle timeout: closing connection");
+      break;
+    case Conn::Deadline::kIo:
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_close(c, "request deadline exceeded: closing connection");
+      break;
+    case Conn::Deadline::kNone:
+      break;  // stale fire after a mode change — ignore
+  }
+}
+
+// ---------------------------------------------------------- mutation worker --
+
+void Server::post_completion(Completion comp) {
+  std::lock_guard<std::mutex> lock(comp_mu_);
+  comp_queue_.push_back(std::move(comp));
+}
+
+void Server::mutation_loop() {
+  for (;;) {
+    std::vector<PendingOp> group;
+    bool barrier = false;
+    {
+      std::unique_lock<std::mutex> lock(mut_mu_);
+      mut_cv_.wait(lock, [&] { return mut_stop_ || !mut_queue_.empty(); });
+      if (mut_stop_) return;
+      group.push_back(std::move(mut_queue_.front()));
+      mut_queue_.pop_front();
+      if (!coalescable(group.front().req)) {
+        barrier = true;
+      } else {
+        // Coalesce every mutation that queued while the previous commit
+        // was in flight, up to the next barrier.
+        while (!mut_queue_.empty() && coalescable(mut_queue_.front().req)) {
+          group.push_back(std::move(mut_queue_.front()));
+          mut_queue_.pop_front();
         }
       }
     }
-  }
-  for (Conn& c : finished) {
-    if (c.thread.joinable()) c.thread.join();
+    if (barrier) {
+      exec_barrier(std::move(group.front()));
+    } else {
+      exec_group(std::move(group));
+    }
+    wake_reactor();
   }
 }
 
-void Server::handle_connection(
-    const std::shared_ptr<Socket>& sock,
-    const std::shared_ptr<std::atomic<bool>>& done,
-    const std::shared_ptr<std::atomic<std::int64_t>>& last_active) {
-  sock->set_recv_timeout_ms(cfg_.io_timeout_ms);
-  sock->set_send_timeout_ms(cfg_.io_timeout_ms);
-
-  // Waits for the next request in short slices so a stop/drain interrupts
-  // an idle connection promptly (the deadline knobs stay whole-operation:
-  // slicing only applies to the between-requests idle wait).
-  enum class Wait { kReady, kIdle, kWindDown };
-  const auto wait_for_request = [&]() -> Wait {
-    const Clock::time_point idle_start = Clock::now();
-    for (;;) {
-      if (stop_requested() || drain_requested()) return Wait::kWindDown;
-      int slice = kWaitSliceMs;
-      if (cfg_.idle_timeout_ms >= 0) {
-        const auto idle_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                Clock::now() - idle_start)
-                .count();
-        if (idle_ms >= cfg_.idle_timeout_ms) return Wait::kIdle;
-        slice = std::min<int>(
-            slice, static_cast<int>(cfg_.idle_timeout_ms - idle_ms));
+void Server::exec_group(std::vector<PendingOp>&& ops) {
+  std::vector<Completion> out;
+  out.reserve(ops.size());
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (role() != Role::kPrimary || fenced()) {
+      const NotPrimaryResponse np = not_primary_locked();
+      for (PendingOp& op : ops) {
+        out.push_back(Completion{op.conn_id, op.seq,
+                                 encode_response(Response{np})});
       }
-      if (sock->wait_readable(slice)) return Wait::kReady;
+    } else if (ops.size() == 1 &&
+               std::holds_alternative<AdmitRequest>(ops.front().req)) {
+      // Solo ADMIT: the classic path, bit-identical journal + response.
+      PendingOp& op = ops.front();
+      auto& m = std::get<AdmitRequest>(op.req);
+      Response resp;
+      try {
+        // try_admit consumes the flow; the journal needs its bytes.
+        gmf::Flow journal_flow = m.flow;
+        AdmitResponse admit{engine()->try_admit(std::move(m.flow))};
+        if (admit.result.has_value()) {
+          DeltaResponse delta;
+          delta.kind = DeltaKind::kAdmit;
+          delta.flow = std::move(journal_flow);
+          journal_commit_locked(std::move(delta));
+          note_mutation_locked();
+        }
+        resp = std::move(admit);
+      } catch (const std::exception& e) {
+        resp = ErrorResponse{e.what()};
+      }
+      out.push_back(Completion{op.conn_id, op.seq, encode_response(resp)});
+    } else if (ops.size() == 1 &&
+               std::holds_alternative<RemoveRequest>(ops.front().req)) {
+      // Solo REMOVE: classic path — remove, re-evaluate, journal.
+      PendingOp& op = ops.front();
+      const auto& m = std::get<RemoveRequest>(op.req);
+      Response resp;
+      try {
+        const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+        const bool removed =
+            eng->remove_flow(static_cast<std::size_t>(m.index));
+        if (removed) {
+          (void)eng->evaluate();
+          DeltaResponse delta;
+          delta.kind = DeltaKind::kRemove;
+          delta.index = m.index;
+          journal_commit_locked(std::move(delta));
+          note_mutation_locked();
+        }
+        resp = RemoveResponse{removed};
+      } catch (const std::exception& e) {
+        resp = ErrorResponse{e.what()};
+      }
+      out.push_back(Completion{op.conn_id, op.seq, encode_response(resp)});
+    } else {
+      // Coalesced group (or a single ADMIT_BATCH, which IS a group): one
+      // engine commit group, one snapshot publish, one journal frame.
+      struct OpResult {
+        enum class Kind { kAdmit, kRemove, kBatch, kError } kind =
+            Kind::kError;
+        bool ok = false;
+        std::vector<std::uint8_t> bits;
+        std::string error;
+      };
+      const std::shared_ptr<engine::AnalysisEngine> eng = engine();
+      std::vector<OpResult> results(ops.size());
+      DeltaResponse delta;
+      delta.kind = DeltaKind::kBatch;
+      std::size_t committed = 0;
+      eng->begin_batch();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        OpResult& r = results[i];
+        try {
+          if (auto* admit = std::get_if<AdmitRequest>(&ops[i].req)) {
+            r.kind = OpResult::Kind::kAdmit;
+            gmf::Flow journal_flow = admit->flow;
+            r.ok = eng->try_admit_lean(std::move(admit->flow));
+            if (r.ok) {
+              delta.ops.push_back(DeltaOp{DeltaKind::kAdmit,
+                                          std::move(journal_flow), 0});
+              ++committed;
+            }
+          } else if (auto* rem = std::get_if<RemoveRequest>(&ops[i].req)) {
+            r.kind = OpResult::Kind::kRemove;
+            r.ok = eng->remove_flow(static_cast<std::size_t>(rem->index));
+            if (r.ok) {
+              delta.ops.push_back(
+                  DeltaOp{DeltaKind::kRemove, gmf::Flow{}, rem->index});
+              ++committed;
+            }
+          } else {
+            auto& batch = std::get<AdmitBatchRequest>(ops[i].req);
+            r.kind = OpResult::Kind::kBatch;
+            r.bits.reserve(batch.flows.size());
+            for (gmf::Flow& flow : batch.flows) {
+              gmf::Flow journal_flow = flow;
+              const bool ok = eng->try_admit_lean(std::move(flow));
+              r.bits.push_back(ok ? 1 : 0);
+              if (ok) {
+                delta.ops.push_back(DeltaOp{DeltaKind::kAdmit,
+                                            std::move(journal_flow), 0});
+                ++committed;
+              }
+            }
+          }
+        } catch (const std::exception& e) {
+          r.kind = OpResult::Kind::kError;
+          r.error = e.what();
+        }
+      }
+      const core::HolisticResult* final_result = nullptr;
+      std::string end_error;
+      try {
+        final_result = &eng->end_batch();
+      } catch (const std::exception& e) {
+        end_error = e.what();
+      }
+      if (committed > 0 && end_error.empty()) {
+        journal_commit_locked(std::move(delta));
+        for (std::size_t k = 0; k < committed; ++k) note_mutation_locked();
+      }
+      if (ops.size() > 1) {
+        coalesced_.fetch_add(ops.size() - 1, std::memory_order_relaxed);
+      }
+      const std::uint64_t flows_after = eng->flow_count();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const OpResult& r = results[i];
+        Response resp;
+        if (!end_error.empty()) {
+          resp = ErrorResponse{end_error};
+        } else {
+          switch (r.kind) {
+            case OpResult::Kind::kAdmit: {
+              AdmitResponse admit;
+              if (r.ok && final_result != nullptr) {
+                // Coalescing semantics: every admitted flow in the group
+                // receives the end-of-group committed result.
+                admit.result = *final_result;
+              }
+              resp = std::move(admit);
+              break;
+            }
+            case OpResult::Kind::kRemove:
+              resp = RemoveResponse{r.ok};
+              break;
+            case OpResult::Kind::kBatch: {
+              AdmitBatchResponse batch;
+              batch.admitted = r.bits;
+              batch.flows_after = flows_after;
+              resp = std::move(batch);
+              break;
+            }
+            case OpResult::Kind::kError:
+              resp = ErrorResponse{r.error};
+              break;
+          }
+        }
+        out.push_back(
+            Completion{ops[i].conn_id, ops[i].seq, encode_response(resp)});
+      }
     }
-  };
-
-  try {
-    for (;;) {
-      const Wait w = wait_for_request();
-      if (w == Wait::kWindDown) break;
-      if (w == Wait::kIdle) {
-        timeouts_.fetch_add(1, std::memory_order_relaxed);
-        best_effort_error(*sock, "idle timeout: closing connection");
-        break;
-      }
-      std::optional<std::string> frame = recv_frame(*sock);
-      if (!frame) break;  // peer closed cleanly
-      last_active->store(now_ms(), std::memory_order_relaxed);
-      Request req = decode_request(*frame);
-      if (const auto* sub = std::get_if<SubscribeRequest>(&req)) {
-        // The connection becomes a one-way delta stream; when it ends
-        // (gap, peer gone, wind-down) the connection is done.
-        serve_subscriber(*sock, *sub, last_active);
-        break;
-      }
-      Response resp = handle(std::move(req));
-      const bool shutting_down = std::holds_alternative<ShutdownResponse>(resp);
-      send_frame(*sock, encode_response(resp));
-      last_active->store(now_ms(), std::memory_order_relaxed);
-      if (shutting_down) break;
-    }
-  } catch (const TimeoutError&) {
-    // Stalled peer: mid-frame recv or an unread response blew the io
-    // deadline.  Tell it why (best effort) and drop the connection —
-    // never a hung thread.
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
-    best_effort_error(*sock, "request deadline exceeded: closing connection");
-  } catch (const ProtocolError& e) {
-    // Malformed frame: this connection's stream can no longer be trusted
-    // — report why (best effort) and drop it, leaving the daemon and
-    // other connections untouched.
-    best_effort_error(*sock, e.what());
-  } catch (const std::exception&) {
-    // Broken socket: nothing to report to, just drop it.  (Engine-level
-    // failures never reach here; handle() turns them into ErrorResponse.)
   }
-  sock->shutdown_both();
-  done->store(true, std::memory_order_release);
+  for (Completion& comp : out) post_completion(std::move(comp));
+}
+
+void Server::exec_barrier(PendingOp&& op) {
+  if (std::holds_alternative<SubscribeRequest>(op.req)) {
+    exec_subscribe(std::move(op));
+    return;
+  }
+  Completion comp{op.conn_id, op.seq, std::string{}};
+  Response resp;
+  try {
+    if (std::holds_alternative<StatsRequest>(op.req)) {
+      // Counter reads are lock-free, but STATS still rides the mutation
+      // queue: a STATS pipelined behind an ADMIT must observe it
+      // (read-your-writes per connection, as the thread-per-connection
+      // server gave).
+      resp = build_stats();
+    } else if (std::holds_alternative<SaveCheckpointRequest>(op.req)) {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      std::ostringstream os;
+      engine()->save(os);
+      resp = SaveCheckpointResponse{std::move(os).str()};
+    } else if (auto* restore = std::get_if<RestoreRequest>(&op.req)) {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      if (role() != Role::kPrimary || fenced()) {
+        resp = not_primary_locked();
+      } else {
+        std::istringstream is(restore->checkpoint);
+        std::shared_ptr<engine::AnalysisEngine> fresh =
+            engine::AnalysisEngine::restore_unique(is, cfg_.engine_opts);
+        std::atomic_store(&engine_, std::move(fresh));
+        DeltaResponse delta;
+        delta.kind = DeltaKind::kRestore;
+        delta.checkpoint = std::move(restore->checkpoint);
+        journal_commit_locked(std::move(delta));
+        note_mutation_locked();
+        resp = RestoreResponse{engine()->flow_count()};
+      }
+    } else if (std::holds_alternative<ShutdownRequest>(op.req)) {
+      // The stop fires once the acknowledgement is flushed to the peer
+      // (Completion::stop_after), upholding "acknowledged before the
+      // daemon winds down".
+      resp = ShutdownResponse{};
+      comp.stop_after = true;
+    } else if (std::holds_alternative<PromoteRequest>(op.req)) {
+      resp = PromoteResponse{promote()};
+    } else if (std::holds_alternative<RoleRequest>(op.req)) {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      resp = role_response_locked();
+    } else if (auto* repoint = std::get_if<RepointRequest>(&op.req)) {
+      // Throws invalid_argument on a malformed address → the catch below
+      // turns it into ErrorResponse, state untouched.
+      (void)parse_primary_addr(repoint->primary_addr);
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      if (role() != Role::kReplica || repl_ == nullptr) {
+        resp = ErrorResponse{"repoint: this daemon is not a replica"};
+      } else {
+        repl_->pause();
+        repl_->resume(repoint->primary_addr);
+        resp = role_response_locked();
+      }
+    } else {
+      resp = ErrorResponse{"unsupported request"};
+    }
+  } catch (const std::exception& e) {
+    // Engine/semantic failure executing a well-framed request: report it,
+    // keep the connection (and the resident set) intact.
+    resp = ErrorResponse{e.what()};
+    comp.stop_after = false;
+  }
+  comp.frame = encode_response(resp);
+  post_completion(std::move(comp));
+}
+
+void Server::exec_subscribe(PendingOp&& op) {
+  const auto& sub = std::get<SubscribeRequest>(op.req);
+  Completion comp{op.conn_id, op.seq, std::string{}};
+  if (sub.epoch > epoch()) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    std::uint64_t cur = peer_epoch_.load(std::memory_order_relaxed);
+    while (sub.epoch > cur &&
+           !peer_epoch_.compare_exchange_weak(cur, sub.epoch,
+                                              std::memory_order_acq_rel)) {
+    }
+    if (role() == Role::kPrimary &&
+        sub.epoch > epoch_.load(std::memory_order_relaxed) && !fenced()) {
+      // The fence, passive direction: a subscriber living in a later
+      // epoch proves a newer primary was promoted somewhere.  This
+      // daemon must never commit again — split-brain ends here.
+      fenced_.store(true, std::memory_order_release);
+      GMFNET_LOG_ERROR(
+          "rpc server: fenced — subscriber at epoch %llu outranks our "
+          "epoch %llu; refusing mutations until promoted",
+          static_cast<unsigned long long>(sub.epoch),
+          static_cast<unsigned long long>(
+              epoch_.load(std::memory_order_relaxed)));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(writer_mu_);
+    if (role() != Role::kPrimary || fenced()) {
+      const NotPrimaryResponse np = not_primary_locked();
+      lock.unlock();
+      comp.frame = encode_response(Response{np});
+      comp.close_after = true;
+      post_completion(std::move(comp));
+      return;
+    }
+  }
+  // Journal catch-up needs the EXACT history: same token (not a restarted
+  // primary whose fresh sequence numbers merely collide), same epoch, and
+  // a position the bounded journal still covers.  Anything else gets the
+  // whole world — degrading to a full sync is always safe.
+  const bool catch_up =
+      sub.history == history_token_ && sub.epoch == epoch() &&
+      sub.next_seq >= journal_.first_seq() &&
+      sub.next_seq <= journal_.next_seq();
+  if (catch_up) {
+    comp.frame = encode_response(
+        Response{SubscribeResponse{epoch(), sub.next_seq}});
+    comp.sub_next = sub.next_seq;
+  } else {
+    SyncFullResponse full;
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      std::ostringstream os;
+      engine()->save(os);
+      full.checkpoint = std::move(os).str();
+      full.epoch = epoch_.load(std::memory_order_relaxed);
+      full.commit_seq = commit_seq_.load(std::memory_order_relaxed);
+      full.history = history_token_;
+    }
+    comp.sub_next = full.commit_seq + 1;
+    // The (possibly large) blob is encoded here but streamed by the
+    // reactor's buffered writer: a slow replica link never stalls the
+    // mutation path.
+    comp.frame = encode_response(Response{std::move(full)});
+  }
+  comp.sub_start = true;
+  post_completion(std::move(comp));
 }
 
 void Server::note_mutation_locked() {
@@ -379,159 +1273,6 @@ void Server::write_checkpoint_locked() {
   io::AtomicFileWriter writer(cfg_.checkpoint_path, /*keep_previous=*/true);
   engine()->save(writer.stream());
   writer.commit();
-}
-
-Response Server::handle(Request&& req) {
-  try {
-    return std::visit(
-        Overloaded{
-            [&](AdmitRequest& m) -> Response {
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              if (role() != Role::kPrimary || fenced()) {
-                return not_primary_locked();
-              }
-              // try_admit consumes the flow; the journal needs its bytes.
-              gmf::Flow journal_flow = m.flow;
-              AdmitResponse resp{engine()->try_admit(std::move(m.flow))};
-              if (resp.result.has_value()) {
-                DeltaResponse delta;
-                delta.kind = DeltaKind::kAdmit;
-                delta.flow = std::move(journal_flow);
-                journal_commit_locked(std::move(delta));
-                note_mutation_locked();
-              }
-              return resp;
-            },
-            [&](RemoveRequest& m) -> Response {
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              if (role() != Role::kPrimary || fenced()) {
-                return not_primary_locked();
-              }
-              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
-              const bool removed =
-                  eng->remove_flow(static_cast<std::size_t>(m.index));
-              // Re-evaluate immediately: the daemon keeps the published
-              // snapshot fresh so reader probes never lag a mutation.
-              if (removed) {
-                (void)eng->evaluate();
-                DeltaResponse delta;
-                delta.kind = DeltaKind::kRemove;
-                delta.index = m.index;
-                journal_commit_locked(std::move(delta));
-                note_mutation_locked();
-              }
-              return RemoveResponse{removed};
-            },
-            [&](WhatIfBatchRequest& m) -> Response {
-              // Lock-free read path: probes run against the published
-              // snapshot, fanned over the reader pool.
-              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
-              const std::shared_ptr<const engine::EngineSnapshot> snap =
-                  eng->published();
-              WhatIfBatchResponse resp;
-              resp.results.resize(m.candidates.size());
-              // The first batch to arrive fans its candidates over the
-              // reader pool; batches landing while the pool is busy probe
-              // inline on their own connection thread instead of queueing
-              // behind it (no head-of-line blocking across connections —
-              // every probe is a lock-free snapshot read either way).
-              std::unique_lock<std::mutex> pool_turn(readers_mu_,
-                                                     std::try_to_lock);
-              if (m.candidates.size() > 1 && readers_.size() > 1 &&
-                  pool_turn.owns_lock()) {
-                // Each pool slot reuses its own warm ProbeScratch across
-                // batches (guarded by readers_mu_, held here).
-                readers_.parallel_for_slotted(
-                    m.candidates.size(), [&](std::size_t slot, std::size_t i) {
-                      resp.results[i] =
-                          snap->what_if(m.candidates[i], reader_scratch_[slot]);
-                    });
-              } else {
-                const engine::ProbeScratchPool::Lease lease =
-                    conn_scratch_.acquire();
-                for (std::size_t i = 0; i < m.candidates.size(); ++i) {
-                  resp.results[i] = snap->what_if(m.candidates[i], lease.get());
-                }
-              }
-              return resp;
-            },
-            [&](StatsRequest&) -> Response {
-              const std::shared_ptr<engine::AnalysisEngine> eng = engine();
-              const std::shared_ptr<const engine::EngineSnapshot> snap =
-                  eng->published();
-              StatsResponse resp;
-              resp.stats = eng->stats();
-              resp.flows = snap->flow_count();
-              resp.shards = snap->shard_count();
-              resp.role = role();
-              resp.epoch = epoch();
-              resp.commit_seq = commit_seq();
-              resp.uptime_ms = static_cast<std::uint64_t>(
-                  std::chrono::duration_cast<std::chrono::milliseconds>(
-                      Clock::now() - started_)
-                      .count());
-              return resp;
-            },
-            [&](SaveCheckpointRequest&) -> Response {
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              std::ostringstream os;
-              engine()->save(os);
-              return SaveCheckpointResponse{std::move(os).str()};
-            },
-            [&](RestoreRequest& m) -> Response {
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              if (role() != Role::kPrimary || fenced()) {
-                return not_primary_locked();
-              }
-              std::istringstream is(m.checkpoint);
-              std::shared_ptr<engine::AnalysisEngine> fresh =
-                  engine::AnalysisEngine::restore_unique(is,
-                                                         cfg_.engine_opts);
-              std::atomic_store(&engine_, std::move(fresh));
-              DeltaResponse delta;
-              delta.kind = DeltaKind::kRestore;
-              delta.checkpoint = std::move(m.checkpoint);
-              journal_commit_locked(std::move(delta));
-              note_mutation_locked();
-              return RestoreResponse{engine()->flow_count()};
-            },
-            [&](ShutdownRequest&) -> Response {
-              request_stop();
-              return ShutdownResponse{};
-            },
-            [&](SubscribeRequest&) -> Response {
-              // Unreachable: handle_connection hands SUBSCRIBE straight
-              // to serve_subscriber.  Answer a pipelined misuse politely.
-              return ErrorResponse{
-                  "SUBSCRIBE must be the only request on its connection"};
-            },
-            [&](PromoteRequest&) -> Response {
-              return PromoteResponse{promote()};
-            },
-            [&](RoleRequest&) -> Response {
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              return role_response_locked();
-            },
-            [&](RepointRequest& m) -> Response {
-              // Throws invalid_argument on a malformed address → the
-              // catch below turns it into ErrorResponse, state untouched.
-              (void)parse_primary_addr(m.primary_addr);
-              std::lock_guard<std::mutex> lock(writer_mu_);
-              if (role() != Role::kReplica || repl_ == nullptr) {
-                return ErrorResponse{
-                    "repoint: this daemon is not a replica"};
-              }
-              repl_->pause();
-              repl_->resume(m.primary_addr);
-              return role_response_locked();
-            },
-        },
-        req);
-  } catch (const std::exception& e) {
-    // Engine/semantic failure executing a well-framed request: report it,
-    // keep the connection (and the resident set) intact.
-    return ErrorResponse{e.what()};
-  }
 }
 
 // --------------------------------------------------------------- replication
@@ -655,6 +1396,22 @@ ApplyResult Server::replica_apply(const DeltaResponse& delta) {
       std::atomic_store(&engine_, std::move(fresh));
       break;
     }
+    case DeltaKind::kBatch:
+      // A coalesced commit group: apply the ops in order, evaluate ONCE
+      // at the end — the replica coalesces exactly like its primary did.
+      for (const DeltaOp& op : delta.ops) {
+        if (op.kind == DeltaKind::kAdmit) {
+          (void)eng->add_flow(op.flow);
+        } else if (op.kind == DeltaKind::kRemove) {
+          if (!eng->remove_flow(static_cast<std::size_t>(op.index))) {
+            return ApplyResult::kGap;  // divergence — resync
+          }
+        } else {
+          return ApplyResult::kGap;  // malformed group — resync
+        }
+      }
+      (void)eng->evaluate();
+      break;
   }
   if (engine()->flow_count() != delta.flows_after) {
     // Tripwire: local state disagrees with the primary's after-image.
@@ -665,102 +1422,6 @@ ApplyResult Server::replica_apply(const DeltaResponse& delta) {
   commit_seq_.store(delta.seq, std::memory_order_release);
   note_mutation_locked();
   return ApplyResult::kApplied;
-}
-
-void Server::serve_subscriber(
-    Socket& sock, const SubscribeRequest& sub,
-    const std::shared_ptr<std::atomic<std::int64_t>>& last_active) {
-  if (sub.epoch > epoch()) {
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    std::uint64_t cur = peer_epoch_.load(std::memory_order_relaxed);
-    while (sub.epoch > cur &&
-           !peer_epoch_.compare_exchange_weak(cur, sub.epoch,
-                                              std::memory_order_acq_rel)) {
-    }
-    if (role() == Role::kPrimary &&
-        sub.epoch > epoch_.load(std::memory_order_relaxed) && !fenced()) {
-      // The fence, passive direction: a subscriber living in a later
-      // epoch proves a newer primary was promoted somewhere.  This
-      // daemon must never commit again — split-brain ends here.
-      fenced_.store(true, std::memory_order_release);
-      GMFNET_LOG_ERROR(
-          "rpc server: fenced — subscriber at epoch %llu outranks our "
-          "epoch %llu; refusing mutations until promoted",
-          static_cast<unsigned long long>(sub.epoch),
-          static_cast<unsigned long long>(
-              epoch_.load(std::memory_order_relaxed)));
-    }
-  }
-  {
-    std::unique_lock<std::mutex> lock(writer_mu_);
-    if (role() != Role::kPrimary || fenced()) {
-      const NotPrimaryResponse np = not_primary_locked();
-      lock.unlock();
-      send_frame(sock, encode_response(Response{np}));
-      return;
-    }
-  }
-
-  subscribers_.fetch_add(1, std::memory_order_relaxed);
-  struct SubscriberCount {
-    std::atomic<std::uint64_t>& n;
-    ~SubscriberCount() { n.fetch_sub(1, std::memory_order_relaxed); }
-  } count_guard{subscribers_};
-
-  // Journal catch-up needs the EXACT history: same token (not a restarted
-  // primary whose fresh sequence numbers merely collide), same epoch, and
-  // a position the bounded journal still covers.  Anything else gets the
-  // whole world — degrading to a full sync is always safe.
-  std::uint64_t next = 0;
-  const bool catch_up =
-      sub.history == history_token_ && sub.epoch == epoch() &&
-      sub.next_seq >= journal_.first_seq() &&
-      sub.next_seq <= journal_.next_seq();
-  if (catch_up) {
-    send_frame(sock,
-               encode_response(Response{SubscribeResponse{epoch(),
-                                                          sub.next_seq}}));
-    next = sub.next_seq;
-  } else {
-    SyncFullResponse full;
-    {
-      std::lock_guard<std::mutex> lock(writer_mu_);
-      std::ostringstream os;
-      engine()->save(os);
-      full.checkpoint = std::move(os).str();
-      full.epoch = epoch_.load(std::memory_order_relaxed);
-      full.commit_seq = commit_seq_.load(std::memory_order_relaxed);
-      full.history = history_token_;
-    }
-    next = full.commit_seq + 1;
-    // The (possibly large) blob goes out OUTSIDE writer_mu_: a slow
-    // replica link must not stall the mutation path.
-    send_frame(sock, encode_response(Response{std::move(full)}));
-  }
-  last_active->store(now_ms(), std::memory_order_relaxed);
-
-  std::string frame;
-  while (!stop_requested() && !drain_requested()) {
-    switch (journal_.wait_fetch(next, frame, kWaitSliceMs)) {
-      case ReplicationLog::Fetch::kOk:
-        send_frame(sock, frame);
-        ++next;
-        last_active->store(now_ms(), std::memory_order_relaxed);
-        break;
-      case ReplicationLog::Fetch::kTimeout:
-        // Nothing committed this slice.  A subscriber never speaks after
-        // SUBSCRIBE, so readability means EOF (or junk) — either way the
-        // stream is over; the replica owns reconnecting.
-        if (sock.wait_readable(0)) return;
-        break;
-      case ReplicationLog::Fetch::kGap:
-        // The bounded journal moved past this replica (or a promote
-        // reset it).  Drop the stream; the reconnect gets a full sync.
-        return;
-      case ReplicationLog::Fetch::kStopped:
-        return;
-    }
-  }
 }
 
 }  // namespace gmfnet::rpc

@@ -1,0 +1,144 @@
+// TimerWheel: hashed timer wheel for per-connection deadlines in the
+// gmfnetd reactor.  The PR 7 io/idle deadlines were enforced by blocking
+// poll calls on the connection's own thread; on the reactor one thread
+// owns hundreds of connections, so deadlines become wheel entries —
+// schedule/cancel/reschedule are O(1), and the event loop drains expired
+// entries once per tick instead of parking a thread per deadline.
+//
+// Semantics:
+//  * One live deadline per id: schedule() replaces any earlier deadline
+//    for the same id (lazy cancellation — the superseded wheel entry stays
+//    in its slot and is discarded by a generation check when its slot is
+//    drained, so reschedule never walks a bucket).
+//  * cancel() is idempotent and also lazy.
+//  * expire(now) pops every id whose deadline is <= now, in slot order
+//    (ordering across ids within one tick is unspecified — deadline
+//    enforcement does not need it).
+//  * Deadlines land on tick boundaries, rounded UP: an entry never fires
+//    early, and fires at most one tick (`tick_ms`) late.  Identical
+//    tolerance to the poll-based enforcement it replaces (the old loop's
+//    poll granularity was the deadline slice).
+//
+// Single-threaded by design: the reactor thread owns the wheel.  No
+// allocation on the steady-state path beyond bucket push_back.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gmfnet::rpc {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(int tick_ms = 100, std::size_t slots = 256)
+      : tick_ms_(tick_ms > 0 ? tick_ms : 1),
+        slots_(slots > 1 ? slots : 2),
+        wheel_(slots_),
+        origin_(Clock::now()),
+        cursor_(0) {}
+
+  /// Arms (or re-arms) the deadline for `id`.
+  void schedule(std::uint64_t id, Clock::time_point deadline) {
+    const std::uint64_t tick = tick_of(deadline);
+    const std::uint64_t gen = ++live_[id].gen;
+    live_[id].tick = tick;
+    wheel_[tick % slots_].push_back(Entry{id, gen, tick});
+  }
+
+  /// Arms the deadline `timeout_ms` from `now` (kNoTimeout < 0 = no-op).
+  void schedule_in(std::uint64_t id, int timeout_ms, Clock::time_point now) {
+    if (timeout_ms < 0) return;
+    schedule(id, now + std::chrono::milliseconds(timeout_ms));
+  }
+
+  /// Disarms `id`'s deadline (idempotent).
+  void cancel(std::uint64_t id) { live_.erase(id); }
+
+  [[nodiscard]] bool armed(std::uint64_t id) const {
+    return live_.count(id) != 0;
+  }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Appends every id whose deadline has passed to `out` and disarms it.
+  void expire(Clock::time_point now, std::vector<std::uint64_t>& out) {
+    const std::uint64_t now_tick = tick_of_floor(now);
+    while (cursor_ <= now_tick) {
+      std::vector<Entry>& bucket = wheel_[cursor_ % slots_];
+      std::size_t keep = 0;
+      for (Entry& e : bucket) {
+        const auto it = live_.find(e.id);
+        if (it == live_.end() || it->second.gen != e.gen) {
+          continue;  // cancelled or superseded: lazy discard
+        }
+        if (e.tick <= now_tick) {
+          out.push_back(e.id);
+          live_.erase(it);
+        } else {
+          // Same slot, a later wheel revolution: keep for a future pass.
+          bucket[keep++] = e;
+        }
+      }
+      bucket.resize(keep);
+      ++cursor_;
+    }
+  }
+
+  /// Suggested wait bound for the event loop: -1 (wait forever) with no
+  /// armed deadline, else the milliseconds until the next tick boundary
+  /// (in [0, tick_ms]).  Coarse on purpose — the wheel fires on ticks, so
+  /// a finer wait buys nothing.
+  [[nodiscard]] int next_delay_ms(Clock::time_point now) const {
+    if (live_.empty()) return -1;
+    const auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - origin_)
+                           .count();
+    const auto next_boundary =
+        (since / tick_ms_ + 1) * static_cast<long long>(tick_ms_);
+    const long long left = next_boundary - since;
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t tick = 0;  ///< absolute tick the deadline rounds up to
+  };
+  struct Live {
+    std::uint64_t gen = 0;
+    std::uint64_t tick = 0;
+  };
+
+  /// Absolute tick index of `t`, rounded up (never fires early).
+  [[nodiscard]] std::uint64_t tick_of(Clock::time_point t) const {
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        t - origin_)
+                        .count();
+    if (ms <= 0) return cursor_;
+    const auto up = (static_cast<std::uint64_t>(ms) +
+                     static_cast<std::uint64_t>(tick_ms_) - 1) /
+                    static_cast<std::uint64_t>(tick_ms_);
+    return up > cursor_ ? up : cursor_;
+  }
+  /// Absolute tick index of `t`, rounded down (how far "now" has come).
+  [[nodiscard]] std::uint64_t tick_of_floor(Clock::time_point t) const {
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        t - origin_)
+                        .count();
+    return ms <= 0 ? 0 : static_cast<std::uint64_t>(ms) /
+                             static_cast<std::uint64_t>(tick_ms_);
+  }
+
+  int tick_ms_;
+  std::size_t slots_;
+  std::vector<std::vector<Entry>> wheel_;
+  Clock::time_point origin_;
+  std::uint64_t cursor_;  ///< next tick expire() will drain
+  std::unordered_map<std::uint64_t, Live> live_;
+};
+
+}  // namespace gmfnet::rpc

@@ -128,15 +128,6 @@ ssize_t faulty_send(int fd, const char* buf, std::size_t n) {
   return ::send(fd, buf, n, MSG_NOSIGNAL);
 }
 
-void set_nonblocking(int fd, bool on) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0) throw TransportError("fcntl failed" + errno_suffix(), errno);
-  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
-  if (::fcntl(fd, F_SETFL, want) < 0) {
-    throw TransportError("fcntl failed" + errno_suffix(), errno);
-  }
-}
-
 /// connect(2) with an optional deadline: non-blocking connect + poll +
 /// SO_ERROR, restored to blocking on success.
 void connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
@@ -174,6 +165,15 @@ void connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
 }
 
 }  // namespace
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw TransportError("fcntl failed" + errno_suffix(), errno);
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    throw TransportError("fcntl failed" + errno_suffix(), errno);
+  }
+}
 
 TransportError::TransportError(const std::string& message, int err)
     : std::runtime_error("rpc transport: " + message), errno_value_(err) {}
@@ -260,6 +260,22 @@ bool Socket::wait_readable(int timeout_ms) {
   return wait_for(fd_, POLLIN, deadline, "wait_readable");
 }
 
+ssize_t Socket::recv_some(char* buf, std::size_t n) {
+  const ssize_t r = faulty_recv(fd_, buf, n);
+  if (r >= 0) return r;
+  // EINTR maps to "try again later" too: the reactor re-arms the fd
+  // instead of spinning on the syscall.
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return -1;
+  throw TransportError("recv failed" + errno_suffix(), errno);
+}
+
+ssize_t Socket::send_some(const char* buf, std::size_t n) {
+  const ssize_t r = faulty_send(fd_, buf, n);
+  if (r >= 0) return r;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return -1;
+  throw TransportError("send failed" + errno_suffix(), errno);
+}
+
 Socket connect_unix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -329,7 +345,35 @@ Listener Listener::listen_unix(const std::string& path) {
   Listener l;
   l.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (l.fd_ < 0) throw TransportError("socket failed" + errno_suffix(), errno);
-  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::access(path.c_str(), F_OK) == 0) {
+    // A leftover socket file: connect-probe before touching it.  A
+    // successful connect means a live daemon is serving the path — refuse
+    // to steal it out from under it.  ECONNREFUSED (the SIGKILL'd-daemon
+    // case: the file outlived its listener) marks it stale, reclaimable.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const int rc = static_cast<int>(retry_eintr([&] {
+        return ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr);
+      }));
+      const int probe_errno = errno;
+      ::close(probe);
+      if (rc == 0) {
+        throw TransportError(
+            "bind to " + path + " refused: a live daemon already serves it",
+            EADDRINUSE);
+      }
+      if (probe_errno != ECONNREFUSED && probe_errno != ENOENT) {
+        // Anything else (EACCES, ...) is not provably stale: leave the
+        // file alone rather than risk unseating a healthy daemon.
+        throw TransportError("bind to " + path +
+                                 " refused: cannot probe existing socket: " +
+                                 std::strerror(probe_errno),
+                             probe_errno);
+      }
+    }
+    ::unlink(path.c_str());  // stale socket file from a dead daemon
+  }
   if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     throw TransportError("bind to " + path + " failed" + errno_suffix(),

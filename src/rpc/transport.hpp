@@ -23,6 +23,8 @@
 // uses.  With no injector installed the wrappers are the bare syscalls.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,6 +54,10 @@ class TimeoutError : public TransportError {
 
 /// No deadline (block forever) — the default for every timeout knob.
 inline constexpr int kNoTimeout = -1;
+
+/// Sets or clears O_NONBLOCK on `fd` (reactor plumbing).  Throws
+/// TransportError on fcntl failure.
+void set_nonblocking(int fd, bool on);
 
 /// One connected stream socket (RAII; movable, not copyable).
 class Socket {
@@ -93,6 +99,20 @@ class Socket {
   /// on poll failure.
   [[nodiscard]] bool wait_readable(int timeout_ms);
 
+  // Single-shot non-blocking io for the reactor (the fd must carry
+  // O_NONBLOCK; see set_nonblocking).  Both route through the same
+  // fault-injected wrappers as the blocking path, so chaos streams
+  // exercise the reactor's partial-io handling too.
+
+  /// One recv: returns the byte count (> 0), 0 on peer EOF, or -1 when no
+  /// data is available right now (EAGAIN / injected EINTR).  Throws
+  /// TransportError on hard failures.
+  [[nodiscard]] ssize_t recv_some(char* buf, std::size_t n);
+  /// One send: returns the byte count written, or -1 when the socket
+  /// buffer is full (EAGAIN / injected EINTR).  Throws TransportError on
+  /// hard failures.
+  [[nodiscard]] ssize_t send_some(const char* buf, std::size_t n);
+
  private:
   int fd_ = -1;
   int recv_timeout_ms_ = kNoTimeout;
@@ -117,7 +137,11 @@ class Listener {
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
 
-  /// Binds + listens on a Unix socket path (unlinks a stale file first).
+  /// Binds + listens on a Unix socket path.  A leftover socket file is
+  /// connect-probed first: when a live daemon answers, the bind is refused
+  /// (TransportError, errno EADDRINUSE) instead of stealing its path; when
+  /// nobody answers (a SIGKILL'd daemon leaves the file behind) it is
+  /// unlinked and the path reclaimed.
   [[nodiscard]] static Listener listen_unix(const std::string& path);
   /// Binds + listens on TCP `host:port`; port 0 picks an ephemeral port
   /// (readable via port()).

@@ -1,0 +1,481 @@
+// Reactor pipelining contracts (rpc/server.hpp):
+//
+//  * Segmentation independence: the frame decoder accepts many frames in
+//    one segment and frames split at EVERY byte boundary — mid-header and
+//    mid-body — and a client whose every syscall is clamped to one byte
+//    (rpc::FaultInjector short-io) still gets bit-identical verdicts.
+//
+//  * Response ordering: responses on one connection always arrive in
+//    request order, even when pipelined reads, mutations and stats
+//    complete on different daemon threads at different times.
+//
+//  * Mutation coalescing: ADMIT frames queued while a commit is in
+//    flight fold into one engine commit (observable via the
+//    coalesced_commits counter) with verdicts identical to the
+//    sequential path; ADMIT_BATCH commits N flows as ONE journal commit
+//    and replicates to a subscriber as one kBatch delta.
+//
+//  * Stale Unix sockets: a socket file with no listener behind it is
+//    reclaimed by listen_unix; a path a live daemon serves is refused
+//    with EADDRINUSE.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "engine/analysis_engine.hpp"
+#include "net/topology.hpp"
+#include "rpc/client.hpp"
+#include "rpc/fault_injection.hpp"
+#include "rpc/server.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+constexpr ethernet::LinkSpeedBps kSpeed = 100'000'000;
+
+void expect_bit_identical(const core::HolisticResult& a,
+                          const core::HolisticResult& b,
+                          const std::string& where) {
+  ASSERT_EQ(a.converged, b.converged) << where;
+  ASSERT_EQ(a.schedulable, b.schedulable) << where;
+  ASSERT_EQ(a.sweeps, b.sweeps) << where;
+  EXPECT_TRUE(a.jitters == b.jitters) << where << ": jitter maps differ";
+  ASSERT_EQ(a.flows.size(), b.flows.size()) << where;
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    ASSERT_EQ(a.flows[f].frames.size(), b.flows[f].frames.size()) << where;
+    for (std::size_t k = 0; k < a.flows[f].frames.size(); ++k) {
+      EXPECT_EQ(a.flows[f].frames[k].response, b.flows[f].frames[k].response)
+          << where << ": flow " << f << " frame " << k;
+    }
+  }
+}
+
+std::string fresh_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/gmfnet_pipe_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// A served engine on a fresh Unix socket, plus the serve thread.
+class TestDaemon {
+ public:
+  explicit TestDaemon(const net::Network& network, ServerConfig cfg = {})
+      : engine_(std::make_shared<engine::AnalysisEngine>(network)) {
+    cfg.unix_path = fresh_socket_path();
+    server_ = std::make_unique<Server>(engine_, cfg);
+    path_ = server_->unix_path();
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  ~TestDaemon() {
+    server_->request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] Client connect() const { return Client::connect_unix(path_); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::shared_ptr<engine::AnalysisEngine> engine_;
+  std::unique_ptr<Server> server_;
+  std::string path_;
+  std::thread thread_;
+};
+
+/// A randomized multi-domain world plus a generated flow set.
+struct Scenario {
+  net::Network net;
+  std::vector<gmf::Flow> flows;
+};
+
+Scenario make_scenario(std::uint64_t seed, int num_flows = 10) {
+  Scenario s;
+  std::vector<net::NodeId> hosts;
+  for (int cell = 0; cell < 3; ++cell) {
+    const net::NodeId sw = s.net.add_switch("sw" + std::to_string(cell));
+    for (int h = 0; h < 4; ++h) {
+      const net::NodeId host = s.net.add_endhost(
+          "c" + std::to_string(cell) + "h" + std::to_string(h));
+      s.net.add_duplex_link(host, sw, kSpeed);
+      hosts.push_back(host);
+    }
+  }
+  Rng rng(0x01BE11E5ull ^ (seed * 0x9E3779B9ull));
+  workload::TasksetParams params;
+  params.num_flows = num_flows;
+  params.total_utilization = 0.5;
+  params.deadline_factor_lo = 2.0;
+  params.deadline_factor_hi = 4.0;
+  auto ts = workload::generate_taskset(s.net, hosts, params, rng);
+  EXPECT_TRUE(ts.has_value());
+  s.flows = std::move(ts->flows);
+  core::assign_priorities(s.flows, core::PriorityScheme::kDeadlineMonotonic);
+  return s;
+}
+
+void send_all(Socket& sock, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = sock.send_some(data + off, len - off);
+    ASSERT_GT(n, 0) << "raw send failed";
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// -------------------------------------------------- frame segmentation --
+
+TEST(RpcPipeline, ManyFramesInOneSegmentAnswerInOrder) {
+  const Scenario s = make_scenario(1);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+
+  // Every request of the burst in ONE buffer, flushed with one stream of
+  // writes before any response is read.
+  std::string wire;
+  for (const gmf::Flow& f : s.flows) {
+    wire += encode_request(AdmitRequest{f});
+  }
+  wire += encode_request(StatsRequest{});
+
+  Socket raw = connect_unix(daemon.path(), 2'000);
+  send_all(raw, wire.data(), wire.size());
+
+  std::vector<bool> verdicts;
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    std::optional<std::string> frame = recv_frame(raw);
+    ASSERT_TRUE(frame.has_value()) << "response " << i;
+    const Response resp = decode_response(*frame);
+    const auto* admit = std::get_if<AdmitResponse>(&resp);
+    ASSERT_NE(admit, nullptr) << "response " << i << " out of order";
+    verdicts.push_back(admit->result.has_value());
+  }
+  std::optional<std::string> last = recv_frame(raw);
+  ASSERT_TRUE(last.has_value());
+  const Response stats_resp = decode_response(*last);
+  const auto* stats = std::get_if<StatsResponse>(&stats_resp);
+  ASSERT_NE(stats, nullptr) << "STATS response out of order";
+
+  // Verdicts identical to the sequential in-process path, and the final
+  // resident set identical by construction.
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    EXPECT_EQ(verdicts[i], mirror.try_admit(s.flows[i]).has_value())
+        << "flow " << i;
+  }
+  EXPECT_EQ(stats->flows, mirror.flow_count());
+  EXPECT_GE(stats->pipelined_hwm, 2u);  // the burst actually pipelined
+}
+
+TEST(RpcPipeline, FrameSplitAtEveryByteBoundary) {
+  const Scenario s = make_scenario(2, 6);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+  const engine::WhatIfResult expected = mirror.what_if(s.flows[0]);
+
+  const std::string frame =
+      encode_request(WhatIfBatchRequest{{s.flows[0]}});
+  ASSERT_GT(frame.size(), kHeaderSize);  // splits cover header AND body
+
+  Socket raw = connect_unix(daemon.path(), 2'000);
+  for (std::size_t split = 1; split < frame.size(); ++split) {
+    send_all(raw, frame.data(), split);
+    // Give the reactor a beat so the two halves usually land as separate
+    // reads (the decoder must be correct either way).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    send_all(raw, frame.data() + split, frame.size() - split);
+    std::optional<std::string> resp_frame = recv_frame(raw);
+    ASSERT_TRUE(resp_frame.has_value()) << "split at byte " << split;
+    const Response resp = decode_response(*resp_frame);
+    const auto* wi = std::get_if<WhatIfBatchResponse>(&resp);
+    ASSERT_NE(wi, nullptr) << "split at byte " << split;
+    ASSERT_EQ(wi->results.size(), 1u) << "split at byte " << split;
+    EXPECT_EQ(wi->results[0].admissible, expected.admissible)
+        << "split at byte " << split;
+  }
+}
+
+TEST(RpcPipeline, OneByteClientSyscallsStillBitIdentical) {
+  const Scenario s = make_scenario(3, 8);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+
+  // Every client send/recv clamped to a single byte: the daemon sees the
+  // worst possible fragmentation the kernel is allowed to produce.
+  FaultProfile profile;
+  profile.seed = 0xFEEDFACEull;
+  profile.short_io = 1.0;
+  FaultInjector injector(profile);
+
+  Client client = daemon.connect();
+  {
+    ScopedFaultInjection scope(injector);
+    for (const gmf::Flow& f : s.flows) {
+      const std::optional<core::HolisticResult> remote = client.admit(f);
+      const std::optional<core::HolisticResult> local = mirror.try_admit(f);
+      ASSERT_EQ(remote.has_value(), local.has_value());
+      if (remote) expect_bit_identical(*remote, *local, "short-io admit");
+    }
+    const engine::WhatIfResult remote_probe = client.what_if(s.flows[0]);
+    const engine::WhatIfResult local_probe = mirror.what_if(s.flows[0]);
+    EXPECT_EQ(remote_probe.admissible, local_probe.admissible);
+    expect_bit_identical(remote_probe.result(), local_probe.result(),
+                         "short-io what-if");
+  }
+  EXPECT_GT(injector.shorts(), 0u) << "the profile never actually fired";
+}
+
+// ----------------------------------------------------- response ordering --
+
+TEST(RpcPipeline, InterleavedKindsAnswerInRequestOrder) {
+  const Scenario s = make_scenario(4);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+
+  Client client = daemon.connect();
+  // A heavy read first (fanned over the reader pool), then mutations and
+  // cheap inline stats behind it: completion order scrambles, response
+  // order must not.
+  client.submit(WhatIfBatchRequest{s.flows});
+  client.submit(StatsRequest{});
+  client.submit(AdmitRequest{s.flows[0]});
+  client.submit(StatsRequest{});
+  client.submit(AdmitRequest{s.flows[1]});
+  client.submit(RemoveRequest{0});
+  ASSERT_EQ(client.pending(), 6u);
+
+  const WhatIfBatchResponse probes = client.collect_as<WhatIfBatchResponse>();
+  const StatsResponse stats_before = client.collect_as<StatsResponse>();
+  const AdmitResponse admit0 = client.collect_as<AdmitResponse>();
+  const StatsResponse stats_mid = client.collect_as<StatsResponse>();
+  const AdmitResponse admit1 = client.collect_as<AdmitResponse>();
+  const RemoveResponse removed = client.collect_as<RemoveResponse>();
+  EXPECT_EQ(client.pending(), 0u);
+
+  // The probe batch ran against the pre-admission snapshot.
+  const std::vector<engine::WhatIfResult> local_probes =
+      mirror.evaluate_batch(s.flows);
+  ASSERT_EQ(probes.results.size(), local_probes.size());
+  for (std::size_t i = 0; i < local_probes.size(); ++i) {
+    EXPECT_EQ(probes.results[i].admissible, local_probes[i].admissible)
+        << "probe " << i;
+  }
+  EXPECT_EQ(stats_before.flows, 0u);
+  EXPECT_EQ(admit0.result.has_value(),
+            mirror.try_admit(s.flows[0]).has_value());
+  // Read-your-writes: a STATS behind an ADMIT in the pipeline observes
+  // the admission, not the dispatch-time world.
+  EXPECT_EQ(stats_mid.flows, mirror.flow_count());
+  EXPECT_EQ(admit1.result.has_value(),
+            mirror.try_admit(s.flows[1]).has_value());
+  EXPECT_EQ(removed.removed, mirror.remove_flow(0));
+
+  EXPECT_GE(daemon.server().pipelined_hwm(), 6u);
+}
+
+// ----------------------------------------------------- verdict-only mode --
+
+TEST(RpcPipeline, VerdictOnlyProbesMatchFullProbesWithoutPayload) {
+  const Scenario s = make_scenario(6);
+  TestDaemon daemon(s.net);
+
+  Client client = daemon.connect();
+  // A non-trivial resident world (admit whatever fits).
+  for (const gmf::Flow& f : s.flows) (void)client.admit(f);
+
+  // Full and lean probes of the same candidates, one frame each: the lean
+  // answers must agree verdict-for-verdict (both the inline small-batch
+  // path and the pooled fat-batch path), while carrying no payload.
+  const std::vector<engine::WhatIfResult> full =
+      client.what_if_batch(s.flows);
+  for (const std::size_t n : {std::size_t{1}, s.flows.size()}) {
+    const std::vector<gmf::Flow> cands(s.flows.begin(),
+                                       s.flows.begin() +
+                                           static_cast<std::ptrdiff_t>(n));
+    const std::vector<engine::WhatIfResult> lean =
+        client.what_if_verdicts(cands);
+    ASSERT_EQ(lean.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(lean[i].admissible, full[i].admissible) << "candidate " << i;
+      EXPECT_EQ(lean[i].converged(), full[i].converged());
+      EXPECT_EQ(lean[i].flow_count(), full[i].flow_count());
+      EXPECT_FALSE(lean[i].detailed());
+      EXPECT_THROW((void)lean[i].result(), std::logic_error);
+    }
+  }
+}
+
+// --------------------------------------------------- mutation coalescing --
+
+TEST(RpcPipeline, PipelinedAdmitsCoalesceWithSequentialVerdicts) {
+  const Scenario s = make_scenario(5, 24);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+
+  Client client = daemon.connect();
+  for (const gmf::Flow& f : s.flows) client.submit(AdmitRequest{f});
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    const AdmitResponse resp = client.collect_as<AdmitResponse>();
+    const bool local = mirror.try_admit(s.flows[i]).has_value();
+    EXPECT_EQ(resp.result.has_value(), local) << "flow " << i;
+    if (local) ++admitted;
+  }
+
+  const StatsResponse stats = client.stats();
+  EXPECT_EQ(stats.flows, mirror.flow_count());
+  // The mutation worker solves while the rest of the burst queues: at
+  // least one group must have folded several admits into one commit.
+  EXPECT_GT(stats.coalesced_commits, 0u);
+  EXPECT_EQ(daemon.server().committed_mutations(), admitted);
+  // Coalesced or not, commits publish worlds the sequential path would
+  // have published: probes against the final snapshot are bit-identical.
+  const engine::WhatIfResult remote_probe = client.what_if(s.flows[0]);
+  const engine::WhatIfResult local_probe = mirror.what_if(s.flows[0]);
+  EXPECT_EQ(remote_probe.admissible, local_probe.admissible);
+  expect_bit_identical(remote_probe.result(), local_probe.result(),
+                       "post-coalesce probe");
+}
+
+TEST(RpcPipeline, AdmitBatchCommitsOnceWithSequentialVerdicts) {
+  const Scenario s = make_scenario(6, 16);
+  TestDaemon daemon(s.net);
+  engine::AnalysisEngine mirror(s.net);
+
+  Client client = daemon.connect();
+  const AdmitBatchResponse batch = client.admit_batch(s.flows);
+  ASSERT_EQ(batch.admitted.size(), s.flows.size());
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    EXPECT_EQ(batch.admitted[i] != 0,
+              mirror.try_admit(s.flows[i]).has_value())
+        << "flow " << i;
+  }
+  EXPECT_EQ(batch.flows_after, mirror.flow_count());
+
+  // N flows, ONE commit: the whole batch is a single journal entry.
+  const StatsResponse stats = client.stats();
+  EXPECT_EQ(stats.commit_seq, 1u);
+  EXPECT_EQ(stats.flows, mirror.flow_count());
+
+  const engine::WhatIfResult remote_probe = client.what_if(s.flows[0]);
+  const engine::WhatIfResult local_probe = mirror.what_if(s.flows[0]);
+  EXPECT_EQ(remote_probe.admissible, local_probe.admissible);
+  expect_bit_identical(remote_probe.result(), local_probe.result(),
+                       "post-batch probe");
+}
+
+TEST(RpcPipeline, CoalescedBatchReplicatesAsOneDelta) {
+  const Scenario s = make_scenario(7, 12);
+  TestDaemon primary(s.net);
+
+  ServerConfig replica_cfg;
+  replica_cfg.replica_of = "unix:" + primary.path();
+  replica_cfg.repl_backoff_initial_ms = 5;
+  replica_cfg.repl_backoff_max_ms = 50;
+  TestDaemon replica(s.net, replica_cfg);
+
+  Client client = primary.connect();
+  const AdmitBatchResponse batch = client.admit_batch(s.flows);
+  const std::uint64_t target = primary.server().commit_seq();
+  ASSERT_EQ(target, 1u);  // one kBatch delta for the whole batch
+
+  // The replica applies the batch delta (or full-syncs past it) within
+  // the deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (replica.server().commit_seq() < target &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(replica.server().commit_seq(), target) << "replica never caught up";
+
+  Client rclient = replica.connect();
+  const StatsResponse rstats = rclient.stats();
+  EXPECT_EQ(rstats.flows, static_cast<std::uint64_t>(batch.flows_after));
+  // Replica answers probes bit-identically to the primary's world.
+  const engine::WhatIfResult p = client.what_if(s.flows[0]);
+  const engine::WhatIfResult r = rclient.what_if(s.flows[0]);
+  EXPECT_EQ(p.admissible, r.admissible);
+  expect_bit_identical(p.result(), r.result(), "replica probe");
+}
+
+// ------------------------------------------------------ stale unix sockets --
+
+TEST(RpcPipeline, StaleSocketFileIsReclaimed) {
+  const std::string path = fresh_socket_path();
+  // Manufacture a stale socket file: bind without listen, then abandon
+  // the fd (simulating a daemon killed before it could unlink).
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ::close(fd);  // the file survives the fd
+
+  // A fresh daemon must detect no one answers and reclaim the path.
+  Listener reclaimed = Listener::listen_unix(path);
+  EXPECT_TRUE(reclaimed.valid());
+  reclaimed.close();
+  ::unlink(path.c_str());
+}
+
+TEST(RpcPipeline, LiveSocketRefusedWithAddrInUse) {
+  const std::string path = fresh_socket_path();
+  Listener live = Listener::listen_unix(path);
+  try {
+    (void)Listener::listen_unix(path);
+    FAIL() << "expected TransportError for a live socket";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.errno_value(), EADDRINUSE);
+    EXPECT_NE(std::string(e.what()).find("live daemon"), std::string::npos);
+  }
+  live.close();
+  ::unlink(path.c_str());
+}
+
+TEST(RpcPipeline, StaleSocketReclaimServesTraffic) {
+  const Scenario s = make_scenario(8, 4);
+  const std::string path = fresh_socket_path();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ::close(fd);
+
+  // End to end: the daemon reclaims the stale path and serves on it.
+  auto engine = std::make_shared<engine::AnalysisEngine>(s.net);
+  ServerConfig cfg;
+  cfg.unix_path = path;
+  Server server(engine, cfg);
+  std::thread serve_thread([&] { server.serve(); });
+  Client client = Client::connect_unix(path);
+  EXPECT_EQ(client.stats().flows, 0u);
+  server.request_stop();
+  serve_thread.join();
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

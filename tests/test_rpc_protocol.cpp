@@ -57,6 +57,7 @@ std::vector<std::string> representative_request_frames() {
       encode_request(AdmitRequest{w.flows[0]}),
       encode_request(RemoveRequest{3}),
       encode_request(WhatIfBatchRequest{w.flows}),
+      encode_request(WhatIfBatchRequest{w.flows, /*verdict_only=*/true}),
       encode_request(StatsRequest{}),
       encode_request(SaveCheckpointRequest{}),
       encode_request(RestoreRequest{"pretend checkpoint bytes"}),
@@ -66,6 +67,8 @@ std::vector<std::string> representative_request_frames() {
       encode_request(PromoteRequest{}),
       encode_request(RoleRequest{}),
       encode_request(RepointRequest{"unix:/tmp/primary.sock"}),
+      encode_request(AdmitBatchRequest{w.flows}),
+      encode_request(AdmitBatchRequest{{}}),  // degenerate empty batch
   };
 }
 
@@ -102,6 +105,14 @@ std::vector<std::string> representative_response_frames() {
   restore_delta.seq = 19;
   restore_delta.flows_after = 0;
   restore_delta.checkpoint = std::string("ckpt \x00\x01 blob", 12);
+  DeltaResponse batch_delta;
+  batch_delta.kind = DeltaKind::kBatch;
+  batch_delta.epoch = 2;
+  batch_delta.seq = 20;
+  batch_delta.flows_after = 5;
+  batch_delta.ops.push_back(DeltaOp{DeltaKind::kAdmit, w.flows[0], 0});
+  batch_delta.ops.push_back(DeltaOp{DeltaKind::kRemove, gmf::Flow{}, 2});
+  batch_delta.ops.push_back(DeltaOp{DeltaKind::kAdmit, w.flows[2], 0});
   RoleResponse role;
   role.role = Role::kReplica;
   role.fenced = false;
@@ -116,6 +127,10 @@ std::vector<std::string> representative_response_frames() {
       encode_response(AdmitResponse{std::nullopt}),
       encode_response(RemoveResponse{true}),
       encode_response(WhatIfBatchResponse{{wi, wi}}),
+      // Lean and detailed results side by side in one batch.
+      encode_response(WhatIfBatchResponse{
+          {engine::WhatIfResult::verdict_only(true, true, 6, 5), wi,
+           engine::WhatIfResult::verdict_only(false, false, 31, 9)}}),
       encode_response(sr),
       encode_response(
           SaveCheckpointResponse{std::string("blobby \x00\x01\x7f", 10)}),
@@ -127,10 +142,13 @@ std::vector<std::string> representative_response_frames() {
       encode_response(admit_delta),
       encode_response(remove_delta),
       encode_response(restore_delta),
+      encode_response(batch_delta),
       encode_response(PromoteResponse{6}),
       encode_response(role),
       encode_response(NotPrimaryResponse{"unix:/tmp/primary.sock", 5}),
       encode_response(ErrorResponse{"flow validation failed"}),
+      encode_response(AdmitBatchResponse{{1, 0, 1, 1}, 7}),
+      encode_response(AdmitBatchResponse{{}, 0}),
   };
 }
 
@@ -147,6 +165,32 @@ TEST(RpcProtocol, ResponsesRoundTripBitIdentically) {
   for (const std::string& frame : representative_response_frames()) {
     const Response decoded = decode_response(frame);
     EXPECT_EQ(encode_response(decoded), frame);
+  }
+}
+
+TEST(RpcProtocol, VerdictOnlyWhatIfCarriesSummaryButNoPayload) {
+  const engine::WhatIfResult lean =
+      engine::WhatIfResult::verdict_only(true, false, 17, 42);
+  const Response decoded =
+      decode_response(encode_response(WhatIfBatchResponse{{lean}}));
+  const auto& batch = std::get<WhatIfBatchResponse>(decoded);
+  ASSERT_EQ(batch.results.size(), 1u);
+  const engine::WhatIfResult& got = batch.results[0];
+  EXPECT_TRUE(got.admissible);
+  EXPECT_FALSE(got.converged());
+  EXPECT_EQ(got.sweeps(), 17);
+  EXPECT_EQ(got.flow_count(), 42u);
+  EXPECT_FALSE(got.detailed());
+  EXPECT_THROW((void)got.result(), std::logic_error);
+  EXPECT_THROW((void)got.flow_result(net::FlowId(0)), std::logic_error);
+}
+
+TEST(RpcProtocol, WhatIfBatchRequestPreservesVerdictOnlyFlag) {
+  for (const bool flag : {false, true}) {
+    const Request decoded = decode_request(
+        encode_request(WhatIfBatchRequest{world().flows, flag}));
+    ASSERT_TRUE(std::holds_alternative<WhatIfBatchRequest>(decoded));
+    EXPECT_EQ(std::get<WhatIfBatchRequest>(decoded).verdict_only, flag);
   }
 }
 
@@ -241,10 +285,11 @@ TEST(RpcProtocol, ZeroLengthBodyRejected) {
 }
 
 TEST(RpcProtocol, UnknownMessageTypeRejected) {
-  // 12/114 are the first unassigned values after the replication messages
-  // (requests end at REPOINT=11, responses at NOT_PRIMARY=113).
+  // 13/115 are the first unassigned values after the batch-admission
+  // messages (requests end at ADMIT_BATCH=12, responses at
+  // ADMIT_BATCH=114).
   for (const std::uint32_t type :
-       {0u, 12u, 100u, 114u, 199u, 201u, 0xDEADu}) {
+       {0u, 13u, 100u, 115u, 199u, 201u, 0xDEADu}) {
     std::string bad = encode_request(StatsRequest{});
     for (int i = 0; i < 4; ++i) {
       bad[kTypeOffset + static_cast<std::size_t>(i)] =

@@ -1,0 +1,134 @@
+// TimerWheel contracts (rpc/timer_wheel.hpp): the reactor's deadline
+// bookkeeping must never fire early, must fire within one tick of the
+// deadline, and schedule/cancel/reschedule must be lazy — superseded wheel
+// entries are discarded, not resurrected.  All tests drive the wheel with
+// explicit time points (no sleeping): the wheel is pure bookkeeping over
+// the clock values the reactor feeds it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "rpc/timer_wheel.hpp"
+
+namespace gmfnet::rpc {
+namespace {
+
+using Clock = TimerWheel::Clock;
+using std::chrono::milliseconds;
+
+std::vector<std::uint64_t> expired_at(TimerWheel& w, Clock::time_point t) {
+  std::vector<std::uint64_t> out;
+  w.expire(t, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TimerWheel, FiresAtDeadlineWithinOneTick) {
+  TimerWheel w(/*tick_ms=*/10);
+  const Clock::time_point t0 = Clock::now();
+  w.schedule(7, t0 + milliseconds(35));
+
+  // Strictly before the deadline: silent (never early).
+  EXPECT_TRUE(expired_at(w, t0 + milliseconds(20)).empty());
+  EXPECT_TRUE(w.armed(7));
+
+  // One tick past the deadline is always enough.
+  const auto fired = expired_at(w, t0 + milliseconds(35 + 10));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7u);
+  EXPECT_FALSE(w.armed(7));
+
+  // Disarmed: never fires twice.
+  EXPECT_TRUE(expired_at(w, t0 + milliseconds(1000)).empty());
+}
+
+TEST(TimerWheel, CancelIsLazyAndIdempotent) {
+  TimerWheel w(10);
+  const Clock::time_point t0 = Clock::now();
+  w.schedule(1, t0 + milliseconds(30));
+  w.cancel(1);
+  w.cancel(1);
+  EXPECT_FALSE(w.armed(1));
+  EXPECT_TRUE(expired_at(w, t0 + milliseconds(200)).empty());
+}
+
+TEST(TimerWheel, RescheduleSupersedesTheOldDeadline) {
+  TimerWheel w(10);
+  const Clock::time_point t0 = Clock::now();
+  // The io/idle pattern: every frame pushes the deadline out again.
+  w.schedule(5, t0 + milliseconds(30));
+  w.schedule(5, t0 + milliseconds(300));
+
+  // The superseded entry's slot passes: nothing fires.
+  EXPECT_TRUE(expired_at(w, t0 + milliseconds(100)).empty());
+  EXPECT_TRUE(w.armed(5));
+
+  const auto fired = expired_at(w, t0 + milliseconds(320));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 5u);
+}
+
+TEST(TimerWheel, RescheduleEarlierFiresEarlier) {
+  TimerWheel w(10);
+  const Clock::time_point t0 = Clock::now();
+  w.schedule(9, t0 + milliseconds(500));
+  w.schedule(9, t0 + milliseconds(20));
+  const auto fired = expired_at(w, t0 + milliseconds(40));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+  // The old far-future entry must stay dead.
+  EXPECT_TRUE(expired_at(w, t0 + milliseconds(1000)).empty());
+}
+
+TEST(TimerWheel, ManyTimersAcrossWheelRevolutions) {
+  // 8 slots x 10ms tick = an 80ms revolution; deadlines far beyond one
+  // revolution exercise the keep-for-a-later-pass path.
+  TimerWheel w(/*tick_ms=*/10, /*slots=*/8);
+  const Clock::time_point t0 = Clock::now();
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    w.schedule(id, t0 + milliseconds(10 + 25 * static_cast<int>(id)));
+  }
+  EXPECT_EQ(w.size(), 64u);
+
+  std::vector<std::uint64_t> all;
+  // Sweep time forward in coarse jumps; every timer must fire exactly once
+  // and never before its deadline.
+  for (int ms = 0; ms <= 10 + 25 * 64 + 20; ms += 35) {
+    std::vector<std::uint64_t> out;
+    w.expire(t0 + milliseconds(ms), out);
+    for (const std::uint64_t id : out) {
+      EXPECT_LE(10 + 25 * static_cast<int>(id), ms) << "fired early: " << id;
+      all.push_back(id);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 64u);
+  for (std::uint64_t id = 0; id < 64; ++id) EXPECT_EQ(all[id], id);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimerWheel, NextDelayBoundsTheEventLoopWait) {
+  TimerWheel w(10);
+  const Clock::time_point t0 = Clock::now();
+  // No timers: wait forever.
+  EXPECT_EQ(w.next_delay_ms(t0), -1);
+  w.schedule(1, t0 + milliseconds(25));
+  // Armed: the loop must wake within one tick.
+  const int d = w.next_delay_ms(t0);
+  EXPECT_GE(d, 0);
+  EXPECT_LE(d, 10);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnTheNextExpire) {
+  TimerWheel w(10);
+  const Clock::time_point t0 = Clock::now();
+  w.schedule(3, t0 - milliseconds(50));  // already overdue
+  const auto fired = expired_at(w, t0 + milliseconds(10));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+}
+
+}  // namespace
+}  // namespace gmfnet::rpc

@@ -134,6 +134,14 @@ int cmd_stats(rpc::Client& client) {
               static_cast<unsigned long long>(s.commit_seq));
   std::printf("uptime_ms           %llu\n",
               static_cast<unsigned long long>(s.uptime_ms));
+  std::printf("active_connections  %llu\n",
+              static_cast<unsigned long long>(s.active_connections));
+  std::printf("frames_served       %llu\n",
+              static_cast<unsigned long long>(s.frames_served));
+  std::printf("coalesced_commits   %llu\n",
+              static_cast<unsigned long long>(s.coalesced_commits));
+  std::printf("pipelined_hwm       %llu\n",
+              static_cast<unsigned long long>(s.pipelined_hwm));
   return 0;
 }
 
