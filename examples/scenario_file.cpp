@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
 
   const core::AnalysisContext slack_ctx(scenario.network, scenario.flows);
   core::HolisticOptions slack_opts;
-  slack_opts.initial_jitters = &engine_result.jitters;
+  slack_opts.warm_start = core::WarmStartView(engine_result.jitters);
   const auto slack = core::compute_slack(slack_ctx, slack_opts);
   if (!slack) {
     std::printf("analysis diverged: the configuration is overloaded\n");

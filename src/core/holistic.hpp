@@ -2,17 +2,22 @@
 // algorithm over all flows, feeding each stage's response time back as the
 // downstream generalized jitter, until the jitter map reaches a fixed point.
 //
-// Two sweep orders are provided:
-//   * Gauss-Seidel (default): flows are analysed in sequence against the
-//     live jitter map — fewer sweeps, inherently serial.
-//   * Jacobi: all flows are analysed against a frozen snapshot and the new
-//     jitters installed afterwards — embarrassingly parallel across flows
-//     (thread pool), same fixed point (both iterate a monotone operator
-//     from the same start).
-// The convergence bench (E8) compares the two.
+// The outer loop is owned by a pluggable solver strategy (SolverOptions):
+//   * kPlain (default): plain sweeps — Gauss-Seidel (flows analysed in
+//     sequence against the live map) or Jacobi (all flows against a frozen
+//     snapshot, embarrassingly parallel over a thread pool; same fixed
+//     point).  Bit-identical to the historical behaviour.
+//   * kAnderson: Anderson(m)/EDIIS(1) acceleration over the jitter-map
+//     residual, safeguarded so the fixed point reached is the same as the
+//     plain iteration's (see SolverOptions for the contract).  Applies to
+//     Gauss-Seidel sweeps; Jacobi whole-set runs stay plain.
+// The convergence bench (E8 + the near-saturation section of
+// bench_holistic_convergence) compares the strategies.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/context.hpp"
@@ -22,19 +27,134 @@ namespace gmfnet::core {
 
 enum class SweepOrder { kGaussSeidel, kJacobi };
 
+/// Which strategy owns the outer fixed-point loop.
+enum class SolverMode : std::uint8_t {
+  kPlain = 0,     ///< plain monotone sweeps (the bit-identical default)
+  kAnderson = 1,  ///< safeguarded Anderson(m) over the jitter-map residual
+};
+
+/// Iteration-strategy knobs of the holistic solve.  `mode` selects the
+/// strategy; the remaining fields tune kAnderson and are ignored by kPlain.
+///
+/// Safeguard contract (kAnderson): the iteration maintains the Kleene
+/// climb-from-below invariant.  An accelerated iterate y is formed from the
+/// plain iterate g by extrapolating along the Anderson direction, clamped
+/// per entry to the smaller of cap plain steps and a conservative Aitken
+/// remaining-distance estimate (entries the last sweep left unchanged are
+/// never perturbed), and *speculatively* injected.  The next plain sweep
+/// z = G(y) is the acceptance check: y is kept only when z >= y
+/// componentwise AND the sweep strictly advanced at least one entry (a
+/// sweep that leaves the speculative iterate untouched would be certifying
+/// its own landing — only a plain climb may declare convergence).  On
+/// rejection — including a diverging sweep — the solve rolls back to the
+/// saved pre-injection map, re-analyses every dirty flow, and continues
+/// plainly; after `max_rejects` rejections acceleration is disabled for the
+/// rest of the solve.  An adaptive damping factor backs off 4x per
+/// rejection and regrows 2x per acceptance.
+///
+/// What the certificate guarantees depends on the structure of the
+/// iterated interference graph (edge j -> i when j can interfere with i on
+/// a shared link AND j's jitter there is itself produced by the iteration):
+///
+///   * Acyclic graph — in particular whenever iterated flows sharing links
+///     have distinct priorities: the sweep operator has a UNIQUE fixed
+///     point, and the acceptance check proves y lies at or below it by
+///     induction over the dependency order.  The accelerated solve is
+///     therefore bit-identical to plain Gauss-Seidel: same verdicts, same
+///     response times, same jitter maps.  This is the only regime in which
+///     acceleration engages by default; the graph is checked per solve.
+///
+///   * Cyclic graph (equal-priority flows sharing links both ways): the
+///     staircase operator can have several fixed points near saturation,
+///     and a speculative overshoot can be self-confirming, so no local
+///     certificate can prove least-ness.  By default the driver detects
+///     the cycle and stays plain (identity preserved trivially).  Setting
+///     `accept_cyclic` opts into acceleration anyway: every result is still
+///     a certified fixed point of the plain sweep operator and hence a
+///     sound, conservative upper bound on the least fixed point (responses
+///     never under-estimated, verdicts never optimistic), but near-critical
+///     cycles may converge a few interference quanta above the least fixed
+///     point.  The convergence bench exercises this mode explicitly.
+///
+/// Convergence is only ever declared on a plain sweep that changed
+/// nothing, so the returned map is a genuine fixed point either way.
+/// tests/test_solver_equivalence.cpp asserts result identity against
+/// kPlain across randomized scenarios (acyclic by construction), the
+/// forced-rejection path, and the cyclic opt-in's conservatism.
+struct SolverOptions {
+  SolverMode mode = SolverMode::kPlain;
+  int m = 1;              ///< Anderson history depth (residual differences)
+  int warmup_sweeps = 3;  ///< plain sweeps before the first proposal (the
+                          ///< ratio clamp needs >= 4 recorded iterates, so
+                          ///< proposals start at sweep 4 regardless)
+  int plain_between = 1;  ///< plain sweeps between successive proposals
+  double cap = 8.0;       ///< per-entry extrapolation cap, in units of the
+                          ///< entry's last plain step (g - x)
+  double gain = 1.0;      ///< extrapolation scaling; > 1 overshoots on
+                          ///< purpose (test hook for the safeguard path)
+  int max_rejects = 6;    ///< safeguard rejections before acceleration is
+                          ///< disabled for the remainder of the solve
+  /// Accelerate even when the iterated interference graph is cyclic (see
+  /// the contract above): results stay certified fixed points and sound
+  /// upper bounds, but exact least-fixed-point identity is no longer
+  /// guaranteed near criticality.  Off by default.
+  bool accept_cyclic = false;
+
+  bool operator==(const SolverOptions&) const = default;
+};
+
+/// Parses a --solver style spec into `out`: "plain", "anderson", or
+/// "anderson:M" with M in [1, 8] (e.g. "anderson:2").  Returns false (and
+/// leaves `out` untouched) on anything else.
+bool parse_solver_spec(std::string_view spec, SolverOptions& out);
+
+/// SolverOptions from the GMFNET_SOLVER environment variable (same spec
+/// grammar), or the default when unset/empty.  Malformed values throw
+/// std::runtime_error — CI forcing acceleration on must not silently run
+/// plain.  Test suites build their options through this so the ASan/TSan
+/// jobs can re-run them with acceleration forced on.
+[[nodiscard]] SolverOptions solver_options_from_env();
+
+/// Typed non-owning warm-start handle: seed the iteration from a previously
+/// converged map instead of JitterMap::initial(ctx).
+///
+/// Lifetime contract: the view borrows the map — the referenced JitterMap
+/// must outlive every solve the view is passed to, and must not be mutated
+/// while a solve reads it.  The solve copies the map's state on entry
+/// (copy-on-write, one pointer per flow), so the borrow ends when the call
+/// returns.
+///
+/// Soundness contract: seeding is sound whenever the seed lies at or below
+/// the least fixed point of the sweep operator — e.g. the converged map of
+/// the same flow set minus some flows (interference only grew, so the old
+/// fixed point is a valid under-approximation and the iteration converges
+/// to the *same* least fixed point, in far fewer sweeps).
+class WarmStartView {
+ public:
+  /// Disengaged: the solve starts from JitterMap::initial(ctx).
+  WarmStartView() = default;
+  /// Borrows `seed` (not owned; see the lifetime contract above).
+  explicit WarmStartView(const JitterMap& seed) : map_(&seed) {}
+
+  [[nodiscard]] bool engaged() const { return map_ != nullptr; }
+  /// The borrowed seed; only meaningful when engaged().
+  [[nodiscard]] const JitterMap& map() const { return *map_; }
+
+ private:
+  const JitterMap* map_ = nullptr;
+};
+
 struct HolisticOptions {
   HopOptions hop;                 ///< per-hop options (horizon, ablations)
   int max_sweeps = 64;            ///< fixed-point sweep cap
   SweepOrder order = SweepOrder::kGaussSeidel;
   std::size_t threads = 0;        ///< Jacobi worker threads (0 = hardware)
-  /// Warm start: seed the iteration from this map instead of
-  /// JitterMap::initial(ctx).  Sound whenever the seed lies at or below the
-  /// least fixed point of the sweep operator — e.g. the converged map of the
-  /// same flow set minus some flows (interference only grew, so the old
-  /// fixed point is a valid under-approximation and the iteration converges
-  /// to the *same* least fixed point, in far fewer sweeps).  Not owned; must
-  /// outlive the analyze_holistic call.
-  const JitterMap* initial_jitters = nullptr;
+  /// Warm start for whole-set solves (see WarmStartView for the lifetime
+  /// and soundness contracts).  Disengaged: start from the initial map.
+  WarmStartView warm_start;
+  /// Iteration strategy (fingerprinted by checkpoints: restored fixed
+  /// points must have been produced under the same mode).
+  SolverOptions solver;
 };
 
 struct HolisticResult {
@@ -58,37 +178,63 @@ struct HolisticResult {
 /// For each flow, the ids of all other flows sharing at least one route
 /// link with it — the exact read-set of its per-sweep analysis (every
 /// interferer of every stage lives on one of the flow's route links).  The
-/// sweep skip logic of analyze_holistic and the engine's incremental runs
+/// sweep skip logic of solve_holistic and the engine's incremental runs
 /// re-analyse a flow only when it or a neighbor changed in the window since
 /// its last analysis.
 [[nodiscard]] std::vector<std::vector<FlowId>> link_neighbors(
     const AnalysisContext& ctx);
 
-/// Runs the holistic fixed point on the whole flow set of `ctx`.
+/// Counters of one solve (engine instrumentation).
+struct IncrementalStats {
+  std::size_t flow_analyses = 0;   ///< per-flow per-sweep analyses executed
+  std::size_t sweeps = 0;          ///< sweeps executed
+  std::size_t accel_accepted = 0;  ///< accelerated iterates kept
+  std::size_t accel_rejected = 0;  ///< safeguard rollbacks to a plain sweep
+};
+
+/// One solve, described as a request.  This is the single solver entry
+/// point: whole-set analyses and the engine's restricted shard/probe solves
+/// are the same request with different dirty sets, so iteration strategies
+/// are added in one place (solve_holistic) and every caller gets them.
+struct SolveRequest {
+  /// Flows to (re-)analyse, indexed by flow id; null means every flow of
+  /// the context (a whole-set solve).  When non-null, clean (false) flows
+  /// are never analysed or written — their entries in `start` must already
+  /// sit at the (unchanged) fixed point, which makes the run bit-identical
+  /// to a whole-set solve on the same context (both reach the unique least
+  /// fixed point; see WarmStartView).  Borrowed; must outlive the call.
+  const std::vector<bool>* dirty = nullptr;
+  /// Seed map.  Whole-set requests may leave it disengaged (the initial
+  /// map); restricted requests must engage it (std::logic_error otherwise —
+  /// clean flows' fixed points cannot be conjured from nothing).
+  WarmStartView start;
+};
+
+/// Runs the holistic fixed point described by `req` under `opts`.
+///
+/// Whole-set requests (`req.dirty == nullptr`) honor `opts.order` and
+/// finalize `schedulable` over all flows.  Restricted requests force
+/// Gauss-Seidel sweeps, leave clean flows' `flows` entries
+/// default-constructed and `schedulable` false: the caller owns adopting
+/// its cached FlowResults for clean flows and finalizing the verdict
+/// (skipped when `converged` is false).  `opts.warm_start` is ignored in
+/// favour of `req.start`.
+///
+/// Anderson acceleration (opts.solver) applies to every Gauss-Seidel solve;
+/// accepted/rejected proposals are counted in `stats` when provided.
+[[nodiscard]] HolisticResult solve_holistic(const AnalysisContext& ctx,
+                                            const SolveRequest& req,
+                                            const HolisticOptions& opts,
+                                            IncrementalStats* stats = nullptr);
+
+/// Whole-set convenience wrapper: solve_holistic with every flow dirty,
+/// seeded from `opts.warm_start`.
 [[nodiscard]] HolisticResult analyze_holistic(const AnalysisContext& ctx,
                                               const HolisticOptions& opts = {});
 
-/// Counters of one restricted run (engine instrumentation).
-struct IncrementalStats {
-  std::size_t flow_analyses = 0;  ///< per-flow per-sweep analyses executed
-  std::size_t sweeps = 0;         ///< sweeps executed
-};
-
-/// The per-shard / per-probe solve entry point: Gauss-Seidel holistic fixed
-/// point restricted to the `dirty` flows of `ctx`, iterated from `start`.
-/// Clean flows are never analysed or written — their entries in `start`
-/// must already sit at the (unchanged) fixed point, which makes the run
-/// bit-identical to a whole-set analyze_holistic on the same context (both
-/// reach the unique least fixed point; see the warm-start note on
-/// HolisticOptions::initial_jitters).  With every flow dirty and `start`
-/// the initial map, this *is* the cold Gauss-Seidel run.
-///
-/// On return, `flows` entries of clean flows are default-constructed and
-/// `schedulable` is left false: the caller owns adopting its cached
-/// FlowResults for clean flows and finalizing the schedulability verdict
-/// (skipped when `converged` is false).  `opts.order` and
-/// `opts.initial_jitters` are ignored (the run is Gauss-Seidel from
-/// `start` by construction).
+/// Restricted-solve compatibility wrapper: solve_holistic over `dirty`,
+/// seeded from `start`.  `opts.order` and `opts.warm_start` are ignored
+/// (the run is Gauss-Seidel from `start` by construction).
 [[nodiscard]] HolisticResult analyze_holistic_dirty(
     const AnalysisContext& ctx, const std::vector<bool>& dirty,
     JitterMap start, const HolisticOptions& opts,

@@ -14,7 +14,7 @@ AnalysisEngine::AnalysisEngine(net::Network network, core::HolisticOptions opts,
           std::move(network))),
       opts_(opts),
       shard_by_domain_(shard_by_domain) {
-  opts_.initial_jitters = nullptr;  // the engine owns warm starting
+  opts_.warm_start = {};  // the engine owns warm starting
   assemble_and_publish();           // publish the (empty) world
 }
 
@@ -34,6 +34,10 @@ EngineStats AnalysisEngine::stats() const {
   out.flow_results_reused =
       stats_.flow_results_reused.v.load(std::memory_order_relaxed);
   out.sweeps = stats_.sweeps.v.load(std::memory_order_relaxed);
+  out.accel_accepted =
+      stats_.accel_accepted.v.load(std::memory_order_relaxed);
+  out.accel_rejected =
+      stats_.accel_rejected.v.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -44,6 +48,8 @@ void AnalysisEngine::reset_stats() {
   stats_.flow_analyses.v.store(0, std::memory_order_relaxed);
   stats_.flow_results_reused.v.store(0, std::memory_order_relaxed);
   stats_.sweeps.v.store(0, std::memory_order_relaxed);
+  stats_.accel_accepted.v.store(0, std::memory_order_relaxed);
+  stats_.accel_rejected.v.store(0, std::memory_order_relaxed);
 }
 
 void AnalysisEngine::record_run(const RunStats& rs) {
@@ -59,6 +65,10 @@ void AnalysisEngine::record_run(const RunStats& rs) {
   stats_.flow_results_reused.v.fetch_add(rs.flow_results_reused,
                                          std::memory_order_relaxed);
   stats_.sweeps.v.fetch_add(rs.sweeps, std::memory_order_relaxed);
+  stats_.accel_accepted.v.fetch_add(rs.accel_accepted,
+                                    std::memory_order_relaxed);
+  stats_.accel_rejected.v.fetch_add(rs.accel_rejected,
+                                    std::memory_order_relaxed);
 }
 
 std::vector<std::uint32_t> AnalysisEngine::touched_shards(

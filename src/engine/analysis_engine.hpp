@@ -79,11 +79,13 @@ struct EngineStats {
   std::size_t flow_analyses = 0;     ///< per-flow per-sweep analyses run
   std::size_t flow_results_reused = 0;  ///< cached FlowResults reused
   std::size_t sweeps = 0;            ///< total sweeps executed
+  std::size_t accel_accepted = 0;    ///< Anderson iterates kept (safeguard)
+  std::size_t accel_rejected = 0;    ///< Anderson iterates rolled back
 };
 
 class AnalysisEngine {
  public:
-  /// `opts.initial_jitters` is ignored: the engine owns warm starting.
+  /// `opts.warm_start` is ignored: the engine owns warm starting.
   /// `opts.order` is also ignored: every shard/probe solve is Gauss-Seidel
   /// (the engine's parallelism comes from fanning shards and batch probes
   /// over the pool, not from Jacobi sweeps; results are the same unique
@@ -117,6 +119,11 @@ class AnalysisEngine {
   [[nodiscard]] EngineStats stats() const;
   /// Zeroes every counter (writer thread only).
   void reset_stats();
+
+  /// The engine's effective solve options (warm_start disengaged, order
+  /// normalized away by the per-shard Gauss-Seidel contract above).  The
+  /// daemon reports `options().solver.mode` in StatsResponse.
+  [[nodiscard]] const core::HolisticOptions& options() const { return opts_; }
 
   /// Current number of locality domains (shards).
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -200,7 +207,8 @@ class AnalysisEngine {
   ///
   /// `opts` must agree with the saving engine's options on every field the
   /// cached fixed points depend on (hop.horizon, hop.charge_self_circ,
-  /// max_sweeps — all fingerprinted in the stream); a mismatch is rejected,
+  /// max_sweeps, solver.mode — all fingerprinted in the stream); a mismatch
+  /// is rejected,
   /// since the persisted state would silently misanswer under different
   /// analysis semantics.  Throws io::CheckpointError on truncated,
   /// corrupted, forward-incompatible or semantically invalid streams.
@@ -268,6 +276,8 @@ class AnalysisEngine {
     PaddedCounter flow_analyses;
     PaddedCounter flow_results_reused;
     PaddedCounter sweeps;
+    PaddedCounter accel_accepted;
+    PaddedCounter accel_rejected;
   };
 
   /// Shard indices (ascending, deduped) owning the given route links; all

@@ -51,7 +51,10 @@ namespace ckpt {
 
 /// Container constants, shared with tests that forge malformed streams.
 inline constexpr char kMagic[8] = {'G', 'M', 'F', 'N', 'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kVersion = 1;
+/// Version 2 appended the solver mode to the engine section's
+/// analysis-option fingerprint (version 1 streams are rejected: their fixed
+/// points carry no record of the strategy that produced them).
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kVersionOffset = 8;
 inline constexpr std::size_t kPayloadLenOffset = 12;
 inline constexpr std::size_t kChecksumOffset = 20;

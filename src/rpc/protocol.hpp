@@ -34,7 +34,7 @@
 //                                           O(world) per-flow payload }
 //   STATS            {}                  -> { EngineStats, flows, shards,
 //                                            role, epoch, commit_seq, uptime,
-//                                            server counters }
+//                                            server counters, solver mode }
 //   SAVE_CHECKPOINT  {}                  -> { checkpoint blob (PR 4 stream) }
 //   RESTORE          { checkpoint blob } -> { restored flow count }
 //   SHUTDOWN         {}                  -> {}
@@ -237,6 +237,10 @@ struct StatsResponse {
   std::uint64_t coalesced_commits = 0;   ///< mutations folded into group
                                          ///< commits beyond the group heads
   std::uint64_t pipelined_hwm = 0;  ///< max frames in flight on one conn
+  // Appended after the PR 9 fields: which iteration strategy the engine's
+  // fixed-point solves run under (core::SolverMode values; the accel_*
+  // counters in `stats` are only nonzero under kAnderson).
+  std::uint8_t solver_mode = 0;
 };
 struct SaveCheckpointResponse {
   std::string checkpoint;

@@ -338,5 +338,40 @@ TEST_F(CheckpointMalformed, AnalysisOptionMismatchRejected) {
   EXPECT_NO_THROW((void)restore_from(blob_, threads));
 }
 
+TEST_F(CheckpointMalformed, SolverMismatchRejectedLoudly) {
+  // blob_ was saved under the plain default; restoring it under a different
+  // iteration strategy must be a loud CheckpointError naming the solver —
+  // silently re-running persisted fixed points under another strategy would
+  // make the restored world unauditable.  Same for the cyclic opt-in, which
+  // changes the set of reachable fixed points.
+  core::HolisticOptions anderson;
+  anderson.solver.mode = core::SolverMode::kAnderson;
+  try {
+    (void)restore_from(blob_, anderson);
+    FAIL() << "expected CheckpointError";
+  } catch (const io::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("solver"), std::string::npos);
+  }
+
+  core::HolisticOptions cyclic;
+  cyclic.solver.accept_cyclic = true;
+  EXPECT_THROW((void)restore_from(blob_, cyclic), io::CheckpointError);
+
+  // And the reverse direction: a checkpoint saved under Anderson restores
+  // under Anderson but not under plain.
+  core::HolisticOptions acc;
+  acc.solver.mode = core::SolverMode::kAnderson;
+  acc.solver.m = 2;
+  const auto star = net::make_star_network(4, kSpeed);
+  AnalysisEngine eng(star.net, acc);
+  eng.add_flow(workload::make_voip_flow(
+      "c0", net::Route({star.hosts[0], star.sw, star.hosts[1]})));
+  (void)eng.evaluate();
+  const std::string acc_blob = checkpoint_of(eng);
+  EXPECT_NO_THROW((void)restore_from(acc_blob, acc));
+  EXPECT_THROW((void)restore_from(acc_blob, core::HolisticOptions{}),
+               io::CheckpointError);
+}
+
 }  // namespace
 }  // namespace gmfnet::engine

@@ -11,13 +11,23 @@ namespace {
 
 constexpr ethernet::LinkSpeedBps kSpeed = 10'000'000;
 
+/// Base options honoring the GMFNET_SOLVER CI toggle: the sanitizer jobs
+/// re-run this suite with Anderson forced on, and every result must be
+/// bit-identical by the solver contract (the workloads here have acyclic
+/// interference, so the accelerated fixed point is provably the same).
+HolisticOptions env_opts() {
+  HolisticOptions o;
+  o.solver = solver_options_from_env();
+  return o;
+}
+
 TEST(Holistic, LoneFlowConvergesInTwoSweeps) {
   const auto star = net::make_star_network(4, kSpeed);
   std::vector<gmf::Flow> flows = {gmf::make_sporadic_flow(
       "a", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
       gmfnet::Time::ms(20), gmfnet::Time::ms(20), 1000 * 8)};
   const AnalysisContext ctx(star.net, flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.schedulable);
   // Sweep 1 installs the stage jitters, sweep 2 observes no change.
@@ -29,7 +39,7 @@ TEST(Holistic, LoneFlowConvergesInTwoSweeps) {
 TEST(Holistic, Figure2ScenarioSchedulable) {
   const auto s = workload::make_figure2_scenario(kSpeed, true);
   const AnalysisContext ctx(s.network, s.flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.schedulable);
   for (std::size_t f = 0; f < ctx.flow_count(); ++f) {
@@ -40,9 +50,9 @@ TEST(Holistic, Figure2ScenarioSchedulable) {
 TEST(Holistic, GaussSeidelAndJacobiAgreeOnFixedPoint) {
   const auto s = workload::make_figure2_scenario(kSpeed, true);
   const AnalysisContext ctx(s.network, s.flows);
-  HolisticOptions gs;
+  HolisticOptions gs = env_opts();
   gs.order = SweepOrder::kGaussSeidel;
-  HolisticOptions jc;
+  HolisticOptions jc = env_opts();
   jc.order = SweepOrder::kJacobi;
   jc.threads = 4;
   const HolisticResult rg = analyze_holistic(ctx, gs);
@@ -81,7 +91,7 @@ TEST(Holistic, BoundsAreMonotoneInLoad) {
 TEST(Holistic, JitterPropagatesDownstream) {
   const auto s = workload::make_figure2_scenario(kSpeed, false);
   const AnalysisContext ctx(s.network, s.flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   ASSERT_TRUE(r.converged);
   const auto& stages = ctx.stages(FlowId(0));
   // Jitter strictly accumulates along the pipeline for every frame.
@@ -101,7 +111,7 @@ TEST(Holistic, UnschedulableOverloadReported) {
       "over", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
       gmfnet::Time::ms(2), gmfnet::Time::ms(2), 15000 * 8)};
   const AnalysisContext ctx(star.net, flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   EXPECT_FALSE(r.converged);
   EXPECT_FALSE(r.schedulable);
 }
@@ -113,7 +123,7 @@ TEST(Holistic, DeadlineMissWithoutDivergence) {
       "tight", net::Route({star.hosts[0], star.sw, star.hosts[1]}),
       gmfnet::Time::ms(20), gmfnet::Time::ms(1), 1000 * 8)};
   const AnalysisContext ctx(star.net, flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   EXPECT_TRUE(r.converged);       // analysis converges fine...
   EXPECT_FALSE(r.schedulable);    // ...but the deadline is missed
 }
@@ -121,7 +131,7 @@ TEST(Holistic, DeadlineMissWithoutDivergence) {
 TEST(Holistic, WorstResponseAccessor) {
   const auto s = workload::make_figure2_scenario(kSpeed, false);
   const AnalysisContext ctx(s.network, s.flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   ASSERT_TRUE(r.converged);
   EXPECT_EQ(r.worst_response(FlowId(0)), r.flows[0].worst_response());
   EXPECT_GT(r.worst_response(FlowId(0)), gmfnet::Time::zero());
@@ -140,7 +150,7 @@ TEST(Holistic, ManyIndependentFlowsStillTwoSweeps) {
         gmfnet::Time::ms(20), gmfnet::Time::ms(20), 1000 * 8));
   }
   const AnalysisContext ctx(star.net, flows);
-  const HolisticResult r = analyze_holistic(ctx);
+  const HolisticResult r = analyze_holistic(ctx, env_opts());
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.schedulable);
   EXPECT_EQ(r.sweeps, 2);

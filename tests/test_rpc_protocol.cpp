@@ -79,6 +79,8 @@ std::vector<std::string> representative_response_frames() {
   stats.evaluations = 7;
   stats.incremental_runs = 5;
   stats.sweeps = 21;
+  stats.accel_accepted = 4;
+  stats.accel_rejected = 1;
   StatsResponse sr;
   sr.stats = stats;
   sr.flows = 4;
@@ -87,6 +89,8 @@ std::vector<std::string> representative_response_frames() {
   sr.epoch = 3;
   sr.commit_seq = 99;
   sr.uptime_ms = 123'456;
+  sr.solver_mode =
+      static_cast<std::uint8_t>(core::SolverMode::kAnderson);
   DeltaResponse admit_delta;
   admit_delta.kind = DeltaKind::kAdmit;
   admit_delta.epoch = 2;
@@ -166,6 +170,26 @@ TEST(RpcProtocol, ResponsesRoundTripBitIdentically) {
     const Response decoded = decode_response(frame);
     EXPECT_EQ(encode_response(decoded), frame);
   }
+}
+
+TEST(RpcProtocol, StatsResponseCarriesSolverModeAndAccelCounters) {
+  // The operator-facing solver telemetry (gmfnet_ctl stats): which
+  // iteration strategy the daemon's solves run under, and how often the
+  // Anderson safeguard accepted/rolled back.
+  engine::EngineStats stats;
+  stats.sweeps = 33;
+  stats.accel_accepted = 6;
+  stats.accel_rejected = 2;
+  StatsResponse sr;
+  sr.stats = stats;
+  sr.solver_mode = static_cast<std::uint8_t>(core::SolverMode::kAnderson);
+  const Response decoded = decode_response(encode_response(sr));
+  const auto& got = std::get<StatsResponse>(decoded);
+  EXPECT_EQ(got.solver_mode,
+            static_cast<std::uint8_t>(core::SolverMode::kAnderson));
+  EXPECT_EQ(got.stats.sweeps, 33u);
+  EXPECT_EQ(got.stats.accel_accepted, 6u);
+  EXPECT_EQ(got.stats.accel_rejected, 2u);
 }
 
 TEST(RpcProtocol, VerdictOnlyWhatIfCarriesSummaryButNoPayload) {

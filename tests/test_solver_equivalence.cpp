@@ -1,0 +1,356 @@
+// The pluggable-solver contract, checked as a property over randomized
+// scenarios: the safeguarded Anderson(m) strategy produces results
+// *identical* to plain Gauss-Seidel — same convergence/schedulability
+// verdicts, same per-frame response bounds, same fixed-point jitter maps —
+// across whole-set solves, forced-safeguard-fallback paths (gain cranked so
+// every proposal overshoots and is rolled back), and the engine's
+// incremental and what-if runs.
+//
+// Soundness argument (see core::SolverOptions): the plain iteration is a
+// Kleene climb to the least fixed point; an accelerated iterate is only
+// kept when the next plain sweep certifies it (z = G(y) >= y with strict
+// advance, no divergence), and convergence is only ever declared on an
+// unchanged plain sweep.  On acyclic interference graphs — every DM-
+// prioritized workload generate() produces — the fixed point is unique and
+// the certificate makes acceleration exactly identical; on cyclic graphs
+// the driver stays plain unless accept_cyclic opts into the conservative
+// upper-bound regime.  This suite is the executable version of both
+// halves of that argument.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/holistic.hpp"
+#include "core/priority.hpp"
+#include "engine/analysis_engine.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace gmfnet::core {
+namespace {
+
+void expect_identical(const HolisticResult& a, const HolisticResult& b,
+                      const std::string& where) {
+  ASSERT_EQ(a.converged, b.converged) << where;
+  ASSERT_EQ(a.schedulable, b.schedulable) << where;
+  if (!a.converged) return;  // partial per-sweep state is not comparable
+  EXPECT_TRUE(a.jitters == b.jitters) << where << ": fixed points differ";
+  ASSERT_EQ(a.flows.size(), b.flows.size()) << where;
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    const FlowId id(static_cast<std::int32_t>(f));
+    EXPECT_EQ(a.worst_response(id), b.worst_response(id))
+        << where << ": flow " << f;
+    ASSERT_EQ(a.flows[f].frames.size(), b.flows[f].frames.size()) << where;
+    for (std::size_t k = 0; k < a.flows[f].frames.size(); ++k) {
+      EXPECT_EQ(a.flows[f].frames[k].response, b.flows[f].frames[k].response)
+          << where << ": flow " << f << " frame " << k;
+      EXPECT_EQ(a.flows[f].frames[k].meets_deadline,
+                b.flows[f].frames[k].meets_deadline)
+          << where << ": flow " << f << " frame " << k;
+    }
+  }
+}
+
+/// A randomized scenario on a rotating topology family.  High utilizations
+/// (up to ~0.95) are deliberately included: slow-converging near-saturation
+/// solves are where acceleration actually fires, and unschedulable /
+/// divergent sets must agree on the verdict too.
+struct Generated {
+  net::Network net;
+  std::vector<gmf::Flow> flows;
+};
+
+Generated generate(std::uint64_t seed, double util_lo, double util_hi) {
+  Rng rng(0xA11D'5EEDull + seed * 0x9E3779B9ull);
+  Generated g;
+  std::vector<net::NodeId> hosts;
+  switch (seed % 3) {
+    case 0: {
+      const auto fig = net::make_figure1_network(100'000'000);
+      g.net = fig.net;
+      hosts = {fig.host0, fig.host1, fig.host2, fig.host3};
+      break;
+    }
+    case 1: {
+      const auto star = net::make_star_network(6, 100'000'000);
+      g.net = star.net;
+      hosts = star.hosts;
+      break;
+    }
+    default: {
+      const auto line = net::make_line_network(3, 100'000'000);
+      g.net = line.net;
+      hosts = line.leaf_hosts;
+      hosts.push_back(line.src_host);
+      hosts.push_back(line.dst_host);
+      break;
+    }
+  }
+  workload::TasksetParams params;
+  params.num_flows = 4 + static_cast<int>(rng.next_below(5));  // 4..8
+  params.total_utilization = rng.uniform(util_lo, util_hi);
+  params.deadline_factor_lo = 1.5;
+  params.deadline_factor_hi = 4.0;
+  auto ts = workload::generate_taskset(g.net, hosts, params, rng);
+  EXPECT_TRUE(ts.has_value()) << "seed " << seed;
+  if (ts) g.flows = std::move(ts->flows);
+  core::assign_priorities(g.flows, core::PriorityScheme::kDeadlineMonotonic);
+  return g;
+}
+
+SolverOptions anderson(int m) {
+  SolverOptions so;
+  so.mode = SolverMode::kAnderson;
+  so.m = m;
+  return so;
+}
+
+class SolverEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverEquivalence, WholeSetMatchesPlain) {
+  const std::uint64_t seed = GetParam();
+  // Sweep the utilization band from comfortable to past saturation.
+  const Generated g = generate(seed, 0.3, 1.1);
+  const AnalysisContext ctx(g.net, g.flows);
+
+  HolisticOptions plain;
+  const HolisticResult rp = analyze_holistic(ctx, plain);
+
+  for (const int m : {1, 2, 3}) {
+    HolisticOptions acc;
+    acc.solver = anderson(m);
+    IncrementalStats is;
+    const HolisticResult ra = solve_holistic(ctx, SolveRequest{}, acc, &is);
+    expect_identical(ra, rp,
+                     "seed " + std::to_string(seed) + " anderson:" +
+                         std::to_string(m));
+    if (ra.converged) {
+      // The accelerated run never needs more sweeps than the cap and never
+      // declares convergence on anything but an unchanged plain sweep.
+      EXPECT_LE(ra.sweeps, acc.max_sweeps);
+    }
+  }
+}
+
+TEST_P(SolverEquivalence, ForcedSafeguardFallbackMatchesPlain) {
+  const std::uint64_t seed = GetParam();
+  const Generated g = generate(seed, 0.5, 1.0);
+  const AnalysisContext ctx(g.net, g.flows);
+
+  const HolisticResult rp = analyze_holistic(ctx, HolisticOptions{});
+
+  // A wildly overshooting gain makes proposals exceed the next plain
+  // sweep's certification, forcing rollbacks: the safeguard path (rollback,
+  // adaptive back-off, eventual disable) must still land on the exact plain
+  // fixed point.  With a tight rejection budget the solve degenerates to
+  // plain sweeps outright.
+  HolisticOptions hostile;
+  hostile.solver = anderson(2);
+  hostile.solver.gain = 1000.0;
+  hostile.solver.cap = 1e9;
+  hostile.solver.max_rejects = 2;
+  IncrementalStats is;
+  const HolisticResult rh =
+      solve_holistic(ctx, SolveRequest{}, hostile, &is);
+  expect_identical(rh, rp, "seed " + std::to_string(seed) + " hostile gain");
+  EXPECT_EQ(is.accel_accepted, 0u)
+      << "seed " << seed << ": a 1000x-overshot iterate was certified";
+}
+
+TEST_P(SolverEquivalence, EngineIncrementalAndWhatIfMatchPlainEngine) {
+  const std::uint64_t seed = GetParam();
+  const Generated g = generate(seed, 0.4, 0.9);
+  if (g.flows.size() < 3) GTEST_SKIP();
+
+  core::HolisticOptions acc_opts;
+  acc_opts.solver = anderson(1 + static_cast<int>(seed % 3));
+  engine::AnalysisEngine plain_eng(g.net);
+  engine::AnalysisEngine acc_eng(g.net, acc_opts);
+
+  // Interleaved adds with per-step evaluation: every incremental solve of
+  // the accelerated engine must match the plain engine bit-for-bit.
+  for (std::size_t i = 0; i < g.flows.size(); ++i) {
+    plain_eng.add_flow(g.flows[i]);
+    acc_eng.add_flow(g.flows[i]);
+    expect_identical(acc_eng.evaluate(), plain_eng.evaluate(),
+                     "seed " + std::to_string(seed) + " after add " +
+                         std::to_string(i));
+  }
+
+  // A removal (reset-dirty-component path) and a re-add (warm start).
+  ASSERT_TRUE(plain_eng.remove_flow(0));
+  ASSERT_TRUE(acc_eng.remove_flow(0));
+  expect_identical(acc_eng.evaluate(), plain_eng.evaluate(),
+                   "seed " + std::to_string(seed) + " after remove");
+  plain_eng.add_flow(g.flows[0]);
+  acc_eng.add_flow(g.flows[0]);
+  expect_identical(acc_eng.evaluate(), plain_eng.evaluate(),
+                   "seed " + std::to_string(seed) + " after re-add");
+
+  // What-if probes (snapshot restricted solves) agree and commit nothing.
+  for (std::size_t c = 0; c < 2 && c < g.flows.size(); ++c) {
+    engine::WhatIfResult wp = plain_eng.what_if(g.flows[c]);
+    engine::WhatIfResult wa = acc_eng.what_if(g.flows[c]);
+    ASSERT_EQ(wa.admissible, wp.admissible)
+        << "seed " << seed << " what-if " << c;
+    expect_identical(wa.result(), wp.result(),
+                     "seed " + std::to_string(seed) + " what-if " +
+                         std::to_string(c));
+  }
+  EXPECT_EQ(acc_eng.flow_count(), plain_eng.flow_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SolverEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// ------------------------------------------------------------------------
+// The cyclic regime (see core::SolverOptions).  Two equal-priority flows
+// crossing a switch ring over two shared links in OPPOSITE route order
+// close a jitter feedback cycle A@a <- B@a <- B@b <- A@b <- A@a; near
+// saturation its lap gain approaches 1 and the plain climb becomes a slow
+// geometric ratchet — the one workload family where acceleration has real
+// work to do, and also the one where the fixed point stops being unique.
+// Natural DM-priority workloads (everything generate() produces) have
+// acyclic interference and converge in a handful of sweeps.
+struct Ring {
+  net::Network net;
+  std::vector<gmf::Flow> flows;
+};
+
+Ring make_near_critical_ring(std::int64_t separation_us) {
+  Ring r;
+  net::Network& netw = r.net;
+  const auto X = netw.add_switch("X"), Y = netw.add_switch("Y");
+  const auto M = netw.add_switch("M"), Z = netw.add_switch("Z");
+  const auto W = netw.add_switch("W"), N = netw.add_switch("N");
+  const auto hA = netw.add_endhost("hA"), hA2 = netw.add_endhost("hA2");
+  const auto hB = netw.add_endhost("hB"), hB2 = netw.add_endhost("hB2");
+  const ethernet::LinkSpeedBps sp = 100'000'000;
+  netw.add_duplex_link(X, Y, sp);
+  netw.add_duplex_link(Y, M, sp);
+  netw.add_duplex_link(M, Z, sp);
+  netw.add_duplex_link(Z, W, sp);
+  netw.add_duplex_link(W, N, sp);
+  netw.add_duplex_link(N, X, sp);
+  netw.add_duplex_link(hA, X, sp);
+  netw.add_duplex_link(W, hA2, sp);
+  netw.add_duplex_link(hB, Z, sp);
+  netw.add_duplex_link(Y, hB2, sp);
+  netw.validate();
+  gmf::FrameSpec fs;
+  fs.min_separation = Time::us(separation_us);
+  fs.deadline = Time::ms(500);
+  fs.jitter = Time::ms(2);
+  fs.payload_bits = 1000 * 8;
+  // A takes X->Y and Z->W; B takes Z->W then (around the ring) X->Y: the
+  // shared links appear in opposite order, so each flow's jitter at a
+  // shared link depends on the other's response there.  Equal priorities
+  // make the interference mutual.
+  r.flows.emplace_back("A", net::Route({hA, X, Y, M, Z, W, hA2}),
+                       std::vector<gmf::FrameSpec>{fs}, 3);
+  r.flows.emplace_back("B", net::Route({hB, Z, W, N, X, Y, hB2}),
+                       std::vector<gmf::FrameSpec>{fs}, 3);
+  return r;
+}
+
+// By default Anderson must detect the interference cycle and stay plain:
+// exact identity is preserved because no speculation ever happens.
+TEST(SolverAcceleration, CyclicInterferenceKeepsDefaultAndersonPlain) {
+  const Ring r = make_near_critical_ring(202);
+  const AnalysisContext ctx(r.net, r.flows);
+  HolisticOptions plain;
+  plain.max_sweeps = 512;  // the ratchet needs ~70 sweeps to converge
+  const HolisticResult rp = analyze_holistic(ctx, plain);
+  ASSERT_TRUE(rp.converged);
+
+  HolisticOptions acc = plain;
+  acc.solver = anderson(2);
+  IncrementalStats is;
+  const HolisticResult ra = solve_holistic(ctx, SolveRequest{}, acc, &is);
+  expect_identical(ra, rp, "guarded cyclic ring");
+  EXPECT_EQ(ra.sweeps, rp.sweeps);
+  EXPECT_EQ(is.accel_accepted, 0u)
+      << "the cycle guard must keep speculation off without accept_cyclic";
+  EXPECT_EQ(is.accel_rejected, 0u);
+}
+
+// With accept_cyclic the accelerator must actually fire and pay off on the
+// near-critical ring, and every result must honor the conservative
+// contract: a certified fixed point at-or-above the plain least fixed
+// point, slot for slot, with the same verdicts.
+TEST(SolverAcceleration, FiresOnNearCriticalCycleWithOptIn) {
+  const Ring r = make_near_critical_ring(202);
+  const AnalysisContext ctx(r.net, r.flows);
+  HolisticOptions plain;
+  plain.max_sweeps = 512;
+  const HolisticResult rp = analyze_holistic(ctx, plain);
+  ASSERT_TRUE(rp.converged);
+  ASSERT_GT(rp.sweeps, 40) << "the scenario is supposed to ratchet slowly";
+
+  for (const int m : {1, 2, 3}) {
+    HolisticOptions acc = plain;
+    acc.solver = anderson(m);
+    acc.solver.accept_cyclic = true;
+    IncrementalStats is;
+    const HolisticResult ra = solve_holistic(ctx, SolveRequest{}, acc, &is);
+    const std::string where = "cyclic opt-in m=" + std::to_string(m);
+    ASSERT_TRUE(ra.converged) << where;
+    EXPECT_GT(is.accel_accepted, 0u)
+        << where << ": no accelerated iterate was ever certified — the "
+                    "Anderson path is not being exercised";
+    EXPECT_LT(ra.sweeps, rp.sweeps)
+        << where << ": acceleration must pay off on the ratchet";
+    EXPECT_EQ(ra.schedulable, rp.schedulable) << where;
+    for (std::size_t f = 0; f < r.flows.size(); ++f) {
+      const FlowId id(static_cast<std::int32_t>(f));
+      EXPECT_GE(ra.worst_response(id), rp.worst_response(id)) << where;
+      for (const StageKey& st : ctx.stages(id)) {
+        for (std::size_t k = 0; k < ctx.flow(id).frame_count(); ++k) {
+          EXPECT_GE(ra.jitters.jitter(id, st, k), rp.jitters.jitter(id, st, k))
+              << where << ": an accelerated fixed point dipped below the "
+                          "least fixed point — the certificate is broken";
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Spec parsing + env plumbing (the CI toggle).
+TEST(SolverSpec, ParsesAndRejects) {
+  SolverOptions so;
+  EXPECT_TRUE(parse_solver_spec("plain", so));
+  EXPECT_EQ(so.mode, SolverMode::kPlain);
+  EXPECT_TRUE(parse_solver_spec("anderson", so));
+  EXPECT_EQ(so.mode, SolverMode::kAnderson);
+  EXPECT_EQ(so.m, 1);
+  EXPECT_TRUE(parse_solver_spec("anderson:3", so));
+  EXPECT_EQ(so.m, 3);
+
+  SolverOptions untouched = anderson(7);
+  SolverOptions probe = untouched;
+  EXPECT_FALSE(parse_solver_spec("", probe));
+  EXPECT_FALSE(parse_solver_spec("anderson:0", probe));
+  EXPECT_FALSE(parse_solver_spec("anderson:9", probe));
+  EXPECT_FALSE(parse_solver_spec("anderson:12", probe));
+  EXPECT_FALSE(parse_solver_spec("newton", probe));
+  EXPECT_EQ(probe, untouched) << "a failed parse must leave `out` untouched";
+}
+
+TEST(SolverSpec, EnvRoundTripAndLoudFailure) {
+  ASSERT_EQ(setenv("GMFNET_SOLVER", "anderson:2", 1), 0);
+  const SolverOptions so = solver_options_from_env();
+  EXPECT_EQ(so.mode, SolverMode::kAnderson);
+  EXPECT_EQ(so.m, 2);
+  ASSERT_EQ(setenv("GMFNET_SOLVER", "bogus", 1), 0);
+  EXPECT_THROW((void)solver_options_from_env(), std::runtime_error);
+  ASSERT_EQ(unsetenv("GMFNET_SOLVER"), 0);
+  EXPECT_EQ(solver_options_from_env(), SolverOptions{});
+}
+
+}  // namespace
+}  // namespace gmfnet::core
